@@ -1,0 +1,59 @@
+// Section 1.1 premise: divergence control trades bounded staleness for
+// concurrency.
+//
+// Sweep the eps-spec from 0 (pure serializability) upward and compare CC vs
+// DC on a query-heavy banking mix: throughput, lock waits, fuzzy grants, and
+// -- the other side of the bargain -- the worst realized audit error, which
+// must stay within eps at every point.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/banking.h"
+
+using namespace atp;
+using namespace atp::bench;
+
+int main() {
+  std::printf("DC vs CC: concurrency bought per epsilon (Section 1.1)\n");
+  std::printf("%-10s %-10s %10s %10s %10s %10s %12s %12s %12s\n", "eps",
+              "sched", "commit", "waits", "dlock", "tmout", "fuzzyGrant",
+              "tps", "maxErr");
+
+  for (const Value eps : {0.0, 50.0, 200.0, 800.0, 3200.0}) {
+    BankingConfig cfg;
+    cfg.branches = 2;
+    cfg.accounts_per_branch = 16;
+    cfg.max_transfer = 40;
+    cfg.branch_audit_fraction = 0.25;
+    cfg.global_audit_fraction = 0.15;
+    cfg.audit_scan = 12;
+    cfg.zipf_theta = 0.7;
+    cfg.update_epsilon = eps;
+    cfg.query_epsilon = eps;
+    const Workload w = make_banking(cfg, 300, 5150);
+
+    for (const SchedulerKind sched :
+         {SchedulerKind::CC, SchedulerKind::DC, SchedulerKind::ODC}) {
+      const MethodConfig method = sched == SchedulerKind::CC
+                                      ? MethodConfig::baseline_sr()
+                                  : sched == SchedulerKind::DC
+                                      ? MethodConfig::baseline_dc()
+                                      : MethodConfig::baseline_odc();
+      const ExecutorReport r = run_local(w, method);
+      std::printf(
+          "%-10.0f %-10s %10llu %10llu %10llu %10llu %12llu %12.1f %12.1f\n",
+          eps, to_string(sched), (unsigned long long)r.committed,
+          (unsigned long long)r.lock_stats.waits,
+          (unsigned long long)r.lock_stats.deadlocks,
+          (unsigned long long)r.lock_stats.timeouts,
+          (unsigned long long)r.lock_stats.fuzzy_grants, r.throughput_tps,
+          r.query_error.max);
+    }
+  }
+  std::printf(
+      "\nexpected shape: CC is flat in eps (it never uses it).  DC tracks CC\n"
+      "at eps = 0, then converts budget into fuzzy grants: lock waits fall,\n"
+      "throughput rises, and maxErr grows but never crosses eps -- the ESR\n"
+      "guarantee.\n");
+  return 0;
+}

@@ -1,0 +1,218 @@
+// Section 4 reproduction: distributed commit cost and availability.
+//
+// The paper's claim: replacing {2PC + global validation} with {chopping +
+// recoverable queues} removes >= 2 message rounds from every distributed
+// commit ("a round trip ... takes from a few hundred milliseconds to a few
+// seconds; this approach takes a few hundred milliseconds or a few seconds
+// less"), and removes the blocking window a failed participant imposes.
+//
+// Series 1: client-visible commit latency and completion latency vs one-way
+//           network latency for (a) 2PC + validation round, (b) bare 2PC,
+//           (c) chopped over recoverable queues.  Plus messages/txn.
+// Series 2: availability -- a 300 ms participant outage in the middle of a
+//           stream of transfers; how long do clients stall under each
+//           scheme?
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "dist/coordinator.h"
+#include "dist/dist_executor.h"
+#include "dist/site.h"
+#include "workload/banking.h"
+
+using namespace atp;
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr Key kX = 1;
+constexpr Key kY = 2;
+
+struct Fleet {
+  std::unique_ptr<SimNetwork> net;
+  std::unique_ptr<Site> ny, la;
+  std::vector<Site*> sites;
+
+  explicit Fleet(std::chrono::microseconds one_way) {
+    NetworkOptions n;
+    n.one_way_latency = one_way;
+    net = std::make_unique<SimNetwork>(2, n);
+    DatabaseOptions dbo;
+    dbo.scheduler = SchedulerKind::DC;
+    dbo.lock_timeout = std::chrono::milliseconds(2000);
+    ny = std::make_unique<Site>(0, *net, dbo);
+    la = std::make_unique<Site>(1, *net, dbo);
+    ny->db().load(kX, 1'000'000);
+    la->db().load(kY, 1'000'000);
+    sites = {ny.get(), la.get()};
+    // Retransmission must outwait the ack round trip, or healthy links see
+    // spurious duplicates (deduped, but they inflate the message counts).
+    const auto retry = std::max(std::chrono::milliseconds(20),
+                                std::chrono::duration_cast<std::chrono::milliseconds>(
+                                    4 * one_way));
+    ny->queues().set_retry_interval(retry);
+    la->queues().set_retry_interval(retry);
+    Coordinator::install_chop_handler(sites);
+    ny->start();
+    la->start();
+  }
+  ~Fleet() {
+    ny->stop();
+    la->stop();
+  }
+};
+
+DistTxnSpec transfer(Value amount) {
+  DistTxnSpec spec;
+  spec.kind = TxnKind::Update;
+  spec.piece_epsilon = 5000;  // the paper's $10,000 / 2
+  spec.pieces = {DistPieceSpec{0, {Access::add(kX, -amount, amount)}},
+                 DistPieceSpec{1, {Access::add(kY, +amount, amount)}}};
+  return spec;
+}
+
+void series_latency() {
+  std::printf("--- Series 1: commit latency vs one-way network latency ---\n");
+  std::printf("%-12s %-24s %14s %14s %12s\n", "1-way(ms)", "scheme",
+              "client(ms)", "complete(ms)", "msgs/txn");
+
+  for (const int one_way_ms : {1, 5, 20, 50}) {
+    Fleet fleet(std::chrono::microseconds(one_way_ms * 1000));
+    Coordinator coord(*fleet.ny, fleet.sites);
+    const int kRounds = 8;
+
+    struct Scheme {
+      const char* name;
+      int mode;  // 0 = 2pc+validate, 1 = 2pc, 2 = chopped
+    };
+    for (const Scheme scheme : {Scheme{"2PC + validation", 0},
+                                Scheme{"2PC", 1},
+                                Scheme{"chopped + queues", 2}}) {
+      double client = 0, complete = 0;
+      fleet.net->reset_stats();
+      int ok = 0;
+      for (int i = 0; i < kRounds; ++i) {
+        Result<DistOutcome> out =
+            scheme.mode == 2
+                ? coord.run_chopped(transfer(100), 30000ms)
+                : coord.run_2pc(transfer(100), scheme.mode == 0, 30000ms);
+        if (!out.ok()) continue;
+        ++ok;
+        client += out.value().client_latency_us / 1000.0;
+        complete += out.value().complete_latency_us / 1000.0;
+      }
+      const double msgs =
+          ok > 0 ? double(fleet.net->stats().sent) / double(ok) : 0;
+      std::printf("%-12d %-24s %14.2f %14.2f %12.1f\n", one_way_ms,
+                  scheme.name, client / ok, complete / ok, msgs);
+    }
+  }
+  std::printf(
+      "\nexpected shape: 2PC+validation client latency ~= 4x one-way (two\n"
+      "round trips); bare 2PC ~= 2x; chopped ~= 0x (one local commit) with\n"
+      "completion ~= 2x one-way (data hop + done notice), off the client's\n"
+      "critical path.  Chopped also sends fewer messages per transaction.\n\n");
+}
+
+void series_availability() {
+  std::printf("--- Series 2: availability across a 300 ms participant outage "
+              "---\n");
+  std::printf("%-24s %10s %14s %14s\n", "scheme", "txns", "worstClient(ms)",
+              "stalled>100ms");
+
+  for (const int mode : {0, 2}) {  // 2PC+validation vs chopped
+    Fleet fleet(std::chrono::microseconds(2000));
+    Coordinator coord(*fleet.ny, fleet.sites);
+
+    std::thread outage([&] {
+      std::this_thread::sleep_for(150ms);
+      fleet.la->crash();
+      std::this_thread::sleep_for(300ms);
+      fleet.la->recover();
+    });
+
+    double worst_ms = 0;
+    int stalled = 0, txns = 0;
+    std::vector<std::uint64_t> pending;
+    Stopwatch wall;
+    while (wall.elapsed_ms() < 700) {
+      Stopwatch txn_clock;
+      if (mode == 0) {
+        auto out = coord.run_2pc(transfer(10), true, 1000ms);
+        // 2PC's client answer arrives only when the protocol finishes (or
+        // aborts after its vote timeout).
+        (void)out;
+      } else {
+        auto out = coord.run_chopped(transfer(10), 0ms);
+        if (out.ok()) pending.push_back(out.value().gtid);
+      }
+      const double ms = txn_clock.elapsed_ms();
+      worst_ms = std::max(worst_ms, ms);
+      stalled += ms > 100 ? 1 : 0;
+      ++txns;
+    }
+    outage.join();
+    // Drain chopped completions so the fleet tears down cleanly.
+    for (const auto gtid : pending) fleet.ny->wait_done(gtid, 10000ms);
+
+    std::printf("%-24s %10d %14.1f %14d\n",
+                mode == 0 ? "2PC + validation" : "chopped + queues", txns,
+                worst_ms, stalled);
+  }
+  std::printf(
+      "\nexpected shape: during the outage 2PC clients stall for the whole\n"
+      "window (blocked commit protocol); chopped clients keep committing\n"
+      "locally and the queued piece lands after recovery.\n");
+}
+
+void series_throughput() {
+  std::printf("\n--- Series 3: client throughput, banking mix over two sites "
+              "---\n");
+  std::printf("%s\n", DistExecutorReport::header().c_str());
+
+  for (const int one_way_ms : {2, 10}) {
+    for (const bool chopped : {false, true}) {
+      Fleet fleet(std::chrono::microseconds(one_way_ms * 1000));
+      BankingConfig cfg;
+      cfg.branches = 2;
+      cfg.accounts_per_branch = 32;
+      cfg.max_transfer = 50;
+      cfg.branch_audit_fraction = 0.1;
+      cfg.update_epsilon = 10000;
+      cfg.query_epsilon = 20000;
+      const Workload w = make_banking(cfg, 120, 808);
+      const auto site_of = [](Key key) { return SiteId(key / 1'000'000); };
+      for (const auto& [key, value] : w.initial_data) {
+        fleet.sites[site_of(key)]->db().load(key, value);
+      }
+      const auto specs = to_dist_specs(w, site_of);
+
+      DistExecutorOptions opts;
+      opts.clients = 4;
+      opts.use_chopping = chopped;
+      const auto report = DistExecutor::run(fleet.sites, specs, opts);
+      std::string label = std::to_string(one_way_ms) + "ms " +
+                          (chopped ? "chopped" : "2PC+val");
+      std::printf("%s\n", report.row(label.c_str()).c_str());
+    }
+  }
+  std::printf(
+      "\nexpected shape: a 2PC client thread is captive for 2+ round trips\n"
+      "per cross-site transaction, so client throughput collapses with\n"
+      "latency; chopped clients commit locally and throughput barely moves\n"
+      "(completion drains asynchronously through the queues).\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Section 4: distributed commit -- 2PC vs chopping + "
+              "recoverable queues\n\n");
+  series_latency();
+  series_availability();
+  series_throughput();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 1 reproduction (Section 2.2): eps-spec distribution over an
+// SR-chopping with restricted and unrestricted pieces.
+//
+// Part A replays the paper's walk-through exactly: transaction t in five
+// pieces, C-cycles touching p1/p3/p5, Limit_t = 51 -> static thirds of 17,
+// infinity on p2/p4; the Z = (10, 5, 20) execution rolls p3 back under the
+// static split but fits under dynamic leftover propagation.
+//
+// Part B measures the same effect on a live engine: Method 1 with static vs
+// dynamic distribution across a Limit_t sweep, reporting epsilon-driven
+// rollbacks (the "unnecessary rollback situations" dynamic distribution
+// eliminates).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "limits/distribution.h"
+#include "workload/banking.h"
+
+using namespace atp;
+using namespace atp::bench;
+
+namespace {
+
+void part_a() {
+  std::printf("--- Part A: the paper's Limit_t = 51 walk-through ---\n");
+  const auto info = ChopPlanInfo::chain({true, false, true, false, true},
+                                        TxnKind::Update, 51);
+  StaticDistribution st(info);
+  std::printf("static : p1=%.0f p2=inf p3=%.0f p4=inf p5=%.0f\n",
+              st.limit_for(0), st.limit_for(2), st.limit_for(4));
+  const Value z[] = {10, 5, 20, 0, 0};
+  bool static_rollback = false;
+  for (int p = 0; p < 5; ++p) {
+    if (z[p] > st.limit_for(std::size_t(p))) static_rollback = true;
+  }
+  std::printf("static : Z = (10, 5, 20, ...) -> p3 %s (20 > 17)\n",
+              static_rollback ? "ROLLS BACK" : "fits");
+
+  DynamicDistribution dy(info);
+  bool dynamic_rollback = false;
+  for (int p = 0; p < 5; ++p) {
+    const Value limit = dy.limit_for(std::size_t(p));
+    std::printf("dynamic: p%d limit=%s Z=%.0f\n", p + 1,
+                limit == kInfiniteLimit ? "inf" : std::to_string(int(limit)).c_str(),
+                z[p]);
+    if (z[p] > limit) dynamic_rollback = true;
+    dy.report_committed(std::size_t(p), z[p]);
+  }
+  std::printf("dynamic: total Z = 35 <= 51 -> %s\n\n",
+              dynamic_rollback ? "rollback (BUG)" : "no rollback");
+}
+
+void part_b() {
+  std::printf("--- Part B: static vs dynamic on a live engine (Method 3) "
+              "---\n");
+  std::printf("workload: chopped transfers (bound 20) vs whole-bank audits;\n"
+              "query eps is generous, so every epsilon event is an export-\n"
+              "budget block on a transfer piece -- exactly where the limit\n"
+              "distribution policy acts.  Median of 3 runs.\n");
+  std::printf("%-10s %-22s %10s %10s %10s %12s\n", "Limit_t", "method",
+              "commit", "epsAbort", "resubmit", "tps(med)");
+
+  for (const Value limit : {120.0, 180.0, 300.0, 600.0}) {
+    BankingConfig cfg;
+    cfg.branches = 2;
+    cfg.accounts_per_branch = 12;
+    cfg.max_transfer = 20;  // Z^is of a chopped transfer = 80 < every limit
+    cfg.branch_audit_fraction = 0.0;
+    cfg.global_audit_fraction = 0.25;
+    cfg.zipf_theta = 0.6;
+    cfg.update_epsilon = limit;
+    cfg.query_epsilon = 100000;  // audits never block: pressure on exports
+    const Workload w = make_banking(cfg, 250, 11);
+
+    for (const DistPolicy policy : {DistPolicy::Static, DistPolicy::Dynamic}) {
+      const MethodConfig method = MethodConfig::method3(policy);
+      std::vector<double> tps;
+      std::uint64_t eps = 0, resub = 0, commit = 0;
+      for (std::uint64_t seed : {1u, 2u, 3u}) {
+        LocalRunConfig rc;
+        rc.seed = seed;
+        rc.lock_timeout = std::chrono::milliseconds(500);
+        const ExecutorReport r = run_local(w, method, rc);
+        tps.push_back(r.throughput_tps);
+        eps += r.epsilon_aborts;
+        resub += r.resubmissions;
+        commit = r.committed;
+      }
+      std::sort(tps.begin(), tps.end());
+      std::printf("%-10.0f %-22s %10llu %10llu %10llu %12.1f\n", limit,
+                  method.name().c_str(), (unsigned long long)commit,
+                  (unsigned long long)eps, (unsigned long long)resub, tps[1]);
+    }
+  }
+  std::printf("\nexpected shape: at tight Limit_t the static split strands\n"
+              "quota on lightly-loaded pieces and blocks/aborts more;\n"
+              "dynamic leftover propagation absorbs the same fuzziness with\n"
+              "fewer epsilon events, converging as Limit_t grows.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1 / Section 2.2: inconsistency-limit distribution\n\n");
+  part_a();
+  part_b();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 3 / Section 3.1 reproduction: inter-sibling fuzziness and the
+// ESR-chopping legality frontier.
+//
+// Part A replays the paper's exact example: the SC-cycle through p1, t2, t3,
+// t4, p2 with C-edge weights (2, 1, 4, 8); Eq. 4 gives W_S = 2 + 8 = 10.
+//
+// Part B maps the frontier Definition 1 draws: for the banking job stream,
+// how finely each transfer type may be chopped as a function of (a) the
+// transaction's eps budget Limit_t and (b) the per-conflict bound W_C.
+// SR-chopping is the Limit_t -> 0 (or W_C -> infinity) corner.
+#include <cstdio>
+
+#include "chop/analyzer.h"
+#include "chop/graph.h"
+#include "engine/plan.h"
+#include "workload/banking.h"
+
+using namespace atp;
+
+namespace {
+
+void part_a() {
+  std::printf("--- Part A: Figure 3's weights, replayed exactly ---\n");
+  PieceGraph g;
+  const auto p1 = g.add_piece(0, true);
+  const auto p2 = g.add_piece(0, true);
+  const auto t2 = g.add_piece(1, false);
+  const auto t3 = g.add_piece(2, true);
+  const auto t4 = g.add_piece(3, false);
+  const std::size_t s = g.edges().size();
+  g.add_s_edge(p1, p2);
+  g.add_c_edge(p1, t2, 2);
+  g.add_c_edge(t2, t3, 1);
+  g.add_c_edge(t3, t4, 4);
+  g.add_c_edge(t4, p2, 8);
+  g.finalize();
+  std::printf("SC-cycle exists: %s\n", g.has_sc_cycle() ? "yes" : "no");
+  std::printf("W_S(s) = %.0f   (paper: 2 + 8 = 10)\n", g.s_edge_weight(s));
+  std::printf("Z^is(t1) = %.0f\n\n", g.inter_sibling_fuzziness(0));
+}
+
+void part_b() {
+  std::printf("--- Part B: ESR-chopping legality frontier (banking types) "
+              "---\n");
+  std::printf("%-12s %-12s %16s %16s %12s\n", "Limit_t(U)", "bound W_C",
+              "SR pieces/xfer", "ESR pieces/xfer", "Z^is(xfer)");
+
+  for (const Value bound : {25.0, 50.0, 100.0}) {
+    for (const Value limit : {100.0, 200.0, 400.0, 800.0}) {
+      BankingConfig cfg;
+      cfg.branches = 2;
+      cfg.accounts_per_branch = 8;
+      cfg.max_transfer = bound;
+      cfg.branch_audit_fraction = 0.2;
+      cfg.global_audit_fraction = 0.1;
+      cfg.update_epsilon = limit;
+      cfg.query_epsilon = 4 * limit;
+      const Workload w = make_banking(cfg, 1, 1);
+
+      auto sr = ExecutionPlan::build(w.types, MethodConfig::sr_chop_cc());
+      auto esr = ExecutionPlan::build(w.types, MethodConfig::method2());
+      if (!sr.ok() || !esr.ok()) continue;
+      std::size_t sr_pieces = 0, esr_pieces = 0, n = 0;
+      Value zis = 0;
+      for (std::size_t i = 0; i < w.types.size(); ++i) {
+        if (w.types[i].kind != TxnKind::Update) continue;
+        sr_pieces += sr.value().types[i].piece_ranges.size();
+        esr_pieces += esr.value().types[i].piece_ranges.size();
+        zis = std::max(zis, esr.value().types[i].z_is);
+        ++n;
+      }
+      std::printf("%-12.0f %-12.0f %16.2f %16.2f %12.0f\n", limit, bound,
+                  double(sr_pieces) / double(n), double(esr_pieces) / double(n),
+                  zis);
+    }
+  }
+  std::printf(
+      "\nexpected shape: SR stays at 1 piece per transfer (audits put every\n"
+      "chopped transfer on an SC-cycle); ESR reaches 2 pieces once Limit_t\n"
+      "covers the inter-sibling fuzziness -- the frontier scales with the\n"
+      "conflict bound W_C, and tight budgets reduce ESR to SR (upward\n"
+      "compatibility).\n");
+}
+
+void part_c() {
+  std::printf("\n--- Part C: chopping graph of the paper's Section 4 example "
+              "(DOT) ---\n");
+  // Transfer X->Y chopped, audit reading both: the canonical SC-cycle.
+  const TxnProgram transfer = ProgramBuilder("transfer", TxnKind::Update)
+                                  .add(1, -100, 100)
+                                  .add(2, +100, 100)
+                                  .epsilon(250)
+                                  .build();
+  const TxnProgram audit = ProgramBuilder("audit", TxnKind::Query)
+                               .read(1)
+                               .read(2)
+                               .epsilon(250)
+                               .build();
+  const std::vector<TxnProgram> programs{transfer, audit};
+  const Chopping chop({{0, 1}, {0}});
+  const PieceGraph g = build_chopping_graph(programs, chop);
+  std::printf("%s", g.to_dot().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 3 / Definition 1: inter-sibling fuzziness & "
+              "ESR-chopping\n\n");
+  part_a();
+  part_b();
+  part_c();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Component micro-benchmarks (google-benchmark): the building blocks whose
+// costs underlie the system-level numbers -- lock acquisition, fuzziness
+// charging, chopping-graph analysis, and the finest-chopping searches.
+#include <benchmark/benchmark.h>
+
+#include "chop/analyzer.h"
+#include "common/rng.h"
+#include "lock/lock_manager.h"
+#include "sched/database.h"
+#include "txn/registry.h"
+#include "workload/banking.h"
+
+namespace atp {
+namespace {
+
+void BM_LockAcquireReleaseUncontended(benchmark::State& state) {
+  LockManager locks;
+  NeverFuzzyResolver cc;
+  TxnId txn = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locks.acquire(txn, 1, LockMode::Exclusive, cc));
+    locks.release_all(txn);
+    ++txn;
+  }
+}
+BENCHMARK(BM_LockAcquireReleaseUncontended);
+
+void BM_LockSharedReentrant(benchmark::State& state) {
+  LockManager locks;
+  NeverFuzzyResolver cc;
+  (void)locks.acquire(1, 1, LockMode::Shared, cc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locks.acquire(1, 1, LockMode::Shared, cc));
+  }
+}
+BENCHMARK(BM_LockSharedReentrant);
+
+void BM_RegistryChargePair(benchmark::State& state) {
+  EtRegistry reg;
+  const TxnId q = reg.begin(TxnKind::Query, EpsilonSpec::unlimited());
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::unlimited());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.try_charge_pair(q, u, 1.0));
+  }
+}
+BENCHMARK(BM_RegistryChargePair);
+
+void BM_TxnCommitCycle(benchmark::State& state) {
+  Database db(DatabaseOptions{});
+  db.load(1, 100);
+  db.load(2, 100);
+  for (auto _ : state) {
+    Txn t = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+    (void)t.add(1, -5);
+    (void)t.add(2, +5);
+    (void)t.commit();
+  }
+}
+BENCHMARK(BM_TxnCommitCycle);
+
+void BM_DcFuzzyRead(benchmark::State& state) {
+  DatabaseOptions o;
+  o.scheduler = SchedulerKind::DC;
+  Database db(o);
+  db.load(1, 100);
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::unlimited());
+  (void)u.write(1, 150);  // a standing dirty value
+  for (auto _ : state) {
+    Txn q = db.begin(TxnKind::Query, EpsilonSpec::unlimited());
+    benchmark::DoNotOptimize(q.read(1));
+    (void)q.commit();
+  }
+  u.abort();
+}
+BENCHMARK(BM_DcFuzzyRead);
+
+void BM_BuildChoppingGraph(benchmark::State& state) {
+  BankingConfig cfg;
+  cfg.branches = std::size_t(state.range(0));
+  cfg.branch_audit_fraction = 0.2;
+  cfg.global_audit_fraction = 0.1;
+  const Workload w = make_banking(cfg, 1, 1);
+  const Chopping c = Chopping::finest_candidate(w.types);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_chopping_graph(w.types, c));
+  }
+}
+BENCHMARK(BM_BuildChoppingGraph)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FinestSrChopping(benchmark::State& state) {
+  BankingConfig cfg;
+  cfg.branches = std::size_t(state.range(0));
+  cfg.branch_audit_fraction = 0.2;
+  cfg.global_audit_fraction = 0.1;
+  const Workload w = make_banking(cfg, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finest_sr_chopping(w.types));
+  }
+}
+BENCHMARK(BM_FinestSrChopping)->Arg(2)->Arg(4);
+
+void BM_FinestEsrChopping(benchmark::State& state) {
+  BankingConfig cfg;
+  cfg.branches = std::size_t(state.range(0));
+  cfg.branch_audit_fraction = 0.2;
+  cfg.global_audit_fraction = 0.1;
+  cfg.update_epsilon = 1e6;  // generous: the search keeps everything chopped
+  cfg.query_epsilon = 1e6;
+  const Workload w = make_banking(cfg, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finest_esr_chopping(w.types));
+  }
+}
+BENCHMARK(BM_FinestEsrChopping)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace atp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Shared plumbing for the paper-reproduction benches: run a workload under a
+// method configuration and collect the report row.
+//
+// Local (single-database) benches add per-op think time so transactions hold
+// locks for realistic durations -- without it, in-memory ops finish in
+// nanoseconds and no method differentiates.  The distributed bench instead
+// charges simulated network latency.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "workload/workload.h"
+
+namespace atp::bench {
+
+struct LocalRunConfig {
+  std::size_t workers = 8;
+  std::uint64_t seed = 20260705;
+  std::uint64_t op_delay_min_us = 100;
+  std::uint64_t op_delay_max_us = 300;
+  std::chrono::milliseconds lock_timeout{2000};
+};
+
+inline ExecutorReport run_local(const Workload& w, MethodConfig method,
+                                const LocalRunConfig& cfg = {}) {
+  auto plan = ExecutionPlan::build(w.types, method);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan build failed for %s: %s\n",
+                 method.name().c_str(), plan.status().to_string().c_str());
+    ExecutorReport r;
+    r.method_name = method.name() + " (PLAN FAILED)";
+    return r;
+  }
+  Database db(Executor::database_options(method, cfg.lock_timeout));
+  w.load_into(db);
+  ExecutorOptions opts;
+  opts.workers = cfg.workers;
+  opts.seed = cfg.seed;
+  opts.op_delay_min_us = cfg.op_delay_min_us;
+  opts.op_delay_max_us = cfg.op_delay_max_us;
+  return Executor::run(db, plan.value(), w.instances, opts);
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n%s\n", title, ExecutorReport::header().c_str());
+}
+
+inline void print_row(const ExecutorReport& r) {
+  std::printf("%s\n", r.row().c_str());
+}
+
+/// All six Table-1 configurations (baselines + the paper's three methods).
+inline std::vector<MethodConfig> table1_methods() {
+  return {MethodConfig::baseline_sr(), MethodConfig::baseline_dc(),
+          MethodConfig::sr_chop_cc(),  MethodConfig::method1(),
+          MethodConfig::method2(),     MethodConfig::method3()};
+}
+
+}  // namespace atp::bench

@@ -1,0 +1,74 @@
+// Airline reservations under every method: the paper's "reservation systems
+// often require a limit for each reservation" example.
+//
+// Bookings decrement seat counts and post bounded fares to a revenue ledger;
+// availability queries scan popular flights; a books-balance report reads
+// everything.  The run prints the Table-1-style comparison for this domain
+// and shows the invariant (seats sold == bookings) holding under every
+// method.
+#include <cstdio>
+
+#include "engine/executor.h"
+#include "workload/airline.h"
+
+using namespace atp;
+
+int main() {
+  AirlineConfig cfg;
+  cfg.flights = 24;
+  cfg.seats_per_flight = 300;
+  cfg.price_cap = 400;
+  cfg.availability_fraction = 0.25;
+  cfg.report_fraction = 0.05;
+  cfg.zipf_theta = 0.8;  // a few popular routes
+  cfg.update_epsilon = 4000;
+  cfg.query_epsilon = 8000;
+  const std::size_t kBookings = 300;
+
+  const Workload w = make_airline(cfg, kBookings, /*seed=*/2026);
+  std::printf("airline: %zu flights, %zu txns (%.0f%% availability, %.0f%% "
+              "reports)\n\n",
+              cfg.flights, kBookings, cfg.availability_fraction * 100,
+              cfg.report_fraction * 100);
+  std::printf("%s\n", ExecutorReport::header().c_str());
+
+  for (const MethodConfig method :
+       {MethodConfig::baseline_sr(), MethodConfig::baseline_dc(),
+        MethodConfig::method2(), MethodConfig::method3()}) {
+    auto plan = ExecutionPlan::build(w.types, method);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan failed: %s\n",
+                   plan.status().to_string().c_str());
+      continue;
+    }
+    Database db(Executor::database_options(method));
+    w.load_into(db);
+    ExecutorOptions opts;
+    opts.workers = 8;
+    opts.op_delay_min_us = 100;
+    opts.op_delay_max_us = 300;
+    const ExecutorReport r = Executor::run(db, plan.value(), w.instances,
+                                           opts);
+    std::printf("%s\n", r.row().c_str());
+
+    // Domain invariant: every committed booking took exactly one seat.
+    Value seats_left = 0;
+    for (std::size_t f = 0; f < cfg.flights; ++f) {
+      seats_left += db.store().read_committed(airline_seats_key(f)).value();
+    }
+    std::size_t bookings = 0;
+    for (const auto& inst : w.instances) {
+      bookings += (w.types[inst.type_index].kind == TxnKind::Update);
+    }
+    const Value expected =
+        cfg.seats_per_flight * Value(cfg.flights) - Value(bookings);
+    if (seats_left != expected) {
+      std::printf("  !! seat invariant violated: %.0f vs %.0f\n", seats_left,
+                  expected);
+    }
+  }
+
+  std::printf("\nall methods conserve the seat ledger; the DC rows trade\n"
+              "bounded availability-query staleness for fewer lock waits.\n");
+  return 0;
+}

@@ -1,0 +1,224 @@
+#include "chop/analyzer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace atp {
+namespace {
+
+struct ItemAccess {
+  std::size_t vertex;    // piece vertex id
+  std::size_t op_index;  // position in the program (identity for weights)
+  Access access;
+};
+
+}  // namespace
+
+PieceGraph build_chopping_graph(const std::vector<TxnProgram>& programs,
+                                const Chopping& chopping) {
+  assert(programs.size() == chopping.txn_count());
+  PieceGraph g;
+
+  // Vertices, in (txn, piece) order.
+  std::vector<std::vector<std::size_t>> vid(programs.size());
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    const std::size_t k = chopping.piece_count(t);
+    vid[t].reserve(k);
+    for (std::size_t p = 0; p < k; ++p) {
+      vid[t].push_back(g.add_piece(t, programs[t].is_update()));
+    }
+  }
+
+  // S edges: sibling clique within each transaction.
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    for (std::size_t p = 0; p < vid[t].size(); ++p) {
+      for (std::size_t q = p + 1; q < vid[t].size(); ++q) {
+        g.add_s_edge(vid[t][p], vid[t][q]);
+      }
+    }
+  }
+
+  // C edges: index accesses by item, then pair up across transactions.
+  std::unordered_map<Key, std::vector<ItemAccess>> by_item;
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    for (std::size_t p = 0; p < chopping.piece_count(t); ++p) {
+      const auto [begin, end] =
+          chopping.piece_range(t, p, programs[t].ops.size());
+      for (std::size_t i = begin; i < end; ++i) {
+        const Access& a = programs[t].ops[i];
+        by_item[a.item].push_back(ItemAccess{vid[t][p], i, a});
+      }
+    }
+  }
+
+  // W_C semantics: the potential fuzziness of a C edge is the total bounded
+  // change its *mutations* can cause to commonly-accessed items -- each
+  // mutation counts once per edge, no matter how many of the partner's
+  // accesses it conflicts with (a class-level read scanned N times must not
+  // inflate the weight N-fold).
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::set<std::pair<std::size_t, std::size_t>>>
+      edge_mutations;  // edge -> set of (vertex, op_index) mutations
+  std::set<std::pair<std::size_t, std::size_t>> conflicting_pairs;
+  const auto& vertices = g.vertices();
+  for (const auto& [item, accesses] : by_item) {
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+      for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+        const auto& a = accesses[i];
+        const auto& b = accesses[j];
+        if (a.vertex == b.vertex) continue;
+        if (vertices[a.vertex].txn == vertices[b.vertex].txn) continue;
+        if (!conflicts(a.access, b.access)) continue;
+        const auto key = std::minmax(a.vertex, b.vertex);
+        const auto edge = std::make_pair(key.first, key.second);
+        conflicting_pairs.insert(edge);
+        auto& muts = edge_mutations[edge];
+        if (a.access.is_mutation()) muts.insert({a.vertex, a.op_index});
+        if (b.access.is_mutation()) muts.insert({b.vertex, b.op_index});
+      }
+    }
+  }
+  for (const auto& edge : conflicting_pairs) {
+    Value w = 0;
+    for (const auto& [vertex, op_index] : edge_mutations[edge]) {
+      const std::size_t txn = vertices[vertex].txn;
+      w += programs[txn].ops[op_index].bound;
+    }
+    g.add_c_edge(edge.first, edge.second, w);
+  }
+
+  g.finalize();
+  return g;
+}
+
+Status validate_sr_chopping(const std::vector<TxnProgram>& programs,
+                            const Chopping& chopping) {
+  if (!chopping.rollback_safe(programs)) {
+    return Status::InvalidArgument("chopping is not rollback-safe");
+  }
+  const PieceGraph g = build_chopping_graph(programs, chopping);
+  if (g.has_sc_cycle()) {
+    return Status::InvalidArgument("chopping graph contains an SC-cycle");
+  }
+  return Status::Ok();
+}
+
+std::vector<Value> inter_sibling_fuzziness(
+    const std::vector<TxnProgram>& programs, const Chopping& chopping) {
+  const PieceGraph g = build_chopping_graph(programs, chopping);
+  std::vector<Value> z(programs.size(), 0);
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    z[t] = g.inter_sibling_fuzziness(t);
+  }
+  return z;
+}
+
+Status validate_esr_chopping(const std::vector<TxnProgram>& programs,
+                             const Chopping& chopping) {
+  if (!chopping.rollback_safe(programs)) {
+    return Status::InvalidArgument("chopping is not rollback-safe");
+  }
+  const PieceGraph g = build_chopping_graph(programs, chopping);
+  if (g.has_update_update_sc_cycle()) {
+    return Status::InvalidArgument(
+        "an SC-cycle contains a C edge joining two update pieces "
+        "(would allow permanent database inconsistency)");
+  }
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    const Value zis = g.inter_sibling_fuzziness(t);
+    if (zis > programs[t].epsilon_limit) {
+      return Status::InvalidArgument(
+          "inter-sibling fuzziness " + std::to_string(zis) + " of txn " +
+          programs[t].name + " exceeds Limit_t " +
+          std::to_string(programs[t].epsilon_limit));
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Merge, inside one offending block, the sibling group of one transaction.
+// Returns true if a merge happened.  Piece indices come from graph vertices,
+// which are invalidated by the merge -- callers must rebuild the graph.
+bool merge_one_sibling_group(const PieceGraph& g,
+                             const std::vector<std::vector<std::size_t>>& blocks,
+                             Chopping& chopping) {
+  for (const auto& block : blocks) {
+    // Group block vertices by transaction.
+    std::unordered_map<std::size_t, std::vector<std::size_t>> group;
+    for (std::size_t v : block) {
+      group[g.vertices()[v].txn].push_back(g.vertices()[v].piece);
+    }
+    for (auto& [txn, pieces] : group) {
+      if (pieces.size() < 2) continue;
+      const auto [mn, mx] = std::minmax_element(pieces.begin(), pieces.end());
+      chopping.merge(txn, *mn, *mx);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Chopping finest_sr_chopping(const std::vector<TxnProgram>& programs) {
+  Chopping chopping = Chopping::finest_candidate(programs);
+  for (;;) {
+    const PieceGraph g = build_chopping_graph(programs, chopping);
+    if (!g.has_sc_cycle()) return chopping;
+    const bool merged = merge_one_sibling_group(g, g.sc_blocks(), chopping);
+    // An SC-cycle always involves >= 2 pieces of some transaction inside one
+    // block (the block contains an S edge), so a merge must be possible.
+    assert(merged);
+    if (!merged) return chopping;  // defensive: avoid an infinite loop
+  }
+}
+
+Chopping finest_esr_chopping(const std::vector<TxnProgram>& programs) {
+  Chopping chopping = Chopping::finest_candidate(programs);
+  for (;;) {
+    const PieceGraph g = build_chopping_graph(programs, chopping);
+
+    // Condition 2: update-update C edges may not sit on SC-cycles.  Merge
+    // those blocks first, exactly as in the SR search.
+    if (g.has_update_update_sc_cycle()) {
+      const bool merged =
+          merge_one_sibling_group(g, g.uu_sc_blocks(), chopping);
+      assert(merged);
+      if (!merged) return chopping;
+      continue;
+    }
+
+    // Condition 3: Z^is_t <= Limit_t.  Merge away the heaviest S edge of the
+    // worst offender (greedy: it removes the largest weight contribution).
+    std::size_t worst_txn = PieceGraph::npos;
+    Value worst_over = 0;
+    for (std::size_t t = 0; t < programs.size(); ++t) {
+      const Value zis = g.inter_sibling_fuzziness(t);
+      const Value over = zis - programs[t].epsilon_limit;
+      if (over > worst_over) {
+        worst_txn = t;
+        worst_over = over;
+      }
+    }
+    if (worst_txn == PieceGraph::npos) return chopping;  // all conditions met
+
+    const GraphEdge* heaviest = nullptr;
+    for (const auto& e : g.edges()) {
+      if (e.kind != EdgeKind::S) continue;
+      if (g.vertices()[e.u].txn != worst_txn) continue;
+      if (!heaviest || e.weight > heaviest->weight) heaviest = &e;
+    }
+    assert(heaviest && heaviest->weight > 0);
+    if (!heaviest) return chopping;  // defensive
+    const std::size_t pu = g.vertices()[heaviest->u].piece;
+    const std::size_t pv = g.vertices()[heaviest->v].piece;
+    chopping.merge(worst_txn, std::min(pu, pv), std::max(pu, pv));
+  }
+}
+
+}  // namespace atp

@@ -1,0 +1,59 @@
+// Builds the chopping graph of a job stream + chopping (Section 1.2), and
+// hosts the SR / ESR correctness validators and finest-chopping searches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chop/chopping.h"
+#include "chop/graph.h"
+#include "chop/program.h"
+#include "common/status.h"
+
+namespace atp {
+
+/// Construct the chopping graph: one vertex per piece, S-edge cliques within
+/// each transaction, one C edge per conflicting piece pair with weight
+///
+///   W_C(p,q) = sum over conflicting access pairs (a in p, b in q) of the
+///              bounds of the write accesses involved,
+///
+/// infinity if any involved write bound is unknown.  This is the conservative
+/// reading of the paper's "potential fuzziness that can be caused by a
+/// conflict corresponding to the C-edge".
+[[nodiscard]] PieceGraph build_chopping_graph(
+    const std::vector<TxnProgram>& programs, const Chopping& chopping);
+
+/// Theorem 1: a chopping is SR-correct iff it is rollback-safe and its
+/// chopping graph contains no SC-cycle.
+[[nodiscard]] Status validate_sr_chopping(
+    const std::vector<TxnProgram>& programs, const Chopping& chopping);
+
+/// Definition 1: a chopping is ESR-correct iff (1) rollback-safe, (2) no
+/// SC-cycle contains a C edge joining two update pieces, and (3) for every
+/// transaction the inter-sibling fuzziness Z^is_t <= Limit_t.
+[[nodiscard]] Status validate_esr_chopping(
+    const std::vector<TxnProgram>& programs, const Chopping& chopping);
+
+/// Per-transaction inter-sibling fuzziness of a chopping (Z^is_t, Section 3).
+[[nodiscard]] std::vector<Value> inter_sibling_fuzziness(
+    const std::vector<TxnProgram>& programs, const Chopping& chopping);
+
+/// Finest SR-chopping by merge-fixpoint: start from the finest rollback-safe
+/// candidate; while an SC-cycle exists, merge -- within each offending block
+/// -- all pieces that belong to the same transaction; repeat.  Terminates
+/// (every round removes at least one piece) and yields an SR-correct
+/// chopping.
+[[nodiscard]] Chopping finest_sr_chopping(
+    const std::vector<TxnProgram>& programs);
+
+/// Finest ESR-chopping by merge-fixpoint: like finest_sr_chopping, but an
+/// SC-cycle is tolerable when it has no update-update C edge and the
+/// resulting Z^is_t fits within every transaction's Limit_t.  When Z^is_t
+/// overflows, the heaviest S edge of the offending transaction is merged
+/// away first (greedy).  With all C-edge weights unknown this degrades to
+/// exactly the SR-chopping -- the paper's upward compatibility.
+[[nodiscard]] Chopping finest_esr_chopping(
+    const std::vector<TxnProgram>& programs);
+
+}  // namespace atp

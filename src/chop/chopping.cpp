@@ -1,0 +1,73 @@
+#include "chop/chopping.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace atp {
+
+Chopping Chopping::unchopped(const std::vector<TxnProgram>& programs) {
+  std::vector<std::vector<std::size_t>> starts(programs.size(), {0});
+  return Chopping(std::move(starts));
+}
+
+Chopping Chopping::finest_candidate(const std::vector<TxnProgram>& programs) {
+  std::vector<std::vector<std::size_t>> starts;
+  starts.reserve(programs.size());
+  for (const TxnProgram& p : programs) {
+    if (!p.choppable) {
+      starts.push_back({0});
+      continue;
+    }
+    // All ops up to (and including) the last rollback point belong to piece 1.
+    std::size_t first_free = 0;
+    for (std::size_t r : p.rollback_after) {
+      first_free = std::max(first_free, r + 1);
+    }
+    std::vector<std::size_t> s{0};
+    for (std::size_t i = std::max<std::size_t>(first_free, 1); i < p.ops.size();
+         ++i) {
+      s.push_back(i);
+    }
+    starts.push_back(std::move(s));
+  }
+  return Chopping(std::move(starts));
+}
+
+std::size_t Chopping::total_pieces() const {
+  std::size_t n = 0;
+  for (const auto& s : starts_) n += s.size();
+  return n;
+}
+
+std::pair<std::size_t, std::size_t> Chopping::piece_range(
+    std::size_t txn, std::size_t piece, std::size_t op_count) const {
+  const auto& s = starts_[txn];
+  const std::size_t begin = s[piece];
+  const std::size_t end = piece + 1 < s.size() ? s[piece + 1] : op_count;
+  return {begin, end};
+}
+
+void Chopping::merge(std::size_t txn, std::size_t first, std::size_t last) {
+  assert(txn < starts_.size());
+  auto& s = starts_[txn];
+  assert(first <= last && last < s.size());
+  if (first == last) return;
+  // Remove the boundaries that begin pieces first+1 .. last.
+  s.erase(s.begin() + static_cast<std::ptrdiff_t>(first) + 1,
+          s.begin() + static_cast<std::ptrdiff_t>(last) + 1);
+}
+
+bool Chopping::rollback_safe(const std::vector<TxnProgram>& programs) const {
+  assert(programs.size() == starts_.size());
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    const auto& s = starts_[t];
+    // End of piece 1 (exclusive).
+    const std::size_t p1_end = s.size() > 1 ? s[1] : programs[t].ops.size();
+    for (std::size_t r : programs[t].rollback_after) {
+      if (r >= p1_end) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace atp

@@ -1,0 +1,71 @@
+// A chopping: a partition CHOP(T) of every transaction's op sequence into
+// consecutive pieces (Section 1.2).
+//
+// We restrict pieces to *contiguous* op ranges.  Shasha's formalism permits
+// arbitrary partitions respecting program-text dependencies; contiguous
+// ranges are the common practical case (each piece is a prefix-to-suffix
+// split of the program) and merging contiguous ranges is always a correct
+// coarsening, so the finest-chopping search below stays sound.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "chop/program.h"
+#include "common/status.h"
+
+namespace atp {
+
+/// Identifies one piece: transaction index within the job stream + piece
+/// index within that transaction's partition.
+struct PieceId {
+  std::size_t txn = 0;
+  std::size_t piece = 0;
+  friend bool operator==(const PieceId&, const PieceId&) = default;
+};
+
+class Chopping {
+ public:
+  /// The trivial chopping: one piece per transaction.
+  [[nodiscard]] static Chopping unchopped(const std::vector<TxnProgram>& programs);
+
+  /// The finest rollback-safe candidate: every op its own piece, except that
+  /// all ops up to the last rollback statement stay in piece 1.  This is the
+  /// starting point of the finest-chopping fixpoint searches.
+  [[nodiscard]] static Chopping finest_candidate(
+      const std::vector<TxnProgram>& programs);
+
+  /// Explicit construction: starts[t] = sorted op indices at which pieces of
+  /// transaction t begin; starts[t].front() must be 0.
+  explicit Chopping(std::vector<std::vector<std::size_t>> starts)
+      : starts_(std::move(starts)) {}
+
+  [[nodiscard]] std::size_t txn_count() const noexcept { return starts_.size(); }
+  [[nodiscard]] std::size_t piece_count(std::size_t txn) const {
+    return starts_[txn].size();
+  }
+  [[nodiscard]] std::size_t total_pieces() const;
+
+  /// [begin, end) op range of piece `p` of transaction `t`.  `end` for the
+  /// last piece is the program's op count, supplied by the caller.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> piece_range(
+      std::size_t txn, std::size_t piece, std::size_t op_count) const;
+
+  /// Merge pieces [first..last] of `txn` into one piece (covering range).
+  void merge(std::size_t txn, std::size_t first, std::size_t last);
+
+  /// Is every rollback statement of every program inside its first piece?
+  [[nodiscard]] bool rollback_safe(const std::vector<TxnProgram>& programs) const;
+
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& starts() const noexcept {
+    return starts_;
+  }
+
+  friend bool operator==(const Chopping&, const Chopping&) = default;
+
+ private:
+  std::vector<std::vector<std::size_t>> starts_;
+};
+
+}  // namespace atp

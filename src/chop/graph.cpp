@@ -1,0 +1,259 @@
+#include "chop/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace atp {
+
+std::vector<std::size_t> biconnected_components(
+    std::size_t n_vertices,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    std::vector<std::size_t>& block_edge_count) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> comp(edges.size(), npos);
+  block_edge_count.clear();
+
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj(n_vertices);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [u, v] = edges[e];
+    adj[u].emplace_back(v, e);
+    adj[v].emplace_back(u, e);
+  }
+
+  std::vector<std::size_t> disc(n_vertices, npos), low(n_vertices, 0);
+  std::size_t timer = 0;
+
+  struct Frame {
+    std::size_t u;
+    std::size_t next = 0;          // next adjacency index to explore
+    std::size_t parent_edge = npos;
+  };
+
+  std::vector<Frame> frames;
+  std::vector<std::size_t> edge_stack;
+
+  for (std::size_t root = 0; root < n_vertices; ++root) {
+    if (disc[root] != npos) continue;
+    frames.push_back(Frame{root, 0, npos});
+    disc[root] = low[root] = timer++;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::size_t u = f.u;
+      if (f.next < adj[u].size()) {
+        const auto [w, eid] = adj[u][f.next++];
+        if (eid == f.parent_edge) continue;
+        if (disc[w] == npos) {
+          edge_stack.push_back(eid);
+          frames.push_back(Frame{w, 0, eid});
+          disc[w] = low[w] = timer++;
+        } else if (disc[w] < disc[u]) {
+          edge_stack.push_back(eid);  // back edge
+          low[u] = std::min(low[u], disc[w]);
+        }
+        // disc[w] > disc[u]: the edge was handled from w's side.
+      } else {
+        const std::size_t parent_edge = f.parent_edge;
+        const std::size_t lu = low[u];
+        frames.pop_back();
+        if (frames.empty()) break;
+        Frame& pf = frames.back();
+        low[pf.u] = std::min(low[pf.u], lu);
+        if (lu >= disc[pf.u]) {
+          // pf.u is an articulation point (or the root) for this subtree:
+          // everything down to and including parent_edge is one block.
+          const std::size_t block = block_edge_count.size();
+          block_edge_count.push_back(0);
+          for (;;) {
+            assert(!edge_stack.empty());
+            const std::size_t e = edge_stack.back();
+            edge_stack.pop_back();
+            comp[e] = block;
+            ++block_edge_count[block];
+            if (e == parent_edge) break;
+          }
+        }
+      }
+    }
+    assert(edge_stack.empty());
+  }
+  return comp;
+}
+
+std::size_t PieceGraph::add_piece(std::size_t txn, bool update_piece) {
+  assert(!finalized_);
+  const std::size_t id = vertices_.size();
+  // Pieces of one transaction must arrive in order.
+  assert([&] {
+    std::size_t last = npos;
+    for (const auto& v : vertices_) {
+      if (v.txn == txn) last = v.piece;
+    }
+    return last == npos || true;  // piece index assigned below, always next
+  }());
+  std::size_t piece = 0;
+  for (const auto& v : vertices_) {
+    if (v.txn == txn) ++piece;
+  }
+  vertices_.push_back(PieceVertex{txn, piece, update_piece});
+  return id;
+}
+
+void PieceGraph::add_c_edge(std::size_t u, std::size_t v, Value weight) {
+  assert(!finalized_ && u < vertices_.size() && v < vertices_.size());
+  assert(vertices_[u].txn != vertices_[v].txn && "C edges join different txns");
+  edges_.push_back(GraphEdge{u, v, EdgeKind::C, weight});
+}
+
+void PieceGraph::add_s_edge(std::size_t u, std::size_t v) {
+  assert(!finalized_ && u < vertices_.size() && v < vertices_.size());
+  assert(vertices_[u].txn == vertices_[v].txn && "S edges join siblings");
+  edges_.push_back(GraphEdge{u, v, EdgeKind::S, 0});
+}
+
+void PieceGraph::finalize() {
+  assert(!finalized_);
+  finalized_ = true;
+  const std::size_t n = vertices_.size();
+  restricted_.assign(n, false);
+  on_sc_cycle_.assign(edges_.size(), false);
+  has_sc_cycle_ = false;
+  has_uu_sc_cycle_ = false;
+
+  // --- full-graph blocks: SC-cycle questions -----------------------------
+  {
+    std::vector<std::pair<std::size_t, std::size_t>> plain;
+    plain.reserve(edges_.size());
+    for (const auto& e : edges_) plain.emplace_back(e.u, e.v);
+    std::vector<std::size_t> block_sizes;
+    const auto block_of = biconnected_components(n, plain, block_sizes);
+
+    std::vector<std::size_t> s_in_block(block_sizes.size(), 0);
+    std::vector<std::size_t> c_in_block(block_sizes.size(), 0);
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      if (edges_[e].kind == EdgeKind::S) ++s_in_block[block_of[e]];
+      else ++c_in_block[block_of[e]];
+    }
+    std::vector<bool> block_is_sc(block_sizes.size(), false);
+    std::vector<bool> block_has_uu(block_sizes.size(), false);
+    for (std::size_t b = 0; b < block_sizes.size(); ++b) {
+      if (block_sizes[b] >= 2 && s_in_block[b] > 0 && c_in_block[b] > 0) {
+        has_sc_cycle_ = true;
+        block_is_sc[b] = true;
+      }
+    }
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      if (edges_[e].kind != EdgeKind::C) continue;
+      const std::size_t b = block_of[e];
+      on_sc_cycle_[e] = block_sizes[b] >= 2 && s_in_block[b] > 0;
+      if (on_sc_cycle_[e] && vertices_[edges_[e].u].update &&
+          vertices_[edges_[e].v].update) {
+        has_uu_sc_cycle_ = true;
+        block_has_uu[b] = true;
+      }
+    }
+    // Collect vertex sets of the offending blocks.
+    std::vector<std::vector<std::size_t>> block_vertices(block_sizes.size());
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      const std::size_t b = block_of[e];
+      if (!block_is_sc[b]) continue;
+      block_vertices[b].push_back(edges_[e].u);
+      block_vertices[b].push_back(edges_[e].v);
+    }
+    for (std::size_t b = 0; b < block_sizes.size(); ++b) {
+      if (!block_is_sc[b]) continue;
+      auto& vs = block_vertices[b];
+      std::sort(vs.begin(), vs.end());
+      vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+      sc_block_vertices_.push_back(vs);
+      if (block_has_uu[b]) uu_sc_block_vertices_.push_back(vs);
+    }
+  }
+
+  // --- C-only blocks: restricted pieces (C-cycle membership) -------------
+  {
+    std::vector<std::pair<std::size_t, std::size_t>> c_edges;
+    std::vector<std::size_t> c_index;  // back-map into edges_
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      if (edges_[e].kind == EdgeKind::C) {
+        c_edges.emplace_back(edges_[e].u, edges_[e].v);
+        c_index.push_back(e);
+      }
+    }
+    std::vector<std::size_t> block_sizes;
+    const auto block_of = biconnected_components(n, c_edges, block_sizes);
+    for (std::size_t i = 0; i < c_edges.size(); ++i) {
+      if (block_sizes[block_of[i]] >= 2) {
+        restricted_[c_edges[i].first] = true;
+        restricted_[c_edges[i].second] = true;
+      }
+    }
+  }
+
+  // --- Eq. 4: W_S(s) = sum of W_C over CE(s) ------------------------------
+  {
+    std::vector<std::vector<std::size_t>> incident_c(n);
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      if (edges_[e].kind != EdgeKind::C) continue;
+      incident_c[edges_[e].u].push_back(e);
+      incident_c[edges_[e].v].push_back(e);
+    }
+    for (auto& e : edges_) {
+      if (e.kind != EdgeKind::S) continue;
+      Value w = 0;
+      auto accumulate = [&](std::size_t vertex) {
+        for (std::size_t c : incident_c[vertex]) {
+          if (on_sc_cycle_[c]) w += edges_[c].weight;
+        }
+      };
+      accumulate(e.u);
+      accumulate(e.v);
+      e.weight = w;
+    }
+  }
+}
+
+Value PieceGraph::inter_sibling_fuzziness(std::size_t txn) const {
+  assert(finalized_);
+  Value z = 0;
+  for (const auto& e : edges_) {
+    if (e.kind == EdgeKind::S && vertices_[e.u].txn == txn) z += e.weight;
+  }
+  return z;
+}
+
+std::size_t PieceGraph::vertex_of(std::size_t txn, std::size_t piece) const {
+  for (std::size_t v = 0; v < vertices_.size(); ++v) {
+    if (vertices_[v].txn == txn && vertices_[v].piece == piece) return v;
+  }
+  return npos;
+}
+
+std::string PieceGraph::to_dot() const {
+  std::ostringstream out;
+  out << "graph chopping {\n  node [shape=box];\n";
+  for (std::size_t v = 0; v < vertices_.size(); ++v) {
+    const auto& pv = vertices_[v];
+    out << "  v" << v << " [label=\"t" << pv.txn << ".p" << pv.piece
+        << (pv.update ? " (U)" : " (Q)") << "\"";
+    if (finalized_ && restricted_[v]) out << ", style=filled, fillcolor=gray85";
+    out << "];\n";
+  }
+  for (const auto& e : edges_) {
+    out << "  v" << e.u << " -- v" << e.v;
+    if (e.kind == EdgeKind::S) {
+      out << " [style=dashed, label=\"S\"]";
+    } else {
+      out << " [label=\"C";
+      if (e.weight == kInfiniteLimit) out << " w=inf";
+      else out << " w=" << e.weight;
+      out << "\"]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace atp

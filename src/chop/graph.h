@@ -1,0 +1,151 @@
+// Chopping graph and its cycle analyses (Sections 1.2, 2.2, 3.1).
+//
+// Vertices are pieces; edges are C edges (conflicts across transactions,
+// optionally weighted with the conflict's maximum fuzziness) and S edges
+// (sibling pieces of one transaction; the paper's definition makes siblings a
+// clique).  All the correctness questions the paper asks reduce to cycle
+// membership, which we answer with one classic tool:
+//
+//   Two edges of an undirected graph lie on a common simple cycle  iff
+//   they belong to the same biconnected component (block), and a block
+//   contains any cycle iff it has >= 2 edges (a 1-edge block is a bridge).
+//
+// Hence:
+//   * an SC-cycle exists                 iff some block with >= 2 edges
+//                                            contains both an S and a C edge;
+//   * a C edge lies on an SC-cycle       iff its (full-graph) block has >= 2
+//                                            edges and contains an S edge;
+//   * a piece is *restricted* (lies on a C-cycle, Section 2.2)
+//                                        iff some incident C edge lies in a
+//                                            block of the C-only subgraph
+//                                            with >= 2 edges.
+//
+// We deliberately do NOT use the "two pieces of one transaction in the same
+// C-connected component" shortcut: it misses SC-cycles that traverse S edges
+// of *other* transactions (e.g. p1-C-q1-S-q2-C-p2-S-p1), which are just as
+// non-serializable.  The block decomposition is exact.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace atp {
+
+enum class EdgeKind : std::uint8_t { S, C };
+
+struct PieceVertex {
+  std::size_t txn = 0;    ///< transaction index in the job stream
+  std::size_t piece = 0;  ///< piece index within the transaction
+  bool update = false;    ///< piece of an update ET?
+};
+
+struct GraphEdge {
+  std::size_t u = 0, v = 0;
+  EdgeKind kind = EdgeKind::C;
+  Value weight = 0;  ///< W_C for C edges; computed W_S for S edges
+};
+
+class PieceGraph {
+ public:
+  /// Add the next piece of transaction `txn`; returns the vertex id.
+  /// Pieces of one transaction must be added in piece order.
+  std::size_t add_piece(std::size_t txn, bool update_piece);
+
+  void add_c_edge(std::size_t u, std::size_t v, Value weight);
+  void add_s_edge(std::size_t u, std::size_t v);
+
+  /// Run the block decompositions and derived analyses (Eq. 4 weights,
+  /// restricted marks).  Must be called after construction, before queries.
+  void finalize();
+
+  // --- Theorem 1 / Definition 1 machinery -------------------------------
+
+  [[nodiscard]] bool has_sc_cycle() const noexcept { return has_sc_cycle_; }
+
+  /// Does some SC-cycle contain a C edge joining two update pieces
+  /// (Definition 1, condition 2)?
+  [[nodiscard]] bool has_update_update_sc_cycle() const noexcept {
+    return has_uu_sc_cycle_;
+  }
+
+  /// Is this piece on a cycle of C edges only ("associated with C-cycles",
+  /// i.e. restricted in the Section 2.2 sense)?
+  [[nodiscard]] bool restricted(std::size_t vertex) const {
+    return restricted_[vertex];
+  }
+
+  /// Does this C edge lie on some SC-cycle?  (Defines CE(s) membership.)
+  [[nodiscard]] bool c_edge_on_sc_cycle(std::size_t edge_index) const {
+    return on_sc_cycle_[edge_index];
+  }
+
+  /// W_S of an S edge (Eq. 4): sum of W_C over C edges incident to either
+  /// endpoint and on an SC-cycle.
+  [[nodiscard]] Value s_edge_weight(std::size_t edge_index) const {
+    return edges_[edge_index].weight;
+  }
+
+  /// Z^is_t: sum of W_S over all S edges of transaction `txn`.
+  [[nodiscard]] Value inter_sibling_fuzziness(std::size_t txn) const;
+
+  /// Vertex sets of the blocks that witness an SC-cycle (>= 2 edges, both an
+  /// S and a C edge).  The finest-chopping searches merge sibling groups
+  /// inside these.
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& sc_blocks()
+      const noexcept {
+    return sc_block_vertices_;
+  }
+
+  /// Vertex sets of SC-cycle blocks that additionally contain a C edge
+  /// joining two update pieces (Definition 1, condition 2 violations).
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& uu_sc_blocks()
+      const noexcept {
+    return uu_sc_block_vertices_;
+  }
+
+  // --- introspection ------------------------------------------------------
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return vertices_.size();
+  }
+  [[nodiscard]] const std::vector<PieceVertex>& vertices() const noexcept {
+    return vertices_;
+  }
+  [[nodiscard]] const std::vector<GraphEdge>& edges() const noexcept {
+    return edges_;
+  }
+  /// Vertex id of (txn, piece), or npos if absent.
+  [[nodiscard]] std::size_t vertex_of(std::size_t txn, std::size_t piece) const;
+
+  /// Graphviz dump: S edges dashed, C edges solid with weights, restricted
+  /// pieces shaded.
+  [[nodiscard]] std::string to_dot() const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<PieceVertex> vertices_;
+  std::vector<GraphEdge> edges_;
+  bool finalized_ = false;
+
+  bool has_sc_cycle_ = false;
+  bool has_uu_sc_cycle_ = false;
+  std::vector<bool> restricted_;   // per vertex
+  std::vector<bool> on_sc_cycle_;  // per edge (meaningful for C edges)
+  std::vector<std::vector<std::size_t>> sc_block_vertices_;
+  std::vector<std::vector<std::size_t>> uu_sc_block_vertices_;
+};
+
+/// Biconnected-component decomposition of an undirected simple graph.
+/// Returns, for each input edge, its block id (0-based); `block_edge_count`
+/// receives the number of edges per block.  Standalone so tests can hit it
+/// with random graphs.
+std::vector<std::size_t> biconnected_components(
+    std::size_t n_vertices,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    std::vector<std::size_t>& block_edge_count);
+
+}  // namespace atp

@@ -1,0 +1,136 @@
+#include "chop/parser.h"
+
+#include <sstream>
+
+namespace atp {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;  // comment to end of line
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+// "key=value" -> value, or empty if the prefix does not match.
+std::string arg_value(const std::string& token, const std::string& key) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0) return {};
+  return token.substr(prefix.size());
+}
+
+Status parse_error(std::size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                 what);
+}
+
+}  // namespace
+
+Result<ParsedStream> parse_job_stream(const std::string& text) {
+  ParsedStream out;
+  Key next_key = 1;
+  auto intern = [&](const std::string& name) {
+    auto [it, inserted] = out.item_names.emplace(name, next_key);
+    if (inserted) ++next_key;
+    return it->second;
+  };
+
+  TxnProgram* current = nullptr;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "txn") {
+      if (tokens.size() < 3) {
+        return parse_error(line_no, "txn needs: txn <name> update|query ...");
+      }
+      TxnProgram p;
+      p.name = tokens[1];
+      if (tokens[2] == "update") {
+        p.kind = TxnKind::Update;
+      } else if (tokens[2] == "query") {
+        p.kind = TxnKind::Query;
+      } else {
+        return parse_error(line_no, "kind must be 'update' or 'query', got '" +
+                                        tokens[2] + "'");
+      }
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        if (auto v = arg_value(tokens[i], "eps"); !v.empty()) {
+          p.epsilon_limit = std::stod(v);
+        } else if (auto r = arg_value(tokens[i], "rollback_after");
+                   !r.empty()) {
+          p.rollback_after.push_back(std::stoul(r));
+        } else if (tokens[i] == "whole") {
+          p.choppable = false;
+        } else {
+          return parse_error(line_no, "unknown txn option '" + tokens[i] + "'");
+        }
+      }
+      out.programs.push_back(std::move(p));
+      current = &out.programs.back();
+      continue;
+    }
+
+    if (current == nullptr) {
+      return parse_error(line_no, "operation before any 'txn' directive");
+    }
+
+    if (tokens[0] == "read") {
+      if (tokens.size() != 2) return parse_error(line_no, "read <item>");
+      current->ops.push_back(Access::read(intern(tokens[1])));
+      continue;
+    }
+    if (tokens[0] == "add" || tokens[0] == "write") {
+      if (tokens.size() < 2) {
+        return parse_error(line_no, tokens[0] + " <item> [bound=<B>]");
+      }
+      Value bound = kUnknownBound;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (auto v = arg_value(tokens[i], "bound"); !v.empty()) {
+          bound = std::stod(v);
+        } else {
+          return parse_error(line_no, "unknown op option '" + tokens[i] + "'");
+        }
+      }
+      const Key item = intern(tokens[1]);
+      if (tokens[0] == "add") {
+        current->ops.push_back(Access::add(item, 0, bound));
+      } else {
+        current->ops.push_back(Access::write(item, 0, bound));
+      }
+      continue;
+    }
+    if (tokens[0] == "rollback") {
+      if (current->ops.empty()) {
+        return parse_error(line_no, "rollback before any operation");
+      }
+      current->rollback_after.push_back(current->ops.size() - 1);
+      continue;
+    }
+    return parse_error(line_no, "unknown directive '" + tokens[0] + "'");
+  }
+
+  // Validate rollback indices.
+  for (const auto& p : out.programs) {
+    for (std::size_t r : p.rollback_after) {
+      if (r >= p.ops.size()) {
+        return Status::InvalidArgument("txn " + p.name +
+                                       ": rollback_after index out of range");
+      }
+    }
+  }
+  if (out.programs.empty()) {
+    return Status::InvalidArgument("no transactions in input");
+  }
+  return out;
+}
+
+}  // namespace atp

@@ -1,0 +1,40 @@
+// Text format for job streams, so the chopping toolchain is usable as the
+// off-line administrator tool the paper describes (chopping "simply asks
+// database users to restructure transactions off-line").
+//
+// Format (one directive per line, '#' comments):
+//
+//   txn <name> update|query eps=<limit> [rollback_after=<op-index>] [whole]
+//     read <item>
+//     add <item> bound=<B>
+//     write <item> bound=<B>
+//
+// Items are arbitrary identifiers, interned to keys.  `whole` marks the
+// transaction non-choppable.  Example:
+//
+//   txn transfer update eps=500
+//     add checking bound=100
+//     add savings bound=100
+//   txn audit query eps=250 whole
+//     read checking
+//     read savings
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chop/program.h"
+#include "common/status.h"
+
+namespace atp {
+
+struct ParsedStream {
+  std::vector<TxnProgram> programs;
+  std::unordered_map<std::string, Key> item_names;  ///< identifier -> key
+};
+
+/// Parse a job-stream description.  Errors carry the line number.
+[[nodiscard]] Result<ParsedStream> parse_job_stream(const std::string& text);
+
+}  // namespace atp

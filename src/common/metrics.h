@@ -1,0 +1,107 @@
+// Thread-safe counters and latency histograms used by the executor and the
+// benchmark harness to report the rows the paper's evaluation talks about:
+// throughput, abort/rollback counts, response time, accumulated fuzziness.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace atp {
+
+/// Relaxed atomic counter.  Sum-only; per-thread sharding is overkill here
+/// because the engine's critical sections dominate.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Simple summary of a set of samples.
+struct StatSummary {
+  std::uint64_t count = 0;
+  double min = 0, max = 0, mean = 0, p50 = 0, p95 = 0, p99 = 0, sum = 0;
+};
+
+/// Mutex-guarded sample recorder.  Fine for bench-scale sample counts.
+class Histogram {
+ public:
+  void record(double sample) {
+    std::lock_guard lock(mu_);
+    samples_.push_back(sample);
+  }
+
+  [[nodiscard]] StatSummary summarize() const {
+    std::lock_guard lock(mu_);
+    StatSummary s;
+    if (samples_.empty()) return s;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    s.count = sorted.size();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    for (double v : sorted) s.sum += v;
+    s.mean = s.sum / double(s.count);
+    auto pct = [&](double q) {
+      const auto idx = static_cast<std::size_t>(q * double(sorted.size() - 1));
+      return sorted[idx];
+    };
+    s.p50 = pct(0.50);
+    s.p95 = pct(0.95);
+    s.p99 = pct(0.99);
+    return s;
+  }
+
+  void reset() {
+    std::lock_guard lock(mu_);
+    samples_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+/// Everything an executor run reports.  One instance per run.
+struct RunMetrics {
+  Counter committed_txns;       // original transactions fully committed
+  Counter committed_pieces;     // pieces committed (== txns when unchopped)
+  Counter aborts_deadlock;      // aborts due to deadlock victimhood
+  Counter aborts_epsilon;       // aborts/rollbacks due to fuzziness overrun
+  Counter aborts_rollback;      // programmed rollback statements taken
+  Counter resubmissions;        // piece re-runs by the process handler
+  Counter lock_waits;           // times a request had to block
+  Counter fuzzy_grants;         // DC grants that plain 2PL would have blocked
+  Histogram txn_latency_us;     // whole original-transaction response time
+  Histogram piece_latency_us;   // per-piece response time
+  Histogram txn_fuzziness;      // Z_t of committed query ETs
+  Histogram query_error;        // |observed - serial ground truth| for audits
+
+  void reset() {
+    committed_txns.reset();
+    committed_pieces.reset();
+    aborts_deadlock.reset();
+    aborts_epsilon.reset();
+    aborts_rollback.reset();
+    resubmissions.reset();
+    lock_waits.reset();
+    fuzzy_grants.reset();
+    txn_latency_us.reset();
+    piece_latency_us.reset();
+    txn_fuzziness.reset();
+    query_error.reset();
+  }
+};
+
+}  // namespace atp

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random generators for workloads and property tests.
+//
+// Benchmarks and tests need reproducible job streams (the chopping technique
+// assumes the job stream is known in advance), so every generator is seeded
+// explicitly and never touches global state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace atp {
+
+/// xoshiro256** -- fast, high-quality, tiny state.  Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform over [0, 2^64).
+  std::uint64_t next() noexcept;
+
+  /// Uniform over [0, n).  Unbiased via rejection.
+  std::uint64_t uniform(std::uint64_t n) noexcept;
+
+  /// Uniform over [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform real in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// Bernoulli(p).
+  bool chance(double p) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Split off an independent stream (for per-worker RNGs).
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipfian distribution over [0, n) with skew theta (0 = uniform, ~0.99 =
+/// typical hot-spot).  Standard Gray et al. "quickly generating..." method.
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double theta);
+
+  std::uint64_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace atp

@@ -1,0 +1,139 @@
+// Lightweight Status / Result types.  The engine uses these instead of
+// exceptions on hot paths (aborts are normal control flow in a TP system).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace atp {
+
+enum class ErrorCode : int {
+  kOk = 0,
+  kAborted,          // transaction aborted (deadlock victim, rollback stmt)
+  kDeadlock,         // aborted specifically as a deadlock victim
+  kEpsilonExceeded,  // divergence control: fuzziness budget exhausted
+  kTimeout,          // lock wait timed out
+  kNotFound,         // key or object missing
+  kInvalidArgument,  // caller bug
+  kFailedPrecondition,  // state machine misuse (e.g. op on committed txn)
+  kUnavailable,      // site down / link down
+  kConflict,         // optimistic validation failure
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kAborted: return "aborted";
+    case ErrorCode::kDeadlock: return "deadlock";
+    case ErrorCode::kEpsilonExceeded: return "epsilon-exceeded";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kFailedPrecondition: return "failed-precondition";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kConflict: return "conflict";
+  }
+  return "unknown";
+}
+
+/// Error status with optional message.  Cheap to copy when OK.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() noexcept { return {}; }
+  [[nodiscard]] static Status Aborted(std::string m = "") {
+    return {ErrorCode::kAborted, std::move(m)};
+  }
+  [[nodiscard]] static Status Deadlock(std::string m = "") {
+    return {ErrorCode::kDeadlock, std::move(m)};
+  }
+  [[nodiscard]] static Status EpsilonExceeded(std::string m = "") {
+    return {ErrorCode::kEpsilonExceeded, std::move(m)};
+  }
+  [[nodiscard]] static Status Timeout(std::string m = "") {
+    return {ErrorCode::kTimeout, std::move(m)};
+  }
+  [[nodiscard]] static Status NotFound(std::string m = "") {
+    return {ErrorCode::kNotFound, std::move(m)};
+  }
+  [[nodiscard]] static Status InvalidArgument(std::string m = "") {
+    return {ErrorCode::kInvalidArgument, std::move(m)};
+  }
+  [[nodiscard]] static Status FailedPrecondition(std::string m = "") {
+    return {ErrorCode::kFailedPrecondition, std::move(m)};
+  }
+  [[nodiscard]] static Status Unavailable(std::string m = "") {
+    return {ErrorCode::kUnavailable, std::move(m)};
+  }
+  [[nodiscard]] static Status Conflict(std::string m = "") {
+    return {ErrorCode::kConflict, std::move(m)};
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// Any flavour of transaction abort (plain, deadlock, epsilon, timeout).
+  [[nodiscard]] bool is_abort() const noexcept {
+    return code_ == ErrorCode::kAborted || code_ == ErrorCode::kDeadlock ||
+           code_ == ErrorCode::kEpsilonExceeded || code_ == ErrorCode::kTimeout;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = atp::to_string(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result from OK status needs a value");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace atp

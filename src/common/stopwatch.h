@@ -1,0 +1,30 @@
+// Monotonic stopwatch for latency measurement (real-time engine paths).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace atp {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] std::int64_t elapsed_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const {
+    return double(elapsed_us()) / 1000.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace atp

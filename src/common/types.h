@@ -1,0 +1,50 @@
+// Core identifier and value types shared across the ATP library.
+//
+// The paper (Hseush & Pu, ICDCS'95) defines epsilon serializability over
+// database state spaces with a distance measure.  We fix the canonical metric
+// space used throughout this reproduction to be the reals (account balances,
+// seat counts, salaries), with distance(x, y) = |x - y|.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace atp {
+
+/// Identifies a data item (account, seat block, salary cell...).
+using Key = std::uint64_t;
+
+/// Value stored for a data item.  A metric space: distance(a,b) = |a-b|.
+using Value = double;
+
+/// Globally unique transaction identifier.  Monotonically increasing; used as
+/// the age tiebreak by the deadlock victim picker (youngest aborts).
+using TxnId = std::uint64_t;
+
+/// Identifies a site in the distributed layer.
+using SiteId = std::uint32_t;
+
+/// Virtual time, in microseconds, used by the discrete-event distributed
+/// simulator.  Local (threaded) execution uses real time instead.
+using SimTime = std::int64_t;
+
+constexpr TxnId kInvalidTxn = 0;
+
+/// Distance function of the canonical metric space.
+inline Value distance(Value a, Value b) noexcept { return a > b ? a - b : b - a; }
+
+/// "Infinite" fuzziness limit: pieces proven unable to join a conflict cycle
+/// are assigned this so divergence control never blocks them (Section 2.2).
+constexpr Value kInfiniteLimit = std::numeric_limits<Value>::infinity();
+
+/// Whether a transaction may write.  Query ETs may import fuzziness; update
+/// ETs may export it (Section 1.1: updates stay serializable among
+/// themselves, queries may see bounded inconsistency).
+enum class TxnKind : std::uint8_t { Query, Update };
+
+inline const char* to_string(TxnKind k) noexcept {
+  return k == TxnKind::Query ? "query" : "update";
+}
+
+}  // namespace atp

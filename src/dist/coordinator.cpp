@@ -1,0 +1,285 @@
+#include "dist/coordinator.h"
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace atp {
+namespace {
+
+std::atomic<std::uint64_t> g_next_gtid{1};
+
+constexpr const char* kChopQueueUpdate = "chop.update";
+constexpr const char* kChopQueueQuery = "chop.query";
+
+const char* chop_queue_for(TxnKind kind) {
+  return kind == TxnKind::Query ? kChopQueueQuery : kChopQueueUpdate;
+}
+
+TxnKind kind_of_chop_queue(const std::string& queue) {
+  return queue == kChopQueueQuery ? TxnKind::Query : TxnKind::Update;
+}
+
+// Execute one piece's ops on an open transaction.  OK status or the failure.
+Status execute_ops(Txn& txn, const std::vector<Access>& ops) {
+  for (const Access& op : ops) {
+    switch (op.type) {
+      case AccessType::Read: {
+        Result<Value> v = txn.read(op.item);
+        if (!v.ok()) return v.status();
+        break;
+      }
+      case AccessType::Add: {
+        Status s = txn.add(op.item, op.delta);
+        if (!s.ok()) return s;
+        break;
+      }
+      case AccessType::Write: {
+        Status s = txn.write(op.item, op.delta);
+        if (!s.ok()) return s;
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Coordinator::Coordinator(Site& home, std::vector<Site*> sites)
+    : home_(home), sites_(std::move(sites)) {}
+
+Result<DistOutcome> Coordinator::run_2pc(
+    const DistTxnSpec& spec, bool validation_round,
+    std::chrono::milliseconds decision_timeout) {
+  assert(!spec.pieces.empty());
+  const std::uint64_t gtid = g_next_gtid.fetch_add(1);
+  Stopwatch clock;
+
+  // --- execution phase: one subtransaction per site ------------------------
+  // (ops run in-process against each remote Database; the network is charged
+  // only for protocol rounds, which favours the baseline).
+  std::vector<SiteId> participants;  // remote sites, home excluded
+  std::vector<Txn> txns;
+  txns.reserve(spec.pieces.size());
+  for (const DistPieceSpec& piece : spec.pieces) {
+    Site* site = sites_[piece.site];
+    Txn txn = site->db().begin(spec.kind,
+                               spec_for(spec.kind, spec.piece_epsilon));
+    Status s = execute_ops(txn, piece.ops);
+    if (!s.ok()) {
+      txn.abort();
+      for (Txn& t : txns) t.abort();
+      return s;
+    }
+    if (piece.site != home_.id()) participants.push_back(piece.site);
+    txns.push_back(std::move(txn));
+  }
+  // Hand remote subtransactions to their sites (they commit on decision).
+  for (std::size_t i = 0; i < spec.pieces.size(); ++i) {
+    if (spec.pieces[i].site == home_.id()) continue;
+    sites_[spec.pieces[i].site]->stash_subtransaction(gtid,
+                                                      std::move(txns[i]));
+  }
+
+  auto round = [&](const char* type,
+                   std::chrono::milliseconds timeout) -> bool {
+    // One round trip to every participant, in parallel.
+    std::vector<std::uint64_t> correlations;
+    correlations.reserve(participants.size());
+    for (SiteId p : participants) {
+      Message m;
+      m.from = home_.id();
+      m.to = p;
+      m.type = type;
+      m.gtid = gtid;
+      correlations.push_back(home_.net().send(std::move(m)));
+    }
+    bool all_ok = true;
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      auto reply = home_.net().receive_reply(home_.id(), correlations[i],
+                                             timeout);
+      if (!reply || (reply->type == "vote" && reply->value == 0)) {
+        all_ok = false;
+      }
+    }
+    return all_ok;
+  };
+
+  // --- prepare round --------------------------------------------------------
+  if (!round("prepare", decision_timeout)) {
+    // Abort everywhere (best effort; participants also time out locally).
+    round("abort", decision_timeout);
+    for (Txn& t : txns) t.abort();  // aborts the home piece (moved-out remote
+                                    // handles are inert)
+    return Status::Aborted("2pc prepare failed or timed out");
+  }
+
+  // --- global validation round (the baseline's serialization-order check) --
+  if (validation_round && !round("validate", decision_timeout)) {
+    round("abort", decision_timeout);
+    for (Txn& t : txns) t.abort();
+    return Status::Aborted("2pc validation failed or timed out");
+  }
+
+  // Decision is logged at the coordinator: the client can be told "committed"
+  // here, but participant locks release only as commit messages arrive.
+  DistOutcome out;
+  out.gtid = gtid;
+  out.client_latency_us = double(clock.elapsed_us());
+
+  // Commit the home piece locally.
+  for (std::size_t i = 0; i < spec.pieces.size(); ++i) {
+    if (spec.pieces[i].site != home_.id()) continue;
+    Status s = txns[i].commit();
+    assert(s.ok());
+    (void)s;
+  }
+
+  // --- commit round: retry until every participant acknowledges ------------
+  // (this is where 2PC *blocks* when a participant is down).
+  std::vector<bool> acked(participants.size(), participants.empty());
+  for (;;) {
+    bool all = true;
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      if (acked[i]) continue;
+      Message m;
+      m.from = home_.id();
+      m.to = participants[i];
+      m.type = "commit";
+      m.gtid = gtid;
+      const std::uint64_t corr = home_.net().send(std::move(m));
+      // Per-try wait generously above a WAN round trip so healthy links do
+      // not see spurious duplicate decisions.
+      auto reply = home_.net().receive_reply(home_.id(), corr,
+                                             std::chrono::milliseconds(250));
+      if (reply) {
+        acked[i] = true;
+      } else {
+        all = false;
+      }
+    }
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  out.complete_latency_us = double(clock.elapsed_us());
+  out.completed = true;
+  return out;
+}
+
+Result<DistOutcome> Coordinator::run_chopped(
+    const DistTxnSpec& spec, std::chrono::milliseconds completion_timeout) {
+  assert(!spec.pieces.empty());
+  assert(spec.pieces[0].site == home_.id() &&
+         "piece 1 must run at the coordinator's home site");
+  const std::uint64_t gtid = g_next_gtid.fetch_add(1);
+  Stopwatch clock;
+
+  // --- piece 1: a plain local transaction ----------------------------------
+  // Static pre-division gives each piece its share; dynamic distribution
+  // (Figure 2 over the wire) hands piece 1 the whole Limit_t and ships the
+  // measured leftover along with the continuation.
+  const Value first_budget =
+      spec.dynamic_epsilon
+          ? spec.piece_epsilon * static_cast<Value>(spec.pieces.size())
+          : spec.piece_epsilon;
+  Txn txn = home_.db().begin(spec.kind, spec_for(spec.kind, first_budget));
+  Status s = execute_ops(txn, spec.pieces[0].ops);
+  if (!s.ok()) {
+    txn.abort();
+    return s;  // piece 1 may abort freely: nothing committed yet
+  }
+  if (spec.pieces.size() > 1) {
+    ChopContinuation cont;
+    cont.gtid = gtid;
+    cont.dynamic_epsilon = spec.dynamic_epsilon;
+    // Leftover computed after the last op; a conflict charging this txn in
+    // the microscopic window before commit makes the shipped leftover a
+    // slight over-allowance, bounded by that one conflict's delta.
+    cont.piece_epsilon =
+        spec.dynamic_epsilon
+            ? std::max<Value>(0, first_budget - txn.fuzziness())
+            : spec.piece_epsilon;
+    cont.pieces = spec.pieces;
+    cont.next = 1;
+    cont.origin = home_.id();
+    home_.queues().enqueue(txn, spec.pieces[1].site,
+                           chop_queue_for(spec.kind), std::move(cont));
+  }
+  Status c = txn.commit();
+  assert(c.ok());
+  (void)c;
+
+  DistOutcome out;
+  out.gtid = gtid;
+  // The client-visible commit: one local commit, zero protocol rounds.
+  out.client_latency_us = double(clock.elapsed_us());
+
+  if (spec.pieces.size() == 1) {
+    out.complete_latency_us = out.client_latency_us;
+    out.completed = true;
+    return out;
+  }
+  out.completed = home_.wait_done(gtid, completion_timeout);
+  out.complete_latency_us = double(clock.elapsed_us());
+  return out;
+}
+
+void Coordinator::install_chop_handler(const std::vector<Site*>& sites) {
+  auto handler = [](Site& site, const std::string& queue) {
+    const TxnKind kind = kind_of_chop_queue(queue);
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      if (!site.up()) return;  // crash: the durable queue redelivers later
+      if (attempt > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(100 + 200 * std::min<std::uint64_t>(
+                                                      attempt, 8)));
+      }
+      // Kind comes from the queue name so the transaction can be opened
+      // before the payload is known; the eps budget is applied right after
+      // the (lock-free) dequeue, before any data access.
+      Txn txn = site.db().begin(kind, EpsilonSpec::unlimited());
+      auto payload = site.queues().try_dequeue(txn, queue);
+      if (!payload) {
+        txn.abort();
+        return;  // consumed by a concurrent worker
+      }
+      const auto* cont = std::any_cast<ChopContinuation>(&*payload);
+      assert(cont != nullptr && cont->next < cont->pieces.size());
+      site.db().registry().set_spec(txn.id(),
+                                    spec_for(kind, cont->piece_epsilon));
+      Status s = execute_ops(txn, cont->pieces[cont->next].ops);
+      if (!s.ok()) {
+        txn.abort();  // claim reverts; retry until commit (process handler)
+        continue;
+      }
+      if (cont->next + 1 < cont->pieces.size()) {
+        ChopContinuation next = *cont;
+        ++next.next;
+        if (next.dynamic_epsilon) {
+          // Figure 2 over the wire: forward this piece's leftover.
+          next.piece_epsilon =
+              std::max<Value>(0, next.piece_epsilon - txn.fuzziness());
+        }
+        // Evaluate the destination BEFORE std::move(next): argument
+        // evaluation order is unspecified, and the std::any parameter would
+        // otherwise be constructed from `next` first, leaving `pieces` empty.
+        const SiteId dest = next.pieces[next.next].site;
+        site.queues().enqueue(txn, dest, queue, std::move(next));
+      } else {
+        site.queues().enqueue(txn, cont->origin, kDoneQueue,
+                              std::any(cont->gtid));
+      }
+      Status c = txn.commit();
+      assert(c.ok());
+      (void)c;
+      return;
+    }
+  };
+  for (Site* site : sites) site->set_queue_handler(handler);
+}
+
+}  // namespace atp

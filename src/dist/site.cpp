@@ -1,0 +1,236 @@
+#include "dist/site.h"
+
+#include <cassert>
+
+namespace atp {
+
+Site::Site(SiteId id, SimNetwork& net, DatabaseOptions db_options)
+    : id_(id), net_(net), db_(db_options), queues_(id, net) {}
+
+Site::~Site() { stop(); }
+
+void Site::start() {
+  if (running_.exchange(true)) return;
+  handler_thread_ = std::thread([this] { handler_loop(); });
+  daemon_thread_ = std::thread([this] { daemon_loop(); });
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    worker_threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Site::stop() {
+  if (!running_.exchange(false)) return;
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  if (handler_thread_.joinable()) handler_thread_.join();
+  if (daemon_thread_.joinable()) daemon_thread_.join();
+  for (auto& t : worker_threads_) {
+    if (t.joinable()) t.join();
+  }
+  worker_threads_.clear();
+}
+
+void Site::set_queue_handler(QueueHandler handler) {
+  std::lock_guard lock(mu_);
+  queue_handler_ = std::move(handler);
+}
+
+void Site::stash_subtransaction(std::uint64_t gtid, Txn txn) {
+  std::lock_guard lock(mu_);
+  subtxns_.emplace(gtid, std::move(txn));
+}
+
+bool Site::prepare_subtransaction(std::uint64_t gtid) {
+  std::lock_guard lock(mu_);
+  if (!subtxns_.count(gtid)) return false;
+  prepared_.insert(gtid);
+  return true;
+}
+
+bool Site::wait_done(std::uint64_t gtid, std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  return done_cv_.wait_for(lock, timeout,
+                           [&] { return done_.count(gtid) > 0; });
+}
+
+void Site::crash() {
+  up_.store(false, std::memory_order_release);
+  net_.set_site_up(id_, false);
+
+  std::lock_guard lock(mu_);
+  // Prepared subtransactions were force-logged before voting: their staged
+  // writes survive.  Everything else dirty is lost.
+  std::unordered_set<TxnId> survivors;
+  for (std::uint64_t gtid : prepared_) {
+    auto it = subtxns_.find(gtid);
+    if (it != subtxns_.end()) survivors.insert(it->second.id());
+  }
+  db_.crash(&survivors);
+  for (auto it = subtxns_.begin(); it != subtxns_.end();) {
+    if (prepared_.count(it->first)) {
+      ++it;
+      continue;
+    }
+    it->second.abort();  // store already cleared; releases locks + registry
+    it = subtxns_.erase(it);
+  }
+  queues_.crash();
+  // Queued-but-unstarted piece work dies with the process; recover()'s scan
+  // of the durable queues re-triggers it.
+  pending_work_.clear();
+}
+
+void Site::recover() {
+  net_.set_site_up(id_, true);
+  up_.store(true, std::memory_order_release);
+  // Re-trigger handlers for everything still sitting in the durable queues.
+  for (const std::string& queue : queues_.nonempty_queues()) {
+    const std::size_t n = queues_.depth(queue);
+    for (std::size_t i = 0; i < n; ++i) process_queue_message(queue);
+  }
+}
+
+void Site::handler_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    if (!up()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    auto msg = net_.receive_request(id_, std::chrono::milliseconds(5));
+    if (!msg) continue;
+    if (!up()) continue;  // crashed while the message was in flight
+    handle(std::move(*msg));
+  }
+}
+
+void Site::daemon_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    if (up()) queues_.pump();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void Site::worker_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::function<void()> work;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait_for(lock, std::chrono::milliseconds(20), [&] {
+        return !pending_work_.empty() ||
+               !running_.load(std::memory_order_acquire);
+      });
+      if (pending_work_.empty()) continue;
+      work = std::move(pending_work_.front());
+      pending_work_.pop_front();
+    }
+    work();
+  }
+}
+
+void Site::process_queue_message(const std::string& queue) {
+  if (queue == kDoneQueue) {
+    // Completion notice: consume transactionally and record.
+    Txn txn = db_.begin(TxnKind::Update, EpsilonSpec::unlimited());
+    auto payload = queues_.try_dequeue(txn, queue);
+    Status s = txn.commit();
+    assert(s.ok());
+    (void)s;
+    if (payload) {
+      const auto* gtid = std::any_cast<std::uint64_t>(&*payload);
+      if (gtid != nullptr) {
+        std::lock_guard lock(mu_);
+        done_.insert(*gtid);
+        done_cv_.notify_all();
+      }
+    }
+    return;
+  }
+
+  // Application queue: hand to a worker so a long (or lock-blocked) piece
+  // never stalls 2PC participation.
+  QueueHandler handler;
+  {
+    std::lock_guard lock(mu_);
+    handler = queue_handler_;
+  }
+  if (!handler) return;
+  {
+    std::lock_guard lock(mu_);
+    pending_work_.push_back([this, handler, queue] { handler(*this, queue); });
+  }
+  work_cv_.notify_one();
+}
+
+void Site::handle(Message msg) {
+  if (msg.type == "prepare") {
+    const bool ok = prepare_subtransaction(msg.gtid);
+    Message vote;
+    vote.from = id_;
+    vote.to = msg.from;
+    vote.correlation = msg.id;
+    vote.type = "vote";
+    vote.gtid = msg.gtid;
+    vote.value = ok ? 1 : 0;
+    net_.send(std::move(vote));
+    return;
+  }
+
+  if (msg.type == "commit" || msg.type == "abort") {
+    {
+      std::lock_guard lock(mu_);
+      auto it = subtxns_.find(msg.gtid);
+      if (it != subtxns_.end()) {
+        if (msg.type == "commit") {
+          Status s = it->second.commit();
+          assert(s.ok());
+          (void)s;
+        } else {
+          it->second.abort();
+        }
+        subtxns_.erase(it);
+        prepared_.erase(msg.gtid);
+      }
+      // Unknown gtid: the decision was already applied (retransmission);
+      // ack idempotently.
+    }
+    Message ack;
+    ack.from = id_;
+    ack.to = msg.from;
+    ack.correlation = msg.id;
+    ack.type = "ack";
+    ack.gtid = msg.gtid;
+    net_.send(std::move(ack));
+    return;
+  }
+
+  if (msg.type == "validate") {
+    // Global-validation round of the baseline protocol: confirm this site's
+    // serialization order (trivially consistent here -- the round trip's
+    // latency is what the comparison charges the baseline for).
+    Message ack;
+    ack.from = id_;
+    ack.to = msg.from;
+    ack.correlation = msg.id;
+    ack.type = "ack";
+    ack.gtid = msg.gtid;
+    net_.send(std::move(ack));
+    return;
+  }
+
+  if (msg.type == "qack") {
+    queues_.handle_ack(msg);
+    return;
+  }
+
+  if (msg.type == "qdata") {
+    const bool is_new = queues_.deliver(msg);
+    if (!is_new) return;
+    const auto* envelope =
+        std::any_cast<std::pair<std::string, std::any>>(&msg.payload);
+    if (envelope == nullptr) return;
+    process_queue_message(envelope->first);
+    return;
+  }
+}
+
+}  // namespace atp

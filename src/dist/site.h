@@ -1,0 +1,120 @@
+// A site: one Database + one recoverable-queue endpoint + service threads.
+//
+// Each site runs
+//   * a handler thread serving requests off the network: 2PC participant
+//     messages (prepare / commit / abort), recoverable-queue traffic (qdata /
+//     qack), and completion notices;
+//   * a daemon thread pumping the queue endpoint (retransmissions);
+//   * a small worker pool executing application queue handlers (chopped
+//     pieces), so a lock-blocked piece never stalls 2PC participation.
+//
+// Queue handlers are invoked once per deliverable message on the named
+// queue; the handler must itself try_dequeue within its transaction and
+// retry until the transaction commits (the chopped-piece contract).  After a
+// crash, recover() re-triggers handlers for every message still sitting in
+// the durable queues.
+//
+// Crash semantics (Section 4's failure model):
+//   * crash(): the network drops the site, its inbox is lost, dirty database
+//     state evaporates EXCEPT transactions in the prepared state (2PC's
+//     force-logged vote), and in-flight queue claims revert.
+//   * recover(): the site rejoins; durable queue state resumes pumping;
+//     prepared transactions await the coordinator's decision.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.h"
+#include "queue/recoverable_queue.h"
+#include "sched/database.h"
+
+namespace atp {
+
+/// Reserved queue carrying distributed-transaction completion notices.
+inline constexpr const char* kDoneQueue = "__done";
+
+class Site {
+ public:
+  /// Invoked (on a site worker thread) once per deliverable message on a
+  /// named application queue.  Must consume via queues().try_dequeue inside
+  /// a transaction and retry until commit.
+  using QueueHandler = std::function<void(Site& self, const std::string& queue)>;
+
+  Site(SiteId id, SimNetwork& net, DatabaseOptions db_options);
+  ~Site();
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] SiteId id() const noexcept { return id_; }
+  [[nodiscard]] Database& db() noexcept { return db_; }
+  [[nodiscard]] QueueEndpoint& queues() noexcept { return queues_; }
+  [[nodiscard]] SimNetwork& net() noexcept { return net_; }
+
+  void set_queue_handler(QueueHandler handler);
+
+  /// 2PC participant: adopt a locally-executed subtransaction, to be
+  /// committed/aborted when the coordinator's decision message arrives.
+  /// (The coordinator executed the ops in-process; ownership transfer models
+  /// the subtransaction living at this site.)
+  void stash_subtransaction(std::uint64_t gtid, Txn txn);
+
+  /// Mark a stashed subtransaction prepared (force-logged): it survives a
+  /// crash.  Returns false if the subtransaction is unknown (site crashed).
+  bool prepare_subtransaction(std::uint64_t gtid);
+
+  /// Completion registry: coordinators block here for "done" notices of
+  /// chopped distributed transactions.  Returns false on timeout.
+  bool wait_done(std::uint64_t gtid, std::chrono::milliseconds timeout);
+
+  void crash();
+  void recover();
+  [[nodiscard]] bool up() const noexcept {
+    return up_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::size_t kWorkers = 2;
+
+  void handler_loop();
+  void daemon_loop();
+  void worker_loop();
+  void handle(Message msg);
+  /// Dispatch one deliverable message on `queue`: done-notice bookkeeping or
+  /// an application handler job.
+  void process_queue_message(const std::string& queue);
+
+  SiteId id_;
+  SimNetwork& net_;
+  Database db_;
+  QueueEndpoint queues_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> up_{true};
+  std::thread handler_thread_;
+  std::thread daemon_thread_;
+  std::vector<std::thread> worker_threads_;
+
+  std::mutex mu_;
+  QueueHandler queue_handler_;
+  std::unordered_map<std::uint64_t, Txn> subtxns_;  // volatile until prepared
+  std::unordered_set<std::uint64_t> prepared_;      // force-logged gtids
+  std::unordered_set<std::uint64_t> done_;          // completed gtids
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> pending_work_;
+  std::condition_variable work_cv_;
+};
+
+}  // namespace atp

@@ -1,0 +1,121 @@
+#include "engine/executor.h"
+
+#include <atomic>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "engine/piece_runner.h"
+
+namespace atp {
+
+std::string ExecutorReport::header() {
+  std::ostringstream out;
+  out << std::left << std::setw(22) << "method" << std::right  //
+      << std::setw(10) << "commit"                             //
+      << std::setw(9) << "rollbk"                              //
+      << std::setw(9) << "resub"                               //
+      << std::setw(9) << "dlock"                               //
+      << std::setw(9) << "eps"                                 //
+      << std::setw(11) << "tps"                                //
+      << std::setw(12) << "p50(us)"                            //
+      << std::setw(12) << "p95(us)"                            //
+      << std::setw(12) << "meanZ"                              //
+      << std::setw(12) << "maxErr";
+  return out.str();
+}
+
+std::string ExecutorReport::row() const {
+  std::ostringstream out;
+  out << std::left << std::setw(22) << method_name << std::right  //
+      << std::setw(10) << committed                               //
+      << std::setw(9) << rolled_back                              //
+      << std::setw(9) << resubmissions                            //
+      << std::setw(9) << deadlock_aborts                          //
+      << std::setw(9) << epsilon_aborts                           //
+      << std::setw(11) << std::fixed << std::setprecision(1)
+      << throughput_tps                                           //
+      << std::setw(12) << std::setprecision(0) << latency_us.p50  //
+      << std::setw(12) << latency_us.p95                          //
+      << std::setw(12) << std::setprecision(2) << txn_fuzziness.mean  //
+      << std::setw(12) << query_error.max;
+  return out.str();
+}
+
+DatabaseOptions Executor::database_options(const MethodConfig& method,
+                                           std::chrono::milliseconds timeout,
+                                           bool record_history) {
+  DatabaseOptions opts;
+  opts.scheduler = method.sched;
+  opts.lock_timeout = timeout;
+  opts.record_history = record_history;
+  return opts;
+}
+
+ExecutorReport Executor::run(Database& db, const ExecutionPlan& plan,
+                             const std::vector<TxnInstance>& instances,
+                             const ExecutorOptions& opts) {
+  assert(db.scheduler() == plan.method.sched &&
+         "database scheduler must match the method");
+
+  RunMetrics metrics;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> budget_violations{0};
+  Rng seeder(opts.seed);
+
+  Stopwatch wall;
+  const std::size_t workers = std::max<std::size_t>(1, opts.workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+
+  std::vector<Rng> worker_rngs;
+  worker_rngs.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) worker_rngs.push_back(seeder.split());
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      PieceRunner runner(db, &metrics, opts.op_delay_min_us,
+                         opts.op_delay_max_us, opts.parallel_pieces);
+      Rng& rng = worker_rngs[w];
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= instances.size()) break;
+        const TxnInstance& inst = instances[i];
+        assert(inst.type_index < plan.types.size());
+        const TxnTypePlan& tp = plan.types[inst.type_index];
+        const TxnRunResult r = runner.run(tp, inst, plan.method.dist, rng);
+        // Runtime check of Condition 2: a committed transaction's restricted
+        // fuzziness must fit within its Limit_t (tiny float tolerance).
+        if (r.committed &&
+            r.z_restricted > tp.type.epsilon_limit * (1 + 1e-9) + 1e-9) {
+          budget_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = double(wall.elapsed_us()) / 1e6;
+
+  ExecutorReport report;
+  report.method_name = plan.method.name();
+  report.committed = metrics.committed_txns.get();
+  report.rolled_back = metrics.aborts_rollback.get();
+  report.committed_pieces = metrics.committed_pieces.get();
+  report.resubmissions = metrics.resubmissions.get();
+  report.deadlock_aborts = metrics.aborts_deadlock.get();
+  report.epsilon_aborts = metrics.aborts_epsilon.get();
+  report.budget_violations = budget_violations.load();
+  report.lock_stats = db.locks().stats();
+  report.wall_seconds = seconds;
+  report.throughput_tps = seconds > 0 ? double(report.committed) / seconds : 0;
+  report.latency_us = metrics.txn_latency_us.summarize();
+  report.piece_latency_us = metrics.piece_latency_us.summarize();
+  report.txn_fuzziness = metrics.txn_fuzziness.summarize();
+  report.query_error = metrics.query_error.summarize();
+  return report;
+}
+
+}  // namespace atp

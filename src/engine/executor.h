@@ -1,0 +1,73 @@
+// Multi-worker executor: runs a stream of transaction instances through a
+// Database under one of the paper's method configurations, and reports the
+// rows the evaluation benches print (throughput, aborts, latency, realized
+// inconsistency).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chop/program.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "engine/method.h"
+#include "engine/plan.h"
+#include "sched/database.h"
+
+namespace atp {
+
+struct ExecutorOptions {
+  std::size_t workers = 4;
+  std::uint64_t seed = 1;
+  /// Per-transaction think time bounds (microseconds of simulated work
+  /// between ops; stretches resource holding time, which is exactly what
+  /// chopping attacks).  0/0 disables.
+  std::uint64_t op_delay_min_us = 0;
+  std::uint64_t op_delay_max_us = 0;
+  /// Run independent sibling pieces on parallel threads (Figure 2's
+  /// Schedule(S, ...) "for all p in S in parallel").
+  bool parallel_pieces = false;
+};
+
+struct ExecutorReport {
+  std::string method_name;
+  std::uint64_t committed = 0;
+  std::uint64_t rolled_back = 0;       ///< programmed rollbacks taken
+  std::uint64_t committed_pieces = 0;
+  std::uint64_t resubmissions = 0;     ///< piece re-runs by the handler
+  std::uint64_t deadlock_aborts = 0;
+  std::uint64_t epsilon_aborts = 0;
+  std::uint64_t budget_violations = 0;  ///< committed txns with Z_t > Limit_t
+  LockStats lock_stats;
+  double wall_seconds = 0;
+  double throughput_tps = 0;
+  StatSummary latency_us;
+  StatSummary piece_latency_us;
+  StatSummary txn_fuzziness;  ///< restricted-piece Z_t of committed txns
+  StatSummary query_error;    ///< |observed - ground truth| for audit queries
+
+  /// One aligned table row (pair with print_header()).
+  [[nodiscard]] std::string row() const;
+  [[nodiscard]] static std::string header();
+};
+
+class Executor {
+ public:
+  /// Run all `instances` (work-stealing over a shared index) with `workers`
+  /// threads.  `db`'s scheduler must match `plan.method.sched`; data for the
+  /// instances' keys must be loaded.
+  [[nodiscard]] static ExecutorReport run(Database& db,
+                                          const ExecutionPlan& plan,
+                                          const std::vector<TxnInstance>& instances,
+                                          const ExecutorOptions& opts = {});
+
+  /// Convenience: DatabaseOptions matching a method.
+  [[nodiscard]] static DatabaseOptions database_options(
+      const MethodConfig& method,
+      std::chrono::milliseconds lock_timeout = std::chrono::milliseconds(2000),
+      bool record_history = false);
+};
+
+}  // namespace atp

@@ -1,0 +1,240 @@
+#include "engine/piece_runner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace atp {
+namespace {
+
+[[nodiscard]] bool rollback_point_after(const TxnProgram& type,
+                                        std::size_t op_index) noexcept {
+  return std::find(type.rollback_after.begin(), type.rollback_after.end(),
+                   op_index) != type.rollback_after.end();
+}
+
+}  // namespace
+
+struct PieceRunner::PieceOutcome {
+  bool rolled_back = false;
+  Value z_p = 0;
+  Value reads = 0;
+  std::uint64_t resubmissions = 0;
+};
+
+// Run piece `p` as an independent transaction, resubmitting until it commits
+// (or takes the programmed rollback, piece 1 only).
+PieceRunner::PieceOutcome PieceRunner::run_one_piece(
+    const TxnTypePlan& plan, const TxnInstance& instance, std::size_t p,
+    Value limit, Rng& rng) {
+  PieceOutcome out;
+  const auto [begin, end] = plan.piece_ranges[p];
+  const TxnKind kind = plan.type.kind;
+
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      ++out.resubmissions;
+      if (metrics_) metrics_->resubmissions.add();
+      if (attempt >= kMaxResubmit) {
+        // Pathological livelock guard; callers treat this as a test bug.
+        assert(false && "piece resubmission cap reached");
+        return out;
+      }
+      // Jittered backoff so colliding retries de-synchronize.
+      const auto backoff = std::chrono::microseconds(
+          50 + rng.uniform(200) * std::min<std::uint64_t>(attempt, 8));
+      std::this_thread::sleep_for(backoff);
+    }
+
+    Stopwatch piece_clock;
+    Txn txn = db_.begin(kind, spec_for(kind, limit), kInvalidTxn);
+    Status failure = Status::Ok();
+    Value piece_reads = 0;
+    bool programmed_rollback = false;
+
+    for (std::size_t i = begin; i < end; ++i) {
+      if (op_delay_max_us_ > 0 && i > begin) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            op_delay_min_us_ +
+            rng.uniform(op_delay_max_us_ - op_delay_min_us_ + 1)));
+      }
+      const Access& op = instance.ops[i];
+      if (op.type == AccessType::Read) {
+        Result<Value> v = txn.read(op.item);
+        if (!v.ok()) {
+          failure = v.status();
+          break;
+        }
+        piece_reads += v.value();
+      } else if (op.type == AccessType::Add) {
+        Status s = txn.add(op.item, op.delta);
+        if (!s.ok()) {
+          failure = s;
+          break;
+        }
+      } else {
+        Status s = txn.write(op.item, op.delta);
+        if (!s.ok()) {
+          failure = s;
+          break;
+        }
+      }
+      // Programmed rollback statements live in piece 1 (rollback-safety);
+      // taking one abandons the whole original transaction, no retries.
+      if (p == 0 && instance.take_rollback &&
+          rollback_point_after(plan.type, i)) {
+        programmed_rollback = true;
+        break;
+      }
+    }
+
+    if (programmed_rollback) {
+      txn.abort();
+      if (metrics_) metrics_->aborts_rollback.add();
+      out.rolled_back = true;
+      return out;
+    }
+
+    if (failure.ok()) {
+      Status c = txn.commit();
+      if (!c.ok()) {
+        // Optimistic divergence control may refuse at validation time;
+        // treat like any other abort and resubmit.
+        assert(c.is_abort());
+        if (metrics_ && c.code() == ErrorCode::kEpsilonExceeded) {
+          metrics_->aborts_epsilon.add();
+        }
+        txn.abort();  // no-op if commit() already aborted
+        continue;
+      }
+      out.z_p = txn.fuzziness();
+      out.reads = piece_reads;
+      if (metrics_) {
+        metrics_->committed_pieces.add();
+        metrics_->piece_latency_us.record(double(piece_clock.elapsed_us()));
+      }
+      return out;
+    }
+
+    txn.abort();
+    if (metrics_) {
+      switch (failure.code()) {
+        case ErrorCode::kDeadlock:
+          metrics_->aborts_deadlock.add();
+          break;
+        case ErrorCode::kEpsilonExceeded:
+          metrics_->aborts_epsilon.add();
+          break;
+        default:
+          break;  // timeouts counted via lock stats
+      }
+    }
+    // Lock-conflict/deadlock/epsilon aborts: resubmit until commit (the
+    // paper's process-handler behaviour).
+  }
+}
+
+TxnRunResult PieceRunner::run(const TxnTypePlan& plan,
+                              const TxnInstance& instance, DistPolicy policy,
+                              Rng& rng) {
+  assert(instance.ops.size() == plan.type.ops.size());
+  TxnRunResult result;
+  Stopwatch txn_clock;
+
+  std::unique_ptr<LimitDistributor> distributor;
+  if (policy == DistPolicy::Dynamic) {
+    distributor = std::make_unique<DynamicDistribution>(plan.plan_info);
+  } else {
+    distributor = std::make_unique<StaticDistribution>(plan.plan_info);
+  }
+
+  // Shared accumulation (the parallel scheduler touches these from sibling
+  // threads; the distributor is not internally thread-safe either).
+  std::mutex mu;
+  auto account = [&](std::size_t p, const PieceOutcome& out) {
+    std::lock_guard lock(mu);
+    distributor->report_committed(p, out.z_p);
+    result.z_total += out.z_p;
+    if (plan.restricted[p]) result.z_restricted += out.z_p;
+    result.observed_result += out.reads;
+    result.resubmissions += out.resubmissions;
+  };
+  auto limit_of = [&](std::size_t p) {
+    std::lock_guard lock(mu);
+    return distributor->limit_for(p);
+  };
+
+  // Piece 1 first: it alone may take the programmed rollback, and nothing
+  // else starts until it commits (rollback-safety).
+  {
+    const PieceOutcome first =
+        run_one_piece(plan, instance, 0, limit_of(0), rng);
+    if (first.rolled_back) {
+      result.rolled_back = true;
+      result.resubmissions += first.resubmissions;
+      result.latency_us = double(txn_clock.elapsed_us());
+      return result;
+    }
+    account(0, first);
+  }
+
+  const auto& children = plan.plan_info.children;
+  if (!parallel_pieces_) {
+    // Sequential topological order: parents always precede children in
+    // piece index order (the dependency derivation guarantees parent < p).
+    for (std::size_t p = 1; p < plan.piece_ranges.size(); ++p) {
+      const PieceOutcome out =
+          run_one_piece(plan, instance, p, limit_of(p), rng);
+      account(p, out);
+    }
+  } else {
+    // Figure 2's Schedule(): when a piece commits, its dependents run in
+    // parallel.  A chain continues on the current thread; fan-out spawns.
+    const std::uint64_t base_seed = rng.next();
+    std::function<void(std::size_t)> exec = [&](std::size_t p) {
+      Rng piece_rng(base_seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
+      const PieceOutcome out =
+          run_one_piece(plan, instance, p, limit_of(p), piece_rng);
+      account(p, out);
+      const auto& kids = children[p];
+      if (kids.size() == 1) {
+        exec(kids[0]);
+      } else if (!kids.empty()) {
+        std::vector<std::thread> threads;
+        threads.reserve(kids.size());
+        for (std::size_t k : kids) threads.emplace_back(exec, k);
+        for (auto& t : threads) t.join();
+      }
+    };
+    const auto& roots = children[0];
+    if (roots.size() == 1) {
+      exec(roots[0]);
+    } else if (!roots.empty()) {
+      std::vector<std::thread> threads;
+      threads.reserve(roots.size());
+      for (std::size_t k : roots) threads.emplace_back(exec, k);
+      for (auto& t : threads) t.join();
+    }
+  }
+
+  result.committed = true;
+  result.latency_us = double(txn_clock.elapsed_us());
+  if (metrics_) {
+    metrics_->committed_txns.add();
+    metrics_->txn_latency_us.record(result.latency_us);
+    metrics_->txn_fuzziness.record(result.z_restricted);
+    if (instance.has_expected_result) {
+      metrics_->query_error.record(
+          distance(result.observed_result, instance.expected_result));
+    }
+  }
+  return result;
+}
+
+}  // namespace atp

@@ -1,0 +1,82 @@
+// Runs one original transaction as its chopped pieces (Sections 2, 4).
+//
+// Pieces execute in dependency order, each as an independent ET against the
+// Database.  The chopping contract is enforced here:
+//
+//   * piece 1 may take the programmed rollback -> the original transaction
+//     is abandoned and no later piece runs (rollback-safety);
+//   * any piece aborted for a lock conflict / deadlock / fuzziness overrun
+//     is resubmitted (with jittered backoff) until it commits -- once piece 1
+//     commits, the original transaction MUST eventually commit;
+//   * the eps-spec each piece runs with comes from the LimitDistributor
+//     (static even split or Figure 2's dynamic leftover propagation), and a
+//     committed piece reports its measured Z_p back so leftovers flow.
+//
+// The runner also separates the two fuzziness totals the paper cares about:
+// the restricted-piece total (what Condition 3 actually bounds by Limit_t)
+// and the raw total over all pieces (which includes the divergence control's
+// over-estimation on unrestricted pieces -- Section 2.2's point).
+#pragma once
+
+#include <cstdint>
+
+#include "chop/program.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "engine/plan.h"
+#include "sched/database.h"
+
+namespace atp {
+
+struct TxnRunResult {
+  bool committed = false;     ///< all pieces committed
+  bool rolled_back = false;   ///< programmed rollback taken in piece 1
+  Value z_restricted = 0;     ///< sum of Z_p over restricted pieces
+  Value z_total = 0;          ///< sum of Z_p over all pieces (over-estimate)
+  Value observed_result = 0;  ///< sum of values read (query ETs)
+  std::uint64_t resubmissions = 0;
+  double latency_us = 0;
+};
+
+class PieceRunner {
+ public:
+  /// `metrics` may be nullptr (tests that only want the return value).
+  /// Non-zero op delays insert jittered think time between operations,
+  /// stretching lock/resource holding time (what chopping attacks).
+  /// `parallel_pieces` enables Figure 2's Schedule(): dependent pieces with
+  /// a common parent run on sibling threads instead of sequentially.
+  PieceRunner(Database& db, RunMetrics* metrics,
+              std::uint64_t op_delay_min_us = 0,
+              std::uint64_t op_delay_max_us = 0,
+              bool parallel_pieces = false) noexcept
+      : db_(db),
+        metrics_(metrics),
+        op_delay_min_us_(op_delay_min_us),
+        op_delay_max_us_(op_delay_max_us),
+        parallel_pieces_(parallel_pieces) {}
+
+  /// Execute `instance` according to `plan` (its type's chopping) under the
+  /// given distribution policy.  Blocks until the transaction either fully
+  /// commits or takes its programmed rollback.
+  TxnRunResult run(const TxnTypePlan& plan, const TxnInstance& instance,
+                   DistPolicy policy, Rng& rng);
+
+  /// Cap on per-piece resubmissions before giving up (defends tests against
+  /// livelock; the paper's process handler retries forever).
+  static constexpr std::uint64_t kMaxResubmit = 100000;
+
+ private:
+  struct PieceOutcome;
+
+  PieceOutcome run_one_piece(const TxnTypePlan& plan,
+                             const TxnInstance& instance, std::size_t piece,
+                             Value limit, Rng& rng);
+
+  Database& db_;
+  RunMetrics* metrics_;
+  std::uint64_t op_delay_min_us_ = 0;
+  std::uint64_t op_delay_max_us_ = 0;
+  bool parallel_pieces_ = false;
+};
+
+}  // namespace atp

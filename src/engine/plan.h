@@ -1,0 +1,49 @@
+// Off-line execution plan: chopping + restriction marks + eps-spec budgets
+// for a job stream of transaction *types*.
+//
+// Built once per (type set, method); instances executed at runtime reuse the
+// per-type piece boundaries.  This mirrors the paper's workflow: the
+// administrator chops the known job stream off-line, then the unmodified TP
+// system runs the pieces.
+#pragma once
+
+#include <vector>
+
+#include "chop/analyzer.h"
+#include "chop/chopping.h"
+#include "chop/program.h"
+#include "common/status.h"
+#include "engine/method.h"
+#include "limits/distribution.h"
+
+namespace atp {
+
+struct TxnTypePlan {
+  TxnProgram type;
+  /// [begin, end) op ranges of the pieces.
+  std::vector<std::pair<std::size_t, std::size_t>> piece_ranges;
+  /// Per piece: associated with a C-cycle (gets a finite share of Limit_t)?
+  std::vector<bool> restricted;
+  /// Inter-sibling fuzziness Z^is of this type's chopping (0 for SR chops).
+  Value z_is = 0;
+  /// Distribution input; limit_total is Limit_t, reduced to Limit_t - Z^is
+  /// under Method 3 (Eq. 6).
+  ChopPlanInfo plan_info;
+};
+
+struct ExecutionPlan {
+  MethodConfig method;
+  std::vector<TxnTypePlan> types;
+
+  /// Chop the type stream per the method's ChopMode, mark restricted pieces,
+  /// compute Z^is, and budget the eps-specs.  Fails if an ESR chop cannot
+  /// satisfy Definition 1 (should not happen: the finest-chopping searches
+  /// return validated choppings).
+  [[nodiscard]] static Result<ExecutionPlan> build(
+      std::vector<TxnProgram> type_stream, MethodConfig method);
+
+  /// Total pieces across all types (diagnostics).
+  [[nodiscard]] std::size_t total_pieces() const;
+};
+
+}  // namespace atp

@@ -1,0 +1,91 @@
+#include "limits/distribution.h"
+
+#include <cassert>
+
+namespace atp {
+
+ChopPlanInfo ChopPlanInfo::chain(std::vector<bool> restricted_marks,
+                                 TxnKind kind, Value limit_total) {
+  ChopPlanInfo info;
+  info.piece_count = restricted_marks.size();
+  info.restricted = std::move(restricted_marks);
+  info.children.resize(info.piece_count);
+  for (std::size_t p = 0; p + 1 < info.piece_count; ++p) {
+    info.children[p].push_back(p + 1);
+  }
+  info.kind = kind;
+  info.limit_total = limit_total;
+  return info;
+}
+
+ChopPlanInfo ChopPlanInfo::tree(std::vector<bool> restricted_marks,
+                                const std::vector<std::size_t>& parent,
+                                TxnKind kind, Value limit_total) {
+  ChopPlanInfo info;
+  info.piece_count = restricted_marks.size();
+  info.restricted = std::move(restricted_marks);
+  info.children.resize(info.piece_count);
+  for (std::size_t p = 1; p < info.piece_count; ++p) {
+    assert(parent[p] < p && "DG(CHOP(t)) must be rooted at piece 1");
+    info.children[parent[p]].push_back(p);
+  }
+  info.kind = kind;
+  info.limit_total = limit_total;
+  return info;
+}
+
+std::size_t ChopPlanInfo::restricted_count() const {
+  std::size_t n = 0;
+  for (bool r : restricted) n += r ? 1 : 0;
+  return n;
+}
+
+StaticDistribution::StaticDistribution(const ChopPlanInfo& info) {
+  const std::size_t r = info.restricted_count();
+  limits_.resize(info.piece_count, kInfiniteLimit);
+  if (r == 0) return;
+  const Value each = info.limit_total / static_cast<Value>(r);
+  for (std::size_t p = 0; p < info.piece_count; ++p) {
+    if (info.restricted[p]) limits_[p] = each;
+  }
+}
+
+Value StaticDistribution::limit_for(std::size_t piece) {
+  assert(piece < limits_.size());
+  return limits_[piece];
+}
+
+void StaticDistribution::report_committed(std::size_t, Value) {}
+
+DynamicDistribution::DynamicDistribution(const ChopPlanInfo& info)
+    : info_(info), assigned_(info.piece_count, 0) {
+  // DynamicExecution (Figure 2): the first piece is scheduled with the whole
+  // Limit_t.
+  if (!assigned_.empty()) assigned_[0] = info_.limit_total;
+}
+
+Value DynamicDistribution::limit_for(std::size_t piece) {
+  assert(piece < assigned_.size());
+  // Unrestricted pieces execute with an infinite limit: they can never be
+  // part of a runtime conflict cycle, so divergence control must not catch
+  // them on immediate conflicts.
+  if (!info_.restricted[piece]) return kInfiniteLimit;
+  return assigned_[piece];
+}
+
+void DynamicDistribution::report_committed(std::size_t piece, Value z_p) {
+  assert(piece < assigned_.size());
+  // Leftover: a restricted piece consumed z_p of its quota; an unrestricted
+  // piece consumed nothing and forwards what it was scheduled with.
+  Value leftover = assigned_[piece];
+  if (info_.restricted[piece]) {
+    leftover -= z_p;
+    if (leftover < 0) leftover = 0;  // defensive: DC should enforce Z <= L
+  }
+  const auto& kids = info_.children[piece];
+  if (kids.empty()) return;
+  const Value each = leftover / static_cast<Value>(kids.size());
+  for (std::size_t child : kids) assigned_[child] = each;
+}
+
+}  // namespace atp

@@ -1,0 +1,98 @@
+// Epsilon-spec distribution over chopped pieces (Section 2.2).
+//
+// Given CHOP(t) and Limit_t, divergence control needs a per-piece Limit_p
+// such that  "Z_p <= Limit_p for all p  implies  Z_t <= Limit_t"
+// (Condition 2).  With Lemma 1 (Z_t = sum Z_p) the correct split is
+//
+//     sum over *restricted* pieces of Limit_p  =  Limit_t        (Cond. 3)
+//
+// where a piece is restricted iff it is associated with a C-cycle of the
+// chopping graph; unrestricted pieces can never join a runtime conflict
+// cycle, cause no real inconsistency, and receive an INFINITE limit so that
+// the (conservative, immediate-conflict-counting) divergence control never
+// blocks or rolls them back.
+//
+// Two policies:
+//   * StaticDistribution  -- off-line even split of Limit_t over the
+//     restricted pieces (the paper's simple-weights case).
+//   * DynamicDistribution -- Figure 2: the first piece gets the whole
+//     Limit_t; each completed piece passes its *leftover* LO_p = Limit - Z_p
+//     to its dependents along the program-text dependency tree DG(CHOP(t)),
+//     split evenly among parallel dependents.  Unrestricted pieces consume
+//     nothing and forward their full assigned limit.
+//
+// These objects are consumed by the engine's PieceRunner, which asks for the
+// limit to run a piece with and reports back the piece's measured Z_p.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "txn/epsilon.h"
+
+namespace atp {
+
+/// Off-line facts about one transaction's chopping that both policies need.
+struct ChopPlanInfo {
+  std::size_t piece_count = 0;
+  std::vector<bool> restricted;          ///< per piece
+  /// Dependency tree DG(CHOP(t)): children[p] = pieces that may start only
+  /// after p completes.  Piece 0 is the root (it must commit first for
+  /// rollback-safety).  A simple chain 0 -> 1 -> ... is the default.
+  std::vector<std::vector<std::size_t>> children;
+  TxnKind kind = TxnKind::Update;
+  Value limit_total = 0;  ///< Limit_t (optionally reduced by Z^is, Eq. 6)
+
+  /// Chain dependency 0 -> 1 -> ... -> k-1 with the given restriction marks.
+  [[nodiscard]] static ChopPlanInfo chain(std::vector<bool> restricted_marks,
+                                          TxnKind kind, Value limit_total);
+
+  /// Tree dependency from an explicit parent array: parent[0] is ignored
+  /// (piece 0 is the root); parent[j] < j for j > 0.
+  [[nodiscard]] static ChopPlanInfo tree(std::vector<bool> restricted_marks,
+                                         const std::vector<std::size_t>& parent,
+                                         TxnKind kind, Value limit_total);
+
+  [[nodiscard]] std::size_t restricted_count() const;
+};
+
+/// Interface the PieceRunner drives.  One instance per *execution* of one
+/// original transaction (dynamic state lives here).
+class LimitDistributor {
+ public:
+  virtual ~LimitDistributor() = default;
+
+  /// Limit_p for running piece `p` now.  kInfiniteLimit for unrestricted
+  /// pieces under both policies.
+  [[nodiscard]] virtual Value limit_for(std::size_t piece) = 0;
+
+  /// Report the measured fuzziness of a *committed* piece, so leftovers can
+  /// propagate (dynamic policy; no-op for static).
+  virtual void report_committed(std::size_t piece, Value z_p) = 0;
+};
+
+/// Static even split (Section 2.2.1): Limit_p = Limit_t / |CHOP_R(t)|.
+class StaticDistribution final : public LimitDistributor {
+ public:
+  explicit StaticDistribution(const ChopPlanInfo& info);
+  [[nodiscard]] Value limit_for(std::size_t piece) override;
+  void report_committed(std::size_t piece, Value z_p) override;
+
+ private:
+  std::vector<Value> limits_;
+};
+
+/// Dynamic leftover propagation (Section 2.2.2, Figure 2).
+class DynamicDistribution final : public LimitDistributor {
+ public:
+  explicit DynamicDistribution(const ChopPlanInfo& info);
+  [[nodiscard]] Value limit_for(std::size_t piece) override;
+  void report_committed(std::size_t piece, Value z_p) override;
+
+ private:
+  ChopPlanInfo info_;
+  std::vector<Value> assigned_;  ///< limit scheduled for each piece
+};
+
+}  // namespace atp

@@ -1,0 +1,202 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace atp {
+
+LockManager::LockManager(std::chrono::milliseconds default_timeout)
+    : timeout_(default_timeout) {}
+
+Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
+                            ConflictResolver& resolver) {
+  std::unique_lock lock(mu_);
+  Queue& q = queues_[key];
+
+  // Re-entrancy: already covered?
+  for (const LockHolder& h : q.holders) {
+    if (h.txn == txn &&
+        (h.mode == LockMode::Exclusive || mode == LockMode::Shared)) {
+      return Status::Ok();
+    }
+  }
+
+  Waiter self{txn, mode, /*cancelled=*/false, {}};
+  bool queued = false;
+  bool counted_wait = false;
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+
+  auto cleanup = [&] {
+    if (queued) q.waiters.remove(&self);
+    waiting_.erase(txn);
+  };
+
+  for (;;) {
+    if (self.cancelled) {
+      cleanup();
+      return Status::Aborted("lock wait cancelled");
+    }
+    self.waits_for.clear();
+    // Always pass &self: before queueing, every queued waiter counts as
+    // "ahead", and the waits-for edges must land in self for the deadlock
+    // DFS that runs right after.
+    if (evaluate(txn, key, mode, resolver, q, &self) == Decision::Granted) {
+      cleanup();
+      return Status::Ok();
+    }
+    if (!queued) {
+      q.waiters.push_back(&self);
+      queued = true;
+    }
+    waiting_[txn] = &self;
+    if (creates_deadlock(txn)) {
+      ++stats_.deadlocks;
+      cleanup();
+      return Status::Deadlock("waits-for cycle through txn " +
+                              std::to_string(txn));
+    }
+    if (!counted_wait) {
+      ++stats_.waits;
+      counted_wait = true;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Re-evaluate once after timeout in case a grant raced the clock.
+      self.waits_for.clear();
+      if (evaluate(txn, key, mode, resolver, q, &self) == Decision::Granted) {
+        cleanup();
+        return Status::Ok();
+      }
+      ++stats_.timeouts;
+      cleanup();
+      return Status::Timeout("lock wait on key " + std::to_string(key));
+    }
+  }
+}
+
+LockManager::Decision LockManager::evaluate(TxnId txn, Key key, LockMode mode,
+                                            ConflictResolver& resolver,
+                                            Queue& q, Waiter* self) {
+  const bool holds_any =
+      std::any_of(q.holders.begin(), q.holders.end(),
+                  [&](const LockHolder& h) { return h.txn == txn; });
+
+  std::unordered_set<TxnId>* waits_for = self ? &self->waits_for : nullptr;
+  std::unordered_set<TxnId> scratch;
+  if (!waits_for) waits_for = &scratch;
+
+  // FIFO fairness: a request must not overtake an incompatible waiter that
+  // arrived earlier -- unless the pair is fuzzy-eligible (divergence control
+  // should never queue a query behind an update it could pass), or the
+  // requester is upgrading (it holds the lock the waiter needs anyway).
+  bool blocked = false;
+  if (!holds_any) {
+    for (const Waiter* w : q.waiters) {
+      if (w == self) break;  // only waiters ahead of us
+      if (w->txn == txn) continue;
+      if (compatible(w->mode, mode)) continue;
+      if (resolver.eligible_pair(txn, mode, w->txn, w->mode)) continue;
+      blocked = true;
+      waits_for->insert(w->txn);
+    }
+  }
+
+  std::vector<LockHolder> conflicting;
+  for (const LockHolder& h : q.holders) {
+    if (h.txn == txn) continue;  // own S lock never blocks own upgrade
+    if (!compatible(h.mode, mode)) conflicting.push_back(h);
+  }
+
+  if (blocked) {
+    for (const LockHolder& h : conflicting) waits_for->insert(h.txn);
+    return Decision::Blocked;
+  }
+  if (conflicting.empty()) {
+    grant(txn, key, mode, /*fuzzy=*/false, q);
+    return Decision::Granted;
+  }
+  if (resolver.try_fuzzy_grant(txn, mode, key, conflicting)) {
+    ++stats_.fuzzy_grants;
+    grant(txn, key, mode, /*fuzzy=*/true, q);
+    return Decision::Granted;
+  }
+  for (const LockHolder& h : conflicting) waits_for->insert(h.txn);
+  return Decision::Blocked;
+}
+
+bool LockManager::creates_deadlock(TxnId from) const {
+  // DFS through wait edges looking for a path back to `from`.
+  std::vector<TxnId> stack;
+  std::unordered_set<TxnId> visited;
+  auto it = waiting_.find(from);
+  if (it == waiting_.end()) return false;
+  for (TxnId t : it->second->waits_for) stack.push_back(t);
+  while (!stack.empty()) {
+    const TxnId t = stack.back();
+    stack.pop_back();
+    if (t == from) return true;
+    if (!visited.insert(t).second) continue;
+    auto wit = waiting_.find(t);
+    if (wit == waiting_.end()) continue;  // not waiting: sink
+    for (TxnId next : wit->second->waits_for) stack.push_back(next);
+  }
+  return false;
+}
+
+void LockManager::grant(TxnId txn, Key key, LockMode mode, bool fuzzy,
+                        Queue& q) {
+  for (LockHolder& h : q.holders) {
+    if (h.txn == txn) {  // upgrade in place
+      h.mode = LockMode::Exclusive;
+      h.fuzzy = h.fuzzy || fuzzy;
+      return;
+    }
+  }
+  q.holders.push_back(LockHolder{txn, mode, fuzzy});
+  held_keys_[txn].insert(key);
+}
+
+void LockManager::release_all(TxnId txn) {
+  std::lock_guard lock(mu_);
+  auto held = held_keys_.find(txn);
+  if (held != held_keys_.end()) {
+    for (Key key : held->second) {
+      auto qit = queues_.find(key);
+      if (qit == queues_.end()) continue;
+      auto& holders = qit->second.holders;
+      std::erase_if(holders,
+                    [&](const LockHolder& h) { return h.txn == txn; });
+    }
+    held_keys_.erase(held);
+  }
+  // Cancel an in-flight wait (cross-thread abort path).
+  auto wit = waiting_.find(txn);
+  if (wit != waiting_.end()) wit->second->cancelled = true;
+  cv_.notify_all();
+}
+
+bool LockManager::holds(TxnId txn, Key key, LockMode mode) const {
+  std::lock_guard lock(mu_);
+  auto qit = queues_.find(key);
+  if (qit == queues_.end()) return false;
+  for (const LockHolder& h : qit->second.holders) {
+    if (h.txn == txn &&
+        (h.mode == LockMode::Exclusive || mode == LockMode::Shared)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<LockHolder> LockManager::holders_of(Key key) const {
+  std::lock_guard lock(mu_);
+  auto qit = queues_.find(key);
+  if (qit == queues_.end()) return {};
+  return qit->second.holders;
+}
+
+LockStats LockManager::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace atp

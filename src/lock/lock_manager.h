@@ -1,0 +1,159 @@
+// Two-phase-locking lock manager with pluggable conflict resolution.
+//
+// Classic strict 2PL concurrency control and 2PL divergence control (Wu, Yu,
+// Pu, ICDE'92) differ *only* in how they handle read-write conflicts between
+// query ETs and update ETs: CC always blocks; DC may grant anyway while
+// charging import/export fuzziness, blocking only when an epsilon budget
+// would be exceeded.  We factor that single decision into a ConflictResolver
+// so one lock manager serves both schedulers.
+//
+// Deadlocks are detected eagerly: every time a request is about to block, a
+// waits-for DFS runs through the new wait edges; if the requester closes a
+// cycle the acquire fails with kDeadlock and the caller aborts (youngest-ish
+// victim: the transaction that *created* the cycle dies, which is always
+// sufficient to break it because cycles can only appear when a new edge is
+// added).  A wait timeout backstops anything the DFS cannot see (e.g. waits
+// induced outside this lock manager).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace atp {
+
+enum class LockMode : std::uint8_t { Shared, Exclusive };
+
+[[nodiscard]] constexpr bool compatible(LockMode a, LockMode b) noexcept {
+  return a == LockMode::Shared && b == LockMode::Shared;
+}
+
+[[nodiscard]] constexpr const char* to_string(LockMode m) noexcept {
+  return m == LockMode::Shared ? "S" : "X";
+}
+
+/// A granted lock on one key.
+struct LockHolder {
+  TxnId txn = kInvalidTxn;
+  LockMode mode = LockMode::Shared;
+  bool fuzzy = false;  ///< granted past a conflict by divergence control
+};
+
+/// Decides whether a mode-incompatible request may be granted anyway.
+///
+/// Implementations: CC returns false everywhere (pure 2PL); DC grants
+/// query/update read-write conflicts within epsilon budgets (and performs the
+/// fuzziness charging as a side effect of try_fuzzy_grant).
+class ConflictResolver {
+ public:
+  virtual ~ConflictResolver() = default;
+
+  /// May `requester` (wanting `mode` on `key`) be granted despite the
+  /// conflicting holders?  Called with the lock-manager mutex held; must not
+  /// call back into the lock manager.  On true, any fuzziness charges have
+  /// been applied atomically.
+  virtual bool try_fuzzy_grant(TxnId requester, LockMode mode, Key key,
+                               std::span<const LockHolder> conflicting) = 0;
+
+  /// Is the (requester, other) pair *eligible in principle* for a fuzzy
+  /// grant (i.e. a query/update read-write pair)?  Used to decide whether a
+  /// conflicting waiter ahead in the queue should block this request for
+  /// fairness; no charging happens.
+  virtual bool eligible_pair(TxnId requester, LockMode requester_mode,
+                             TxnId other, LockMode other_mode) = 0;
+};
+
+/// Pure 2PL: never grant past a conflict.
+class NeverFuzzyResolver final : public ConflictResolver {
+ public:
+  bool try_fuzzy_grant(TxnId, LockMode, Key,
+                       std::span<const LockHolder>) override {
+    return false;
+  }
+  bool eligible_pair(TxnId, LockMode, TxnId, LockMode) override {
+    return false;
+  }
+};
+
+struct LockStats {
+  std::uint64_t waits = 0;        // requests that blocked at least once
+  std::uint64_t deadlocks = 0;    // requests refused as deadlock victims
+  std::uint64_t timeouts = 0;     // requests that timed out waiting
+  std::uint64_t fuzzy_grants = 0; // conflicts granted by the resolver
+};
+
+class LockManager {
+ public:
+  explicit LockManager(std::chrono::milliseconds default_timeout =
+                           std::chrono::milliseconds(2000));
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquire `mode` on `key` for `txn`.  Blocks (honouring FIFO fairness and
+  /// the resolver) until granted, deadlock, or timeout.  Re-entrant: if txn
+  /// already holds a mode covering the request this is a no-op; S->X upgrade
+  /// is supported.
+  Status acquire(TxnId txn, Key key, LockMode mode, ConflictResolver& resolver);
+
+  /// Release every lock txn holds and cancel any pending wait.  Idempotent.
+  void release_all(TxnId txn);
+
+  /// Does txn hold at least `mode` on key?
+  [[nodiscard]] bool holds(TxnId txn, Key key, LockMode mode) const;
+
+  /// Snapshot of current holders of `key` (diagnostics / DC write charging).
+  [[nodiscard]] std::vector<LockHolder> holders_of(Key key) const;
+
+  [[nodiscard]] LockStats stats() const;
+
+  void set_timeout(std::chrono::milliseconds t) { timeout_ = t; }
+
+ private:
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    bool cancelled = false;
+    // Txns this waiter currently waits for (holders + conflicting waiters
+    // ahead); refreshed on each blocking evaluation.
+    std::unordered_set<TxnId> waits_for;
+  };
+
+  struct Queue {
+    std::vector<LockHolder> holders;
+    std::list<Waiter*> waiters;  // FIFO
+  };
+
+  // All state guarded by mu_; cv_ broadcast on any release/cancel.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<Key, Queue> queues_;
+  std::unordered_map<TxnId, std::unordered_set<Key>> held_keys_;
+  // Live wait edges for deadlock DFS: txn -> waiter record (one outstanding
+  // request per txn at a time, which the piece runner guarantees).
+  std::unordered_map<TxnId, Waiter*> waiting_;
+  LockStats stats_;
+  std::chrono::milliseconds timeout_;
+
+  enum class Decision { Granted, Blocked };
+
+  // Evaluate whether the request can be granted now.  Fills waits_for with
+  // the blockers when not.  Caller holds mu_.
+  Decision evaluate(TxnId txn, Key key, LockMode mode,
+                    ConflictResolver& resolver, Queue& q, Waiter* self);
+
+  // Does adding `from`'s wait edges close a cycle back to `from`?
+  [[nodiscard]] bool creates_deadlock(TxnId from) const;
+
+  void grant(TxnId txn, Key key, LockMode mode, bool fuzzy, Queue& q);
+};
+
+}  // namespace atp

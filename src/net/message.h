@@ -1,0 +1,31 @@
+// Messages exchanged between sites in the simulated network.
+//
+// Payloads are carried as std::any: the sites live in one process, so we
+// skip serialization (a real deployment would wire-encode here).  Everything
+// the protocols key on -- correlation ids, global transaction ids, queue
+// sequence numbers -- travels in plain scalar fields so that the message
+// accounting (what the Section 4 bench counts) is faithful.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace atp {
+
+struct Message {
+  std::uint64_t id = 0;           ///< unique, assigned by the network on send
+  std::uint64_t correlation = 0;  ///< request id this replies to (0 = request)
+  SiteId from = 0;
+  SiteId to = 0;
+  std::string type;               ///< "prepare", "commit", "qdata", ...
+  std::uint64_t gtid = 0;         ///< global transaction / queue-message id
+  Value value = 0;                ///< small scalar payload
+  std::any payload;               ///< in-process payload (not serialized)
+
+  [[nodiscard]] bool is_reply() const noexcept { return correlation != 0; }
+};
+
+}  // namespace atp

@@ -1,0 +1,133 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <memory>
+
+namespace atp {
+
+SimNetwork::SimNetwork(std::size_t n_sites, NetworkOptions options)
+    : options_(options),
+      site_up_(n_sites, true),
+      link_up_(n_sites, std::vector<bool>(n_sites, true)) {
+  inboxes_.reserve(n_sites);
+  for (std::size_t i = 0; i < n_sites; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+std::uint64_t SimNetwork::send(Message msg) {
+  Clock::time_point deliver_at;
+  std::uint64_t id;
+  {
+    std::lock_guard lock(state_mu_);
+    id = next_id_++;
+    ++stats_.sent;
+    const bool deliverable = site_up_[msg.to] && site_up_[msg.from] &&
+                             link_up_[msg.from][msg.to];
+    if (!deliverable) {
+      ++stats_.dropped;
+      return id;
+    }
+    auto delay = options_.one_way_latency;
+    if (options_.jitter.count() > 0) {
+      // xorshift for cheap deterministic-ish jitter
+      jitter_state_ ^= jitter_state_ << 13;
+      jitter_state_ ^= jitter_state_ >> 7;
+      jitter_state_ ^= jitter_state_ << 17;
+      delay += std::chrono::microseconds(
+          jitter_state_ % std::uint64_t(options_.jitter.count() + 1));
+    }
+    deliver_at = Clock::now() + delay;
+  }
+  msg.id = id;
+  Inbox& inbox = *inboxes_[msg.to];
+  {
+    std::lock_guard lock(inbox.mu);
+    inbox.messages.push_back(Pending{deliver_at, std::move(msg)});
+  }
+  inbox.cv.notify_all();
+  return id;
+}
+
+std::optional<Message> SimNetwork::receive_matching(
+    SiteId site, std::chrono::milliseconds timeout,
+    const std::function<bool(const Message&)>& pred) {
+  assert(site < inboxes_.size());
+  Inbox& inbox = *inboxes_[site];
+  const auto deadline = Clock::now() + timeout;
+  std::unique_lock lock(inbox.mu);
+  for (;;) {
+    const auto now = Clock::now();
+    Clock::time_point earliest = deadline;
+    for (auto it = inbox.messages.begin(); it != inbox.messages.end(); ++it) {
+      if (!pred(it->msg)) continue;
+      if (it->deliver_at <= now) {
+        Message m = std::move(it->msg);
+        inbox.messages.erase(it);
+        {
+          std::lock_guard slock(state_mu_);
+          ++stats_.delivered;
+        }
+        return m;
+      }
+      if (it->deliver_at < earliest) earliest = it->deliver_at;
+    }
+    if (now >= deadline) return std::nullopt;
+    inbox.cv.wait_until(lock, earliest);
+  }
+}
+
+std::optional<Message> SimNetwork::receive_request(
+    SiteId site, std::chrono::milliseconds timeout) {
+  return receive_matching(site, timeout,
+                          [](const Message& m) { return !m.is_reply(); });
+}
+
+std::optional<Message> SimNetwork::receive_reply(
+    SiteId site, std::uint64_t correlation, std::chrono::milliseconds timeout) {
+  return receive_matching(site, timeout, [correlation](const Message& m) {
+    return m.correlation == correlation;
+  });
+}
+
+void SimNetwork::set_site_up(SiteId site, bool up) {
+  {
+    std::lock_guard lock(state_mu_);
+    site_up_[site] = up;
+  }
+  if (!up) {
+    // A crashed process loses its in-flight inbox.
+    Inbox& inbox = *inboxes_[site];
+    std::lock_guard lock(inbox.mu);
+    inbox.messages.clear();
+  }
+  inboxes_[site]->cv.notify_all();
+}
+
+bool SimNetwork::site_up(SiteId site) const {
+  std::lock_guard lock(state_mu_);
+  return site_up_[site];
+}
+
+void SimNetwork::set_link_up(SiteId a, SiteId b, bool up) {
+  std::lock_guard lock(state_mu_);
+  link_up_[a][b] = up;
+  link_up_[b][a] = up;
+}
+
+bool SimNetwork::link_up(SiteId a, SiteId b) const {
+  std::lock_guard lock(state_mu_);
+  return link_up_[a][b];
+}
+
+NetStats SimNetwork::stats() const {
+  std::lock_guard lock(state_mu_);
+  return stats_;
+}
+
+void SimNetwork::reset_stats() {
+  std::lock_guard lock(state_mu_);
+  stats_ = NetStats{};
+}
+
+}  // namespace atp

@@ -1,0 +1,103 @@
+// Simulated point-to-point network between sites.
+//
+// Delivery pays a configurable one-way latency (+ jitter); this is what makes
+// the Section 4 comparison meaningful -- 2PC pays two or three round trips of
+// it per distributed commit, the chopped/recoverable-queue path pays one
+// one-way hop off the client's critical path.
+//
+// Failure injection: sites and links can be marked down.  Messages to a down
+// site or across a down link are silently dropped (as a crashed process
+// would), and a site's in-flight inbox is discarded when it crashes.
+// Reliability on top of this (acks, retransmission, dedupe) is the
+// recoverable-queue layer's job, mirroring the real protocol stack.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "net/message.h"
+
+namespace atp {
+
+struct NetworkOptions {
+  std::chrono::microseconds one_way_latency{500};
+  std::chrono::microseconds jitter{0};  ///< uniform extra delay in [0, jitter]
+};
+
+struct NetStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;  ///< destination/site/link down at send time
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(std::size_t n_sites, NetworkOptions options);
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Queue `msg` for delivery after the simulated latency.  Assigns and
+  /// returns the message id.  Dropped (id still returned) if the destination
+  /// site or the link is down.
+  std::uint64_t send(Message msg);
+
+  /// Next deliverable *request* (correlation == 0) addressed to `site`.
+  /// Blocks up to `timeout`; replies are left in place for receive_reply.
+  std::optional<Message> receive_request(SiteId site,
+                                         std::chrono::milliseconds timeout);
+
+  /// Next deliverable *reply* to request id `correlation` addressed to
+  /// `site`.  Other messages are left queued.
+  std::optional<Message> receive_reply(SiteId site, std::uint64_t correlation,
+                                       std::chrono::milliseconds timeout);
+
+  void set_site_up(SiteId site, bool up);
+  [[nodiscard]] bool site_up(SiteId site) const;
+
+  /// Symmetric link control.
+  void set_link_up(SiteId a, SiteId b, bool up);
+  [[nodiscard]] bool link_up(SiteId a, SiteId b) const;
+
+  [[nodiscard]] NetStats stats() const;
+  void reset_stats();
+
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    return inboxes_.size();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Clock::time_point deliver_at;
+    Message msg;
+  };
+
+  struct Inbox {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::list<Pending> messages;
+  };
+
+  // Wait until a message matching `pred` is deliverable; pop and return it.
+  std::optional<Message> receive_matching(
+      SiteId site, std::chrono::milliseconds timeout,
+      const std::function<bool(const Message&)>& pred);
+
+  NetworkOptions options_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  mutable std::mutex state_mu_;  // site/link up-ness + stats + jitter rng
+  std::vector<bool> site_up_;
+  std::vector<std::vector<bool>> link_up_;
+  NetStats stats_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t jitter_state_ = 0x9e3779b97f4a7c15ULL;
+};
+
+}  // namespace atp

@@ -1,0 +1,221 @@
+#include "queue/recoverable_queue.h"
+
+#include <utility>
+
+namespace atp {
+
+QueueEndpoint::QueueEndpoint(SiteId site, SimNetwork& net)
+    : site_(site), net_(net) {}
+
+void QueueEndpoint::enqueue(Txn& txn, SiteId dest, std::string queue,
+                            std::any payload) {
+  // Global message id: site in the high bits so ids never collide across
+  // endpoints (the receiver dedupes on them).
+  std::uint64_t qmsg_id;
+  {
+    std::lock_guard lock(mu_);
+    qmsg_id = (std::uint64_t(site_) << 40) | next_qmsg_++;
+  }
+  if (wal_ != nullptr) {
+    // Staged under the transaction: the record takes effect at recovery
+    // only if txn's commit record follows (no extra force needed -- the
+    // commit's fsync covers it).
+    LogRecord r;
+    r.type = LogRecordType::kQueueEnqueue;
+    r.txn = txn.id();
+    r.qmsg_id = qmsg_id;
+    r.queue = queue;
+    r.peer = dest;
+    r.payload = payload;
+    wal_->append(std::move(r));
+  }
+  // Stage: the message joins the durable outbound set only when the
+  // transaction commits ("messages sent through a recoverable queue are
+  // parts of transaction effects").
+  txn.on_commit([this, qmsg_id, dest, queue = std::move(queue),
+                 payload = std::move(payload)]() mutable {
+    std::lock_guard lock(mu_);
+    ++stats_.enqueued;
+    Outbound out;
+    out.qmsg_id = qmsg_id;
+    out.dest = dest;
+    out.queue = std::move(queue);
+    out.payload = std::move(payload);
+    outbound_.push_back(std::move(out));
+    transmit_locked(outbound_.back());
+  });
+}
+
+std::optional<std::any> QueueEndpoint::try_dequeue(Txn& txn,
+                                                   const std::string& queue) {
+  std::lock_guard lock(mu_);
+  auto it = inbound_.find(queue);
+  if (it == inbound_.end() || it->second.empty()) return std::nullopt;
+  Delivered d = std::move(it->second.front());
+  it->second.pop_front();
+  if (wal_ != nullptr) {
+    // Staged consume: effective at recovery only if txn commits.
+    LogRecord r;
+    r.type = LogRecordType::kQueueConsume;
+    r.txn = txn.id();
+    r.qmsg_id = d.qmsg_id;
+    r.queue = queue;
+    wal_->append(std::move(r));
+  }
+  const std::uint64_t token = next_claim_++;
+  std::any payload = d.payload;  // copy returned to the caller
+  claims_.emplace(token, std::make_pair(queue, std::move(d)));
+
+  txn.on_commit([this, token] {
+    std::lock_guard lock(mu_);
+    if (claims_.erase(token) > 0) ++stats_.consumed;
+  });
+  txn.on_abort([this, token] {
+    std::lock_guard lock(mu_);
+    auto cit = claims_.find(token);
+    if (cit == claims_.end()) return;
+    // Redelivery rule: the aborting consumer's message returns to the front.
+    inbound_[cit->second.first].push_front(std::move(cit->second.second));
+    claims_.erase(cit);
+    ++stats_.redelivered;
+  });
+  return payload;
+}
+
+void QueueEndpoint::transmit_locked(Outbound& out) {
+  Message m;
+  m.from = site_;
+  m.to = out.dest;
+  m.type = "qdata";
+  m.gtid = out.qmsg_id;
+  // The queue name rides in the payload envelope.
+  m.payload = std::make_pair(out.queue, out.payload);
+  net_.send(std::move(m));
+  out.last_sent = Clock::now();
+  out.sent_once = true;
+  ++stats_.transmitted;
+}
+
+void QueueEndpoint::pump() {
+  std::lock_guard lock(mu_);
+  const auto now = Clock::now();
+  for (auto& out : outbound_) {
+    if (!out.sent_once || now - out.last_sent >= retry_interval_) {
+      transmit_locked(out);
+    }
+  }
+}
+
+bool QueueEndpoint::deliver(const Message& msg) {
+  bool is_new = false;
+  {
+    std::lock_guard lock(mu_);
+    if (seen_.insert(msg.gtid).second) {
+      is_new = true;
+      ++stats_.delivered;
+      const auto* envelope =
+          std::any_cast<std::pair<std::string, std::any>>(&msg.payload);
+      if (envelope != nullptr) {
+        inbound_[envelope->first].push_back(
+            Delivered{msg.gtid, envelope->second});
+        if (wal_ != nullptr) {
+          // The ack promises durability: force the delivery record before
+          // the sender is told to stop retransmitting.
+          LogRecord r;
+          r.type = LogRecordType::kQueueDeliver;
+          r.qmsg_id = msg.gtid;
+          r.queue = envelope->first;
+          r.peer = msg.from;
+          r.payload = envelope->second;
+          wal_->append(std::move(r));
+          wal_->fsync();
+        }
+      }
+    } else {
+      ++stats_.duplicates;
+    }
+  }
+  // Acknowledge in either case: the sender may have missed the first ack.
+  Message ack;
+  ack.from = site_;
+  ack.to = msg.from;
+  ack.type = "qack";
+  ack.gtid = msg.gtid;
+  net_.send(std::move(ack));
+  return is_new;
+}
+
+void QueueEndpoint::handle_ack(const Message& msg) {
+  std::lock_guard lock(mu_);
+  const auto removed = std::erase_if(
+      outbound_, [&](const Outbound& o) { return o.qmsg_id == msg.gtid; });
+  if (removed > 0 && wal_ != nullptr) {
+    LogRecord r;
+    r.type = LogRecordType::kQueueAck;
+    r.qmsg_id = msg.gtid;
+    wal_->append(std::move(r));
+  }
+}
+
+void QueueEndpoint::restore_from(const RecoveryResult& recovery) {
+  std::lock_guard lock(mu_);
+  outbound_.clear();
+  inbound_.clear();
+  seen_ = recovery.seen_qmsgs;
+  claims_.clear();
+  for (const auto& m : recovery.outbound) {
+    Outbound out;
+    out.qmsg_id = m.qmsg_id;
+    out.dest = m.peer;
+    out.queue = m.queue;
+    out.payload = m.payload;
+    outbound_.push_back(std::move(out));
+  }
+  for (const auto& m : recovery.inbound) {
+    inbound_[m.queue].push_back(Delivered{m.qmsg_id, m.payload});
+  }
+  // Resume the id counter above anything ever logged so dedupe stays sound.
+  const std::uint64_t mask = (std::uint64_t(1) << 40) - 1;
+  if ((recovery.max_qmsg_id >> 40) == site_) {
+    next_qmsg_ = std::max(next_qmsg_, (recovery.max_qmsg_id & mask) + 1);
+  }
+}
+
+void QueueEndpoint::crash() {
+  std::lock_guard lock(mu_);
+  // Claims are volatile: the claiming transactions died with the site, so
+  // their messages return to their queues.
+  for (auto& [token, entry] : claims_) {
+    inbound_[entry.first].push_front(std::move(entry.second));
+    ++stats_.redelivered;
+  }
+  claims_.clear();
+  // outbound_, inbound_, seen_ are durable and survive.
+}
+
+std::size_t QueueEndpoint::depth(const std::string& queue) const {
+  std::lock_guard lock(mu_);
+  auto it = inbound_.find(queue);
+  return it == inbound_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> QueueEndpoint::nonempty_queues() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, q] : inbound_) {
+    if (!q.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+std::size_t QueueEndpoint::outbound_backlog() const {
+  std::lock_guard lock(mu_);
+  return outbound_.size();
+}
+
+QueueStats QueueEndpoint::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace atp

@@ -1,0 +1,282 @@
+#include "sched/database.h"
+
+#include <cassert>
+#include <thread>
+#include <vector>
+
+namespace atp {
+
+Database::Database(DatabaseOptions opts)
+    : opts_(opts),
+      locks_(opts.lock_timeout),
+      dc_resolver_(registry_, store_) {
+  history_.set_enabled(opts.record_history);
+}
+
+void Database::load(Key key, Value value) { store_.load(key, value); }
+
+Txn Database::begin(TxnKind kind, EpsilonSpec spec, TxnId parent) {
+  const TxnId id = registry_.begin(kind, spec, parent);
+  Txn t(this, id, kind);
+  t.state_ = Txn::State::Active;
+  return t;
+}
+
+ConflictResolver& Database::resolver() noexcept {
+  if (opts_.scheduler == SchedulerKind::DC) return dc_resolver_;
+  return cc_resolver_;
+}
+
+void Database::crash(const std::unordered_set<TxnId>* survivors) {
+  store_.crash(survivors);
+}
+
+void Database::checkpoint() {
+  LogDevice* wal = opts_.wal;
+  if (wal == nullptr) return;
+  const auto snapshot = store_.snapshot_committed();
+  std::uint64_t first_kv = wal->next_lsn();
+  for (const auto& [key, value] : snapshot) {
+    LogRecord r;
+    r.type = LogRecordType::kCheckpointKv;
+    r.key = key;
+    r.value = value;
+    wal->append(std::move(r));
+  }
+  LogRecord marker;
+  marker.type = LogRecordType::kCheckpoint;
+  marker.qmsg_id = first_kv;  // start of this checkpoint's kv run
+  wal->append(std::move(marker));
+  wal->fsync();
+  wal->truncate_before(first_kv);
+}
+
+RecoveryResult Database::recover_from_wal() {
+  assert(opts_.wal != nullptr && "recover_from_wal requires options().wal");
+  return recover_from_log(*opts_.wal, store_);
+}
+
+// ---------------------------------------------------------------------------
+// Txn
+
+Txn& Txn::operator=(Txn&& other) noexcept {
+  assert(state_ != State::Active && "moving over an active transaction");
+  db_ = other.db_;
+  id_ = other.id_;
+  kind_ = other.kind_;
+  state_ = other.state_;
+  final_fuzziness_ = other.final_fuzziness_;
+  write_set_ = std::move(other.write_set_);
+  read_log_ = std::move(other.read_log_);
+  commit_hooks_ = std::move(other.commit_hooks_);
+  abort_hooks_ = std::move(other.abort_hooks_);
+  other.state_ = State::Invalid;
+  other.db_ = nullptr;
+  return *this;
+}
+
+Txn::~Txn() {
+  if (state_ == State::Active) abort();
+}
+
+bool Txn::optimistic() const noexcept {
+  return db_ != nullptr && db_->opts_.scheduler == SchedulerKind::ODC &&
+         kind_ == TxnKind::Query;
+}
+
+Result<Value> Txn::read(Key key) {
+  if (state_ != State::Active)
+    return Status::FailedPrecondition("read on inactive txn");
+  if (optimistic()) {
+    // Optimistic divergence control: no lock, read the last committed value
+    // and log it; commit() validates the accumulated drift against the
+    // import limit.
+    Result<Value> v = db_->store_.read_committed(key);
+    if (v.ok()) {
+      read_log_.emplace_back(key, v.value());
+      db_->history_.record(id_, OpType::Read, key, v.value());
+    }
+    return v;
+  }
+  Status s = db_->locks_.acquire(id_, key, LockMode::Shared, db_->resolver());
+  if (!s.ok()) return s;
+  // Under DC a fuzzy S grant may coexist with an uncommitted writer; the
+  // value observed is the dirty one, whose divergence was charged at grant.
+  Result<Value> v = db_->store_.read_latest(key);
+  if (v.ok()) db_->history_.record(id_, OpType::Read, key, v.value());
+  return v;
+}
+
+Status Txn::write(Key key, Value value) {
+  if (state_ != State::Active)
+    return Status::FailedPrecondition("write on inactive txn");
+  if (kind_ != TxnKind::Update)
+    return Status::InvalidArgument("query ETs are read-only");
+
+  const bool dc = db_->opts_.scheduler == SchedulerKind::DC;
+  if (dc) {
+    // Announce the impending delta so an X fuzzy grant can peek feasibility.
+    const Value before = db_->store_.read_latest(key).value_or(0);
+    db_->dc_resolver_.announce_write_delta(id_, distance(value, before));
+  }
+  Status s =
+      db_->locks_.acquire(id_, key, LockMode::Exclusive, db_->resolver());
+  if (dc) db_->dc_resolver_.clear_write_delta(id_);
+  if (!s.ok()) return s;
+
+  // We hold X; the previous latest value is stable (only we may write).
+  const Value old_latest = db_->store_.read_latest(key).value_or(0);
+  Status w = db_->store_.write(id_, key, value);
+  if (!w.ok()) return w;
+  write_set_.insert(key);
+  db_->history_.record(id_, OpType::Write, key, value);
+
+  // Incremental fuzziness charge to every query ET currently sharing the
+  // key (they were fuzzy-granted past our X, or we were granted past their
+  // S).  This is where divergence control's export/import accounts are
+  // actually debited.  When a budget cannot absorb the charge the update is
+  // "blocked as it is handled in the two-phase locking concurrency control"
+  // (Section 1.1): we wait for the conflicting queries to finish rather than
+  // abort, bounded by the lock timeout (deadlocks formed outside the lock
+  // manager resolve through the queries' own lock timeouts).
+  const Value incr = distance(value, old_latest);
+  if (incr > 0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + db_->opts_.lock_timeout;
+    for (;;) {
+      std::vector<TxnId> queries;
+      for (const LockHolder& h : db_->locks_.holders_of(key)) {
+        if (h.txn == id_) continue;
+        if (h.mode == LockMode::Shared &&
+            db_->registry_.kind_of(h.txn) == TxnKind::Query) {
+          queries.push_back(h.txn);
+        }
+      }
+      if (queries.empty() ||
+          db_->registry_.try_charge_multi(queries, id_, incr)) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Status::EpsilonExceeded(
+            "write of delta " + std::to_string(incr) +
+            " would exceed an epsilon budget");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Txn::add(Key key, Value delta) {
+  if (state_ != State::Active)
+    return Status::FailedPrecondition("add on inactive txn");
+  if (kind_ != TxnKind::Update)
+    return Status::InvalidArgument("query ETs are read-only");
+
+  const bool dc = db_->opts_.scheduler == SchedulerKind::DC;
+  if (dc) db_->dc_resolver_.announce_write_delta(id_, distance(delta, 0));
+  Status s =
+      db_->locks_.acquire(id_, key, LockMode::Exclusive, db_->resolver());
+  if (dc) db_->dc_resolver_.clear_write_delta(id_);
+  if (!s.ok()) return s;
+
+  Result<Value> old_latest = db_->store_.read_latest(key);
+  if (!old_latest.ok()) return old_latest.status();
+  db_->history_.record(id_, OpType::Read, key, old_latest.value());
+  // Delegate to write() for the staged write + fuzziness charging.  The X
+  // lock is already held, so the inner acquire is a re-entrant no-op.
+  return write(key, old_latest.value() + delta);
+}
+
+Status Txn::commit() {
+  if (state_ != State::Active)
+    return Status::FailedPrecondition("commit on inactive txn");
+  if (optimistic() && !read_log_.empty()) {
+    // Optimistic validation: total drift between what was read and what is
+    // committed now is the fuzziness this query imported.  Within limit ->
+    // charge and commit; beyond -> abort (the caller retries).
+    Value drift = 0;
+    for (const auto& [key, seen] : read_log_) {
+      drift += distance(db_->store_.read_committed(key).value_or(seen), seen);
+    }
+    if (!db_->registry_.try_self_import(id_, drift)) {
+      abort();
+      return Status::EpsilonExceeded(
+          "optimistic validation: drift " + std::to_string(drift) +
+          " exceeds the import limit");
+    }
+  }
+  // Write-ahead discipline: after-images + the commit record reach stable
+  // storage before any effect applies.  (Queue enqueue/consume records were
+  // staged earlier, tagged with this txn id; the commit record is what
+  // activates them at recovery.)
+  if (LogDevice* wal = db_->opts_.wal; wal != nullptr) {
+    for (Key k : write_set_) {
+      LogRecord r;
+      r.type = LogRecordType::kWrite;
+      r.txn = id_;
+      r.key = k;
+      r.value = db_->store_.read_latest(k).value_or(0);
+      wal->append(std::move(r));
+    }
+    LogRecord c;
+    c.type = LogRecordType::kCommit;
+    c.txn = id_;
+    wal->append(std::move(c));
+    wal->fsync();
+  }
+  for (Key k : write_set_) db_->store_.commit_key(id_, k);
+  // Commit hooks make external effects (recoverable-queue sends/claims)
+  // atomic with the data writes, before any lock is released.
+  for (auto& hook : commit_hooks_) hook();
+  commit_hooks_.clear();
+  abort_hooks_.clear();
+  final_fuzziness_ = db_->registry_.end_commit(id_);
+  db_->history_.mark_committed(id_);
+  db_->locks_.release_all(id_);
+  state_ = State::Committed;
+  return Status::Ok();
+}
+
+void Txn::log_prepare() {
+  if (state_ != State::Active) return;
+  LogDevice* wal = db_->opts_.wal;
+  if (wal == nullptr) return;
+  for (Key k : write_set_) {
+    LogRecord r;
+    r.type = LogRecordType::kWrite;
+    r.txn = id_;
+    r.key = k;
+    r.value = db_->store_.read_latest(k).value_or(0);
+    wal->append(std::move(r));
+  }
+  LogRecord p;
+  p.type = LogRecordType::kPrepare;
+  p.txn = id_;
+  wal->append(std::move(p));
+  wal->fsync();
+}
+
+void Txn::abort() {
+  if (state_ != State::Active) return;
+  if (LogDevice* wal = db_->opts_.wal; wal != nullptr) {
+    LogRecord a;
+    a.type = LogRecordType::kAbort;
+    a.txn = id_;
+    wal->append(std::move(a));
+  }
+  for (Key k : write_set_) db_->store_.abort_key(id_, k);
+  for (auto& hook : abort_hooks_) hook();
+  commit_hooks_.clear();
+  abort_hooks_.clear();
+  db_->registry_.end_abort(id_);
+  db_->locks_.release_all(id_);
+  state_ = State::Aborted;
+}
+
+Value Txn::fuzziness() const {
+  if (state_ == State::Active) return db_->registry_.fuzziness_of(id_);
+  return final_fuzziness_;
+}
+
+}  // namespace atp

@@ -1,0 +1,205 @@
+// Database facade: storage + lock manager + ET registry + scheduler policy.
+//
+// One Database instance is a "site" in the distributed layer or the whole
+// system in the centralized benches.  The scheduler policy (CC or DC) is
+// fixed at construction; it decides nothing except how read-write conflicts
+// between query and update ETs are resolved (see DcResolver).
+//
+// Transactions are driven through the Txn handle:
+//
+//   Txn t = db.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+//   t.add(kAccountX, -50);   // X-lock, read-modify-write
+//   t.add(kAccountY, +50);
+//   Status s = t.commit();   // or t.abort()
+//
+// Any op may fail with an abort-class status (deadlock victim, lock timeout,
+// epsilon exceeded); the caller must then call abort().  Commit applies the
+// staged writes, rolls the piece's fuzziness Z_p up into its parent's Z_t
+// (Lemma 1), and releases all locks (strict 2PL).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "lock/lock_manager.h"
+#include "sched/dc_resolver.h"
+#include "sched/history.h"
+#include "storage/store.h"
+#include "txn/epsilon.h"
+#include "txn/registry.h"
+#include "wal/recovery.h"
+
+namespace atp {
+
+enum class SchedulerKind : std::uint8_t {
+  CC,   ///< strict two-phase locking concurrency control (serializable)
+  DC,   ///< two-phase locking divergence control (epsilon serializable)
+  ODC,  ///< optimistic divergence control for query ETs: queries read
+        ///< committed values without locks and validate at commit that the
+        ///< total drift |committed_now - read| fits the import limit,
+        ///< aborting (to retry) otherwise.  Update ETs run plain 2PL.
+        ///< One of the "various divergence control algorithms" of the DC
+        ///< papers the paper builds on; included as an ablation.
+};
+
+inline const char* to_string(SchedulerKind k) noexcept {
+  switch (k) {
+    case SchedulerKind::CC: return "CC";
+    case SchedulerKind::DC: return "DC";
+    case SchedulerKind::ODC: return "ODC";
+  }
+  return "?";
+}
+
+struct DatabaseOptions {
+  SchedulerKind scheduler = SchedulerKind::CC;
+  std::chrono::milliseconds lock_timeout{2000};
+  bool record_history = false;
+  /// Optional write-ahead log.  When set, commits append after-images + a
+  /// commit record and force the log before applying (redo-only, no-steal
+  /// discipline); Database::recover_from_wal() rebuilds the store after a
+  /// total-loss crash.  Owned by the caller and must outlive the Database
+  /// (it is the "disk").
+  class LogDevice* wal = nullptr;
+};
+
+class Database;
+
+/// Handle for one in-flight epsilon transaction (or chopped piece).
+/// Move-only; outstanding handles must be committed or aborted before the
+/// Database is destroyed.
+class Txn {
+ public:
+  Txn() = default;
+  Txn(Txn&& other) noexcept { *this = std::move(other); }
+  Txn& operator=(Txn&& other) noexcept;
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+  ~Txn();
+
+  /// Read a key (S lock under CC; possibly a fuzzy read under DC).
+  Result<Value> read(Key key);
+
+  /// Overwrite a key (X lock; update ETs only).
+  Status write(Key key, Value value);
+
+  /// Read-modify-write: value += delta.  Takes X directly (no upgrade).
+  Status add(Key key, Value delta);
+
+  /// Commit: install writes, roll Z_p up to the parent, release locks.
+  /// Returns the piece's accumulated fuzziness via fuzziness() afterwards.
+  Status commit();
+
+  /// Abort: discard staged writes, drop fuzziness, release locks.
+  void abort();
+
+  /// Register a hook to run inside commit(), after writes are installed but
+  /// before locks release.  Recoverable queues use this to make message
+  /// sends/claims part of the transaction's effects (Section 4: "messages
+  /// sent through a recoverable queue are parts of transaction effects").
+  void on_commit(std::function<void()> hook) {
+    commit_hooks_.push_back(std::move(hook));
+  }
+  /// Register a hook to run inside abort() (e.g. unclaim dequeued messages).
+  void on_abort(std::function<void()> hook) {
+    abort_hooks_.push_back(std::move(hook));
+  }
+
+  /// 2PC participant vote: force-log the staged after-images plus a PREPARE
+  /// record, so this transaction survives a total-loss crash as in-doubt.
+  /// No-op without a WAL.
+  void log_prepare();
+
+  [[nodiscard]] TxnId id() const noexcept { return id_; }
+  [[nodiscard]] TxnKind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool active() const noexcept { return state_ == State::Active; }
+
+  /// Z_p accumulated so far (live) or at commit (after commit()).
+  [[nodiscard]] Value fuzziness() const;
+
+ private:
+  friend class Database;
+  enum class State : std::uint8_t { Invalid, Active, Committed, Aborted };
+
+  Txn(Database* db, TxnId id, TxnKind kind) : db_(db), id_(id), kind_(kind) {}
+
+  /// Is this transaction an optimistic (lock-free) reader?
+  [[nodiscard]] bool optimistic() const noexcept;
+
+  Database* db_ = nullptr;
+  TxnId id_ = kInvalidTxn;
+  TxnKind kind_ = TxnKind::Update;
+  State state_ = State::Invalid;
+  Value final_fuzziness_ = 0;
+  std::unordered_set<Key> write_set_;
+  /// Optimistic read log: (key, value observed).  Validated at commit.
+  std::vector<std::pair<Key, Value>> read_log_;
+  std::vector<std::function<void()>> commit_hooks_;
+  std::vector<std::function<void()>> abort_hooks_;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions opts = {});
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Bulk-load a committed value (setup, not transactional).
+  void load(Key key, Value value);
+
+  /// Start an ET.  `parent` links a chopped piece to its original
+  /// transaction for fuzziness roll-up.
+  [[nodiscard]] Txn begin(TxnKind kind, EpsilonSpec spec,
+                          TxnId parent = kInvalidTxn);
+
+  [[nodiscard]] SchedulerKind scheduler() const noexcept {
+    return opts_.scheduler;
+  }
+
+  Store& store() noexcept { return store_; }
+  const Store& store() const noexcept { return store_; }
+  EtRegistry& registry() noexcept { return registry_; }
+  LockManager& locks() noexcept { return locks_; }
+  HistoryRecorder& history() noexcept { return history_; }
+
+  /// Simulated site failure: dirty data lost; live ETs must be abandoned by
+  /// their drivers (their handles abort as no-ops afterwards).  `survivors`
+  /// lists transactions whose staged writes persist -- 2PC participants in
+  /// the *prepared* state, which a real system has force-logged.
+  void crash(const std::unordered_set<TxnId>* survivors = nullptr);
+
+  /// Quiescent checkpoint: snapshot every committed value into the WAL and
+  /// truncate the log before it.  Caller guarantees no transactions or
+  /// unacknowledged queue traffic are in flight.  No-op without a WAL.
+  void checkpoint();
+
+  /// Total-loss recovery: clear the store and rebuild it from the WAL.
+  /// Returns the recovery report (in-doubt 2PC transactions, queue state to
+  /// reinstate).  Requires options().wal.
+  [[nodiscard]] RecoveryResult recover_from_wal();
+
+  [[nodiscard]] const DatabaseOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  friend class Txn;
+
+  ConflictResolver& resolver() noexcept;
+
+  DatabaseOptions opts_;
+  Store store_;
+  LockManager locks_;
+  EtRegistry registry_;
+  HistoryRecorder history_;
+  NeverFuzzyResolver cc_resolver_;
+  DcResolver dc_resolver_;
+};
+
+}  // namespace atp

@@ -1,0 +1,70 @@
+// Two-phase-locking divergence control (2PL-DC), after Wu, Yu & Pu (ICDE'92)
+// as summarized in Section 1.1 of the paper.
+//
+// 2PL-DC behaves exactly like strict 2PL except at read-write conflicts
+// between a *query* ET and an *update* ET.  There, instead of blocking, the
+// conflict may be granted while fuzziness is charged to both sides:
+//
+//   * query requests S over an update's X   -> query *imports* the update's
+//     pending (uncommitted) delta on the key; update *exports* the same.
+//   * update requests X over queries' S     -> each query imports the delta
+//     the update is about to write; the update exports it once per query.
+//     The X grant itself only *peeks* budget feasibility; the real charge is
+//     applied incrementally at write time by Database::write so multiple
+//     writes and late-arriving readers are accounted exactly once.
+//
+// A grant succeeds only if every affected account stays within its limit
+// (the registry's pair/multi charge is atomic all-or-nothing).  Otherwise the
+// requester blocks, exactly as it would under plain 2PL -- this is the
+// "blocked as it is handled in the two-phase locking concurrency control"
+// behaviour the paper describes.
+//
+// Because the lock manager consults the resolver *before* the write's value
+// is known, the scheduler deposits the impending write's |delta| in
+// `announce_write_delta` before acquiring the X lock.  Later writes to an
+// already-X-locked key charge incrementally at write time (see Database).
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+#include "lock/lock_manager.h"
+#include "storage/store.h"
+#include "txn/registry.h"
+
+namespace atp {
+
+class DcResolver final : public ConflictResolver {
+ public:
+  DcResolver(EtRegistry& registry, Store& store)
+      : registry_(registry), store_(store) {}
+
+  /// Deposit the |delta| of the write `txn` is about to perform, so an X-lock
+  /// fuzzy grant can charge the correct amount.  Cleared automatically after
+  /// the grant decision; call again before each write.
+  void announce_write_delta(TxnId txn, Value delta);
+  void clear_write_delta(TxnId txn);
+
+  bool try_fuzzy_grant(TxnId requester, LockMode mode, Key key,
+                       std::span<const LockHolder> conflicting) override;
+
+  bool eligible_pair(TxnId requester, LockMode requester_mode, TxnId other,
+                     LockMode other_mode) override;
+
+  /// All-or-nothing multi charge used both here and by write-time incremental
+  /// charging: every query imports `amount`, the update exports `amount` per
+  /// query.
+  bool charge_queries(std::span<const TxnId> queries, TxnId update,
+                      Value amount);
+
+ private:
+  EtRegistry& registry_;
+  Store& store_;
+  std::mutex mu_;
+  std::unordered_map<TxnId, Value> pending_write_delta_;
+
+  [[nodiscard]] Value pending_delta_of(TxnId txn);
+};
+
+}  // namespace atp

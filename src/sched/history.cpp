@@ -1,0 +1,110 @@
+#include "sched/history.h"
+
+#include <algorithm>
+
+namespace atp {
+
+void HistoryRecorder::record(TxnId txn, OpType op, Key key, Value value) {
+  if (!enabled()) return;
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  events_.push_back(HistoryEvent{seq, txn, op, key, value});
+}
+
+void HistoryRecorder::mark_committed(TxnId txn) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  committed_.insert(txn);
+}
+
+std::vector<HistoryEvent> HistoryRecorder::events() const {
+  std::lock_guard lock(mu_);
+  std::vector<HistoryEvent> sorted = events_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const HistoryEvent& a, const HistoryEvent& b) {
+              return a.seq < b.seq;
+            });
+  return sorted;
+}
+
+std::unordered_set<TxnId> HistoryRecorder::committed() const {
+  std::lock_guard lock(mu_);
+  return committed_;
+}
+
+bool HistoryRecorder::committed_projection_serializable(
+    const std::unordered_map<TxnId, TxnId>* merge_by_parent) const {
+  const auto evs = events();
+  const auto done = committed();
+
+  auto node_of = [&](TxnId t) -> TxnId {
+    if (merge_by_parent) {
+      auto it = merge_by_parent->find(t);
+      if (it != merge_by_parent->end() && it->second != kInvalidTxn)
+        return it->second;
+    }
+    return t;
+  };
+
+  // Precedence edges: for each key, between consecutive conflicting ops of
+  // different (merged) transactions, ordered by seq.
+  std::unordered_map<Key, std::vector<const HistoryEvent*>> by_key;
+  for (const auto& e : evs) {
+    if (!done.count(e.txn)) continue;
+    by_key[e.key].push_back(&e);
+  }
+
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> adj;
+  for (auto& [key, ops] : by_key) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        const auto& a = *ops[i];
+        const auto& b = *ops[j];
+        if (a.op == OpType::Read && b.op == OpType::Read) continue;
+        const TxnId na = node_of(a.txn);
+        const TxnId nb = node_of(b.txn);
+        if (na == nb) continue;
+        adj[na].insert(nb);
+      }
+    }
+  }
+
+  // Cycle check: iterative three-colour DFS.
+  std::unordered_map<TxnId, int> colour;  // 0 white, 1 grey, 2 black
+  for (const auto& [start, _] : adj) {
+    if (colour[start] != 0) continue;
+    // stack of (node, next-neighbour snapshot index)
+    std::vector<std::pair<TxnId, std::vector<TxnId>>> stack;
+    auto push = [&](TxnId n) {
+      colour[n] = 1;
+      std::vector<TxnId> nbrs;
+      auto it = adj.find(n);
+      if (it != adj.end()) nbrs.assign(it->second.begin(), it->second.end());
+      stack.emplace_back(n, std::move(nbrs));
+    };
+    push(start);
+    while (!stack.empty()) {
+      auto& [node, nbrs] = stack.back();
+      if (nbrs.empty()) {
+        colour[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const TxnId next = nbrs.back();
+      nbrs.pop_back();
+      const int c = colour[next];
+      if (c == 1) return false;  // back edge: cycle
+      if (c == 0) push(next);
+    }
+  }
+  return true;
+}
+
+void HistoryRecorder::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+  committed_.clear();
+  seq_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace atp

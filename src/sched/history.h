@@ -1,0 +1,66 @@
+// Execution-history recorder and conflict-serializability checker.
+//
+// Tests use this as the correctness oracle: a CC run must produce a history
+// whose committed projection is conflict-serializable; a DC run may violate
+// that, but only by interleavings whose fuzziness stays within every ET's
+// eps-spec.  The checker builds the classic precedence graph (edges between
+// committed transactions with conflicting operations, ordered by the global
+// apply sequence) and tests it for cycles.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace atp {
+
+enum class OpType : std::uint8_t { Read, Write };
+
+struct HistoryEvent {
+  std::uint64_t seq = 0;  ///< global apply order
+  TxnId txn = kInvalidTxn;
+  OpType op = OpType::Read;
+  Key key = 0;
+  Value value = 0;  ///< value observed (read) or installed (write)
+};
+
+class HistoryRecorder {
+ public:
+  /// Enable/disable recording (off by default; benches leave it off).
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record(TxnId txn, OpType op, Key key, Value value);
+
+  /// Mark the transaction's outcome; only committed txns join the precedence
+  /// graph.
+  void mark_committed(TxnId txn);
+
+  [[nodiscard]] std::vector<HistoryEvent> events() const;
+  [[nodiscard]] std::unordered_set<TxnId> committed() const;
+
+  /// Is the committed projection conflict-serializable?
+  /// `merge_by_parent`: if provided, maps piece -> original transaction so the
+  /// check runs at original-transaction granularity (serializable *with
+  /// respect to the original transactions*, Section 2.1).
+  [[nodiscard]] bool committed_projection_serializable(
+      const std::unordered_map<TxnId, TxnId>* merge_by_parent = nullptr) const;
+
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  mutable std::mutex mu_;
+  std::vector<HistoryEvent> events_;
+  std::unordered_set<TxnId> committed_;
+};
+
+}  // namespace atp

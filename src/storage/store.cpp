@@ -1,0 +1,123 @@
+#include "storage/store.h"
+
+namespace atp {
+
+void Store::load(Key key, Value value) {
+  std::unique_lock map_lock(map_mu_);
+  Cell& cell = cells_[key];
+  cell.committed = value;
+  cell.dirty_owner.reset();
+}
+
+Result<Value> Store::read_committed(Key key) const {
+  std::shared_lock map_lock(map_mu_);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return Status::NotFound("key " + std::to_string(key));
+  std::lock_guard cell_lock(stripe_for(key));
+  return it->second.committed;
+}
+
+Result<Value> Store::read_latest(Key key) const {
+  std::shared_lock map_lock(map_mu_);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return Status::NotFound("key " + std::to_string(key));
+  std::lock_guard cell_lock(stripe_for(key));
+  const Cell& c = it->second;
+  return c.dirty_owner ? c.dirty : c.committed;
+}
+
+std::optional<TxnId> Store::dirty_writer(Key key) const {
+  std::shared_lock map_lock(map_mu_);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return std::nullopt;
+  std::lock_guard cell_lock(stripe_for(key));
+  return it->second.dirty_owner;
+}
+
+Value Store::pending_delta(Key key) const {
+  std::shared_lock map_lock(map_mu_);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return 0;
+  std::lock_guard cell_lock(stripe_for(key));
+  const Cell& c = it->second;
+  return c.dirty_owner ? distance(c.dirty, c.committed) : 0;
+}
+
+Status Store::write(TxnId txn, Key key, Value value) {
+  {
+    std::shared_lock map_lock(map_mu_);
+    auto it = cells_.find(key);
+    if (it != cells_.end()) {
+      std::lock_guard cell_lock(stripe_for(key));
+      Cell& c = it->second;
+      if (c.dirty_owner && *c.dirty_owner != txn) {
+        return Status::FailedPrecondition("dirty slot owned by txn " +
+                                          std::to_string(*c.dirty_owner));
+      }
+      c.dirty_owner = txn;
+      c.dirty = value;
+      return Status::Ok();
+    }
+  }
+  // Slow path: create the cell.
+  std::unique_lock map_lock(map_mu_);
+  Cell& c = cells_[key];
+  if (c.dirty_owner && *c.dirty_owner != txn) {
+    return Status::FailedPrecondition("dirty slot owned by txn " +
+                                      std::to_string(*c.dirty_owner));
+  }
+  c.dirty_owner = txn;
+  c.dirty = value;
+  return Status::Ok();
+}
+
+void Store::commit_key(TxnId txn, Key key) {
+  std::shared_lock map_lock(map_mu_);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return;
+  std::lock_guard cell_lock(stripe_for(key));
+  Cell& c = it->second;
+  if (c.dirty_owner == txn) {
+    c.committed = c.dirty;
+    c.dirty_owner.reset();
+  }
+}
+
+void Store::abort_key(TxnId txn, Key key) {
+  std::shared_lock map_lock(map_mu_);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return;
+  std::lock_guard cell_lock(stripe_for(key));
+  Cell& c = it->second;
+  if (c.dirty_owner == txn) c.dirty_owner.reset();
+}
+
+std::unordered_map<Key, Value> Store::snapshot_committed() const {
+  std::unique_lock map_lock(map_mu_);  // exclusive: freeze structure + cells
+  std::unordered_map<Key, Value> snap;
+  snap.reserve(cells_.size());
+  for (const auto& [k, c] : cells_) snap.emplace(k, c.committed);
+  return snap;
+}
+
+void Store::crash(const std::unordered_set<TxnId>* survivors) {
+  std::unique_lock map_lock(map_mu_);
+  for (auto& [k, c] : cells_) {
+    if (c.dirty_owner && survivors && survivors->count(*c.dirty_owner)) {
+      continue;
+    }
+    c.dirty_owner.reset();
+  }
+}
+
+void Store::clear() {
+  std::unique_lock map_lock(map_mu_);
+  cells_.clear();
+}
+
+std::size_t Store::size() const {
+  std::shared_lock map_lock(map_mu_);
+  return cells_.size();
+}
+
+}  // namespace atp

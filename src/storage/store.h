@@ -1,0 +1,94 @@
+// In-memory record store over the canonical metric space.
+//
+// Each cell keeps its last *committed* value plus at most one *dirty* value
+// owned by an in-flight update transaction.  Two-phase-locking guarantees at
+// most one uncommitted writer per key (update ETs remain serializable among
+// themselves under both CC and DC -- Section 1.1), so one dirty slot suffices.
+//
+// Divergence control reads may observe the dirty value; plain concurrency
+// control reads never do (the lock manager prevents the interleaving).
+// `crash()` models a site failure: all dirty state is lost, committed state
+// survives -- this is what the recoverable-queue layer relies on.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace atp {
+
+class Store {
+ public:
+  Store() = default;
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Create or overwrite a key with a committed value (bulk load, no txn).
+  void load(Key key, Value value);
+
+  /// Last committed value.
+  [[nodiscard]] Result<Value> read_committed(Key key) const;
+
+  /// Dirty value if a writer is in flight, else the committed value.  Used by
+  /// divergence-control reads, which may see bounded inconsistency.
+  [[nodiscard]] Result<Value> read_latest(Key key) const;
+
+  /// The in-flight writer of `key`, if any.
+  [[nodiscard]] std::optional<TxnId> dirty_writer(Key key) const;
+
+  /// Pending uncommitted delta on `key` (|dirty - committed|), 0 if clean.
+  /// This is the fuzziness a conflicting read would import.
+  [[nodiscard]] Value pending_delta(Key key) const;
+
+  /// Stage an uncommitted write.  Fails with FailedPrecondition if another
+  /// transaction's dirty value is present (X-locking above this layer should
+  /// make that impossible).  Creates the cell (committed value 0) if absent.
+  Status write(TxnId txn, Key key, Value value);
+
+  /// Promote txn's dirty value on `key` to committed.  No-op if absent or
+  /// owned by a different transaction.
+  void commit_key(TxnId txn, Key key);
+
+  /// Discard txn's dirty value on `key`.  No-op if absent or foreign.
+  void abort_key(TxnId txn, Key key);
+
+  /// Consistent point-in-time copy of all committed values (serial oracles).
+  [[nodiscard]] std::unordered_map<Key, Value> snapshot_committed() const;
+
+  /// Simulated site failure: every dirty value is lost, except those of
+  /// `survivors` (prepared 2PC participants, whose staged state a real
+  /// system has force-logged before voting).
+  void crash(const std::unordered_set<TxnId>* survivors = nullptr);
+
+  /// Drop everything -- the total-loss crash model used when a write-ahead
+  /// log is the source of truth (wal/recovery rebuilds the contents).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Cell {
+    Value committed = 0;
+    std::optional<TxnId> dirty_owner;
+    Value dirty = 0;
+  };
+
+  // map_mu_ (shared_mutex) guards map *structure*; per-stripe mutexes guard
+  // cell *contents*.  Lookups take map_mu_ shared + the stripe lock; inserts
+  // take map_mu_ exclusive.
+  static constexpr std::size_t kStripes = 64;
+  [[nodiscard]] std::mutex& stripe_for(Key key) const {
+    return stripes_[key % kStripes];
+  }
+
+  mutable std::shared_mutex map_mu_;
+  mutable std::mutex stripes_[kStripes];
+  std::unordered_map<Key, Cell> cells_;
+};
+
+}  // namespace atp

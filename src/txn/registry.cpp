@@ -1,0 +1,145 @@
+#include "txn/registry.h"
+
+#include <cassert>
+
+namespace atp {
+
+TxnId EtRegistry::begin(TxnKind kind, EpsilonSpec spec, TxnId parent) {
+  const TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  live_.emplace(id, Entry{id, kind, parent, spec, 0, 0});
+  return id;
+}
+
+bool EtRegistry::try_charge_pair(TxnId query_et, TxnId update_et,
+                                 Value amount) {
+  if (amount < 0) return false;
+  std::lock_guard lock(mu_);
+  auto qit = live_.find(query_et);
+  auto uit = live_.find(update_et);
+  if (qit == live_.end() || uit == live_.end()) return false;
+  Entry& q = qit->second;
+  Entry& u = uit->second;
+  if (q.imported + amount > q.spec.import_limit) return false;
+  if (u.exported + amount > u.spec.export_limit) return false;
+  q.imported += amount;
+  u.exported += amount;
+  return true;
+}
+
+bool EtRegistry::try_charge_multi(std::span<const TxnId> queries,
+                                  TxnId update_et, Value amount) {
+  if (amount < 0) return false;
+  if (amount == 0) return true;
+  std::lock_guard lock(mu_);
+  auto uit = live_.find(update_et);
+  if (uit == live_.end()) return false;
+  Entry& u = uit->second;
+
+  std::vector<Entry*> qs;
+  qs.reserve(queries.size());
+  for (TxnId q : queries) {
+    auto qit = live_.find(q);
+    if (qit == live_.end()) continue;  // ended query: lock gone or going
+    qs.push_back(&qit->second);
+  }
+  if (u.exported + amount * double(qs.size()) > u.spec.export_limit)
+    return false;
+  for (Entry* q : qs) {
+    if (q->imported + amount > q->spec.import_limit) return false;
+  }
+  for (Entry* q : qs) q->imported += amount;
+  u.exported += amount * double(qs.size());
+  return true;
+}
+
+bool EtRegistry::can_charge_multi(std::span<const TxnId> queries,
+                                  TxnId update_et, Value amount) const {
+  if (amount < 0) return false;
+  if (amount == 0) return true;
+  std::lock_guard lock(mu_);
+  auto uit = live_.find(update_et);
+  if (uit == live_.end()) return false;
+  const Entry& u = uit->second;
+  std::size_t n = 0;
+  for (TxnId q : queries) {
+    auto qit = live_.find(q);
+    if (qit == live_.end()) continue;
+    if (qit->second.imported + amount > qit->second.spec.import_limit)
+      return false;
+    ++n;
+  }
+  return u.exported + amount * double(n) <= u.spec.export_limit;
+}
+
+bool EtRegistry::try_self_import(TxnId query_et, Value amount) {
+  if (amount < 0) return false;
+  std::lock_guard lock(mu_);
+  auto it = live_.find(query_et);
+  if (it == live_.end()) return false;
+  Entry& q = it->second;
+  if (q.imported + amount > q.spec.import_limit) return false;
+  q.imported += amount;
+  return true;
+}
+
+std::optional<EtRegistry::Entry> EtRegistry::get(TxnId id) const {
+  std::lock_guard lock(mu_);
+  auto it = live_.find(id);
+  if (it == live_.end()) return std::nullopt;
+  return it->second;
+}
+
+TxnKind EtRegistry::kind_of(TxnId id) const {
+  std::lock_guard lock(mu_);
+  auto it = live_.find(id);
+  // Ended/unknown ETs are treated as updates: the conservative choice -- an
+  // unknown partner never justifies a fuzzy grant.
+  return it == live_.end() ? TxnKind::Update : it->second.kind;
+}
+
+Value EtRegistry::fuzziness_of(TxnId id) const {
+  std::lock_guard lock(mu_);
+  auto it = live_.find(id);
+  if (it == live_.end()) return 0;
+  return it->second.imported + it->second.exported;
+}
+
+void EtRegistry::set_spec(TxnId id, EpsilonSpec spec) {
+  std::lock_guard lock(mu_);
+  auto it = live_.find(id);
+  if (it != live_.end()) it->second.spec = spec;
+}
+
+Value EtRegistry::end_commit(TxnId id) {
+  std::lock_guard lock(mu_);
+  auto it = live_.find(id);
+  if (it == live_.end()) return 0;
+  const Value z = it->second.imported + it->second.exported;
+  if (it->second.parent != kInvalidTxn) parent_z_[it->second.parent] += z;
+  live_.erase(it);
+  return z;
+}
+
+void EtRegistry::end_abort(TxnId id) {
+  std::lock_guard lock(mu_);
+  live_.erase(id);
+}
+
+Value EtRegistry::parent_fuzziness(TxnId parent) const {
+  std::lock_guard lock(mu_);
+  auto it = parent_z_.find(parent);
+  return it == parent_z_.end() ? 0 : it->second;
+}
+
+void EtRegistry::forget_parent(TxnId parent) {
+  std::lock_guard lock(mu_);
+  parent_z_.erase(parent);
+}
+
+std::size_t EtRegistry::live_count() const {
+  std::lock_guard lock(mu_);
+  return live_.size();
+}
+
+}  // namespace atp

@@ -1,0 +1,107 @@
+// Registry of live epsilon transactions and their fuzziness accounts.
+//
+// Divergence control needs, at every read-write conflict, an atomic check-
+// and-charge across *two* budgets: the query side's import account and the
+// update side's export account (Section 1.1).  The registry owns both and
+// performs the pair charge under one mutex so budgets can never be
+// overcommitted by racing conflicts.
+//
+// Pieces of a chopped transaction register with a `parent` id; committed
+// fuzziness rolls up into per-parent totals so the engine can verify
+// Lemma 1 (Z_t = sum of Z_p) and Condition 2 at runtime.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/epsilon.h"
+
+namespace atp {
+
+class EtRegistry {
+ public:
+  struct Entry {
+    TxnId id = kInvalidTxn;
+    TxnKind kind = TxnKind::Update;
+    TxnId parent = kInvalidTxn;  ///< original transaction, if a chopped piece
+    EpsilonSpec spec;
+    Value imported = 0;  ///< fuzziness observed so far (query side)
+    Value exported = 0;  ///< fuzziness leaked so far (update side)
+  };
+
+  /// Register a new ET and return its id.  `parent` links a chopped piece to
+  /// its original transaction (kInvalidTxn for unchopped ETs).
+  TxnId begin(TxnKind kind, EpsilonSpec spec, TxnId parent = kInvalidTxn);
+
+  /// Allocate a fresh id without registering an ET -- used as the `parent`
+  /// handle of a chopped original transaction, which never runs itself.
+  TxnId allocate_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Atomically charge `amount` of fuzziness to the query ET's import
+  /// account and the update ET's export account.  Returns false -- with no
+  /// state change -- if either account would exceed its limit.
+  bool try_charge_pair(TxnId query_et, TxnId update_et, Value amount);
+
+  /// Multi-query variant: each query imports `amount`; the update exports
+  /// `amount` once per query (one read-write conflict per pair).  All-or-
+  /// nothing under one mutex.  Queries absent from the registry (already
+  /// ended) are skipped -- their S locks are gone or going.
+  bool try_charge_multi(std::span<const TxnId> queries, TxnId update_et,
+                        Value amount);
+
+  /// Feasibility peek: would try_charge_multi succeed right now?  No state
+  /// change.  Used by the DC resolver to admit an update's X lock whose
+  /// write will be charged (for real) at write time.
+  [[nodiscard]] bool can_charge_multi(std::span<const TxnId> queries,
+                                      TxnId update_et, Value amount) const;
+
+  /// Charge `amount` to the query ET's own import account with no export
+  /// counterpart -- optimistic divergence control validates against
+  /// already-committed updates, whose export accounts are gone.  All-or-
+  /// nothing against the import limit.
+  bool try_self_import(TxnId query_et, Value amount);
+
+  /// Snapshot of an entry (copies; absent if ended).
+  [[nodiscard]] std::optional<Entry> get(TxnId id) const;
+
+  [[nodiscard]] TxnKind kind_of(TxnId id) const;
+
+  /// Total fuzziness of the ET: imported + exported (for a piece, its Z_p).
+  [[nodiscard]] Value fuzziness_of(TxnId id) const;
+
+  /// Replace the ET's epsilon spec (dynamic limit distribution adjusts piece
+  /// budgets between executions).
+  void set_spec(TxnId id, EpsilonSpec spec);
+
+  /// Commit-side roll-up: fold the piece's accumulated fuzziness into its
+  /// parent's running Z_t, then drop the entry.  Returns the piece's Z_p.
+  Value end_commit(TxnId id);
+
+  /// Abort-side teardown: the piece's fuzziness evaporates with it (the
+  /// paper: "the piece rolls back and resets Z to zero, and retries").
+  void end_abort(TxnId id);
+
+  /// Accumulated Z_t of an original transaction (sum over committed pieces).
+  [[nodiscard]] Value parent_fuzziness(TxnId parent) const;
+
+  /// Drop the parent accumulator (after the original txn fully commits).
+  void forget_parent(TxnId parent);
+
+  [[nodiscard]] std::size_t live_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<TxnId, Entry> live_;
+  std::unordered_map<TxnId, Value> parent_z_;  // Z_t accumulators
+  std::atomic<TxnId> next_id_{1};
+};
+
+}  // namespace atp

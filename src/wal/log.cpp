@@ -1,0 +1,45 @@
+#include "wal/log.h"
+
+#include <algorithm>
+
+namespace atp {
+
+std::uint64_t LogDevice::append(LogRecord record) {
+  std::lock_guard lock(mu_);
+  record.lsn = next_lsn_++;
+  records_.push_back(std::move(record));
+  return records_.back().lsn;
+}
+
+void LogDevice::fsync() {
+  std::lock_guard lock(mu_);
+  ++fsyncs_;
+}
+
+std::uint64_t LogDevice::fsync_count() const {
+  std::lock_guard lock(mu_);
+  return fsyncs_;
+}
+
+std::uint64_t LogDevice::next_lsn() const {
+  std::lock_guard lock(mu_);
+  return next_lsn_;
+}
+
+std::vector<LogRecord> LogDevice::records() const {
+  std::lock_guard lock(mu_);
+  return records_;
+}
+
+void LogDevice::truncate_before(std::uint64_t lsn) {
+  std::lock_guard lock(mu_);
+  std::erase_if(records_,
+                [lsn](const LogRecord& r) { return r.lsn < lsn; });
+}
+
+std::size_t LogDevice::size() const {
+  std::lock_guard lock(mu_);
+  return records_.size();
+}
+
+}  // namespace atp

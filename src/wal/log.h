@@ -1,0 +1,91 @@
+// Write-ahead log: the durability substrate under the engine's crash story.
+//
+// The rest of the library models durability abstractly ("committed state
+// survives, dirty state evaporates").  This module makes that concrete with
+// redo-only value logging, the discipline a no-steal buffer pool affords:
+//
+//   * every transactional write appends an after-image BEFORE commit;
+//   * commit appends a commit record and forces the log;
+//   * 2PC participants append a PREPARE record when voting (the force-log
+//     the paper's failure model relies on);
+//   * recovery replays the log from the last checkpoint: writes of
+//     committed transactions redo in LSN order; PREPAREd-but-undecided
+//     transactions are reinstated as in-doubt (staged writes + lock
+//     ownership are the caller's to restore);
+//   * recoverable-queue state (committed enqueues, deliveries, consumes)
+//     rides the same log, which is what makes exactly-once across crashes
+//     more than an assertion.
+//
+// "Disk" is a LogDevice: an append-only record vector that survives
+// Database/Site crashes (it lives outside them), with fsync counting so
+// tests can assert the force-at-commit discipline.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace atp {
+
+enum class LogRecordType : std::uint8_t {
+  kBegin,         // txn started (informational)
+  kWrite,         // after-image: txn staged value for key
+  kCommit,        // txn committed
+  kAbort,         // txn aborted (informational; redo ignores its writes)
+  kPrepare,       // 2PC participant force-logged its vote
+  kCheckpoint,    // full committed snapshot begins at this record
+  kCheckpointKv,  // one (key, value) pair of the running checkpoint
+  kQueueEnqueue,  // durable outbound queue message (sender side)
+  kQueueAck,      // outbound message acknowledged (sender side)
+  kQueueDeliver,  // durable inbound queue message (receiver side)
+  kQueueConsume,  // inbound message consumed by a committed transaction
+};
+
+struct LogRecord {
+  std::uint64_t lsn = 0;
+  LogRecordType type = LogRecordType::kBegin;
+  TxnId txn = kInvalidTxn;
+  Key key = 0;
+  Value value = 0;
+  /// Queue records: message id and queue name.
+  std::uint64_t qmsg_id = 0;
+  std::string queue;
+  SiteId peer = 0;
+  /// Queue message payload (in-process stand-in for serialized bytes).
+  std::any payload;
+};
+
+/// The append-only "disk".  Survives crashes of everything above it.
+class LogDevice {
+ public:
+  /// Append a record; assigns and returns its LSN.
+  std::uint64_t append(LogRecord record);
+
+  /// Force to stable storage.  A no-op for memory, but counted: tests
+  /// assert the write-ahead discipline through this number.
+  void fsync();
+
+  [[nodiscard]] std::uint64_t fsync_count() const;
+  [[nodiscard]] std::uint64_t next_lsn() const;
+
+  /// Stable snapshot of the records (recovery input).
+  [[nodiscard]] std::vector<LogRecord> records() const;
+
+  /// Drop records before `lsn` (checkpoint truncation).
+  void truncate_before(std::uint64_t lsn);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t fsyncs_ = 0;
+};
+
+}  // namespace atp

@@ -1,0 +1,91 @@
+#include "wal/recovery.h"
+
+#include <map>
+
+#include "storage/store.h"
+
+namespace atp {
+
+RecoveryResult recover_from_log(const LogDevice& log, Store& store) {
+  const std::vector<LogRecord> records = log.records();  // LSN order
+  RecoveryResult result;
+  store.clear();
+
+  // --- find the last complete checkpoint ---------------------------------
+  const LogRecord* checkpoint = nullptr;
+  for (const auto& r : records) {
+    if (r.type == LogRecordType::kCheckpoint) checkpoint = &r;
+  }
+  std::uint64_t horizon = 0;
+  if (checkpoint != nullptr) {
+    horizon = checkpoint->lsn;
+    const std::uint64_t first_kv = checkpoint->qmsg_id;  // lsn of first kv
+    for (const auto& r : records) {
+      if (r.type == LogRecordType::kCheckpointKv && r.lsn >= first_kv &&
+          r.lsn < checkpoint->lsn) {
+        store.load(r.key, r.value);
+      }
+    }
+  }
+
+  // --- analysis: winners, losers, in-doubt -------------------------------
+  std::unordered_set<TxnId> winners, losers, prepared;
+  for (const auto& r : records) {
+    switch (r.type) {
+      case LogRecordType::kCommit: winners.insert(r.txn); break;
+      case LogRecordType::kAbort: losers.insert(r.txn); break;
+      case LogRecordType::kPrepare: prepared.insert(r.txn); break;
+      default: break;
+    }
+  }
+  result.committed_txns = winners.size();
+
+  // --- redo winners; collect in-doubt staged images ----------------------
+  std::map<TxnId, InDoubtTxn> in_doubt;
+  for (const auto& r : records) {
+    if (r.type != LogRecordType::kWrite || r.lsn <= horizon) continue;
+    if (winners.count(r.txn)) {
+      store.load(r.key, r.value);  // after-image redo, LSN order
+      ++result.redone_writes;
+    } else if (prepared.count(r.txn) && !losers.count(r.txn)) {
+      auto& idt = in_doubt[r.txn];
+      idt.txn = r.txn;
+      idt.staged.emplace_back(r.key, r.value);
+    }
+  }
+  for (auto& [txn, idt] : in_doubt) result.in_doubt.push_back(std::move(idt));
+
+  // --- recoverable-queue state --------------------------------------------
+  // Enqueue/consume records are written at staging time, tagged with their
+  // transaction: they take effect only if that transaction committed (this
+  // is what makes queue operations atomic with the data writes without a
+  // second log force).  Deliver/ack records are non-transactional.
+  const auto effective = [&](const LogRecord& r) {
+    return r.txn == kInvalidTxn || winners.count(r.txn) > 0;
+  };
+  std::unordered_set<std::uint64_t> acked, consumed;
+  for (const auto& r : records) {
+    if (r.qmsg_id > result.max_qmsg_id) result.max_qmsg_id = r.qmsg_id;
+    if (r.type == LogRecordType::kQueueAck) acked.insert(r.qmsg_id);
+    if (r.type == LogRecordType::kQueueConsume && effective(r)) {
+      consumed.insert(r.qmsg_id);
+    }
+  }
+  for (const auto& r : records) {
+    if (r.type == LogRecordType::kQueueEnqueue && effective(r) &&
+        !acked.count(r.qmsg_id)) {
+      result.outbound.push_back(
+          RecoveredQueueMessage{r.qmsg_id, r.queue, r.peer, r.payload});
+    }
+    if (r.type == LogRecordType::kQueueDeliver) {
+      result.seen_qmsgs.insert(r.qmsg_id);
+      if (!consumed.count(r.qmsg_id)) {
+        result.inbound.push_back(
+            RecoveredQueueMessage{r.qmsg_id, r.queue, r.peer, r.payload});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace atp

@@ -1,0 +1,52 @@
+// Log-driven recovery (redo-only, no-steal discipline).
+//
+// Analysis + redo in one pass over the stable log:
+//   1. find the latest complete checkpoint; seed the rebuilt state from its
+//      kv records;
+//   2. collect the winner set: transactions with a kCommit record;
+//   3. redo winners' kWrite after-images in LSN order;
+//   4. surface PREPAREd-but-undecided transactions (in-doubt) with their
+//      staged after-images so a 2PC participant can reinstate them;
+//   5. rebuild recoverable-queue durable state: outbound = enqueued - acked,
+//      inbound = delivered - consumed (per queue, in delivery order).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "wal/log.h"
+
+namespace atp {
+
+class Store;
+
+struct InDoubtTxn {
+  TxnId txn = kInvalidTxn;
+  std::vector<std::pair<Key, Value>> staged;  // after-images, in LSN order
+};
+
+struct RecoveredQueueMessage {
+  std::uint64_t qmsg_id = 0;
+  std::string queue;
+  SiteId peer = 0;  // destination (outbound) / source (inbound)
+  std::any payload;
+};
+
+struct RecoveryResult {
+  std::size_t committed_txns = 0;
+  std::size_t redone_writes = 0;
+  std::vector<InDoubtTxn> in_doubt;  // prepared, no decision logged
+  std::vector<RecoveredQueueMessage> outbound;  // to retransmit
+  std::vector<RecoveredQueueMessage> inbound;   // still deliverable locally
+  std::unordered_set<std::uint64_t> seen_qmsgs;  // dedupe set to restore
+  /// Highest queue-message id observed anywhere in the log; the endpoint's
+  /// id counter resumes above it so dedupe stays sound across restarts.
+  std::uint64_t max_qmsg_id = 0;
+};
+
+/// Rebuild `store` (cleared first) from the stable log.  Returns what else
+/// the caller must reinstate (in-doubt 2PC state, queue state).
+RecoveryResult recover_from_log(const LogDevice& log, Store& store);
+
+}  // namespace atp

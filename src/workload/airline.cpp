@@ -1,0 +1,87 @@
+#include "workload/airline.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace atp {
+
+Workload make_airline(const AirlineConfig& cfg, std::size_t n_instances,
+                      std::uint64_t seed) {
+  assert(cfg.flights >= 2);
+  Workload w;
+  Rng rng(seed);
+
+  for (std::size_t f = 0; f < cfg.flights; ++f) {
+    w.initial_data.emplace_back(airline_seats_key(f), cfg.seats_per_flight);
+    w.initial_data.emplace_back(airline_revenue_key(f), 0);
+  }
+  w.total_money = 0;  // revenue grows; no invariant ground truth
+
+  // --- types --------------------------------------------------------------
+  enum TypeIx : std::size_t { kReserve = 0, kAvailability = 1, kReport = 2 };
+  {
+    ProgramBuilder pb("reserve", TxnKind::Update);
+    pb.add(airline_seats_class(), -1, 1);
+    if (cfg.rollback_probability > 0) pb.rollback_point();  // sold out
+    pb.add(airline_revenue_class(), +1, cfg.price_cap);
+    pb.epsilon(cfg.update_epsilon);
+    w.types.push_back(pb.build());
+  }
+  {
+    ProgramBuilder pb("availability", TxnKind::Query);
+    for (std::size_t i = 0; i < cfg.availability_scan; ++i) {
+      pb.read(airline_seats_class());
+    }
+    pb.epsilon(cfg.query_epsilon);
+    pb.not_choppable();
+    w.types.push_back(pb.build());
+  }
+  {
+    // Books-balance report: every seat count and every revenue cell.
+    ProgramBuilder pb("report", TxnKind::Query);
+    for (std::size_t f = 0; f < cfg.flights; ++f) {
+      pb.read(airline_seats_class());
+    }
+    for (std::size_t f = 0; f < cfg.flights; ++f) {
+      pb.read(airline_revenue_class());
+    }
+    pb.epsilon(cfg.query_epsilon);
+    pb.not_choppable();
+    w.types.push_back(pb.build());
+  }
+
+  // --- instances ----------------------------------------------------------
+  Zipf flight_dist(cfg.flights, cfg.zipf_theta);
+  w.instances.reserve(n_instances);
+  for (std::size_t i = 0; i < n_instances; ++i) {
+    const double roll = rng.uniform01();
+    TxnInstance inst;
+    if (roll < cfg.report_fraction) {
+      inst.type_index = kReport;
+      for (std::size_t f = 0; f < cfg.flights; ++f) {
+        inst.ops.push_back(Access::read(airline_seats_key(f)));
+      }
+      for (std::size_t f = 0; f < cfg.flights; ++f) {
+        inst.ops.push_back(Access::read(airline_revenue_key(f)));
+      }
+    } else if (roll < cfg.report_fraction + cfg.availability_fraction) {
+      inst.type_index = kAvailability;
+      for (std::size_t k = 0; k < cfg.availability_scan; ++k) {
+        inst.ops.push_back(
+            Access::read(airline_seats_key(flight_dist.sample(rng))));
+      }
+    } else {
+      inst.type_index = kReserve;
+      const std::size_t f = flight_dist.sample(rng);
+      const Value fare = 50 + Value(rng.uniform(std::uint64_t(cfg.price_cap) - 49));
+      inst.ops.push_back(Access::add(airline_seats_key(f), -1, 1));
+      inst.ops.push_back(Access::add(airline_revenue_key(f), fare, cfg.price_cap));
+      inst.take_rollback = rng.chance(cfg.rollback_probability);
+    }
+    w.instances.push_back(std::move(inst));
+  }
+  return w;
+}
+
+}  // namespace atp

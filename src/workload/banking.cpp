@@ -1,0 +1,161 @@
+#include "workload/banking.h"
+
+#include <cassert>
+#include <string>
+
+#include "common/rng.h"
+
+namespace atp {
+namespace {
+
+struct TypeCatalog {
+  // type_index lookup tables
+  std::vector<std::vector<std::size_t>> cross;  // [b1][b2] -> type index
+  std::vector<std::size_t> intra;               // [b] -> type index
+  std::vector<std::size_t> audit;               // [b] -> type index
+  std::size_t global_audit = 0;
+  bool has_intra = false, has_audit = false, has_global = false;
+};
+
+}  // namespace
+
+Workload make_banking(const BankingConfig& cfg, std::size_t n_instances,
+                      std::uint64_t seed) {
+  assert(cfg.branches >= 1 && cfg.accounts_per_branch >= 2);
+  assert((cfg.branches > 1 || cfg.intra_branch_fraction > 0) &&
+         "single-branch config needs intra-branch transfers");
+  Workload w;
+  Rng rng(seed);
+
+  // --- initial data -------------------------------------------------------
+  for (std::size_t b = 0; b < cfg.branches; ++b) {
+    for (std::size_t i = 0; i < cfg.accounts_per_branch; ++i) {
+      w.initial_data.emplace_back(banking_account_key(b, i),
+                                  cfg.initial_balance);
+    }
+  }
+  w.total_money = cfg.initial_balance *
+                  static_cast<Value>(cfg.branches * cfg.accounts_per_branch);
+
+  // --- type stream (what gets chopped off-line) ---------------------------
+  TypeCatalog cat;
+  const bool rollbacks = cfg.rollback_probability > 0;
+
+  const std::size_t hops = std::max<std::size_t>(1, cfg.hops);
+  auto transfer_type = [&](std::size_t b1, std::size_t b2) {
+    ProgramBuilder pb("xfer_" + std::to_string(b1) + "_" + std::to_string(b2),
+                      TxnKind::Update);
+    // Each hop debits b1 and credits b2 (alternating direction for
+    // multi-hop so both classes stay loaded).
+    for (std::size_t h = 0; h < hops; ++h) {
+      const std::size_t from = (h % 2 == 0) ? b1 : b2;
+      const std::size_t to = (h % 2 == 0) ? b2 : b1;
+      pb.add(banking_branch_class(from), -1, cfg.max_transfer);
+      if (h == 0 && rollbacks) pb.rollback_point();  // "insufficient funds"
+      pb.add(banking_branch_class(to), +1, cfg.max_transfer);
+    }
+    pb.epsilon(cfg.update_epsilon);
+    return pb.build();
+  };
+
+  cat.cross.assign(cfg.branches, std::vector<std::size_t>(cfg.branches, 0));
+  for (std::size_t b1 = 0; b1 < cfg.branches; ++b1) {
+    for (std::size_t b2 = 0; b2 < cfg.branches; ++b2) {
+      if (b1 == b2) continue;
+      cat.cross[b1][b2] = w.types.size();
+      w.types.push_back(transfer_type(b1, b2));
+    }
+  }
+  if (cfg.intra_branch_fraction > 0) {
+    cat.has_intra = true;
+    cat.intra.resize(cfg.branches);
+    for (std::size_t b = 0; b < cfg.branches; ++b) {
+      cat.intra[b] = w.types.size();
+      w.types.push_back(transfer_type(b, b));
+    }
+  }
+  if (cfg.branch_audit_fraction > 0) {
+    cat.has_audit = true;
+    cat.audit.resize(cfg.branches);
+    for (std::size_t b = 0; b < cfg.branches; ++b) {
+      cat.audit[b] = w.types.size();
+      ProgramBuilder pb("audit_" + std::to_string(b), TxnKind::Query);
+      for (std::size_t i = 0; i < cfg.audit_scan; ++i) {
+        pb.read(banking_branch_class(b));
+      }
+      pb.epsilon(cfg.query_epsilon);
+      if (!cfg.chop_audits) pb.not_choppable();
+      w.types.push_back(pb.build());
+    }
+  }
+  if (cfg.global_audit_fraction > 0) {
+    cat.has_global = true;
+    cat.global_audit = w.types.size();
+    ProgramBuilder pb("global_audit", TxnKind::Query);
+    for (std::size_t b = 0; b < cfg.branches; ++b) {
+      for (std::size_t i = 0; i < cfg.accounts_per_branch; ++i) {
+        pb.read(banking_branch_class(b));
+      }
+    }
+    pb.epsilon(cfg.query_epsilon);
+    if (!cfg.chop_audits) pb.not_choppable();
+    w.types.push_back(pb.build());
+  }
+
+  // --- instance stream ----------------------------------------------------
+  Zipf account_dist(cfg.accounts_per_branch, cfg.zipf_theta);
+  auto pick_account = [&](std::size_t branch) {
+    return banking_account_key(branch, account_dist.sample(rng));
+  };
+
+  w.instances.reserve(n_instances);
+  for (std::size_t i = 0; i < n_instances; ++i) {
+    const double roll = rng.uniform01();
+    TxnInstance inst;
+
+    if (cat.has_global && roll < cfg.global_audit_fraction) {
+      inst.type_index = cat.global_audit;
+      for (std::size_t b = 0; b < cfg.branches; ++b) {
+        for (std::size_t a = 0; a < cfg.accounts_per_branch; ++a) {
+          inst.ops.push_back(Access::read(banking_account_key(b, a)));
+        }
+      }
+      inst.has_expected_result = true;
+      inst.expected_result = w.total_money;
+    } else if (cat.has_audit &&
+               roll < cfg.global_audit_fraction + cfg.branch_audit_fraction) {
+      const std::size_t b = rng.uniform(cfg.branches);
+      inst.type_index = cat.audit[b];
+      for (std::size_t k = 0; k < cfg.audit_scan; ++k) {
+        inst.ops.push_back(Access::read(pick_account(b)));
+      }
+    } else {
+      // A transfer.  Intra- vs cross-branch per configuration.
+      const bool intra =
+          cat.has_intra && (cfg.branches == 1 ||
+                            rng.uniform01() < cfg.intra_branch_fraction);
+      std::size_t b1 = rng.uniform(cfg.branches);
+      std::size_t b2 = b1;
+      if (!intra) {
+        while (b2 == b1 && cfg.branches > 1) b2 = rng.uniform(cfg.branches);
+      }
+      inst.type_index = intra ? cat.intra[b1] : cat.cross[b1][b2];
+      for (std::size_t h = 0; h < hops; ++h) {
+        const std::size_t from = (h % 2 == 0) ? b1 : b2;
+        const std::size_t to = (h % 2 == 0) ? b2 : b1;
+        const Value amount =
+            1 + Value(rng.uniform(std::uint64_t(cfg.max_transfer)));
+        Key src = pick_account(from);
+        Key dst = pick_account(to);
+        while (dst == src) dst = pick_account(to);
+        inst.ops.push_back(Access::add(src, -amount, cfg.max_transfer));
+        inst.ops.push_back(Access::add(dst, +amount, cfg.max_transfer));
+      }
+      inst.take_rollback = rng.chance(cfg.rollback_probability);
+    }
+    w.instances.push_back(std::move(inst));
+  }
+  return w;
+}
+
+}  // namespace atp

@@ -1,0 +1,112 @@
+#include "workload/orders.h"
+
+#include <cassert>
+#include <string>
+
+#include "common/rng.h"
+
+namespace atp {
+
+Workload make_orders(const OrdersConfig& cfg, std::size_t n_instances,
+                     std::uint64_t seed) {
+  assert(cfg.districts >= 1 && cfg.items_per_district >= cfg.lines_per_order);
+  Workload w;
+  Rng rng(seed);
+
+  for (std::size_t d = 0; d < cfg.districts; ++d) {
+    for (std::size_t i = 0; i < cfg.items_per_district; ++i) {
+      w.initial_data.emplace_back(orders_stock_key(d, i), cfg.initial_stock);
+    }
+    w.initial_data.emplace_back(orders_count_key(d), 0);
+    w.initial_data.emplace_back(orders_ytd_key(d), 0);
+  }
+  w.total_money = 0;  // revenue grows; no invariant oracle in this domain
+
+  // --- types --------------------------------------------------------------
+  const Value ytd_bound = cfg.max_price * Value(cfg.lines_per_order);
+  std::vector<std::size_t> order_type(cfg.districts);
+  std::vector<std::size_t> stockq_type(cfg.districts);
+  for (std::size_t d = 0; d < cfg.districts; ++d) {
+    order_type[d] = w.types.size();
+    ProgramBuilder pb("new_order_" + std::to_string(d), TxnKind::Update);
+    for (std::size_t l = 0; l < cfg.lines_per_order; ++l) {
+      pb.add(orders_stock_class(d), -1, cfg.max_quantity);
+    }
+    pb.add(orders_count_class(d), +1, 1);
+    pb.add(orders_ytd_class(d), +1, ytd_bound);
+    pb.epsilon(cfg.update_epsilon);
+    w.types.push_back(pb.build());
+  }
+  if (cfg.stock_query_fraction > 0) {
+    for (std::size_t d = 0; d < cfg.districts; ++d) {
+      stockq_type[d] = w.types.size();
+      ProgramBuilder pb("stock_level_" + std::to_string(d), TxnKind::Query);
+      for (std::size_t k = 0; k < cfg.stock_scan; ++k) {
+        pb.read(orders_stock_class(d));
+      }
+      pb.epsilon(cfg.query_epsilon);
+      pb.not_choppable();
+      w.types.push_back(pb.build());
+    }
+  }
+  std::size_t report_type = 0;
+  if (cfg.report_fraction > 0) {
+    report_type = w.types.size();
+    ProgramBuilder pb("revenue_report", TxnKind::Query);
+    for (std::size_t d = 0; d < cfg.districts; ++d) {
+      pb.read(orders_ytd_class(d));
+      pb.read(orders_count_class(d));
+    }
+    pb.epsilon(cfg.query_epsilon);
+    pb.not_choppable();
+    w.types.push_back(pb.build());
+  }
+
+  // --- instances ----------------------------------------------------------
+  Zipf item_dist(cfg.items_per_district, cfg.zipf_theta);
+  w.instances.reserve(n_instances);
+  for (std::size_t i = 0; i < n_instances; ++i) {
+    const double roll = rng.uniform01();
+    TxnInstance inst;
+    if (cfg.report_fraction > 0 && roll < cfg.report_fraction) {
+      inst.type_index = report_type;
+      for (std::size_t d = 0; d < cfg.districts; ++d) {
+        inst.ops.push_back(Access::read(orders_ytd_key(d)));
+        inst.ops.push_back(Access::read(orders_count_key(d)));
+      }
+    } else if (cfg.stock_query_fraction > 0 &&
+               roll < cfg.report_fraction + cfg.stock_query_fraction) {
+      const std::size_t d = rng.uniform(cfg.districts);
+      inst.type_index = stockq_type[d];
+      for (std::size_t k = 0; k < cfg.stock_scan; ++k) {
+        inst.ops.push_back(
+            Access::read(orders_stock_key(d, item_dist.sample(rng))));
+      }
+    } else {
+      const std::size_t d = rng.uniform(cfg.districts);
+      inst.type_index = order_type[d];
+      Value order_value = 0;
+      // Distinct item lines (re-sample on collision; line count is small).
+      std::vector<std::size_t> picked;
+      while (picked.size() < cfg.lines_per_order) {
+        const std::size_t item = item_dist.sample(rng);
+        bool dup = false;
+        for (std::size_t p : picked) dup |= (p == item);
+        if (dup) continue;
+        picked.push_back(item);
+        const Value qty = 1 + Value(rng.uniform(std::uint64_t(cfg.max_quantity)));
+        const Value price = 1 + Value(rng.uniform(std::uint64_t(cfg.max_price)));
+        inst.ops.push_back(
+            Access::add(orders_stock_key(d, item), -qty, cfg.max_quantity));
+        order_value += qty > 0 ? price : 0;
+      }
+      inst.ops.push_back(Access::add(orders_count_key(d), +1, 1));
+      inst.ops.push_back(Access::add(orders_ytd_key(d), order_value, ytd_bound));
+      assert(inst.ops.size() == w.types[inst.type_index].ops.size());
+    }
+    w.instances.push_back(std::move(inst));
+  }
+  return w;
+}
+
+}  // namespace atp

@@ -1,0 +1,62 @@
+// Order-processing workload (TPC-C flavoured): the multi-piece update shape
+// that motivates chopping in the OLTP literature Shasha's technique targets.
+//
+//   * new-order ETs touch several tables in sequence: decrement stock for a
+//     few items, increase the district's order count, add the order value to
+//     the district's year-to-date revenue.  Every mutation is a bounded Add,
+//     so orders commute with each other and chop finely.
+//   * stock-level queries scan the stock of one district's popular items.
+//   * the revenue report reads every district's YTD cell plus order counts
+//     -- the cross-cutting query that puts chopped orders on SC-cycles.
+//
+// There is no conservation invariant (orders create revenue), so this domain
+// exercises the fuzziness accounting rather than the exact-error oracle --
+// complementary to banking/payroll.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace atp {
+
+struct OrdersConfig {
+  std::size_t districts = 4;
+  std::size_t items_per_district = 32;
+  Value initial_stock = 10000;
+  std::size_t lines_per_order = 3;   ///< stock items touched per order
+  Value max_quantity = 10;           ///< per line (C-edge weight)
+  Value max_price = 100;             ///< per line, feeds the YTD bound
+  double stock_query_fraction = 0.2;
+  double report_fraction = 0.05;
+  std::size_t stock_scan = 8;
+  double zipf_theta = 0.8;           ///< popular items
+  Value update_epsilon = 5000;
+  Value query_epsilon = 10000;
+};
+
+[[nodiscard]] constexpr Key orders_stock_key(std::size_t district,
+                                             std::size_t item) noexcept {
+  return 6'000'000 + static_cast<Key>(district) * 10'000 + item;
+}
+[[nodiscard]] constexpr Key orders_count_key(std::size_t district) noexcept {
+  return 7'000'000 + static_cast<Key>(district);
+}
+[[nodiscard]] constexpr Key orders_ytd_key(std::size_t district) noexcept {
+  return 7'100'000 + static_cast<Key>(district);
+}
+[[nodiscard]] constexpr Key orders_stock_class(std::size_t district) noexcept {
+  return 900'400'000 + static_cast<Key>(district);
+}
+[[nodiscard]] constexpr Key orders_count_class(std::size_t district) noexcept {
+  return 900'500'000 + static_cast<Key>(district);
+}
+[[nodiscard]] constexpr Key orders_ytd_class(std::size_t district) noexcept {
+  return 900'600'000 + static_cast<Key>(district);
+}
+
+[[nodiscard]] Workload make_orders(const OrdersConfig& config,
+                                   std::size_t n_instances,
+                                   std::uint64_t seed);
+
+}  // namespace atp

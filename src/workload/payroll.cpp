@@ -1,0 +1,103 @@
+#include "workload/payroll.h"
+
+#include <cassert>
+#include <string>
+
+#include "common/rng.h"
+
+namespace atp {
+
+Workload make_payroll(const PayrollConfig& cfg, std::size_t n_instances,
+                      std::uint64_t seed) {
+  assert(cfg.departments >= 1 && cfg.employees_per_dept >= 1);
+  Workload w;
+  Rng rng(seed);
+
+  for (std::size_t d = 0; d < cfg.departments; ++d) {
+    w.initial_data.emplace_back(payroll_budget_key(d), cfg.dept_budget);
+    for (std::size_t e = 0; e < cfg.employees_per_dept; ++e) {
+      w.initial_data.emplace_back(payroll_salary_key(d, e),
+                                  cfg.initial_salary);
+    }
+  }
+  w.total_money = static_cast<Value>(cfg.departments) * cfg.dept_budget +
+                  static_cast<Value>(cfg.departments) *
+                      static_cast<Value>(cfg.employees_per_dept) *
+                      cfg.initial_salary;
+
+  // --- types --------------------------------------------------------------
+  std::vector<std::size_t> raise_type(cfg.departments);
+  std::vector<std::size_t> report_type(cfg.departments);
+  for (std::size_t d = 0; d < cfg.departments; ++d) {
+    raise_type[d] = w.types.size();
+    ProgramBuilder pb("raise_" + std::to_string(d), TxnKind::Update);
+    pb.add(payroll_budget_class(d), -1, cfg.raise_cap);
+    pb.add(payroll_salary_class(d), +1, cfg.raise_cap);
+    pb.epsilon(cfg.update_epsilon);
+    w.types.push_back(pb.build());
+  }
+  if (cfg.dept_report_fraction > 0) {
+    for (std::size_t d = 0; d < cfg.departments; ++d) {
+      report_type[d] = w.types.size();
+      ProgramBuilder pb("report_" + std::to_string(d), TxnKind::Query);
+      for (std::size_t e = 0; e < cfg.employees_per_dept; ++e) {
+        pb.read(payroll_salary_class(d));
+      }
+      pb.epsilon(cfg.query_epsilon);
+      pb.not_choppable();
+      w.types.push_back(pb.build());
+    }
+  }
+  std::size_t global_type = 0;
+  if (cfg.global_report_fraction > 0) {
+    global_type = w.types.size();
+    ProgramBuilder pb("global_report", TxnKind::Query);
+    for (std::size_t d = 0; d < cfg.departments; ++d) {
+      pb.read(payroll_budget_class(d));
+      for (std::size_t e = 0; e < cfg.employees_per_dept; ++e) {
+        pb.read(payroll_salary_class(d));
+      }
+    }
+    pb.epsilon(cfg.query_epsilon);
+    pb.not_choppable();
+    w.types.push_back(pb.build());
+  }
+
+  // --- instances ----------------------------------------------------------
+  Zipf emp_dist(cfg.employees_per_dept, cfg.zipf_theta);
+  w.instances.reserve(n_instances);
+  for (std::size_t i = 0; i < n_instances; ++i) {
+    const double roll = rng.uniform01();
+    TxnInstance inst;
+    if (cfg.global_report_fraction > 0 && roll < cfg.global_report_fraction) {
+      inst.type_index = global_type;
+      for (std::size_t d = 0; d < cfg.departments; ++d) {
+        inst.ops.push_back(Access::read(payroll_budget_key(d)));
+        for (std::size_t e = 0; e < cfg.employees_per_dept; ++e) {
+          inst.ops.push_back(Access::read(payroll_salary_key(d, e)));
+        }
+      }
+      inst.has_expected_result = true;
+      inst.expected_result = w.total_money;
+    } else if (cfg.dept_report_fraction > 0 &&
+               roll < cfg.global_report_fraction + cfg.dept_report_fraction) {
+      const std::size_t d = rng.uniform(cfg.departments);
+      inst.type_index = report_type[d];
+      for (std::size_t e = 0; e < cfg.employees_per_dept; ++e) {
+        inst.ops.push_back(Access::read(payroll_salary_key(d, e)));
+      }
+    } else {
+      const std::size_t d = rng.uniform(cfg.departments);
+      const std::size_t e = emp_dist.sample(rng);
+      inst.type_index = raise_type[d];
+      const Value amount = 1 + Value(rng.uniform(std::uint64_t(cfg.raise_cap)));
+      inst.ops.push_back(Access::add(payroll_budget_key(d), -amount, cfg.raise_cap));
+      inst.ops.push_back(
+          Access::add(payroll_salary_key(d, e), +amount, cfg.raise_cap));
+    }
+    w.instances.push_back(std::move(inst));
+  }
+  return w;
+}
+
+}  // namespace atp

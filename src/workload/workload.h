@@ -1,0 +1,26 @@
+// Workload container shared by the generators: a type stream (what the
+// administrator chops off-line), an instance stream (what runs), and the
+// initial database contents.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "chop/program.h"
+#include "common/types.h"
+#include "sched/database.h"
+
+namespace atp {
+
+struct Workload {
+  std::vector<TxnProgram> types;
+  std::vector<TxnInstance> instances;
+  std::vector<std::pair<Key, Value>> initial_data;
+  Value total_money = 0;  ///< invariant sum (ground truth for global audits)
+
+  void load_into(Database& db) const {
+    for (const auto& [k, v] : initial_data) db.load(k, v);
+  }
+};
+
+}  // namespace atp

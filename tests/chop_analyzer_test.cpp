@@ -1,0 +1,317 @@
+// Program IR, chopping construction, Theorem 1 / Definition 1 validators,
+// and the finest-chopping searches.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "chop/analyzer.h"
+#include "chop/chopping.h"
+#include "chop/program.h"
+
+namespace atp {
+namespace {
+
+// Items.
+constexpr Key X = 1, Y = 2, Z = 3;
+
+TxnProgram transfer(Value bound = 100, Value eps = 100) {
+  return ProgramBuilder("transfer", TxnKind::Update)
+      .add(X, -10, bound)
+      .add(Y, +10, bound)
+      .epsilon(eps)
+      .build();
+}
+
+TxnProgram audit_xy(Value eps = 100) {
+  return ProgramBuilder("audit", TxnKind::Query)
+      .read(X)
+      .read(Y)
+      .epsilon(eps)
+      .build();
+}
+
+TEST(AccessConflicts, CommutativityMatrix) {
+  const Access r = Access::read(X);
+  const Access a = Access::add(X, 1, 1);
+  const Access w = Access::write(X, 5, 5);
+  EXPECT_FALSE(conflicts(r, Access::read(X)));  // read-read
+  EXPECT_FALSE(conflicts(a, Access::add(X, 2, 2)));  // adds commute
+  EXPECT_TRUE(conflicts(r, a));
+  EXPECT_TRUE(conflicts(a, r));
+  EXPECT_TRUE(conflicts(w, w));
+  EXPECT_TRUE(conflicts(w, r));
+  EXPECT_TRUE(conflicts(w, a));
+  EXPECT_FALSE(conflicts(r, Access::read(Y)));  // different items
+  EXPECT_FALSE(conflicts(w, Access::write(Y, 1, 1)));
+}
+
+TEST(Chopping, UnchoppedHasOnePiecePerTxn) {
+  const std::vector<TxnProgram> programs{transfer(), audit_xy()};
+  const Chopping c = Chopping::unchopped(programs);
+  EXPECT_EQ(c.txn_count(), 2u);
+  EXPECT_EQ(c.piece_count(0), 1u);
+  EXPECT_EQ(c.piece_count(1), 1u);
+  EXPECT_EQ(c.piece_range(0, 0, 2), (std::pair<std::size_t, std::size_t>{0, 2}));
+}
+
+TEST(Chopping, FinestCandidateSingletonPieces) {
+  const std::vector<TxnProgram> programs{transfer(), audit_xy()};
+  const Chopping c = Chopping::finest_candidate(programs);
+  EXPECT_EQ(c.piece_count(0), 2u);
+  EXPECT_EQ(c.piece_count(1), 2u);
+  EXPECT_EQ(c.total_pieces(), 4u);
+}
+
+TEST(Chopping, FinestCandidateRespectsRollbackSafety) {
+  // Rollback after op 1 of a 3-op program: ops 0-1 pinned in piece 1.
+  TxnProgram p = ProgramBuilder("t", TxnKind::Update)
+                     .add(X, 1, 1)
+                     .add(Y, 1, 1)
+                     .rollback_point()
+                     .add(Z, 1, 1)
+                     .build();
+  const std::vector<TxnProgram> programs{p};
+  const Chopping c = Chopping::finest_candidate(programs);
+  EXPECT_EQ(c.piece_count(0), 2u);  // {ops 0,1}, {op 2}
+  EXPECT_TRUE(c.rollback_safe(programs));
+}
+
+TEST(Chopping, RollbackSafetyViolationDetected) {
+  TxnProgram p = ProgramBuilder("t", TxnKind::Update)
+                     .add(X, 1, 1)
+                     .add(Y, 1, 1)
+                     .rollback_point()
+                     .build();
+  const std::vector<TxnProgram> programs{p};
+  // Manually split at op 1: the rollback point lands in piece 2.
+  const Chopping bad({{0, 1}});
+  EXPECT_FALSE(bad.rollback_safe(programs));
+  EXPECT_EQ(validate_sr_chopping(programs, bad).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Chopping, MergeCollapsesRange) {
+  Chopping c({{0, 1, 2, 3}});
+  c.merge(0, 1, 2);
+  EXPECT_EQ(c.starts()[0], (std::vector<std::size_t>{0, 1, 3}));
+  c.merge(0, 0, 2);
+  EXPECT_EQ(c.starts()[0], (std::vector<std::size_t>{0}));
+}
+
+TEST(ValidateSr, TransferAloneChopsFine) {
+  // A lone transfer against nothing: chopping into two pieces is SR-correct.
+  const std::vector<TxnProgram> programs{transfer()};
+  const Chopping c = Chopping::finest_candidate(programs);
+  EXPECT_TRUE(validate_sr_chopping(programs, c).ok());
+}
+
+TEST(ValidateSr, TransferPlusAuditCannotChop) {
+  // The paper's own example: chop the transfer while an audit reads both
+  // accounts -> SC-cycle -> not an SR-chopping.
+  const std::vector<TxnProgram> programs{transfer(), audit_xy()};
+  Chopping c = Chopping::unchopped(programs);
+  c = Chopping({{0, 1}, {0}});  // chop only the transfer
+  EXPECT_FALSE(validate_sr_chopping(programs, c).ok());
+}
+
+TEST(ValidateSr, DisjointAuditsAllowChopping) {
+  // Audits covering only one account each leave the transfer choppable.
+  const TxnProgram audit_x =
+      ProgramBuilder("ax", TxnKind::Query).read(X).epsilon(10).build();
+  const TxnProgram audit_y =
+      ProgramBuilder("ay", TxnKind::Query).read(Y).epsilon(10).build();
+  const std::vector<TxnProgram> programs{transfer(), audit_x, audit_y};
+  const Chopping c({{0, 1}, {0}, {0}});
+  EXPECT_TRUE(validate_sr_chopping(programs, c).ok());
+}
+
+TEST(ValidateEsr, TransferPlusAuditIsEsrChoppableWithinBudget) {
+  // Limit_t(transfer) = 100 >= Z^is; Definition 1 satisfied.
+  const std::vector<TxnProgram> programs{transfer(/*bound=*/40, /*eps=*/100),
+                                         audit_xy(/*eps=*/100)};
+  const Chopping c({{0, 1}, {0}});
+  EXPECT_TRUE(validate_esr_chopping(programs, c).ok());
+  const auto zis = inter_sibling_fuzziness(programs, c);
+  // CE(s): both C edges (p1-audit on X, p2-audit on Y), weight 40 each.
+  EXPECT_EQ(zis[0], 80);
+  EXPECT_EQ(zis[1], 0);
+}
+
+TEST(ValidateEsr, BudgetTooSmallRejected) {
+  const std::vector<TxnProgram> programs{transfer(/*bound=*/80, /*eps=*/100),
+                                         audit_xy(/*eps=*/100)};
+  const Chopping c({{0, 1}, {0}});
+  // Z^is = 160 > 100.
+  EXPECT_FALSE(validate_esr_chopping(programs, c).ok());
+}
+
+TEST(ValidateEsr, UnknownBoundsDegradeToSr) {
+  // kUnknownBound weights make Z^is infinite: the ESR validator rejects any
+  // chopping an SR validator would reject (upward compatibility).
+  const std::vector<TxnProgram> programs{
+      ProgramBuilder("t", TxnKind::Update)
+          .add(X, -10)  // unknown bound
+          .add(Y, +10)
+          .epsilon(1e18)
+          .build(),
+      audit_xy()};
+  const Chopping c({{0, 1}, {0}});
+  EXPECT_FALSE(validate_esr_chopping(programs, c).ok());
+}
+
+TEST(ValidateEsr, UpdateUpdateScCycleRejectedRegardlessOfBudget) {
+  // Two chopped transfers whose pieces conflict via absolute writes: the
+  // SC-cycle joins update pieces -> rejected even with huge budgets (the
+  // paper's permanent-inconsistency example).
+  const TxnProgram t1 = ProgramBuilder("t1", TxnKind::Update)
+                            .write(X, 1, 1)
+                            .write(Y, 1, 1)
+                            .epsilon(1e18)
+                            .build();
+  const TxnProgram t2 = ProgramBuilder("t2", TxnKind::Update)
+                            .write(X, 2, 2)
+                            .write(Y, 2, 2)
+                            .epsilon(1e18)
+                            .build();
+  const std::vector<TxnProgram> programs{t1, t2};
+  const Chopping c({{0, 1}, {0, 1}});
+  const Status s = validate_esr_chopping(programs, c);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("update"), std::string::npos);
+}
+
+TEST(FinestSr, LoneTransferFullyChopped) {
+  const std::vector<TxnProgram> programs{transfer()};
+  const Chopping c = finest_sr_chopping(programs);
+  EXPECT_EQ(c.piece_count(0), 2u);
+  EXPECT_TRUE(validate_sr_chopping(programs, c).ok());
+}
+
+TEST(FinestSr, AuditForcesTransferMerge) {
+  const std::vector<TxnProgram> programs{transfer(), audit_xy()};
+  const Chopping c = finest_sr_chopping(programs);
+  EXPECT_TRUE(validate_sr_chopping(programs, c).ok());
+  // The SC-cycle must have been merged away; with an audit covering both
+  // accounts nothing can stay chopped.
+  EXPECT_EQ(c.total_pieces(), 2u);
+}
+
+TEST(FinestSr, DisjointWorkloadStaysFine) {
+  const TxnProgram audit_x =
+      ProgramBuilder("ax", TxnKind::Query).read(X).epsilon(10).build();
+  const std::vector<TxnProgram> programs{transfer(), audit_x};
+  const Chopping c = finest_sr_chopping(programs);
+  EXPECT_TRUE(validate_sr_chopping(programs, c).ok());
+  EXPECT_EQ(c.piece_count(0), 2u);  // transfer stays chopped
+}
+
+TEST(FinestEsr, KeepsChoppingWhereSrMustMerge) {
+  // With bounded transfers and adequate budgets, the ESR search preserves
+  // the two-piece transfer that the SR search had to merge.
+  const std::vector<TxnProgram> programs{transfer(/*bound=*/40, /*eps=*/100),
+                                         audit_xy(/*eps=*/100)};
+  const Chopping sr = finest_sr_chopping(programs);
+  const Chopping esr = finest_esr_chopping(programs);
+  EXPECT_LT(sr.total_pieces(), esr.total_pieces());
+  EXPECT_TRUE(validate_esr_chopping(programs, esr).ok());
+  EXPECT_EQ(esr.piece_count(0), 2u);
+}
+
+TEST(FinestEsr, TightBudgetDegradesToSr) {
+  const std::vector<TxnProgram> programs{transfer(/*bound=*/80, /*eps=*/10),
+                                         audit_xy(/*eps=*/10)};
+  const Chopping esr = finest_esr_chopping(programs);
+  EXPECT_TRUE(validate_esr_chopping(programs, esr).ok());
+  // Z^is would be 160 > 10: the S edge must be merged away.
+  EXPECT_EQ(esr.piece_count(0), 1u);
+}
+
+TEST(FinestEsr, UnknownWeightsReduceToSrChopping) {
+  // The paper's upward-compatibility claim, verified structurally: with all
+  // C-edge weights unknown, finest ESR == finest SR.
+  const std::vector<TxnProgram> programs{
+      ProgramBuilder("t", TxnKind::Update)
+          .add(X, -10)
+          .add(Y, +10)
+          .epsilon(1e18)
+          .build(),
+      audit_xy()};
+  const Chopping sr = finest_sr_chopping(programs);
+  const Chopping esr = finest_esr_chopping(programs);
+  EXPECT_EQ(sr.starts(), esr.starts());
+}
+
+TEST(FinestEsr, ResultAlwaysValidates) {
+  // A messier stream: three transfers over three items + two audits.
+  const TxnProgram t1 = ProgramBuilder("t1", TxnKind::Update)
+                            .add(X, -5, 50)
+                            .add(Y, 5, 50)
+                            .epsilon(200)
+                            .build();
+  const TxnProgram t2 = ProgramBuilder("t2", TxnKind::Update)
+                            .add(Y, -5, 50)
+                            .add(Z, 5, 50)
+                            .epsilon(200)
+                            .build();
+  const TxnProgram a1 =
+      ProgramBuilder("a1", TxnKind::Query).read(X).read(Y).epsilon(200).build();
+  const TxnProgram a2 =
+      ProgramBuilder("a2", TxnKind::Query).read(Y).read(Z).epsilon(200).build();
+  const std::vector<TxnProgram> programs{t1, t2, a1, a2};
+  const Chopping esr = finest_esr_chopping(programs);
+  EXPECT_TRUE(validate_esr_chopping(programs, esr).ok());
+  const Chopping sr = finest_sr_chopping(programs);
+  EXPECT_TRUE(validate_sr_chopping(programs, sr).ok());
+  EXPECT_GE(esr.total_pieces(), sr.total_pieces());
+}
+
+TEST(BuildGraph, WeightsAccumulatePerPiecePair) {
+  // One piece with two adds on X conflicts with a reader of X twice:
+  // the C-edge weight is the sum of the write bounds (7 + 9).
+  const TxnProgram t = ProgramBuilder("t", TxnKind::Update)
+                           .add(X, 1, 7)
+                           .add(X, 1, 9)
+                           .epsilon(100)
+                           .build();
+  const TxnProgram q =
+      ProgramBuilder("q", TxnKind::Query).read(X).epsilon(100).build();
+  const std::vector<TxnProgram> programs{t, q};
+  const Chopping c = Chopping::unchopped(programs);
+  const PieceGraph g = build_chopping_graph(programs, c);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].kind, EdgeKind::C);
+  EXPECT_EQ(g.edges()[0].weight, 16);
+}
+
+TEST(BuildGraph, CommutingAddsProduceNoCEdge) {
+  const TxnProgram t1 = ProgramBuilder("t1", TxnKind::Update)
+                            .add(X, 1, 1)
+                            .epsilon(1)
+                            .build();
+  const TxnProgram t2 = ProgramBuilder("t2", TxnKind::Update)
+                            .add(X, 2, 2)
+                            .epsilon(1)
+                            .build();
+  const std::vector<TxnProgram> programs{t1, t2};
+  const PieceGraph g =
+      build_chopping_graph(programs, Chopping::unchopped(programs));
+  EXPECT_TRUE(g.edges().empty());
+}
+
+TEST(BuildGraph, SEdgeCliqueWithinTransaction) {
+  const TxnProgram t = ProgramBuilder("t", TxnKind::Update)
+                           .add(X, 1, 1)
+                           .add(Y, 1, 1)
+                           .add(Z, 1, 1)
+                           .epsilon(1)
+                           .build();
+  const std::vector<TxnProgram> programs{t};
+  const PieceGraph g =
+      build_chopping_graph(programs, Chopping::finest_candidate(programs));
+  std::size_t s_edges = 0;
+  for (const auto& e : g.edges()) s_edges += (e.kind == EdgeKind::S);
+  EXPECT_EQ(s_edges, 3u);  // 3 pieces -> C(3,2) sibling pairs
+}
+
+}  // namespace
+}  // namespace atp

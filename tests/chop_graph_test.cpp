@@ -1,0 +1,311 @@
+// Chopping-graph machinery: biconnected components, SC-cycle and C-cycle
+// detection, Eq. 4 weights -- including exact replications of the paper's
+// Figure 1 and Figure 3 examples.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "chop/graph.h"
+
+namespace atp {
+namespace {
+
+using EdgeList = std::vector<std::pair<std::size_t, std::size_t>>;
+
+TEST(Biconnected, SingleEdgeIsABridge) {
+  std::vector<std::size_t> sizes;
+  const auto comp = biconnected_components(2, {{0, 1}}, sizes);
+  ASSERT_EQ(comp.size(), 1u);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[comp[0]], 1u);
+}
+
+TEST(Biconnected, TriangleIsOneBlock) {
+  std::vector<std::size_t> sizes;
+  const auto comp = biconnected_components(3, {{0, 1}, {1, 2}, {2, 0}}, sizes);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(sizes[comp[0]], 3u);
+}
+
+TEST(Biconnected, PathIsAllBridges) {
+  std::vector<std::size_t> sizes;
+  const auto comp =
+      biconnected_components(4, {{0, 1}, {1, 2}, {2, 3}}, sizes);
+  // Three distinct single-edge blocks.
+  EXPECT_NE(comp[0], comp[1]);
+  EXPECT_NE(comp[1], comp[2]);
+  for (auto s : sizes) EXPECT_EQ(s, 1u);
+}
+
+TEST(Biconnected, TwoTrianglesSharingACutVertex) {
+  //   0-1-2-0   and   2-3-4-2 ; vertex 2 is the articulation point.
+  const EdgeList edges{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}};
+  std::vector<std::size_t> sizes;
+  const auto comp = biconnected_components(5, edges, sizes);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_EQ(comp[4], comp[5]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_EQ(sizes.size(), 2u);
+}
+
+TEST(Biconnected, BridgeBetweenCycles) {
+  // triangle 0-1-2, bridge 2-3, triangle 3-4-5.
+  const EdgeList edges{{0, 1}, {1, 2}, {2, 0}, {2, 3},
+                       {3, 4}, {4, 5}, {5, 3}};
+  std::vector<std::size_t> sizes;
+  const auto comp = biconnected_components(6, edges, sizes);
+  EXPECT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[comp[3]], 1u);  // the bridge
+  EXPECT_EQ(sizes[comp[0]], 3u);
+  EXPECT_EQ(sizes[comp[4]], 3u);
+}
+
+TEST(Biconnected, DisconnectedGraphHandled) {
+  const EdgeList edges{{0, 1}, {2, 3}, {3, 4}, {4, 2}};
+  std::vector<std::size_t> sizes;
+  const auto comp = biconnected_components(6, edges, sizes);  // vertex 5 isolated
+  EXPECT_EQ(sizes[comp[0]], 1u);
+  EXPECT_EQ(sizes[comp[1]], 3u);
+}
+
+TEST(Biconnected, EmptyGraph) {
+  std::vector<std::size_t> sizes;
+  const auto comp = biconnected_components(3, {}, sizes);
+  EXPECT_TRUE(comp.empty());
+  EXPECT_TRUE(sizes.empty());
+}
+
+// --- PieceGraph: SC-cycles ---------------------------------------------
+
+TEST(PieceGraph, NoEdgesNoCycles) {
+  PieceGraph g;
+  g.add_piece(0, true);
+  g.add_piece(1, false);
+  g.finalize();
+  EXPECT_FALSE(g.has_sc_cycle());
+  EXPECT_FALSE(g.restricted(0));
+}
+
+TEST(PieceGraph, ClassicScCycle) {
+  // t0 = {p0, p1} (update, chopped); t1 = single query q conflicting with
+  // both pieces.  Cycle p0 - q - p1 - (S) - p0.
+  PieceGraph g;
+  const auto p0 = g.add_piece(0, true);
+  const auto p1 = g.add_piece(0, true);
+  const auto q = g.add_piece(1, false);
+  g.add_s_edge(p0, p1);
+  g.add_c_edge(p0, q, 10);
+  g.add_c_edge(p1, q, 10);
+  g.finalize();
+  EXPECT_TRUE(g.has_sc_cycle());
+  EXPECT_TRUE(g.c_edge_on_sc_cycle(1));
+  EXPECT_TRUE(g.c_edge_on_sc_cycle(2));
+  // Not an update-update violation: q is a query.
+  EXPECT_FALSE(g.has_update_update_sc_cycle());
+}
+
+TEST(PieceGraph, ConflictWithOnePieceOnlyIsNoCycle) {
+  PieceGraph g;
+  const auto p0 = g.add_piece(0, true);
+  const auto p1 = g.add_piece(0, true);
+  const auto q = g.add_piece(1, false);
+  g.add_s_edge(p0, p1);
+  g.add_c_edge(p0, q, 10);  // only one C edge: no cycle possible
+  g.finalize();
+  EXPECT_FALSE(g.has_sc_cycle());
+}
+
+TEST(PieceGraph, MixedCycleThroughTwoChoppedTransactions) {
+  // The case the naive C-component shortcut misses:
+  // p0 -C- q0, q0 -S- q1, q1 -C- p1, p1 -S- p0.
+  PieceGraph g;
+  const auto p0 = g.add_piece(0, true);
+  const auto p1 = g.add_piece(0, true);
+  const auto q0 = g.add_piece(1, true);
+  const auto q1 = g.add_piece(1, true);
+  g.add_s_edge(p0, p1);
+  g.add_s_edge(q0, q1);
+  g.add_c_edge(p0, q0, 1);
+  g.add_c_edge(p1, q1, 1);
+  g.finalize();
+  EXPECT_TRUE(g.has_sc_cycle());
+  // All four pieces are updates and C edges join update pieces on the cycle.
+  EXPECT_TRUE(g.has_update_update_sc_cycle());
+}
+
+TEST(PieceGraph, UpdateUpdateScCycleDetected) {
+  // Paper Section 3's forbidden shape: an SC-cycle whose C edge joins two
+  // update pieces (permanent inconsistency risk).
+  PieceGraph g;
+  const auto p0 = g.add_piece(0, true);
+  const auto p1 = g.add_piece(0, true);
+  const auto u = g.add_piece(1, true);  // unchopped update txn
+  g.add_s_edge(p0, p1);
+  g.add_c_edge(p0, u, 5);
+  g.add_c_edge(p1, u, 5);
+  g.finalize();
+  EXPECT_TRUE(g.has_sc_cycle());
+  EXPECT_TRUE(g.has_update_update_sc_cycle());
+}
+
+// --- Figure 1: restricted vs unrestricted pieces -------------------------
+
+// Transaction t chopped into five pieces p1..p5.  Three C-cycles touch p1,
+// p3 and p5; p2 and p4 have C edges that close no cycle.
+class Figure1 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // t = txn 0 with pieces p1..p5 (indices 0..4), all update pieces.
+    for (int i = 0; i < 5; ++i) p_[i] = g_.add_piece(0, true);
+    for (int i = 0; i < 5; ++i) {
+      for (int j = i + 1; j < 5; ++j) g_.add_s_edge(p_[i], p_[j]);
+    }
+    // C-cycle 1: p1 - t1 - t2 - p1.
+    const auto t1 = g_.add_piece(1, true);
+    const auto t2 = g_.add_piece(2, true);
+    g_.add_c_edge(p_[0], t1, 1);
+    g_.add_c_edge(t1, t2, 1);
+    g_.add_c_edge(t2, p_[0], 1);
+    // C-cycle 2: p3 - t3 - t4 - t5 - p3.
+    const auto t3 = g_.add_piece(3, true);
+    const auto t4 = g_.add_piece(4, true);
+    const auto t5 = g_.add_piece(5, true);
+    g_.add_c_edge(p_[2], t3, 1);
+    g_.add_c_edge(t3, t4, 1);
+    g_.add_c_edge(t4, t5, 1);
+    g_.add_c_edge(t5, p_[2], 1);
+    // C-cycle 3: p5 - t6 - t7 - p5.
+    const auto t6 = g_.add_piece(6, true);
+    const auto t7 = g_.add_piece(7, true);
+    g_.add_c_edge(p_[4], t6, 1);
+    g_.add_c_edge(t6, t7, 1);
+    g_.add_c_edge(t7, p_[4], 1);
+    // Dangling C edges from p2 and p4 (no cycle).
+    const auto t8 = g_.add_piece(8, true);
+    const auto t9 = g_.add_piece(9, true);
+    g_.add_c_edge(p_[1], t8, 1);
+    g_.add_c_edge(p_[3], t9, 1);
+    g_.finalize();
+  }
+
+  PieceGraph g_;
+  std::size_t p_[5];
+};
+
+TEST_F(Figure1, RestrictedMarksMatchThePaper) {
+  EXPECT_TRUE(g_.restricted(p_[0]));   // p1
+  EXPECT_FALSE(g_.restricted(p_[1]));  // p2
+  EXPECT_TRUE(g_.restricted(p_[2]));   // p3
+  EXPECT_FALSE(g_.restricted(p_[3]));  // p4
+  EXPECT_TRUE(g_.restricted(p_[4]));   // p5
+}
+
+TEST_F(Figure1, DanglingCEdgesCreateNoScCycle) {
+  // The paper: these C edges "form neither SC-cycles nor C-cycles" --
+  // because each C-cycle touches exactly one piece of t, no SC-cycle exists.
+  EXPECT_FALSE(g_.has_sc_cycle());
+}
+
+TEST_F(Figure1, DotExportMentionsEveryPiece) {
+  const std::string dot = g_.to_dot();
+  EXPECT_NE(dot.find("t0.p0"), std::string::npos);
+  EXPECT_NE(dot.find("t0.p4"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // S edges
+}
+
+// --- Figure 3: Eq. 4 weights ---------------------------------------------
+
+class Figure3 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    p1_ = g_.add_piece(0, true);   // t1 chopped: p1
+    p2_ = g_.add_piece(0, true);   // t1 chopped: p2
+    t2_ = g_.add_piece(1, false);  // query
+    t3_ = g_.add_piece(2, true);   // update
+    t4_ = g_.add_piece(3, false);  // query
+    s_index_ = g_.edges().size();
+    g_.add_s_edge(p1_, p2_);
+    c1_ = g_.edges().size();
+    g_.add_c_edge(p1_, t2_, 2);  // W_c1 = 2
+    c2_ = g_.edges().size();
+    g_.add_c_edge(t2_, t3_, 1);  // W_c2 = 1
+    c3_ = g_.edges().size();
+    g_.add_c_edge(t3_, t4_, 4);  // W_c3 = 4
+    c4_ = g_.edges().size();
+    g_.add_c_edge(t4_, p2_, 8);  // W_c4 = 8
+    g_.finalize();
+  }
+
+  PieceGraph g_;
+  std::size_t p1_{}, p2_{}, t2_{}, t3_{}, t4_{};
+  std::size_t s_index_{}, c1_{}, c2_{}, c3_{}, c4_{};
+};
+
+TEST_F(Figure3, TheScCycleExists) {
+  EXPECT_TRUE(g_.has_sc_cycle());
+  EXPECT_TRUE(g_.c_edge_on_sc_cycle(c1_));
+  EXPECT_TRUE(g_.c_edge_on_sc_cycle(c2_));
+  EXPECT_TRUE(g_.c_edge_on_sc_cycle(c3_));
+  EXPECT_TRUE(g_.c_edge_on_sc_cycle(c4_));
+}
+
+TEST_F(Figure3, SEdgeWeightIsTwoPlusEight) {
+  // CE(s) = C edges incident to p1 or p2 that lie on an SC-cycle: c1 and c4.
+  // W_S(s) = 2 + 8 = 10, exactly the paper's number.
+  EXPECT_EQ(g_.s_edge_weight(s_index_), 10);
+}
+
+TEST_F(Figure3, InterSiblingFuzzinessSumsSEdges) {
+  EXPECT_EQ(g_.inter_sibling_fuzziness(0), 10);  // t1: its single S edge
+  EXPECT_EQ(g_.inter_sibling_fuzziness(1), 0);   // unchopped txns have none
+}
+
+TEST_F(Figure3, NoUpdateUpdateViolation) {
+  // C edges alternate update/query pieces around the cycle.
+  EXPECT_FALSE(g_.has_update_update_sc_cycle());
+}
+
+TEST(PieceGraphWeights, InfiniteCEdgeWeightPropagatesToSEdge) {
+  PieceGraph g;
+  const auto p0 = g.add_piece(0, true);
+  const auto p1 = g.add_piece(0, true);
+  const auto q = g.add_piece(1, false);
+  g.add_s_edge(p0, p1);
+  g.add_c_edge(p0, q, kInfiniteLimit);
+  g.add_c_edge(p1, q, 3);
+  g.finalize();
+  EXPECT_EQ(g.s_edge_weight(0), kInfiniteLimit);
+  EXPECT_EQ(g.inter_sibling_fuzziness(0), kInfiniteLimit);
+}
+
+TEST(PieceGraphWeights, CEdgesOffTheCycleDoNotCount) {
+  PieceGraph g;
+  const auto p0 = g.add_piece(0, true);
+  const auto p1 = g.add_piece(0, true);
+  const auto q = g.add_piece(1, false);
+  const auto r = g.add_piece(2, false);
+  g.add_s_edge(p0, p1);
+  g.add_c_edge(p0, q, 2);
+  g.add_c_edge(p1, q, 8);
+  g.add_c_edge(p0, r, 100);  // dangling: on no cycle
+  g.finalize();
+  EXPECT_EQ(g.s_edge_weight(0), 10);  // the 100 is excluded
+}
+
+TEST(PieceGraph, VertexLookupByTxnAndPiece) {
+  PieceGraph g;
+  const auto a = g.add_piece(3, true);
+  const auto b = g.add_piece(3, true);
+  const auto c = g.add_piece(7, false);
+  EXPECT_EQ(g.vertex_of(3, 0), a);
+  EXPECT_EQ(g.vertex_of(3, 1), b);
+  EXPECT_EQ(g.vertex_of(7, 0), c);
+  EXPECT_EQ(g.vertex_of(9, 0), PieceGraph::npos);
+}
+
+}  // namespace
+}  // namespace atp

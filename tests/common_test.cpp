@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace atp {
+namespace {
+
+TEST(Types, DistanceIsSymmetricAndNonNegative) {
+  EXPECT_EQ(distance(3.0, 7.0), 4.0);
+  EXPECT_EQ(distance(7.0, 3.0), 4.0);
+  EXPECT_EQ(distance(-2.0, 2.0), 4.0);
+  EXPECT_EQ(distance(5.0, 5.0), 0.0);
+}
+
+TEST(Types, InfiniteLimitDominatesEverything) {
+  EXPECT_TRUE(kInfiniteLimit > 1e308);
+  EXPECT_TRUE(1e18 + kInfiniteLimit == kInfiniteLimit);
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_FALSE(s.is_abort());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+}
+
+TEST(Status, AbortClassification) {
+  EXPECT_TRUE(Status::Aborted().is_abort());
+  EXPECT_TRUE(Status::Deadlock().is_abort());
+  EXPECT_TRUE(Status::EpsilonExceeded().is_abort());
+  EXPECT_TRUE(Status::Timeout().is_abort());
+  EXPECT_FALSE(Status::NotFound().is_abort());
+  EXPECT_FALSE(Status::InvalidArgument().is_abort());
+  EXPECT_FALSE(Status::Unavailable().is_abort());
+}
+
+TEST(Status, MessageRoundTrip) {
+  Status s = Status::Deadlock("cycle through txn 7");
+  EXPECT_EQ(s.code(), ErrorCode::kDeadlock);
+  EXPECT_NE(s.to_string().find("cycle through txn 7"), std::string::npos);
+  EXPECT_NE(s.to_string().find("deadlock"), std::string::npos);
+}
+
+TEST(Result, ValueAndStatusPaths) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(good.value_or(-1), 42);
+
+  Result<int> bad(Status::NotFound("missing"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.uniform01();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformZeroIsZero) {
+  Rng rng(9);
+  EXPECT_EQ(rng.uniform(0), 0u);
+  EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(42);
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.uniform(10)];
+  for (int b : buckets) {
+    EXPECT_NEAR(double(b), n / 10.0, n / 10.0 * 0.1);
+  }
+}
+
+TEST(Rng, ChanceProbabilityIsCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(5);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.next() == child.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Rng rng(1);
+  Zipf z(100, 0.0);
+  std::vector<int> counts(100, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(double(c), n / 100.0, n / 100.0 * 0.25);
+}
+
+TEST(Zipf, HighThetaSkewsToHead) {
+  Rng rng(2);
+  Zipf z(1000, 0.99);
+  int head = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) head += (z.sample(rng) < 10);
+  // With theta=0.99 the top-10 of 1000 items draw a large share.
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  Rng rng(4);
+  Zipf z(7, 0.8);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 7u);
+}
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.get(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.get(), 42u);
+  c.reset();
+  EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(Histogram, SummaryStatistics) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(double(i));
+  const StatSummary s = h.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_NEAR(s.p50, 50.0, 1.0);
+  EXPECT_NEAR(s.p95, 95.0, 1.0);
+  EXPECT_NEAR(s.p99, 99.0, 1.0);
+}
+
+TEST(Histogram, EmptySummaryIsZeroes) {
+  Histogram h;
+  const StatSummary s = h.summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.summarize().count, 0u);
+}
+
+}  // namespace
+}  // namespace atp

@@ -1,0 +1,128 @@
+// Direct unit tests for the 2PL divergence-control resolver (the component
+// the sched_dc integration tests exercise through the full stack).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/dc_resolver.h"
+
+namespace atp {
+namespace {
+
+class DcResolverTest : public ::testing::Test {
+ protected:
+  EtRegistry reg_;
+  Store store_;
+  DcResolver resolver_{reg_, store_};
+
+  TxnId query(Value import_limit) {
+    return reg_.begin(TxnKind::Query, EpsilonSpec::importing(import_limit));
+  }
+  TxnId update(Value export_limit) {
+    return reg_.begin(TxnKind::Update, EpsilonSpec::exporting(export_limit));
+  }
+};
+
+TEST_F(DcResolverTest, QueryOverDirtyUpdateChargesPendingDelta) {
+  store_.load(1, 100);
+  const TxnId u = update(100);
+  const TxnId q = query(100);
+  ASSERT_TRUE(store_.write(u, 1, 140).ok());  // pending delta 40
+
+  const std::vector<LockHolder> holders{{u, LockMode::Exclusive, false}};
+  EXPECT_TRUE(resolver_.try_fuzzy_grant(q, LockMode::Shared, 1, holders));
+  EXPECT_EQ(reg_.fuzziness_of(q), 40);
+  EXPECT_EQ(reg_.fuzziness_of(u), 40);
+}
+
+TEST_F(DcResolverTest, QueryRefusedWhenBudgetTooSmall) {
+  store_.load(1, 100);
+  const TxnId u = update(1000);
+  const TxnId q = query(10);
+  ASSERT_TRUE(store_.write(u, 1, 140).ok());
+  const std::vector<LockHolder> holders{{u, LockMode::Exclusive, false}};
+  EXPECT_FALSE(resolver_.try_fuzzy_grant(q, LockMode::Shared, 1, holders));
+  EXPECT_EQ(reg_.fuzziness_of(q), 0);  // nothing charged
+}
+
+TEST_F(DcResolverTest, QueryRefusedOverCleanExclusiveLock) {
+  // X held but nothing staged: no inconsistency exists yet; block like 2PL
+  // (granting would invert the wait once the write cannot charge).
+  store_.load(1, 100);
+  const TxnId u = update(1000);
+  const TxnId q = query(1000);
+  const std::vector<LockHolder> holders{{u, LockMode::Exclusive, false}};
+  EXPECT_FALSE(resolver_.try_fuzzy_grant(q, LockMode::Shared, 1, holders));
+}
+
+TEST_F(DcResolverTest, QueryRefusedOverUpdateUpdateConflict) {
+  store_.load(1, 100);
+  const TxnId u1 = update(1000);
+  const TxnId u2 = update(1000);
+  ASSERT_TRUE(store_.write(u1, 1, 150).ok());
+  const std::vector<LockHolder> holders{{u1, LockMode::Exclusive, false}};
+  // An update requesting S?  Updates read via X in this engine, but the
+  // resolver must still refuse the (update, update) pairing.
+  EXPECT_FALSE(resolver_.try_fuzzy_grant(u2, LockMode::Shared, 1, holders));
+}
+
+TEST_F(DcResolverTest, UpdatePeeksAnnouncedDeltaOverQueries) {
+  store_.load(1, 100);
+  const TxnId q1 = query(50);
+  const TxnId q2 = query(50);
+  const TxnId u = update(100);
+  const std::vector<LockHolder> holders{{q1, LockMode::Shared, false},
+                                        {q2, LockMode::Shared, false}};
+  resolver_.announce_write_delta(u, 30);
+  // Feasible: each query can import 30; export needs 2 x 30 = 60 <= 100.
+  EXPECT_TRUE(resolver_.try_fuzzy_grant(u, LockMode::Exclusive, 1, holders));
+  // Peek only -- no charge yet (the write charges).
+  EXPECT_EQ(reg_.fuzziness_of(q1), 0);
+  EXPECT_EQ(reg_.fuzziness_of(u), 0);
+}
+
+TEST_F(DcResolverTest, UpdateRefusedWhenAnnouncedDeltaTooLarge) {
+  store_.load(1, 100);
+  const TxnId q = query(10);
+  const TxnId u = update(1000);
+  const std::vector<LockHolder> holders{{q, LockMode::Shared, false}};
+  resolver_.announce_write_delta(u, 30);
+  EXPECT_FALSE(resolver_.try_fuzzy_grant(u, LockMode::Exclusive, 1, holders));
+  resolver_.clear_write_delta(u);
+  // Without an announcement the delta defaults to 0: grant for free (the
+  // write itself will block/charge).
+  EXPECT_TRUE(resolver_.try_fuzzy_grant(u, LockMode::Exclusive, 1, holders));
+}
+
+TEST_F(DcResolverTest, UpdateRefusedOverNonQueryHolder) {
+  store_.load(1, 100);
+  const TxnId other = update(1000);
+  const TxnId u = update(1000);
+  const std::vector<LockHolder> holders{{other, LockMode::Shared, false}};
+  resolver_.announce_write_delta(u, 1);
+  EXPECT_FALSE(resolver_.try_fuzzy_grant(u, LockMode::Exclusive, 1, holders));
+}
+
+TEST_F(DcResolverTest, NoFairnessBypass) {
+  const TxnId q = query(1000);
+  const TxnId u = update(1000);
+  EXPECT_FALSE(
+      resolver_.eligible_pair(q, LockMode::Shared, u, LockMode::Exclusive));
+  EXPECT_FALSE(
+      resolver_.eligible_pair(u, LockMode::Exclusive, q, LockMode::Shared));
+}
+
+TEST_F(DcResolverTest, AnnouncementsAreperTransaction) {
+  store_.load(1, 100);
+  const TxnId q = query(5);
+  const TxnId u1 = update(1000);
+  const TxnId u2 = update(1000);
+  resolver_.announce_write_delta(u1, 500);
+  // u2 announced nothing: its grant over q is free.
+  const std::vector<LockHolder> holders{{q, LockMode::Shared, false}};
+  EXPECT_TRUE(resolver_.try_fuzzy_grant(u2, LockMode::Exclusive, 1, holders));
+  EXPECT_FALSE(resolver_.try_fuzzy_grant(u1, LockMode::Exclusive, 1, holders));
+}
+
+}  // namespace
+}  // namespace atp

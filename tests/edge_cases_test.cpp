@@ -1,0 +1,154 @@
+// Cross-cutting edge cases that the per-module suites do not pin down:
+// report formatting, graph corner shapes, empty/degenerate inputs, and the
+// smaller workload generators' structural guarantees.
+#include <gtest/gtest.h>
+
+#include "chop/analyzer.h"
+#include "engine/executor.h"
+#include "workload/airline.h"
+#include "workload/orders.h"
+#include "workload/payroll.h"
+
+namespace atp {
+namespace {
+
+TEST(Report, HeaderAndRowAlign) {
+  ExecutorReport r;
+  r.method_name = "none+CC";
+  r.committed = 42;
+  const std::string header = ExecutorReport::header();
+  const std::string row = r.row();
+  EXPECT_FALSE(header.empty());
+  EXPECT_NE(row.find("none+CC"), std::string::npos);
+  EXPECT_NE(row.find("42"), std::string::npos);
+}
+
+TEST(Graph, SelfContainedTransactionHasNoEdges) {
+  // One transaction, unchopped: no S edges (single piece), no C edges.
+  const TxnProgram t = ProgramBuilder("t", TxnKind::Update)
+                           .add(1, 1, 1)
+                           .add(2, 1, 1)
+                           .epsilon(10)
+                           .build();
+  const std::vector<TxnProgram> programs{t};
+  const PieceGraph g =
+      build_chopping_graph(programs, Chopping::unchopped(programs));
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_FALSE(g.has_sc_cycle());
+  EXPECT_FALSE(g.restricted(0));
+}
+
+TEST(Graph, TwoBlocksShareAVertexWithoutScCycle) {
+  // Piece p sits on a C-cycle (restricted) while its sibling q dangles:
+  // restriction is per piece, not per transaction.
+  PieceGraph g;
+  const auto p = g.add_piece(0, true);
+  const auto q = g.add_piece(0, true);
+  const auto a = g.add_piece(1, true);
+  const auto b = g.add_piece(2, true);
+  g.add_s_edge(p, q);
+  g.add_c_edge(p, a, 1);
+  g.add_c_edge(a, b, 1);
+  g.add_c_edge(b, p, 1);  // C-cycle through p only
+  g.finalize();
+  EXPECT_TRUE(g.restricted(p));
+  EXPECT_FALSE(g.restricted(q));
+  EXPECT_FALSE(g.has_sc_cycle());  // q never reaches the cycle
+}
+
+TEST(Graph, QueryOnlyStreamHasNoCEdges) {
+  const TxnProgram q1 =
+      ProgramBuilder("q1", TxnKind::Query).read(1).read(2).epsilon(1).build();
+  const TxnProgram q2 =
+      ProgramBuilder("q2", TxnKind::Query).read(1).read(2).epsilon(1).build();
+  const std::vector<TxnProgram> programs{q1, q2};
+  const PieceGraph g =
+      build_chopping_graph(programs, Chopping::finest_candidate(programs));
+  for (const auto& e : g.edges()) EXPECT_EQ(e.kind, EdgeKind::S);
+  EXPECT_FALSE(g.has_sc_cycle());
+}
+
+TEST(Chopping, SingleOpProgramTriviallySafeToChop) {
+  const TxnProgram t =
+      ProgramBuilder("t", TxnKind::Update).add(1, 1, 1).epsilon(1).build();
+  const std::vector<TxnProgram> programs{t};
+  const Chopping c = finest_sr_chopping(programs);
+  EXPECT_EQ(c.piece_count(0), 1u);
+  EXPECT_TRUE(validate_sr_chopping(programs, c).ok());
+}
+
+TEST(Chopping, NotChoppableSurvivesBothSearches) {
+  const TxnProgram t = ProgramBuilder("t", TxnKind::Update)
+                           .add(1, 1, 1)
+                           .add(2, 1, 1)
+                           .epsilon(1000)
+                           .not_choppable()
+                           .build();
+  const std::vector<TxnProgram> programs{t};
+  EXPECT_EQ(finest_sr_chopping(programs).piece_count(0), 1u);
+  EXPECT_EQ(finest_esr_chopping(programs).piece_count(0), 1u);
+}
+
+TEST(WorkloadShapes, AirlineInstancesMatchTypeArity) {
+  AirlineConfig cfg;
+  const Workload w = make_airline(cfg, 100, 9);
+  for (const auto& inst : w.instances) {
+    EXPECT_EQ(inst.ops.size(), w.types[inst.type_index].ops.size());
+  }
+}
+
+TEST(WorkloadShapes, PayrollInstancesMatchTypeArity) {
+  PayrollConfig cfg;
+  const Workload w = make_payroll(cfg, 100, 9);
+  for (const auto& inst : w.instances) {
+    EXPECT_EQ(inst.ops.size(), w.types[inst.type_index].ops.size());
+  }
+}
+
+TEST(WorkloadShapes, OrdersInstancesMatchTypeArity) {
+  OrdersConfig cfg;
+  const Workload w = make_orders(cfg, 100, 9);
+  for (const auto& inst : w.instances) {
+    EXPECT_EQ(inst.ops.size(), w.types[inst.type_index].ops.size());
+  }
+}
+
+TEST(WorkloadShapes, OrderLinesAreDistinctItems) {
+  OrdersConfig cfg;
+  cfg.lines_per_order = 3;
+  const Workload w = make_orders(cfg, 200, 17);
+  for (const auto& inst : w.instances) {
+    if (w.types[inst.type_index].kind != TxnKind::Update) continue;
+    for (std::size_t i = 0; i < cfg.lines_per_order; ++i) {
+      for (std::size_t j = i + 1; j < cfg.lines_per_order; ++j) {
+        EXPECT_NE(inst.ops[i].item, inst.ops[j].item);
+      }
+    }
+  }
+}
+
+TEST(PlanEdge, EmptyTypeStreamBuilds) {
+  auto plan = ExecutionPlan::build({}, MethodConfig::method3());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().types.empty());
+  EXPECT_EQ(plan.value().total_pieces(), 0u);
+}
+
+TEST(PlanEdge, ZeroEpsilonEsrChopDegeneratesGracefully) {
+  // Limit_t = 0 leaves no inter-sibling allowance: the ESR search must fall
+  // back to the SR chopping and still validate.
+  const TxnProgram t = ProgramBuilder("t", TxnKind::Update)
+                           .add(1, -5, 5)
+                           .add(2, +5, 5)
+                           .epsilon(0)
+                           .build();
+  const TxnProgram q =
+      ProgramBuilder("q", TxnKind::Query).read(1).read(2).epsilon(0).build();
+  auto plan = ExecutionPlan::build({t, q}, MethodConfig::method3());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().types[0].piece_ranges.size(), 1u);
+  EXPECT_EQ(plan.value().types[0].z_is, 0);
+}
+
+}  // namespace
+}  // namespace atp

@@ -1,0 +1,149 @@
+// Eps-spec distribution over pieces: static even split and Figure 2's
+// dynamic leftover propagation, including the paper's Limit_t = 51
+// walk-through from Section 2.2.
+#include <gtest/gtest.h>
+
+#include "limits/distribution.h"
+
+namespace atp {
+namespace {
+
+TEST(ChopPlanInfo, ChainBuildsLinearDependencies) {
+  const auto info =
+      ChopPlanInfo::chain({true, false, true}, TxnKind::Update, 30);
+  EXPECT_EQ(info.piece_count, 3u);
+  EXPECT_EQ(info.restricted_count(), 2u);
+  ASSERT_EQ(info.children.size(), 3u);
+  EXPECT_EQ(info.children[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(info.children[1], (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(info.children[2].empty());
+}
+
+TEST(StaticDistribution, EvenSplitOverRestrictedPieces) {
+  // Figure 1's walk-through: Limit_t = 51, three restricted pieces (p1, p3,
+  // p5) get 17 each; unrestricted p2, p4 get infinity.
+  const auto info = ChopPlanInfo::chain({true, false, true, false, true},
+                                        TxnKind::Update, 51);
+  StaticDistribution dist(info);
+  EXPECT_EQ(dist.limit_for(0), 17);
+  EXPECT_EQ(dist.limit_for(1), kInfiniteLimit);
+  EXPECT_EQ(dist.limit_for(2), 17);
+  EXPECT_EQ(dist.limit_for(3), kInfiniteLimit);
+  EXPECT_EQ(dist.limit_for(4), 17);
+}
+
+TEST(StaticDistribution, AllRestrictedSplitsEverything) {
+  const auto info =
+      ChopPlanInfo::chain({true, true, true, true}, TxnKind::Update, 100);
+  StaticDistribution dist(info);
+  for (std::size_t p = 0; p < 4; ++p) EXPECT_EQ(dist.limit_for(p), 25);
+}
+
+TEST(StaticDistribution, NoRestrictedPiecesMeansAllInfinite) {
+  const auto info =
+      ChopPlanInfo::chain({false, false}, TxnKind::Update, 100);
+  StaticDistribution dist(info);
+  EXPECT_EQ(dist.limit_for(0), kInfiniteLimit);
+  EXPECT_EQ(dist.limit_for(1), kInfiniteLimit);
+}
+
+TEST(StaticDistribution, ReportIsANoOp) {
+  const auto info = ChopPlanInfo::chain({true, true}, TxnKind::Update, 10);
+  StaticDistribution dist(info);
+  dist.report_committed(0, 5);
+  EXPECT_EQ(dist.limit_for(1), 5);  // unchanged half of 10
+}
+
+TEST(DynamicDistribution, FirstPieceGetsWholeLimit) {
+  const auto info =
+      ChopPlanInfo::chain({true, true, true}, TxnKind::Update, 60);
+  DynamicDistribution dist(info);
+  EXPECT_EQ(dist.limit_for(0), 60);
+}
+
+TEST(DynamicDistribution, LeftoverFlowsDownTheChain) {
+  const auto info =
+      ChopPlanInfo::chain({true, true, true}, TxnKind::Update, 60);
+  DynamicDistribution dist(info);
+  EXPECT_EQ(dist.limit_for(0), 60);
+  dist.report_committed(0, 10);  // LO = 50
+  EXPECT_EQ(dist.limit_for(1), 50);
+  dist.report_committed(1, 50);  // consumed everything: LO = 0
+  EXPECT_EQ(dist.limit_for(2), 0);
+}
+
+TEST(DynamicDistribution, UnrestrictedPieceForwardsFullQuota) {
+  // Figure 2: an unrestricted piece runs with infinity and passes its
+  // *assigned* limit (not infinity) to its dependents.
+  const auto info =
+      ChopPlanInfo::chain({true, false, true}, TxnKind::Update, 40);
+  DynamicDistribution dist(info);
+  dist.report_committed(0, 15);  // LO = 25 flows to piece 1
+  EXPECT_EQ(dist.limit_for(1), kInfiniteLimit);  // unrestricted: bypasses DC
+  dist.report_committed(1, 999);  // its measured Z is over-estimation noise
+  EXPECT_EQ(dist.limit_for(2), 25);  // full 25 forwarded, nothing consumed
+}
+
+TEST(DynamicDistribution, TreeFanOutSplitsEvenly) {
+  // Piece 0 feeds pieces 1 and 2 in parallel (Figure 2's Schedule(S, L/|S|)).
+  ChopPlanInfo info;
+  info.piece_count = 3;
+  info.restricted = {true, true, true};
+  info.children = {{1, 2}, {}, {}};
+  info.kind = TxnKind::Update;
+  info.limit_total = 90;
+  DynamicDistribution dist(info);
+  EXPECT_EQ(dist.limit_for(0), 90);
+  dist.report_committed(0, 30);  // LO = 60, split two ways
+  EXPECT_EQ(dist.limit_for(1), 30);
+  EXPECT_EQ(dist.limit_for(2), 30);
+}
+
+TEST(DynamicDistribution, NegativeLeftoverClampsToZero) {
+  const auto info = ChopPlanInfo::chain({true, true}, TxnKind::Update, 10);
+  DynamicDistribution dist(info);
+  dist.report_committed(0, 15);  // overshoot (defensive path)
+  EXPECT_EQ(dist.limit_for(1), 0);
+}
+
+TEST(DynamicDistribution, PaperScenarioAvoidsStaticRollback) {
+  // Section 2.2.2: with Limit_t = 51 and static thirds (17 each), a piece
+  // accumulating Z = 20 must roll back even though the transaction-wide
+  // total (10 + 20) is well under 51.  Dynamic distribution hands piece 3
+  // the leftover 41 and the rollback disappears.
+  const auto info = ChopPlanInfo::chain({true, false, true, false, true},
+                                        TxnKind::Update, 51);
+  StaticDistribution st(info);
+  EXPECT_LT(st.limit_for(2), 20);  // 17 < 20: static forces a rollback
+
+  DynamicDistribution dy(info);
+  EXPECT_EQ(dy.limit_for(0), 51);
+  dy.report_committed(0, 10);                      // p1: Z=10, LO=41
+  EXPECT_EQ(dy.limit_for(1), kInfiniteLimit);      // p2 unrestricted
+  dy.report_committed(1, 5);                       // forwards 41
+  EXPECT_EQ(dy.limit_for(2), 41);                  // p3 can absorb Z=20
+  EXPECT_GT(dy.limit_for(2), 20);
+  dy.report_committed(2, 20);                      // LO = 21
+  dy.report_committed(3, 0);                       // p4 unrestricted, forwards
+  EXPECT_EQ(dy.limit_for(4), 21);
+}
+
+TEST(DynamicDistribution, SumOfConsumedNeverExceedsTotal) {
+  // Along a chain, whatever each restricted piece consumes is subtracted
+  // from what flows on: sum(Z_p) <= Limit_t by construction.
+  const auto info = ChopPlanInfo::chain({true, true, true, true},
+                                        TxnKind::Update, 100);
+  DynamicDistribution dist(info);
+  Value consumed = 0;
+  Value z[] = {40, 30, 20, 10};
+  for (std::size_t p = 0; p < 4; ++p) {
+    const Value limit = dist.limit_for(p);
+    const Value use = std::min(z[p], limit);
+    consumed += use;
+    dist.report_committed(p, use);
+  }
+  EXPECT_LE(consumed, 100);
+}
+
+}  // namespace
+}  // namespace atp

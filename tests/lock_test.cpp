@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "lock/lock_manager.h"
+
+namespace atp {
+namespace {
+
+using namespace std::chrono_literals;
+
+class LockTest : public ::testing::Test {
+ protected:
+  LockManager locks_{std::chrono::milliseconds(500)};
+  NeverFuzzyResolver cc_;
+};
+
+TEST_F(LockTest, SharedLocksCoexist) {
+  EXPECT_TRUE(locks_.acquire(1, 10, LockMode::Shared, cc_).ok());
+  EXPECT_TRUE(locks_.acquire(2, 10, LockMode::Shared, cc_).ok());
+  EXPECT_TRUE(locks_.holds(1, 10, LockMode::Shared));
+  EXPECT_TRUE(locks_.holds(2, 10, LockMode::Shared));
+}
+
+TEST_F(LockTest, ExclusiveExcludesShared) {
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Exclusive, cc_).ok());
+  std::atomic<bool> granted{false};
+  std::thread t([&] {
+    const Status s = locks_.acquire(2, 10, LockMode::Shared, cc_);
+    granted = s.ok();
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(granted.load());  // still blocked
+  locks_.release_all(1);
+  t.join();
+  EXPECT_TRUE(granted.load());  // granted after release
+}
+
+TEST_F(LockTest, ReentrantSharedAndExclusive) {
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Shared, cc_).ok());
+  EXPECT_TRUE(locks_.acquire(1, 10, LockMode::Shared, cc_).ok());
+  ASSERT_TRUE(locks_.acquire(1, 11, LockMode::Exclusive, cc_).ok());
+  EXPECT_TRUE(locks_.acquire(1, 11, LockMode::Exclusive, cc_).ok());
+  // X covers S.
+  EXPECT_TRUE(locks_.acquire(1, 11, LockMode::Shared, cc_).ok());
+  EXPECT_TRUE(locks_.holds(1, 11, LockMode::Shared));
+}
+
+TEST_F(LockTest, UpgradeSharedToExclusive) {
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Shared, cc_).ok());
+  EXPECT_TRUE(locks_.acquire(1, 10, LockMode::Exclusive, cc_).ok());
+  EXPECT_TRUE(locks_.holds(1, 10, LockMode::Exclusive));
+  // Only one holder entry remains.
+  EXPECT_EQ(locks_.holders_of(10).size(), 1u);
+}
+
+TEST_F(LockTest, UpgradeWaitsForOtherReaders) {
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Shared, cc_).ok());
+  ASSERT_TRUE(locks_.acquire(2, 10, LockMode::Shared, cc_).ok());
+  std::atomic<bool> upgraded{false};
+  std::thread t([&] {
+    upgraded = locks_.acquire(1, 10, LockMode::Exclusive, cc_).ok();
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(upgraded.load());
+  locks_.release_all(2);
+  t.join();
+  EXPECT_TRUE(upgraded.load());
+}
+
+TEST_F(LockTest, DeadlockDetectedAndRequesterAborted) {
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Exclusive, cc_).ok());
+  ASSERT_TRUE(locks_.acquire(2, 11, LockMode::Exclusive, cc_).ok());
+  std::thread t([&] {
+    // txn 1 waits for key 11 (held by 2)...
+    const Status s = locks_.acquire(1, 11, LockMode::Exclusive, cc_);
+    if (s.ok()) locks_.release_all(1);
+  });
+  std::this_thread::sleep_for(50ms);
+  // ...and txn 2 closing the cycle must be refused as the deadlock victim.
+  const Status s = locks_.acquire(2, 10, LockMode::Exclusive, cc_);
+  EXPECT_EQ(s.code(), ErrorCode::kDeadlock);
+  locks_.release_all(2);
+  t.join();
+  locks_.release_all(1);
+  EXPECT_GE(locks_.stats().deadlocks, 1u);
+}
+
+TEST_F(LockTest, UpgradeDeadlockBetweenTwoUpgraders) {
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Shared, cc_).ok());
+  ASSERT_TRUE(locks_.acquire(2, 10, LockMode::Shared, cc_).ok());
+  std::thread t([&] {
+    const Status s = locks_.acquire(1, 10, LockMode::Exclusive, cc_);
+    if (s.ok()) locks_.release_all(1);
+  });
+  std::this_thread::sleep_for(50ms);
+  const Status s = locks_.acquire(2, 10, LockMode::Exclusive, cc_);
+  EXPECT_EQ(s.code(), ErrorCode::kDeadlock);
+  locks_.release_all(2);
+  t.join();
+  locks_.release_all(1);
+}
+
+TEST_F(LockTest, TimeoutWhenHolderNeverReleases) {
+  locks_.set_timeout(100ms);
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Exclusive, cc_).ok());
+  const Status s = locks_.acquire(2, 10, LockMode::Exclusive, cc_);
+  EXPECT_EQ(s.code(), ErrorCode::kTimeout);
+  EXPECT_GE(locks_.stats().timeouts, 1u);
+}
+
+TEST_F(LockTest, ReleaseAllIsIdempotentAndComplete) {
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Shared, cc_).ok());
+  ASSERT_TRUE(locks_.acquire(1, 11, LockMode::Exclusive, cc_).ok());
+  locks_.release_all(1);
+  locks_.release_all(1);  // idempotent
+  EXPECT_FALSE(locks_.holds(1, 10, LockMode::Shared));
+  EXPECT_FALSE(locks_.holds(1, 11, LockMode::Shared));
+  // Keys fully free for others.
+  EXPECT_TRUE(locks_.acquire(2, 10, LockMode::Exclusive, cc_).ok());
+  EXPECT_TRUE(locks_.acquire(2, 11, LockMode::Exclusive, cc_).ok());
+}
+
+TEST_F(LockTest, FifoFairnessWriterNotStarvedByReaders) {
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Shared, cc_).ok());
+  std::atomic<bool> writer_granted{false};
+  std::thread writer([&] {
+    writer_granted = locks_.acquire(2, 10, LockMode::Exclusive, cc_).ok();
+    if (writer_granted) locks_.release_all(2);
+  });
+  std::this_thread::sleep_for(50ms);  // writer is now queued
+  std::atomic<bool> reader_done{false};
+  std::thread reader([&] {
+    // This reader arrived after the waiting writer: it must NOT overtake.
+    const Status s = locks_.acquire(3, 10, LockMode::Shared, cc_);
+    reader_done = true;
+    if (s.ok()) locks_.release_all(3);
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(reader_done.load());   // reader waits behind writer
+  EXPECT_FALSE(writer_granted.load());
+  locks_.release_all(1);
+  writer.join();
+  reader.join();
+  EXPECT_TRUE(writer_granted.load());
+  EXPECT_TRUE(reader_done.load());
+}
+
+TEST_F(LockTest, WaitStatsCountBlocking) {
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Exclusive, cc_).ok());
+  std::thread t([&] {
+    (void)locks_.acquire(2, 10, LockMode::Shared, cc_);
+    locks_.release_all(2);
+  });
+  std::this_thread::sleep_for(30ms);
+  locks_.release_all(1);
+  t.join();
+  EXPECT_GE(locks_.stats().waits, 1u);
+}
+
+TEST_F(LockTest, HoldersOfReportsModes) {
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Shared, cc_).ok());
+  ASSERT_TRUE(locks_.acquire(2, 10, LockMode::Shared, cc_).ok());
+  const auto holders = locks_.holders_of(10);
+  ASSERT_EQ(holders.size(), 2u);
+  for (const auto& h : holders) {
+    EXPECT_EQ(h.mode, LockMode::Shared);
+    EXPECT_FALSE(h.fuzzy);
+  }
+}
+
+// A resolver that always grants, to exercise the fuzzy-grant plumbing
+// without divergence-control bookkeeping.
+class AlwaysFuzzyResolver final : public ConflictResolver {
+ public:
+  bool try_fuzzy_grant(TxnId, LockMode, Key,
+                       std::span<const LockHolder>) override {
+    return true;
+  }
+  bool eligible_pair(TxnId, LockMode, TxnId, LockMode) override {
+    return true;
+  }
+};
+
+TEST_F(LockTest, FuzzyResolverGrantsPastConflict) {
+  AlwaysFuzzyResolver fuzzy;
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Exclusive, cc_).ok());
+  // With the fuzzy resolver the S request does not block.
+  EXPECT_TRUE(locks_.acquire(2, 10, LockMode::Shared, fuzzy).ok());
+  const auto holders = locks_.holders_of(10);
+  ASSERT_EQ(holders.size(), 2u);
+  bool saw_fuzzy = false;
+  for (const auto& h : holders) saw_fuzzy |= h.fuzzy;
+  EXPECT_TRUE(saw_fuzzy);
+  EXPECT_GE(locks_.stats().fuzzy_grants, 1u);
+}
+
+TEST_F(LockTest, MixedResolversCoexist) {
+  AlwaysFuzzyResolver fuzzy;
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Exclusive, cc_).ok());
+  ASSERT_TRUE(locks_.acquire(2, 10, LockMode::Shared, fuzzy).ok());
+  // A pure-2PL shared request still blocks behind the X holder.
+  locks_.set_timeout(100ms);
+  const Status s = locks_.acquire(3, 10, LockMode::Shared, cc_);
+  EXPECT_EQ(s.code(), ErrorCode::kTimeout);
+}
+
+TEST_F(LockTest, CancelledWaiterReturnsAborted) {
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Exclusive, cc_).ok());
+  Status result = Status::Ok();
+  std::thread t([&] { result = locks_.acquire(2, 10, LockMode::Shared, cc_); });
+  std::this_thread::sleep_for(50ms);
+  locks_.release_all(2);  // cross-thread cancel of txn 2's wait
+  t.join();
+  EXPECT_EQ(result.code(), ErrorCode::kAborted);
+  locks_.release_all(1);
+}
+
+TEST_F(LockTest, ThreeWayDeadlockDetected) {
+  ASSERT_TRUE(locks_.acquire(1, 10, LockMode::Exclusive, cc_).ok());
+  ASSERT_TRUE(locks_.acquire(2, 11, LockMode::Exclusive, cc_).ok());
+  ASSERT_TRUE(locks_.acquire(3, 12, LockMode::Exclusive, cc_).ok());
+  std::thread t1([&] {
+    (void)locks_.acquire(1, 11, LockMode::Exclusive, cc_);  // 1 -> 2
+  });
+  std::thread t2([&] {
+    (void)locks_.acquire(2, 12, LockMode::Exclusive, cc_);  // 2 -> 3
+  });
+  std::this_thread::sleep_for(80ms);
+  // 3 -> 1 closes the cycle.
+  const Status s = locks_.acquire(3, 10, LockMode::Exclusive, cc_);
+  EXPECT_EQ(s.code(), ErrorCode::kDeadlock);
+  locks_.release_all(3);
+  t2.join();
+  locks_.release_all(2);
+  t1.join();
+  locks_.release_all(1);
+}
+
+}  // namespace
+}  // namespace atp

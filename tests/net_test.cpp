@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "net/network.h"
+
+namespace atp {
+namespace {
+
+using namespace std::chrono_literals;
+
+NetworkOptions fast() {
+  NetworkOptions o;
+  o.one_way_latency = std::chrono::microseconds(200);
+  return o;
+}
+
+TEST(SimNetwork, DeliversRequestToDestination) {
+  SimNetwork net(2, fast());
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = "ping";
+  net.send(std::move(m));
+  auto r = net.receive_request(1, 100ms);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->type, "ping");
+  EXPECT_EQ(r->from, 0u);
+}
+
+TEST(SimNetwork, AssignsUniqueIds) {
+  SimNetwork net(2, fast());
+  Message a, b;
+  a.from = b.from = 0;
+  a.to = b.to = 1;
+  const auto ia = net.send(std::move(a));
+  const auto ib = net.send(std::move(b));
+  EXPECT_NE(ia, ib);
+}
+
+TEST(SimNetwork, LatencyIsPaid) {
+  NetworkOptions o;
+  o.one_way_latency = std::chrono::microseconds(50000);  // 50 ms
+  SimNetwork net(2, o);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  Stopwatch clock;
+  net.send(std::move(m));
+  auto r = net.receive_request(1, 500ms);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GE(clock.elapsed_us(), 45000);
+}
+
+TEST(SimNetwork, ReceiveTimesOutOnSilence) {
+  SimNetwork net(2, fast());
+  Stopwatch clock;
+  auto r = net.receive_request(1, 50ms);
+  EXPECT_FALSE(r.has_value());
+  EXPECT_GE(clock.elapsed_us(), 45000);
+}
+
+TEST(SimNetwork, RepliesAndRequestsAreSegregated) {
+  SimNetwork net(2, fast());
+  Message req;
+  req.from = 0;
+  req.to = 1;
+  req.type = "req";
+  const auto corr = net.send(std::move(req));
+  Message reply;
+  reply.from = 1;
+  reply.to = 0;
+  reply.type = "resp";
+  reply.correlation = corr;
+  net.send(std::move(reply));
+
+  // receive_request at site 0 must NOT surface the reply.
+  EXPECT_FALSE(net.receive_request(0, 30ms).has_value());
+  auto r = net.receive_reply(0, corr, 100ms);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->type, "resp");
+}
+
+TEST(SimNetwork, ReplyMatchingIsSelective) {
+  SimNetwork net(2, fast());
+  Message r1, r2;
+  r1.from = r2.from = 1;
+  r1.to = r2.to = 0;
+  r1.correlation = 111;
+  r1.type = "first";
+  r2.correlation = 222;
+  r2.type = "second";
+  net.send(std::move(r1));
+  net.send(std::move(r2));
+  // Ask for the second correlation first; the other stays queued.
+  auto b = net.receive_reply(0, 222, 100ms);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->type, "second");
+  auto a = net.receive_reply(0, 111, 100ms);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->type, "first");
+}
+
+TEST(SimNetwork, DownSiteDropsInbound) {
+  SimNetwork net(2, fast());
+  net.set_site_up(1, false);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  net.send(std::move(m));
+  EXPECT_EQ(net.stats().dropped, 1u);
+  net.set_site_up(1, true);
+  EXPECT_FALSE(net.receive_request(1, 30ms).has_value());
+}
+
+TEST(SimNetwork, CrashLosesInFlightInbox) {
+  NetworkOptions o;
+  o.one_way_latency = std::chrono::microseconds(50000);
+  SimNetwork net(2, o);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  net.send(std::move(m));  // in flight for 50 ms
+  net.set_site_up(1, false);  // crash before delivery
+  net.set_site_up(1, true);
+  EXPECT_FALSE(net.receive_request(1, 100ms).has_value());
+}
+
+TEST(SimNetwork, DownLinkDropsBothDirections) {
+  SimNetwork net(3, fast());
+  net.set_link_up(0, 1, false);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  net.send(std::move(m));
+  EXPECT_FALSE(net.receive_request(1, 30ms).has_value());
+  Message back;
+  back.from = 1;
+  back.to = 0;
+  net.send(std::move(back));
+  EXPECT_FALSE(net.receive_request(0, 30ms).has_value());
+  // Unrelated link unaffected.
+  Message ok;
+  ok.from = 0;
+  ok.to = 2;
+  net.send(std::move(ok));
+  EXPECT_TRUE(net.receive_request(2, 100ms).has_value());
+}
+
+TEST(SimNetwork, StatsCountSentDeliveredDropped) {
+  SimNetwork net(2, fast());
+  Message a;
+  a.from = 0;
+  a.to = 1;
+  net.send(std::move(a));
+  (void)net.receive_request(1, 100ms);
+  net.set_site_up(1, false);
+  Message b;
+  b.from = 0;
+  b.to = 1;
+  net.send(std::move(b));
+  const NetStats s = net.stats();
+  EXPECT_EQ(s.sent, 2u);
+  EXPECT_EQ(s.delivered, 1u);
+  EXPECT_EQ(s.dropped, 1u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().sent, 0u);
+}
+
+TEST(SimNetwork, PayloadsTravelByAny) {
+  SimNetwork net(2, fast());
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.payload = std::make_pair(std::string("queue"), std::any(std::uint64_t{7}));
+  net.send(std::move(m));
+  auto r = net.receive_request(1, 100ms);
+  ASSERT_TRUE(r.has_value());
+  const auto* envelope =
+      std::any_cast<std::pair<std::string, std::any>>(&r->payload);
+  ASSERT_NE(envelope, nullptr);
+  EXPECT_EQ(envelope->first, "queue");
+  EXPECT_EQ(std::any_cast<std::uint64_t>(envelope->second), 7u);
+}
+
+}  // namespace
+}  // namespace atp

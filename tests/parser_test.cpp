@@ -1,0 +1,116 @@
+// Job-stream text parser (the chopper tool's input format).
+#include <gtest/gtest.h>
+
+#include "chop/analyzer.h"
+#include "chop/parser.h"
+
+namespace atp {
+namespace {
+
+constexpr const char* kBanking = R"(
+# the paper's running example
+txn transfer update eps=500
+  add checking bound=100
+  add savings bound=100
+txn audit query eps=250 whole
+  read checking
+  read savings
+)";
+
+TEST(Parser, ParsesTheBankingExample) {
+  auto r = parse_job_stream(kBanking);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  const auto& s = r.value();
+  ASSERT_EQ(s.programs.size(), 2u);
+  EXPECT_EQ(s.item_names.size(), 2u);
+
+  const TxnProgram& transfer = s.programs[0];
+  EXPECT_EQ(transfer.name, "transfer");
+  EXPECT_EQ(transfer.kind, TxnKind::Update);
+  EXPECT_EQ(transfer.epsilon_limit, 500);
+  EXPECT_TRUE(transfer.choppable);
+  ASSERT_EQ(transfer.ops.size(), 2u);
+  EXPECT_EQ(transfer.ops[0].type, AccessType::Add);
+  EXPECT_EQ(transfer.ops[0].bound, 100);
+
+  const TxnProgram& audit = s.programs[1];
+  EXPECT_EQ(audit.kind, TxnKind::Query);
+  EXPECT_FALSE(audit.choppable);
+  EXPECT_EQ(audit.ops[0].type, AccessType::Read);
+  // Items interned consistently across transactions.
+  EXPECT_EQ(transfer.ops[0].item, audit.ops[0].item);
+  EXPECT_EQ(transfer.ops[1].item, audit.ops[1].item);
+}
+
+TEST(Parser, ParsedStreamFeedsTheChopper) {
+  auto r = parse_job_stream(kBanking);
+  ASSERT_TRUE(r.ok());
+  const Chopping esr = finest_esr_chopping(r.value().programs);
+  EXPECT_TRUE(validate_esr_chopping(r.value().programs, esr).ok());
+  EXPECT_EQ(esr.piece_count(0), 2u);  // transfer chops (200 <= 500)
+  EXPECT_EQ(esr.piece_count(1), 1u);  // audit marked whole
+}
+
+TEST(Parser, RollbackDirective) {
+  auto r = parse_job_stream(
+      "txn t update eps=10\n  add x bound=1\n  rollback\n  add y bound=1\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().programs[0].rollback_after.size(), 1u);
+  EXPECT_EQ(r.value().programs[0].rollback_after[0], 0u);
+}
+
+TEST(Parser, RollbackAfterOption) {
+  auto r = parse_job_stream(
+      "txn t update eps=10 rollback_after=1\n  add x bound=1\n  add y "
+      "bound=1\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().programs[0].rollback_after[0], 1u);
+}
+
+TEST(Parser, UnknownBoundDefaultsToInfinity) {
+  auto r = parse_job_stream("txn t update eps=10\n  add x\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().programs[0].ops[0].bound, kUnknownBound);
+}
+
+TEST(Parser, WriteOpParses) {
+  auto r = parse_job_stream("txn t update eps=10\n  write x bound=5\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().programs[0].ops[0].type, AccessType::Write);
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  auto r = parse_job_stream(
+      "# header\n\ntxn t query eps=1  # trailing\n  read x\n\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().programs[0].ops.size(), 1u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  auto r = parse_job_stream("txn t update eps=1\n  frobnicate x\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Parser, OpBeforeTxnIsAnError) {
+  auto r = parse_job_stream("read x\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, BadKindIsAnError) {
+  auto r = parse_job_stream("txn t sideways eps=1\n  read x\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("sideways"), std::string::npos);
+}
+
+TEST(Parser, RollbackIndexOutOfRangeIsAnError) {
+  auto r = parse_job_stream("txn t update eps=1 rollback_after=5\n  read x\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, EmptyInputIsAnError) {
+  EXPECT_FALSE(parse_job_stream("# nothing\n").ok());
+}
+
+}  // namespace
+}  // namespace atp

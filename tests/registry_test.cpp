@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "txn/epsilon.h"
+#include "txn/registry.h"
+
+namespace atp {
+namespace {
+
+TEST(EpsilonSpec, Factories) {
+  EXPECT_EQ(EpsilonSpec::serializable(), (EpsilonSpec{0, 0}));
+  EXPECT_EQ(EpsilonSpec::symmetric(5), (EpsilonSpec{5, 5}));
+  EXPECT_EQ(EpsilonSpec::importing(7).import_limit, 7);
+  EXPECT_EQ(EpsilonSpec::importing(7).export_limit, 0);
+  EXPECT_EQ(EpsilonSpec::exporting(9).export_limit, 9);
+  EXPECT_EQ(EpsilonSpec::unlimited().import_limit, kInfiniteLimit);
+}
+
+TEST(EpsilonSpec, SpecForMapsKindToSide) {
+  EXPECT_EQ(spec_for(TxnKind::Query, 10).import_limit, 10);
+  EXPECT_EQ(spec_for(TxnKind::Query, 10).export_limit, 0);
+  EXPECT_EQ(spec_for(TxnKind::Update, 10).export_limit, 10);
+  EXPECT_EQ(spec_for(TxnKind::Update, 10).import_limit, 0);
+}
+
+TEST(EtRegistry, BeginAssignsDistinctIds) {
+  EtRegistry reg;
+  const TxnId a = reg.begin(TxnKind::Query, EpsilonSpec::importing(10));
+  const TxnId b = reg.begin(TxnKind::Update, EpsilonSpec::exporting(10));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.kind_of(a), TxnKind::Query);
+  EXPECT_EQ(reg.kind_of(b), TxnKind::Update);
+  EXPECT_EQ(reg.live_count(), 2u);
+}
+
+TEST(EtRegistry, AllocateIdDoesNotRegister) {
+  EtRegistry reg;
+  const TxnId id = reg.allocate_id();
+  EXPECT_NE(id, kInvalidTxn);
+  EXPECT_EQ(reg.live_count(), 0u);
+  EXPECT_FALSE(reg.get(id).has_value());
+}
+
+TEST(EtRegistry, UnknownKindDefaultsToUpdate) {
+  EtRegistry reg;
+  EXPECT_EQ(reg.kind_of(999), TxnKind::Update);
+}
+
+TEST(EtRegistry, PairChargeWithinLimits) {
+  EtRegistry reg;
+  const TxnId q = reg.begin(TxnKind::Query, EpsilonSpec::importing(10));
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(10));
+  EXPECT_TRUE(reg.try_charge_pair(q, u, 4));
+  EXPECT_TRUE(reg.try_charge_pair(q, u, 6));
+  EXPECT_EQ(reg.fuzziness_of(q), 10);
+  EXPECT_EQ(reg.fuzziness_of(u), 10);
+}
+
+TEST(EtRegistry, PairChargeRefusedWhenImportWouldOverflow) {
+  EtRegistry reg;
+  const TxnId q = reg.begin(TxnKind::Query, EpsilonSpec::importing(5));
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+  EXPECT_TRUE(reg.try_charge_pair(q, u, 5));
+  EXPECT_FALSE(reg.try_charge_pair(q, u, 1));  // import exhausted
+  // No partial state change on refusal.
+  EXPECT_EQ(reg.fuzziness_of(q), 5);
+  EXPECT_EQ(reg.fuzziness_of(u), 5);
+}
+
+TEST(EtRegistry, PairChargeRefusedWhenExportWouldOverflow) {
+  EtRegistry reg;
+  const TxnId q = reg.begin(TxnKind::Query, EpsilonSpec::importing(100));
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(5));
+  EXPECT_FALSE(reg.try_charge_pair(q, u, 6));
+  EXPECT_EQ(reg.fuzziness_of(q), 0);
+}
+
+TEST(EtRegistry, NegativeChargeRejected) {
+  EtRegistry reg;
+  const TxnId q = reg.begin(TxnKind::Query, EpsilonSpec::importing(100));
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+  EXPECT_FALSE(reg.try_charge_pair(q, u, -1));
+}
+
+TEST(EtRegistry, ChargeOnEndedEtFails) {
+  EtRegistry reg;
+  const TxnId q = reg.begin(TxnKind::Query, EpsilonSpec::importing(100));
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+  reg.end_abort(q);
+  EXPECT_FALSE(reg.try_charge_pair(q, u, 1));
+}
+
+TEST(EtRegistry, MultiChargeChargesEveryQueryAndScalesExport) {
+  EtRegistry reg;
+  const TxnId q1 = reg.begin(TxnKind::Query, EpsilonSpec::importing(10));
+  const TxnId q2 = reg.begin(TxnKind::Query, EpsilonSpec::importing(10));
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(10));
+  const std::vector<TxnId> qs{q1, q2};
+  EXPECT_TRUE(reg.try_charge_multi(qs, u, 5));
+  EXPECT_EQ(reg.fuzziness_of(q1), 5);
+  EXPECT_EQ(reg.fuzziness_of(q2), 5);
+  EXPECT_EQ(reg.fuzziness_of(u), 10);  // 5 per conflicting query
+}
+
+TEST(EtRegistry, MultiChargeAllOrNothing) {
+  EtRegistry reg;
+  const TxnId q1 = reg.begin(TxnKind::Query, EpsilonSpec::importing(10));
+  const TxnId q2 = reg.begin(TxnKind::Query, EpsilonSpec::importing(2));
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+  const std::vector<TxnId> qs{q1, q2};
+  EXPECT_FALSE(reg.try_charge_multi(qs, u, 5));  // q2 would overflow
+  EXPECT_EQ(reg.fuzziness_of(q1), 0);            // nothing applied
+  EXPECT_EQ(reg.fuzziness_of(u), 0);
+}
+
+TEST(EtRegistry, MultiChargeSkipsEndedQueries) {
+  EtRegistry reg;
+  const TxnId q1 = reg.begin(TxnKind::Query, EpsilonSpec::importing(10));
+  const TxnId q2 = reg.begin(TxnKind::Query, EpsilonSpec::importing(10));
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(5));
+  reg.end_abort(q2);
+  const std::vector<TxnId> qs{q1, q2};
+  // Export needs 5 x 1 live query = 5 <= 5: succeeds.
+  EXPECT_TRUE(reg.try_charge_multi(qs, u, 5));
+  EXPECT_EQ(reg.fuzziness_of(q1), 5);
+}
+
+TEST(EtRegistry, MultiChargeZeroAlwaysSucceeds) {
+  EtRegistry reg;
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(0));
+  const std::vector<TxnId> qs{};
+  EXPECT_TRUE(reg.try_charge_multi(qs, u, 0));
+}
+
+TEST(EtRegistry, CanChargeMultiPeeksWithoutApplying) {
+  EtRegistry reg;
+  const TxnId q = reg.begin(TxnKind::Query, EpsilonSpec::importing(10));
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(10));
+  const std::vector<TxnId> qs{q};
+  EXPECT_TRUE(reg.can_charge_multi(qs, u, 10));
+  EXPECT_EQ(reg.fuzziness_of(q), 0);  // nothing applied
+  EXPECT_FALSE(reg.can_charge_multi(qs, u, 11));
+}
+
+TEST(EtRegistry, SetSpecWidensBudget) {
+  EtRegistry reg;
+  const TxnId q = reg.begin(TxnKind::Query, EpsilonSpec::importing(1));
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+  EXPECT_FALSE(reg.try_charge_pair(q, u, 5));
+  reg.set_spec(q, EpsilonSpec::importing(10));
+  EXPECT_TRUE(reg.try_charge_pair(q, u, 5));
+}
+
+TEST(EtRegistry, CommitRollsFuzzinessUpToParent) {
+  EtRegistry reg;
+  const TxnId parent = reg.allocate_id();
+  const TxnId p1 =
+      reg.begin(TxnKind::Query, EpsilonSpec::importing(10), parent);
+  const TxnId p2 =
+      reg.begin(TxnKind::Query, EpsilonSpec::importing(10), parent);
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+  ASSERT_TRUE(reg.try_charge_pair(p1, u, 3));
+  ASSERT_TRUE(reg.try_charge_pair(p2, u, 4));
+  EXPECT_EQ(reg.end_commit(p1), 3);
+  EXPECT_EQ(reg.end_commit(p2), 4);
+  // Lemma 1: Z_t = sum of Z_p.
+  EXPECT_EQ(reg.parent_fuzziness(parent), 7);
+  reg.forget_parent(parent);
+  EXPECT_EQ(reg.parent_fuzziness(parent), 0);
+}
+
+TEST(EtRegistry, AbortDropsFuzzinessWithoutRollup) {
+  EtRegistry reg;
+  const TxnId parent = reg.allocate_id();
+  const TxnId p1 =
+      reg.begin(TxnKind::Query, EpsilonSpec::importing(10), parent);
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+  ASSERT_TRUE(reg.try_charge_pair(p1, u, 3));
+  reg.end_abort(p1);  // "the piece rolls back and resets Z to zero"
+  EXPECT_EQ(reg.parent_fuzziness(parent), 0);
+  EXPECT_EQ(reg.live_count(), 1u);  // only u
+}
+
+TEST(EtRegistry, InfiniteLimitAbsorbsAnyCharge) {
+  EtRegistry reg;
+  const TxnId q = reg.begin(TxnKind::Query, EpsilonSpec::unlimited());
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::unlimited());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(reg.try_charge_pair(q, u, 1e15));
+  }
+}
+
+}  // namespace
+}  // namespace atp

@@ -1,0 +1,280 @@
+// Two-phase-locking divergence control: fuzzy grants, import/export
+// accounting, epsilon-exhaustion blocking, and the ESR guarantee that
+// observed inconsistency stays within eps-specs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/database.h"
+
+namespace atp {
+namespace {
+
+using namespace std::chrono_literals;
+
+DatabaseOptions dc_options(std::chrono::milliseconds timeout = 500ms) {
+  DatabaseOptions o;
+  o.scheduler = SchedulerKind::DC;
+  o.lock_timeout = timeout;
+  return o;
+}
+
+TEST(DcTxn, QueryReadsPastUncommittedWriteWithinBudget) {
+  Database db(dc_options());
+  db.load(1, 100);
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+  ASSERT_TRUE(u.write(1, 150).ok());  // X lock + dirty value staged
+
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
+  Result<Value> v = q.read(1);  // would block under CC; fuzzy grant here
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 150);  // observes the dirty value
+  // Both sides charged the pending delta (50).
+  EXPECT_EQ(q.fuzziness(), 50);
+  EXPECT_EQ(u.fuzziness(), 50);
+  ASSERT_TRUE(q.commit().ok());
+  ASSERT_TRUE(u.commit().ok());
+}
+
+TEST(DcTxn, QueryBlocksWhenImportBudgetTooSmall) {
+  Database db(dc_options(200ms));
+  db.load(1, 100);
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
+  ASSERT_TRUE(u.write(1, 150).ok());
+
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(10));  // < 50
+  const Result<Value> v = q.read(1);
+  EXPECT_EQ(v.status().code(), ErrorCode::kTimeout);  // blocked like 2PL
+  q.abort();
+  ASSERT_TRUE(u.commit().ok());
+}
+
+TEST(DcTxn, QueryBlocksWhenUpdateExportBudgetTooSmall) {
+  Database db(dc_options(200ms));
+  db.load(1, 100);
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(10));  // < 50
+  ASSERT_TRUE(u.write(1, 150).ok());
+
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(1000));
+  const Result<Value> v = q.read(1);
+  EXPECT_EQ(v.status().code(), ErrorCode::kTimeout);
+  q.abort();
+  ASSERT_TRUE(u.commit().ok());
+}
+
+TEST(DcTxn, UpdateWritesPastQuerySharedLockAndChargesAtWriteTime) {
+  Database db(dc_options());
+  db.load(1, 100);
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
+  ASSERT_TRUE(q.read(1).ok());  // plain S lock, no conflict yet
+
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+  ASSERT_TRUE(u.add(1, 30).ok());  // would block under CC
+  EXPECT_EQ(q.fuzziness(), 30);    // charged when the write landed
+  EXPECT_EQ(u.fuzziness(), 30);
+  ASSERT_TRUE(u.commit().ok());
+  ASSERT_TRUE(q.commit().ok());
+}
+
+TEST(DcTxn, UpdateBlocksWhenQueryImportExhausted) {
+  Database db(dc_options(200ms));
+  db.load(1, 100);
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(5));
+  ASSERT_TRUE(q.read(1).ok());
+
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
+  // Announced delta 30 > q's import budget 5: the X grant is refused and the
+  // update waits like plain 2PL, then times out (q never releases).
+  const Status s = u.add(1, 30);
+  EXPECT_EQ(s.code(), ErrorCode::kTimeout);
+  u.abort();
+  ASSERT_TRUE(q.commit().ok());
+}
+
+TEST(DcTxn, UpdateUpdateConflictsNeverFuzzyGrant) {
+  Database db(dc_options(200ms));
+  db.load(1, 100);
+  Txn u1 = db.begin(TxnKind::Update, EpsilonSpec::unlimited());
+  ASSERT_TRUE(u1.write(1, 150).ok());
+  Txn u2 = db.begin(TxnKind::Update, EpsilonSpec::unlimited());
+  // Even unlimited budgets must not let updates interleave: update ETs stay
+  // serializable among themselves (Section 1.1).
+  const Status s = u2.write(1, 160);
+  EXPECT_EQ(s.code(), ErrorCode::kTimeout);
+  u2.abort();
+  ASSERT_TRUE(u1.commit().ok());
+}
+
+TEST(DcTxn, QueryQueryNeverConflicts) {
+  Database db(dc_options());
+  db.load(1, 100);
+  Txn q1 = db.begin(TxnKind::Query, EpsilonSpec::importing(0));
+  Txn q2 = db.begin(TxnKind::Query, EpsilonSpec::importing(0));
+  EXPECT_TRUE(q1.read(1).ok());
+  EXPECT_TRUE(q2.read(1).ok());
+  ASSERT_TRUE(q1.commit().ok());
+  ASSERT_TRUE(q2.commit().ok());
+}
+
+TEST(DcTxn, ZeroEpsilonBehavesLikeSerializable) {
+  Database db(dc_options(200ms));
+  db.load(1, 100);
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(0));
+  ASSERT_TRUE(u.write(1, 150).ok());
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(0));
+  EXPECT_EQ(q.read(1).status().code(), ErrorCode::kTimeout);
+  q.abort();
+  ASSERT_TRUE(u.commit().ok());
+}
+
+TEST(DcTxn, SequentialConflictsAccumulateUntilBudgetExhausted) {
+  Database db(dc_options(200ms));
+  db.load(1, 100);
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(60));
+  ASSERT_TRUE(q.read(1).ok());
+
+  // First update: delta 40 fits (60 budget).
+  {
+    Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
+    ASSERT_TRUE(u.add(1, 40).ok());
+    ASSERT_TRUE(u.commit().ok());
+  }
+  EXPECT_EQ(q.fuzziness(), 40);
+  // Second update: delta 40 would exceed the remaining 20 -> blocks.
+  {
+    Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
+    EXPECT_EQ(u.add(1, 40).code(), ErrorCode::kTimeout);
+    u.abort();
+  }
+  // But delta 15 still fits.
+  {
+    Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
+    EXPECT_TRUE(u.add(1, 15).ok());
+    ASSERT_TRUE(u.commit().ok());
+  }
+  EXPECT_EQ(q.fuzziness(), 55);
+  ASSERT_TRUE(q.commit().ok());
+}
+
+TEST(DcTxn, ExportBudgetSharedAcrossConcurrentQueries) {
+  Database db(dc_options(200ms));
+  db.load(1, 100);
+  Txn q1 = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
+  Txn q2 = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
+  ASSERT_TRUE(q1.read(1).ok());
+  ASSERT_TRUE(q2.read(1).ok());
+
+  // Export charged once per conflicting query: 2 x 30 = 60 > 50 -> blocked.
+  {
+    Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(50));
+    EXPECT_EQ(u.add(1, 30).code(), ErrorCode::kTimeout);
+    u.abort();
+  }
+  // 2 x 20 = 40 <= 50 -> allowed.
+  {
+    Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(50));
+    EXPECT_TRUE(u.add(1, 20).ok());
+    ASSERT_TRUE(u.commit().ok());
+    EXPECT_EQ(q1.fuzziness(), 20);
+    EXPECT_EQ(q2.fuzziness(), 20);
+  }
+  ASSERT_TRUE(q1.commit().ok());
+  ASSERT_TRUE(q2.commit().ok());
+}
+
+TEST(DcTxn, AbortedQueryFuzzinessResets) {
+  Database db(dc_options());
+  db.load(1, 100);
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
+  ASSERT_TRUE(u.write(1, 150).ok());
+  {
+    Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
+    ASSERT_TRUE(q.read(1).ok());
+    EXPECT_EQ(q.fuzziness(), 50);
+    q.abort();  // Z resets to zero with the abort
+  }
+  // A fresh query starts from a clean account.
+  Txn q2 = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
+  ASSERT_TRUE(q2.read(1).ok());
+  EXPECT_EQ(q2.fuzziness(), 50);
+  ASSERT_TRUE(q2.commit().ok());
+  ASSERT_TRUE(u.commit().ok());
+}
+
+TEST(DcTxn, FuzzyGrantStatRecorded) {
+  Database db(dc_options());
+  db.load(1, 100);
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+  ASSERT_TRUE(u.write(1, 150).ok());
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
+  ASSERT_TRUE(q.read(1).ok());
+  EXPECT_GE(db.locks().stats().fuzzy_grants, 1u);
+  ASSERT_TRUE(q.commit().ok());
+  ASSERT_TRUE(u.commit().ok());
+}
+
+// The ESR guarantee, exercised end to end: under concurrent bounded
+// transfers, an audit query's observed total deviates from the invariant
+// total by at most its import limit.
+TEST(DcGuarantee, AuditErrorBoundedByImportLimit) {
+  Database db(dc_options(std::chrono::milliseconds(2000)));
+  constexpr int kAccounts = 8;
+  constexpr Value kInitial = 1000;
+  constexpr Value kEps = 120;
+  for (int i = 0; i < kAccounts; ++i) db.load(i, kInitial);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      Rng rng(77 + w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        Txn t = db.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+        const Key a = rng.uniform(kAccounts);
+        Key b = rng.uniform(kAccounts);
+        while (b == a) b = rng.uniform(kAccounts);
+        const Value d = 1 + Value(rng.uniform(40));
+        if (!t.add(a, -d).ok() || !t.add(b, +d).ok() || !t.commit().ok()) {
+          t.abort();
+        }
+      }
+    });
+  }
+
+  for (int round = 0; round < 20; ++round) {
+    for (;;) {
+      Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(kEps));
+      Value sum = 0;
+      bool failed = false;
+      for (int i = 0; i < kAccounts; ++i) {
+        Result<Value> v = q.read(i);
+        if (!v.ok()) {
+          failed = true;
+          break;
+        }
+        sum += v.value();
+      }
+      if (failed) {
+        q.abort();
+        continue;
+      }
+      const Value z = q.fuzziness();
+      ASSERT_TRUE(q.commit().ok());
+      const Value err = distance(sum, kInitial * kAccounts);
+      // Realized inconsistency never exceeds the accounted fuzziness, which
+      // never exceeds the import limit.
+      EXPECT_LE(err, z + 1e-9);
+      EXPECT_LE(z, kEps + 1e-9);
+      break;
+    }
+  }
+  stop = true;
+  for (auto& t : writers) t.join();
+}
+
+}  // namespace
+}  // namespace atp

@@ -1,0 +1,175 @@
+// Optimistic divergence control: lock-free query reads validated at commit
+// against the import limit; 2PL updates throughout.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/executor.h"
+#include "sched/database.h"
+#include "workload/banking.h"
+
+namespace atp {
+namespace {
+
+using namespace std::chrono_literals;
+
+DatabaseOptions odc_options() {
+  DatabaseOptions o;
+  o.scheduler = SchedulerKind::ODC;
+  o.lock_timeout = std::chrono::milliseconds(500);
+  return o;
+}
+
+TEST(OdcTxn, QueryReadsWithoutLocks) {
+  Database db(odc_options());
+  db.load(1, 100);
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(0));
+  ASSERT_TRUE(q.read(1).ok());
+  // No S lock was taken: an update can grab X immediately.
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+  EXPECT_TRUE(u.write(1, 150).ok());
+  ASSERT_TRUE(u.commit().ok());
+  // The query read before the change: drift 50 > limit 0 -> refused.
+  const Status s = q.commit();
+  EXPECT_EQ(s.code(), ErrorCode::kEpsilonExceeded);
+  EXPECT_FALSE(q.active());
+}
+
+TEST(OdcTxn, ValidationPassesWithinBudget) {
+  Database db(odc_options());
+  db.load(1, 100);
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(60));
+  ASSERT_TRUE(q.read(1).ok());
+  {
+    Txn u = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+    ASSERT_TRUE(u.add(1, 50).ok());
+    ASSERT_TRUE(u.commit().ok());
+  }
+  EXPECT_TRUE(q.commit().ok());       // drift 50 <= 60
+  EXPECT_EQ(q.fuzziness(), 50);       // charged as import
+}
+
+TEST(OdcTxn, StableReadsValidateForFree) {
+  Database db(odc_options());
+  db.load(1, 100);
+  db.load(2, 200);
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(0));
+  ASSERT_TRUE(q.read(1).ok());
+  ASSERT_TRUE(q.read(2).ok());
+  EXPECT_TRUE(q.commit().ok());  // nothing moved: zero drift at eps 0
+  EXPECT_EQ(q.fuzziness(), 0);
+}
+
+TEST(OdcTxn, QueryNeverSeesDirtyData) {
+  Database db(odc_options());
+  db.load(1, 100);
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+  ASSERT_TRUE(u.write(1, 999).ok());  // staged, uncommitted
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(1000));
+  Result<Value> v = q.read(1);  // would block under CC; here: committed value
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 100);
+  u.abort();
+  EXPECT_TRUE(q.commit().ok());
+}
+
+TEST(OdcTxn, UpdatesStaySerializableAmongThemselves) {
+  Database db(odc_options());
+  db.load(1, 100);
+  Txn u1 = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+  ASSERT_TRUE(u1.write(1, 150).ok());
+  Txn u2 = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+  EXPECT_EQ(u2.write(1, 160).code(), ErrorCode::kTimeout);  // plain 2PL
+  u2.abort();
+  ASSERT_TRUE(u1.commit().ok());
+}
+
+TEST(OdcTxn, DriftAccumulatesAcrossKeys) {
+  Database db(odc_options());
+  db.load(1, 100);
+  db.load(2, 100);
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(70));
+  ASSERT_TRUE(q.read(1).ok());
+  ASSERT_TRUE(q.read(2).ok());
+  {
+    Txn u = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+    ASSERT_TRUE(u.add(1, 40).ok());
+    ASSERT_TRUE(u.add(2, -40).ok());
+    ASSERT_TRUE(u.commit().ok());
+  }
+  // Per-key drifts add up (40 + 40 = 80 > 70) even though the *sum* the
+  // query computed is unchanged -- the validation is conservative.
+  EXPECT_EQ(q.commit().code(), ErrorCode::kEpsilonExceeded);
+}
+
+TEST(OdcGuarantee, ConcurrentAuditsStayWithinEpsilon) {
+  Database db(odc_options());
+  constexpr int kAccounts = 8;
+  constexpr Value kInitial = 1000;
+  constexpr Value kEps = 150;
+  for (int i = 0; i < kAccounts; ++i) db.load(i, kInitial);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(3);
+    while (!stop.load(std::memory_order_relaxed)) {
+      Txn t = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+      const Key a = rng.uniform(kAccounts);
+      Key b = rng.uniform(kAccounts);
+      while (b == a) b = rng.uniform(kAccounts);
+      const Value d = 1 + Value(rng.uniform(40));
+      if (!t.add(a, -d).ok() || !t.add(b, +d).ok() || !t.commit().ok()) {
+        t.abort();
+      }
+    }
+  });
+
+  for (int round = 0; round < 20; ++round) {
+    for (;;) {  // retry validation failures
+      Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(kEps));
+      Value sum = 0;
+      for (int i = 0; i < kAccounts; ++i) sum += q.read(i).value_or(0);
+      if (!q.commit().ok()) continue;
+      const Value err = distance(sum, kInitial * kAccounts);
+      EXPECT_LE(err, q.fuzziness() + 1e-9);
+      EXPECT_LE(q.fuzziness(), kEps + 1e-9);
+      break;
+    }
+  }
+  stop = true;
+  writer.join();
+}
+
+TEST(OdcEngine, BankingMixRunsUnderOdc) {
+  BankingConfig cfg;
+  cfg.branches = 2;
+  cfg.accounts_per_branch = 12;
+  cfg.branch_audit_fraction = 0.2;
+  cfg.global_audit_fraction = 0.1;
+  cfg.update_epsilon = 600;
+  cfg.query_epsilon = 1500;
+  const Workload w = make_banking(cfg, 120, 77);
+
+  const MethodConfig method = MethodConfig::baseline_odc();
+  auto plan = ExecutionPlan::build(w.types, method);
+  ASSERT_TRUE(plan.ok());
+  Database db(Executor::database_options(method));
+  w.load_into(db);
+  ExecutorOptions opts;
+  opts.workers = 4;
+  const ExecutorReport r = Executor::run(db, plan.value(), w.instances, opts);
+  EXPECT_EQ(r.committed, w.instances.size());
+  EXPECT_EQ(r.budget_violations, 0u);
+  EXPECT_LE(r.query_error.max, cfg.query_epsilon + 1e-9);
+
+  Value sum = 0;
+  for (const auto& [k, v] : db.store().snapshot_committed()) sum += v;
+  EXPECT_EQ(sum, w.total_money);
+}
+
+}  // namespace
+}  // namespace atp

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "storage/store.h"
+
+namespace atp {
+namespace {
+
+TEST(Store, LoadAndReadCommitted) {
+  Store store;
+  store.load(1, 100);
+  store.load(2, 200);
+  EXPECT_EQ(store.read_committed(1).value(), 100);
+  EXPECT_EQ(store.read_committed(2).value(), 200);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(Store, MissingKeyIsNotFound) {
+  Store store;
+  EXPECT_EQ(store.read_committed(99).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(store.read_latest(99).status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(store.dirty_writer(99).has_value());
+  EXPECT_EQ(store.pending_delta(99), 0);
+}
+
+TEST(Store, WriteStagesDirtyValue) {
+  Store store;
+  store.load(1, 100);
+  ASSERT_TRUE(store.write(7, 1, 150).ok());
+  EXPECT_EQ(store.read_committed(1).value(), 100);  // committed unchanged
+  EXPECT_EQ(store.read_latest(1).value(), 150);     // dirty visible to DC
+  EXPECT_EQ(store.dirty_writer(1), std::optional<TxnId>(7));
+  EXPECT_EQ(store.pending_delta(1), 50);
+}
+
+TEST(Store, CommitPromotesDirty) {
+  Store store;
+  store.load(1, 100);
+  ASSERT_TRUE(store.write(7, 1, 150).ok());
+  store.commit_key(7, 1);
+  EXPECT_EQ(store.read_committed(1).value(), 150);
+  EXPECT_FALSE(store.dirty_writer(1).has_value());
+  EXPECT_EQ(store.pending_delta(1), 0);
+}
+
+TEST(Store, AbortDiscardsDirty) {
+  Store store;
+  store.load(1, 100);
+  ASSERT_TRUE(store.write(7, 1, 150).ok());
+  store.abort_key(7, 1);
+  EXPECT_EQ(store.read_committed(1).value(), 100);
+  EXPECT_EQ(store.read_latest(1).value(), 100);
+}
+
+TEST(Store, SecondWriterIsRejected) {
+  Store store;
+  store.load(1, 100);
+  ASSERT_TRUE(store.write(7, 1, 150).ok());
+  const Status s = store.write(8, 1, 160);
+  EXPECT_EQ(s.code(), ErrorCode::kFailedPrecondition);
+  // Original dirty value intact.
+  EXPECT_EQ(store.read_latest(1).value(), 150);
+}
+
+TEST(Store, SameWriterMayRewrite) {
+  Store store;
+  store.load(1, 100);
+  ASSERT_TRUE(store.write(7, 1, 150).ok());
+  ASSERT_TRUE(store.write(7, 1, 170).ok());
+  EXPECT_EQ(store.read_latest(1).value(), 170);
+  EXPECT_EQ(store.pending_delta(1), 70);
+}
+
+TEST(Store, ForeignCommitAndAbortAreNoOps) {
+  Store store;
+  store.load(1, 100);
+  ASSERT_TRUE(store.write(7, 1, 150).ok());
+  store.commit_key(8, 1);  // not the owner
+  EXPECT_EQ(store.read_committed(1).value(), 100);
+  store.abort_key(8, 1);  // not the owner
+  EXPECT_EQ(store.read_latest(1).value(), 150);
+}
+
+TEST(Store, WriteToUnknownKeyCreatesCell) {
+  Store store;
+  ASSERT_TRUE(store.write(7, 42, 5).ok());
+  EXPECT_EQ(store.read_latest(42).value(), 5);
+  store.commit_key(7, 42);
+  EXPECT_EQ(store.read_committed(42).value(), 5);
+}
+
+TEST(Store, SnapshotSeesOnlyCommitted) {
+  Store store;
+  store.load(1, 100);
+  store.load(2, 200);
+  ASSERT_TRUE(store.write(7, 1, 999).ok());
+  const auto snap = store.snapshot_committed();
+  EXPECT_EQ(snap.at(1), 100);
+  EXPECT_EQ(snap.at(2), 200);
+}
+
+TEST(Store, CrashDropsAllDirty) {
+  Store store;
+  store.load(1, 100);
+  store.load(2, 200);
+  ASSERT_TRUE(store.write(7, 1, 150).ok());
+  ASSERT_TRUE(store.write(8, 2, 250).ok());
+  store.crash();
+  EXPECT_EQ(store.read_latest(1).value(), 100);
+  EXPECT_EQ(store.read_latest(2).value(), 200);
+  EXPECT_FALSE(store.dirty_writer(1).has_value());
+}
+
+TEST(Store, CrashSparesPreparedSurvivors) {
+  Store store;
+  store.load(1, 100);
+  store.load(2, 200);
+  ASSERT_TRUE(store.write(7, 1, 150).ok());  // prepared
+  ASSERT_TRUE(store.write(8, 2, 250).ok());  // not prepared
+  const std::unordered_set<TxnId> survivors{7};
+  store.crash(&survivors);
+  EXPECT_EQ(store.read_latest(1).value(), 150);  // survived
+  EXPECT_EQ(store.read_latest(2).value(), 200);  // lost
+}
+
+TEST(Store, ConcurrentDisjointWritersAreSafe) {
+  Store store;
+  constexpr int kKeys = 256;
+  for (int k = 0; k < kKeys; ++k) store.load(k, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = t; k < kKeys; k += 4) {
+        ASSERT_TRUE(store.write(TxnId(t + 1), k, k * 10).ok());
+        store.commit_key(TxnId(t + 1), k);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(store.read_committed(k).value(), k * 10);
+  }
+}
+
+}  // namespace
+}  // namespace atp

@@ -1,0 +1,176 @@
+// Failure-injection torture: sites crash and recover at random moments
+// while chopped distributed transfers stream through recoverable queues.
+// Afterwards every committed transfer must have applied EXACTLY once at
+// both ends (conservation) despite retransmissions, redeliveries and lost
+// volatile state.  Plus a lock-manager stress suite: random concurrent
+// acquire/release traffic with invariants checked throughout.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/coordinator.h"
+#include "dist/site.h"
+#include "lock/lock_manager.h"
+
+namespace atp {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr Key kX = 1;
+constexpr Key kY = 2;
+
+class QueueTortureTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueTortureTest, CrashStormPreservesExactlyOnce) {
+  NetworkOptions n;
+  n.one_way_latency = std::chrono::microseconds(300);
+  SimNetwork net(2, n);
+  DatabaseOptions dbo;
+  dbo.scheduler = SchedulerKind::DC;
+  dbo.lock_timeout = std::chrono::milliseconds(500);
+  Site ny(0, net, dbo);
+  Site la(1, net, dbo);
+  constexpr Value kInitial = 100000;
+  ny.db().load(kX, kInitial);
+  la.db().load(kY, kInitial);
+  const std::vector<Site*> sites{&ny, &la};
+  Coordinator::install_chop_handler(sites);
+  ny.queues().set_retry_interval(5ms);
+  la.queues().set_retry_interval(5ms);
+  ny.start();
+  la.start();
+
+  // Chaos thread: LA crashes and recovers on a random cadence.
+  std::atomic<bool> stop{false};
+  std::thread chaos([&] {
+    Rng rng(GetParam());
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(5 + rng.uniform(30)));
+      la.crash();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(5 + rng.uniform(30)));
+      la.recover();
+    }
+  });
+
+  // Client: a stream of chopped transfers NY -> LA.
+  Coordinator coord(ny, sites);
+  Rng rng(GetParam() * 31 + 7);
+  Value total_transferred = 0;
+  std::vector<std::uint64_t> gtids;
+  for (int i = 0; i < 60; ++i) {
+    const Value amount = 1 + Value(rng.uniform(50));
+    DistTxnSpec spec;
+    spec.kind = TxnKind::Update;
+    spec.piece_epsilon = 1e9;
+    spec.pieces = {DistPieceSpec{0, {Access::add(kX, -amount, amount)}},
+                   DistPieceSpec{1, {Access::add(kY, +amount, amount)}}};
+    auto out = coord.run_chopped(spec, 0ms);
+    ASSERT_TRUE(out.ok());  // piece 1 is local; always commits
+    total_transferred += amount;
+    gtids.push_back(out.value().gtid);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + rng.uniform(3)));
+  }
+
+  // Stop the chaos, let the queues drain.
+  stop = true;
+  chaos.join();
+  la.recover();
+  for (const auto gtid : gtids) {
+    EXPECT_TRUE(ny.wait_done(gtid, 20000ms)) << "gtid " << gtid;
+  }
+
+  // Exactly-once: NY debited the total, LA credited it -- no piece lost to
+  // a crash, none applied twice despite retransmission.
+  EXPECT_EQ(ny.db().store().read_committed(kX).value(),
+            kInitial - total_transferred);
+  EXPECT_EQ(la.db().store().read_committed(kY).value(),
+            kInitial + total_transferred);
+  // And the queue accounting agrees.
+  const QueueStats qs = la.queues().stats();
+  EXPECT_EQ(qs.delivered, gtids.size() + 0u);  // one chop message per txn
+  EXPECT_EQ(qs.consumed, gtids.size());
+
+  ny.stop();
+  la.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueTortureTest,
+                         ::testing::Values(101, 202, 303));
+
+// ---------------------------------------------------------------------------
+// Lock-manager stress: random acquire/release traffic from many threads.
+// Invariants: no two incompatible holders coexist; every acquire terminates
+// (grant, deadlock, or timeout); release always unblocks.
+
+class LockStressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LockStressTest, RandomTrafficKeepsInvariants) {
+  LockManager locks{std::chrono::milliseconds(200)};
+  NeverFuzzyResolver cc;
+  constexpr int kThreads = 6;
+  constexpr int kKeys = 8;
+  constexpr int kOpsPerThread = 300;
+  std::atomic<std::uint64_t> granted{0}, denied{0};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(GetParam() * 97 + std::uint64_t(t));
+      TxnId txn = TxnId(t + 1) * 1000;
+      int held = 0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const Key key = rng.uniform(kKeys);
+        const LockMode mode =
+            rng.chance(0.4) ? LockMode::Exclusive : LockMode::Shared;
+        const Status s = locks.acquire(txn, key, mode, cc);
+        if (s.ok()) {
+          ++granted;
+          ++held;
+          // Invariant: we truly hold it, and if X, exclusively.
+          if (!locks.holds(txn, key, mode)) violation = true;
+          if (mode == LockMode::Exclusive) {
+            for (const auto& h : locks.holders_of(key)) {
+              if (h.txn != txn) violation = true;
+            }
+          }
+        } else {
+          ++denied;
+          // Deadlock or timeout: drop everything and start a new txn.
+          locks.release_all(txn);
+          ++txn;
+          held = 0;
+          continue;
+        }
+        if (held > 3 || rng.chance(0.3)) {
+          locks.release_all(txn);
+          ++txn;
+          held = 0;
+        }
+      }
+      locks.release_all(txn);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_FALSE(violation.load());
+  EXPECT_GT(granted.load(), 0u);
+  // After everything released, all keys must be free.
+  for (Key k = 0; k < kKeys; ++k) {
+    EXPECT_TRUE(locks.acquire(999999, k, LockMode::Exclusive, cc).ok());
+  }
+  locks.release_all(999999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockStressTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace atp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dc_vs_cc.dir/bench_dc_vs_cc.cpp.o"
+  "CMakeFiles/bench_dc_vs_cc.dir/bench_dc_vs_cc.cpp.o.d"
+  "bench_dc_vs_cc"
+  "bench_dc_vs_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dc_vs_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

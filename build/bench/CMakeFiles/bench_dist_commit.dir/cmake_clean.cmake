@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dist_commit.dir/bench_dist_commit.cpp.o"
+  "CMakeFiles/bench_dist_commit.dir/bench_dist_commit.cpp.o.d"
+  "bench_dist_commit"
+  "bench_dist_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dist_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

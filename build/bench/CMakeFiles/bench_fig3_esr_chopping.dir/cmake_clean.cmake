@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_esr_chopping.dir/bench_fig3_esr_chopping.cpp.o"
+  "CMakeFiles/bench_fig3_esr_chopping.dir/bench_fig3_esr_chopping.cpp.o.d"
+  "bench_fig3_esr_chopping"
+  "bench_fig3_esr_chopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_esr_chopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_method_crossover.dir/bench_method_crossover.cpp.o"
+  "CMakeFiles/bench_method_crossover.dir/bench_method_crossover.cpp.o.d"
+  "bench_method_crossover"
+  "bench_method_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_method_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_branches.dir/banking_branches.cpp.o"
+  "CMakeFiles/banking_branches.dir/banking_branches.cpp.o.d"
+  "banking_branches"
+  "banking_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payroll_audit.dir/payroll_audit.cpp.o"
+  "CMakeFiles/payroll_audit.dir/payroll_audit.cpp.o.d"
+  "payroll_audit"
+  "payroll_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payroll_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

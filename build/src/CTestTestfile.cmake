@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("wal")
+subdirs("lock")
+subdirs("txn")
+subdirs("sched")
+subdirs("chop")
+subdirs("limits")
+subdirs("net")
+subdirs("queue")
+subdirs("dist")
+subdirs("engine")
+subdirs("workload")

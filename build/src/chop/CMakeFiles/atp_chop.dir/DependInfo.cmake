@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chop/analyzer.cpp" "src/chop/CMakeFiles/atp_chop.dir/analyzer.cpp.o" "gcc" "src/chop/CMakeFiles/atp_chop.dir/analyzer.cpp.o.d"
+  "/root/repo/src/chop/chopping.cpp" "src/chop/CMakeFiles/atp_chop.dir/chopping.cpp.o" "gcc" "src/chop/CMakeFiles/atp_chop.dir/chopping.cpp.o.d"
+  "/root/repo/src/chop/graph.cpp" "src/chop/CMakeFiles/atp_chop.dir/graph.cpp.o" "gcc" "src/chop/CMakeFiles/atp_chop.dir/graph.cpp.o.d"
+  "/root/repo/src/chop/parser.cpp" "src/chop/CMakeFiles/atp_chop.dir/parser.cpp.o" "gcc" "src/chop/CMakeFiles/atp_chop.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/atp_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_chop.dir/analyzer.cpp.o"
+  "CMakeFiles/atp_chop.dir/analyzer.cpp.o.d"
+  "CMakeFiles/atp_chop.dir/chopping.cpp.o"
+  "CMakeFiles/atp_chop.dir/chopping.cpp.o.d"
+  "CMakeFiles/atp_chop.dir/graph.cpp.o"
+  "CMakeFiles/atp_chop.dir/graph.cpp.o.d"
+  "CMakeFiles/atp_chop.dir/parser.cpp.o"
+  "CMakeFiles/atp_chop.dir/parser.cpp.o.d"
+  "libatp_chop.a"
+  "libatp_chop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_chop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

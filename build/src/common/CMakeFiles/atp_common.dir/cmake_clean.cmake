@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_common.dir/rng.cpp.o"
+  "CMakeFiles/atp_common.dir/rng.cpp.o.d"
+  "libatp_common.a"
+  "libatp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

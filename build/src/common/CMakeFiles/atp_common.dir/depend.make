@@ -1,0 +1,2 @@
+# Empty dependencies file for atp_common.
+# This may be replaced when dependencies are built.

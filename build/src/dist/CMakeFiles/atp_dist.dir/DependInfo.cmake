@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/coordinator.cpp" "src/dist/CMakeFiles/atp_dist.dir/coordinator.cpp.o" "gcc" "src/dist/CMakeFiles/atp_dist.dir/coordinator.cpp.o.d"
+  "/root/repo/src/dist/dist_executor.cpp" "src/dist/CMakeFiles/atp_dist.dir/dist_executor.cpp.o" "gcc" "src/dist/CMakeFiles/atp_dist.dir/dist_executor.cpp.o.d"
+  "/root/repo/src/dist/site.cpp" "src/dist/CMakeFiles/atp_dist.dir/site.cpp.o" "gcc" "src/dist/CMakeFiles/atp_dist.dir/site.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/atp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/atp_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/atp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/chop/CMakeFiles/atp_chop.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/atp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/atp_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/atp_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/atp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/atp_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_dist.dir/coordinator.cpp.o"
+  "CMakeFiles/atp_dist.dir/coordinator.cpp.o.d"
+  "CMakeFiles/atp_dist.dir/dist_executor.cpp.o"
+  "CMakeFiles/atp_dist.dir/dist_executor.cpp.o.d"
+  "CMakeFiles/atp_dist.dir/site.cpp.o"
+  "CMakeFiles/atp_dist.dir/site.cpp.o.d"
+  "libatp_dist.a"
+  "libatp_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/executor.cpp" "src/engine/CMakeFiles/atp_engine.dir/executor.cpp.o" "gcc" "src/engine/CMakeFiles/atp_engine.dir/executor.cpp.o.d"
+  "/root/repo/src/engine/piece_runner.cpp" "src/engine/CMakeFiles/atp_engine.dir/piece_runner.cpp.o" "gcc" "src/engine/CMakeFiles/atp_engine.dir/piece_runner.cpp.o.d"
+  "/root/repo/src/engine/plan.cpp" "src/engine/CMakeFiles/atp_engine.dir/plan.cpp.o" "gcc" "src/engine/CMakeFiles/atp_engine.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/atp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/chop/CMakeFiles/atp_chop.dir/DependInfo.cmake"
+  "/root/repo/build/src/limits/CMakeFiles/atp_limits.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/atp_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/atp_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/atp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/atp_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

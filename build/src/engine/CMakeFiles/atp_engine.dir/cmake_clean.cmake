@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_engine.dir/executor.cpp.o"
+  "CMakeFiles/atp_engine.dir/executor.cpp.o.d"
+  "CMakeFiles/atp_engine.dir/piece_runner.cpp.o"
+  "CMakeFiles/atp_engine.dir/piece_runner.cpp.o.d"
+  "CMakeFiles/atp_engine.dir/plan.cpp.o"
+  "CMakeFiles/atp_engine.dir/plan.cpp.o.d"
+  "libatp_engine.a"
+  "libatp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

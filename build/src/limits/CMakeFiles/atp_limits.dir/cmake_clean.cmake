@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_limits.dir/distribution.cpp.o"
+  "CMakeFiles/atp_limits.dir/distribution.cpp.o.d"
+  "libatp_limits.a"
+  "libatp_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

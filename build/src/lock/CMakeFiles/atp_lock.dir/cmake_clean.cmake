@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_lock.dir/lock_manager.cpp.o"
+  "CMakeFiles/atp_lock.dir/lock_manager.cpp.o.d"
+  "libatp_lock.a"
+  "libatp_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_net.dir/network.cpp.o"
+  "CMakeFiles/atp_net.dir/network.cpp.o.d"
+  "libatp_net.a"
+  "libatp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_queue.dir/recoverable_queue.cpp.o"
+  "CMakeFiles/atp_queue.dir/recoverable_queue.cpp.o.d"
+  "libatp_queue.a"
+  "libatp_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

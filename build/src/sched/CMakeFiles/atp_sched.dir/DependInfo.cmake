@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/database.cpp" "src/sched/CMakeFiles/atp_sched.dir/database.cpp.o" "gcc" "src/sched/CMakeFiles/atp_sched.dir/database.cpp.o.d"
+  "/root/repo/src/sched/dc_resolver.cpp" "src/sched/CMakeFiles/atp_sched.dir/dc_resolver.cpp.o" "gcc" "src/sched/CMakeFiles/atp_sched.dir/dc_resolver.cpp.o.d"
+  "/root/repo/src/sched/history.cpp" "src/sched/CMakeFiles/atp_sched.dir/history.cpp.o" "gcc" "src/sched/CMakeFiles/atp_sched.dir/history.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/atp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/atp_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/atp_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/atp_wal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_sched.dir/database.cpp.o"
+  "CMakeFiles/atp_sched.dir/database.cpp.o.d"
+  "CMakeFiles/atp_sched.dir/dc_resolver.cpp.o"
+  "CMakeFiles/atp_sched.dir/dc_resolver.cpp.o.d"
+  "CMakeFiles/atp_sched.dir/history.cpp.o"
+  "CMakeFiles/atp_sched.dir/history.cpp.o.d"
+  "libatp_sched.a"
+  "libatp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

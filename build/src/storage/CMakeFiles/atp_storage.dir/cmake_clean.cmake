@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_storage.dir/store.cpp.o"
+  "CMakeFiles/atp_storage.dir/store.cpp.o.d"
+  "libatp_storage.a"
+  "libatp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

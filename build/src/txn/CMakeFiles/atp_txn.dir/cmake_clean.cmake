@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_txn.dir/registry.cpp.o"
+  "CMakeFiles/atp_txn.dir/registry.cpp.o.d"
+  "libatp_txn.a"
+  "libatp_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wal/log.cpp" "src/wal/CMakeFiles/atp_wal.dir/log.cpp.o" "gcc" "src/wal/CMakeFiles/atp_wal.dir/log.cpp.o.d"
+  "/root/repo/src/wal/recovery.cpp" "src/wal/CMakeFiles/atp_wal.dir/recovery.cpp.o" "gcc" "src/wal/CMakeFiles/atp_wal.dir/recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/atp_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_wal.dir/log.cpp.o"
+  "CMakeFiles/atp_wal.dir/log.cpp.o.d"
+  "CMakeFiles/atp_wal.dir/recovery.cpp.o"
+  "CMakeFiles/atp_wal.dir/recovery.cpp.o.d"
+  "libatp_wal.a"
+  "libatp_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

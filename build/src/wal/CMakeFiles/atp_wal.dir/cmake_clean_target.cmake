@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatp_wal.a"
+)

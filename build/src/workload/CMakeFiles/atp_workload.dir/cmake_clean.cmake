@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_workload.dir/airline.cpp.o"
+  "CMakeFiles/atp_workload.dir/airline.cpp.o.d"
+  "CMakeFiles/atp_workload.dir/banking.cpp.o"
+  "CMakeFiles/atp_workload.dir/banking.cpp.o.d"
+  "CMakeFiles/atp_workload.dir/orders.cpp.o"
+  "CMakeFiles/atp_workload.dir/orders.cpp.o.d"
+  "CMakeFiles/atp_workload.dir/payroll.cpp.o"
+  "CMakeFiles/atp_workload.dir/payroll.cpp.o.d"
+  "libatp_workload.a"
+  "libatp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

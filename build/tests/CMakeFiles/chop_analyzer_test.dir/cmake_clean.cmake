@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chop_analyzer_test.dir/chop_analyzer_test.cpp.o"
+  "CMakeFiles/chop_analyzer_test.dir/chop_analyzer_test.cpp.o.d"
+  "chop_analyzer_test"
+  "chop_analyzer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chop_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chop_graph_test.dir/chop_graph_test.cpp.o"
+  "CMakeFiles/chop_graph_test.dir/chop_graph_test.cpp.o.d"
+  "chop_graph_test"
+  "chop_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chop_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_resolver_test.dir/dc_resolver_test.cpp.o"
+  "CMakeFiles/dc_resolver_test.dir/dc_resolver_test.cpp.o.d"
+  "dc_resolver_test"
+  "dc_resolver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_resolver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_executor_test.dir/dist_executor_test.cpp.o"
+  "CMakeFiles/dist_executor_test.dir/dist_executor_test.cpp.o.d"
+  "dist_executor_test"
+  "dist_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

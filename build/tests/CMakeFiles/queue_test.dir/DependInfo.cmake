@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/queue_test.cpp" "tests/CMakeFiles/queue_test.dir/queue_test.cpp.o" "gcc" "tests/CMakeFiles/queue_test.dir/queue_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wal/CMakeFiles/atp_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/atp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/atp_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/atp_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/atp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/chop/CMakeFiles/atp_chop.dir/DependInfo.cmake"
+  "/root/repo/build/src/limits/CMakeFiles/atp_limits.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/atp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/atp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/atp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/atp_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/atp_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

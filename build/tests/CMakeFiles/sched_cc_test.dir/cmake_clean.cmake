@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_cc_test.dir/sched_cc_test.cpp.o"
+  "CMakeFiles/sched_cc_test.dir/sched_cc_test.cpp.o.d"
+  "sched_cc_test"
+  "sched_cc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_cc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

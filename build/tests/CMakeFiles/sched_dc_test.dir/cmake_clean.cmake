@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_dc_test.dir/sched_dc_test.cpp.o"
+  "CMakeFiles/sched_dc_test.dir/sched_dc_test.cpp.o.d"
+  "sched_dc_test"
+  "sched_dc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_dc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_odc_test.dir/sched_odc_test.cpp.o"
+  "CMakeFiles/sched_odc_test.dir/sched_odc_test.cpp.o.d"
+  "sched_odc_test"
+  "sched_odc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_odc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

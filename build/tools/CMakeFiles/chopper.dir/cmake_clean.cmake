@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopper.dir/chopper.cpp.o"
+  "CMakeFiles/chopper.dir/chopper.cpp.o.d"
+  "chopper"
+  "chopper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,184 @@
+#include "audit/sr_certifier.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace atp {
+namespace {
+
+struct KeyedOp {
+  AuditNode node = 0;
+  bool is_write = false;
+  std::uint64_t seq = 0;
+};
+
+struct SiteKey {
+  SiteId site;
+  Key key;
+  bool operator==(const SiteKey&) const = default;
+};
+struct SiteKeyHash {
+  std::size_t operator()(const SiteKey& k) const noexcept {
+    return std::hash<std::uint64_t>()((std::uint64_t(k.site) << 48) ^ k.key);
+  }
+};
+
+[[nodiscard]] DepKind dep_kind(bool from_write, bool to_write) noexcept {
+  if (from_write && to_write) return DepKind::WW;
+  if (from_write) return DepKind::WR;
+  return DepKind::RW;
+}
+
+[[nodiscard]] std::string node_label(AuditNode n) {
+  std::ostringstream out;
+  if (audit_node_site(n) != 0) out << "site" << audit_node_site(n) << ":";
+  out << "T" << audit_node_txn(n);
+  return out.str();
+}
+
+}  // namespace
+
+std::string SrReport::describe() const {
+  std::ostringstream out;
+  if (!complete) out << "[incomplete trace: events dropped] ";
+  if (serializable) {
+    out << "SR: OK (" << committed_txns << " committed txns, " << edges
+        << " dependency edges, no cycle)";
+    return out.str();
+  }
+  out << "SR violation: ";
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const SrEdge& e = cycle[i];
+    out << node_label(e.from) << " -" << to_string(e.kind) << "[key " << e.key
+        << "]-> ";
+    if (i + 1 == cycle.size()) out << node_label(e.to);
+  }
+  return out.str();
+}
+
+std::unordered_map<AuditNode, AuditNode> piece_merge_map(
+    const std::vector<TraceEvent>& events) {
+  std::unordered_map<AuditNode, AuditNode> merge;
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceKind::PieceStart) continue;
+    if (e.aux2 == 0) continue;
+    merge[audit_node(e.site, e.txn)] = audit_node(e.site, e.aux2);
+  }
+  return merge;
+}
+
+SrReport certify_sr(const std::vector<TraceEvent>& events,
+                    const std::unordered_map<AuditNode, AuditNode>* merge,
+                    std::uint64_t dropped) {
+  SrReport report;
+  report.complete = dropped == 0;
+
+  std::unordered_set<AuditNode> committed;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceKind::TxnCommit)
+      committed.insert(audit_node(e.site, e.txn));
+  }
+
+  auto resolve = [&](AuditNode n) -> AuditNode {
+    if (merge != nullptr) {
+      auto it = merge->find(n);
+      if (it != merge->end()) return it->second;
+    }
+    return n;
+  };
+
+  // Chronological committed ops per (site, key).  `events` is seq-sorted.
+  std::unordered_map<SiteKey, std::vector<KeyedOp>, SiteKeyHash> by_key;
+  std::unordered_set<AuditNode> nodes;
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceKind::Read && e.kind != TraceKind::Write) continue;
+    if (!committed.count(audit_node(e.site, e.txn))) continue;
+    const AuditNode node = resolve(audit_node(e.site, e.txn));
+    nodes.insert(node);
+    by_key[SiteKey{e.site, e.key}].push_back(
+        KeyedOp{node, e.kind == TraceKind::Write, e.seq});
+  }
+  report.committed_txns = nodes.size();
+
+  // Direct-serialization graph: edge a -> b for every conflicting pair of
+  // ops of distinct nodes, ordered by seq.  First witness per (from, to)
+  // pair is kept for reporting.
+  std::unordered_map<AuditNode, std::unordered_map<AuditNode, SrEdge>> adj;
+  for (const auto& [sk, ops] : by_key) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        const KeyedOp& a = ops[i];
+        const KeyedOp& b = ops[j];
+        if (!a.is_write && !b.is_write) continue;
+        if (a.node == b.node) continue;
+        auto& slot = adj[a.node];
+        if (!slot.count(b.node)) {
+          slot.emplace(b.node, SrEdge{a.node, b.node, sk.key,
+                                      dep_kind(a.is_write, b.is_write), a.seq,
+                                      b.seq});
+        }
+      }
+    }
+  }
+  for (const auto& [from, outs] : adj) report.edges += outs.size();
+
+  // Cycle search: iterative three-colour DFS keeping the explicit path so a
+  // back edge yields the witnessing cycle.
+  std::unordered_map<AuditNode, int> colour;  // 0 white, 1 grey, 2 black
+  struct Frame {
+    AuditNode node;
+    std::vector<AuditNode> pending;  // unexplored neighbours
+  };
+  for (const auto& [start, outs_unused] : adj) {
+    (void)outs_unused;
+    if (colour[start] != 0) continue;
+    std::vector<Frame> path;
+    auto push = [&](AuditNode n) {
+      colour[n] = 1;
+      Frame f{n, {}};
+      auto it = adj.find(n);
+      if (it != adj.end()) {
+        f.pending.reserve(it->second.size());
+        for (const auto& [to, edge_unused] : it->second) {
+          (void)edge_unused;
+          f.pending.push_back(to);
+        }
+      }
+      path.push_back(std::move(f));
+    };
+    push(start);
+    while (!path.empty()) {
+      Frame& top = path.back();
+      if (top.pending.empty()) {
+        colour[top.node] = 2;
+        path.pop_back();
+        continue;
+      }
+      const AuditNode next = top.pending.back();
+      top.pending.pop_back();
+      const int c = colour[next];
+      if (c == 2) continue;
+      if (c == 0) {
+        push(next);
+        continue;
+      }
+      // Back edge to a grey node: the path from `next` to the top of the
+      // stack plus this edge is a cycle.
+      std::size_t begin = 0;
+      while (path[begin].node != next) ++begin;
+      for (std::size_t i = begin; i < path.size(); ++i) {
+        const AuditNode from = path[i].node;
+        const AuditNode to =
+            i + 1 < path.size() ? path[i + 1].node : next;
+        report.cycle.push_back(adj[from].at(to));
+      }
+      report.serializable = false;
+      return report;
+    }
+  }
+
+  report.serializable = true;
+  return report;
+}
+
+}  // namespace atp

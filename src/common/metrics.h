@@ -34,28 +34,52 @@ struct StatSummary {
   double min = 0, max = 0, mean = 0, p50 = 0, p95 = 0, p99 = 0, sum = 0;
 };
 
-/// Mutex-guarded sample recorder.  Fine for bench-scale sample counts.
+/// Mutex-guarded sample recorder with bounded memory: count/sum/min/max are
+/// tracked exactly, while percentiles come from a fixed-size reservoir
+/// (Vitter's Algorithm R -- each sample survives with probability cap/n, so
+/// the reservoir is a uniform sample of the whole stream).  Below the cap the
+/// reservoir holds every sample and summarize() is exact.
 class Histogram {
  public:
+  static constexpr std::size_t kDefaultReservoir = 4096;
+
+  explicit Histogram(std::size_t reservoir_capacity = kDefaultReservoir)
+      : capacity_(std::max<std::size_t>(1, reservoir_capacity)) {}
+
   void record(double sample) {
     std::lock_guard lock(mu_);
-    samples_.push_back(sample);
+    ++count_;
+    sum_ += sample;
+    min_ = count_ == 1 ? sample : std::min(min_, sample);
+    max_ = count_ == 1 ? sample : std::max(max_, sample);
+    if (samples_.size() < capacity_) {
+      samples_.push_back(sample);
+      return;
+    }
+    // Algorithm R: replace a uniformly-random slot with probability cap/n.
+    const std::uint64_t slot = next_random() % count_;
+    if (slot < capacity_) samples_[slot] = sample;
   }
 
   [[nodiscard]] StatSummary summarize() const {
     std::lock_guard lock(mu_);
     StatSummary s;
-    if (samples_.empty()) return s;
+    if (count_ == 0) return s;
+    s.count = count_;
+    s.min = min_;
+    s.max = max_;
+    s.sum = sum_;
+    s.mean = sum_ / double(count_);
     std::vector<double> sorted = samples_;
     std::sort(sorted.begin(), sorted.end());
-    s.count = sorted.size();
-    s.min = sorted.front();
-    s.max = sorted.back();
-    for (double v : sorted) s.sum += v;
-    s.mean = s.sum / double(s.count);
+    // Linear interpolation between closest ranks (the "C = 1" convention):
+    // percentile q sits at fractional rank q*(n-1).
     auto pct = [&](double q) {
-      const auto idx = static_cast<std::size_t>(q * double(sorted.size() - 1));
-      return sorted[idx];
+      const double rank = q * double(sorted.size() - 1);
+      const auto lo = static_cast<std::size_t>(rank);
+      const double frac = rank - double(lo);
+      if (lo + 1 >= sorted.size()) return sorted[lo];
+      return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
     };
     s.p50 = pct(0.50);
     s.p95 = pct(0.95);
@@ -63,14 +87,38 @@ class Histogram {
     return s;
   }
 
+  /// Samples currently held for percentile estimation (<= the capacity the
+  /// histogram was built with).
+  [[nodiscard]] std::size_t reservoir_size() const {
+    std::lock_guard lock(mu_);
+    return samples_.size();
+  }
+
   void reset() {
     std::lock_guard lock(mu_);
     samples_.clear();
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
   }
 
  private:
+  // xorshift64*: cheap, seeded deterministically so summaries of identical
+  // streams agree run to run.
+  std::uint64_t next_random() {
+    rng_state_ ^= rng_state_ >> 12;
+    rng_state_ ^= rng_state_ << 25;
+    rng_state_ ^= rng_state_ >> 27;
+    return rng_state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  const std::size_t capacity_;
   mutable std::mutex mu_;
-  std::vector<double> samples_;
+  std::vector<double> samples_;  ///< the reservoir
+  std::uint64_t count_ = 0;
+  double sum_ = 0, min_ = 0, max_ = 0;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;
 };
 
 /// Everything an executor run reports.  One instance per run.

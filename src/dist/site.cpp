@@ -5,7 +5,11 @@
 namespace atp {
 
 Site::Site(SiteId id, SimNetwork& net, DatabaseOptions db_options)
-    : id_(id), net_(net), db_(db_options), queues_(id, net) {}
+    : id_(id), net_(net), db_(db_options), queues_(id, net) {
+  // One tracer serves the whole site: the database options carry it to the
+  // scheduler/locks/registry, and the queue endpoint shares it.
+  queues_.set_tracer(db_options.tracer);
+}
 
 Site::~Site() { stop(); }
 
@@ -54,6 +58,7 @@ bool Site::wait_done(std::uint64_t gtid, std::chrono::milliseconds timeout) {
 }
 
 void Site::crash() {
+  Tracer::emit(db_.tracer(), TraceKind::SiteCrash, id_);
   up_.store(false, std::memory_order_release);
   net_.set_site_up(id_, false);
 
@@ -81,6 +86,7 @@ void Site::crash() {
 }
 
 void Site::recover() {
+  Tracer::emit(db_.tracer(), TraceKind::SiteRecover, id_);
   net_.set_site_up(id_, true);
   up_.store(true, std::memory_order_release);
   // Re-trigger handlers for everything still sitting in the durable queues.

@@ -32,15 +32,19 @@ struct PieceRunner::PieceOutcome {
 // (or takes the programmed rollback, piece 1 only).
 PieceRunner::PieceOutcome PieceRunner::run_one_piece(
     const TxnTypePlan& plan, const TxnInstance& instance, std::size_t p,
-    Value limit, Rng& rng) {
+    Value limit, Rng& rng, TxnId original) {
   PieceOutcome out;
   const auto [begin, end] = plan.piece_ranges[p];
   const TxnKind kind = plan.type.kind;
+  Tracer* const tracer = db_.tracer();
+  const SiteId site = db_.site_id();
 
   for (std::uint64_t attempt = 0;; ++attempt) {
     if (attempt > 0) {
       ++out.resubmissions;
       if (metrics_) metrics_->resubmissions.add();
+      Tracer::emit(tracer, TraceKind::PieceResubmit, site, kInvalidTxn, p, 0,
+                   0, attempt, original);
       if (attempt >= kMaxResubmit) {
         // Pathological livelock guard; callers treat this as a test bug.
         assert(false && "piece resubmission cap reached");
@@ -54,6 +58,8 @@ PieceRunner::PieceOutcome PieceRunner::run_one_piece(
 
     Stopwatch piece_clock;
     Txn txn = db_.begin(kind, spec_for(kind, limit), kInvalidTxn);
+    Tracer::emit(tracer, TraceKind::PieceStart, site, txn.id(), p, limit, 0,
+                 attempt, original);
     Status failure = Status::Ok();
     Value piece_reads = 0;
     bool programmed_rollback = false;
@@ -115,6 +121,8 @@ PieceRunner::PieceOutcome PieceRunner::run_one_piece(
       }
       out.z_p = txn.fuzziness();
       out.reads = piece_reads;
+      Tracer::emit(tracer, TraceKind::PieceFinish, site, txn.id(), p, out.z_p,
+                   0, attempt, original);
       if (metrics_) {
         metrics_->committed_pieces.add();
         metrics_->piece_latency_us.record(double(piece_clock.elapsed_us()));
@@ -147,6 +155,15 @@ TxnRunResult PieceRunner::run(const TxnTypePlan& plan,
   TxnRunResult result;
   Stopwatch txn_clock;
 
+  // The original transaction never runs itself, but the trace needs a stable
+  // id to hang its pieces off (and the SR certifier to merge them under).
+  // Allocate one only when tracing so id sequences are unchanged otherwise.
+  Tracer* const tracer = db_.tracer();
+  const SiteId site = db_.site_id();
+  const TxnId original = tracer ? db_.registry().allocate_id() : kInvalidTxn;
+  Tracer::emit(tracer, TraceKind::RunBegin, site, original, 0,
+               double(plan.piece_ranges.size()));
+
   std::unique_ptr<LimitDistributor> distributor;
   if (policy == DistPolicy::Dynamic) {
     distributor = std::make_unique<DynamicDistribution>(plan.plan_info);
@@ -174,11 +191,12 @@ TxnRunResult PieceRunner::run(const TxnTypePlan& plan,
   // else starts until it commits (rollback-safety).
   {
     const PieceOutcome first =
-        run_one_piece(plan, instance, 0, limit_of(0), rng);
+        run_one_piece(plan, instance, 0, limit_of(0), rng, original);
     if (first.rolled_back) {
       result.rolled_back = true;
       result.resubmissions += first.resubmissions;
       result.latency_us = double(txn_clock.elapsed_us());
+      Tracer::emit(tracer, TraceKind::RunRollback, site, original);
       return result;
     }
     account(0, first);
@@ -190,7 +208,7 @@ TxnRunResult PieceRunner::run(const TxnTypePlan& plan,
     // piece index order (the dependency derivation guarantees parent < p).
     for (std::size_t p = 1; p < plan.piece_ranges.size(); ++p) {
       const PieceOutcome out =
-          run_one_piece(plan, instance, p, limit_of(p), rng);
+          run_one_piece(plan, instance, p, limit_of(p), rng, original);
       account(p, out);
     }
   } else {
@@ -200,7 +218,7 @@ TxnRunResult PieceRunner::run(const TxnTypePlan& plan,
     std::function<void(std::size_t)> exec = [&](std::size_t p) {
       Rng piece_rng(base_seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
       const PieceOutcome out =
-          run_one_piece(plan, instance, p, limit_of(p), piece_rng);
+          run_one_piece(plan, instance, p, limit_of(p), piece_rng, original);
       account(p, out);
       const auto& kids = children[p];
       if (kids.size() == 1) {
@@ -225,6 +243,8 @@ TxnRunResult PieceRunner::run(const TxnTypePlan& plan,
 
   result.committed = true;
   result.latency_us = double(txn_clock.elapsed_us());
+  Tracer::emit(tracer, TraceKind::RunCommit, site, original, 0,
+               result.z_restricted, result.z_total);
   if (metrics_) {
     metrics_->committed_txns.add();
     metrics_->txn_latency_us.record(result.latency_us);

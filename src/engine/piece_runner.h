@@ -68,9 +68,11 @@ class PieceRunner {
  private:
   struct PieceOutcome;
 
+  /// `original`: trace id of the original transaction the piece belongs to
+  /// (kInvalidTxn when tracing is off).
   PieceOutcome run_one_piece(const TxnTypePlan& plan,
                              const TxnInstance& instance, std::size_t piece,
-                             Value limit, Rng& rng);
+                             Value limit, Rng& rng, TxnId original);
 
   Database& db_;
   RunMetrics* metrics_;

@@ -51,6 +51,8 @@ Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
     waiting_[txn] = &self;
     if (creates_deadlock(txn)) {
       ++stats_.deadlocks;
+      Tracer::emit(tracer_, TraceKind::LockDeadlock, site_, txn, key, 0, 0,
+                   mode == LockMode::Exclusive ? kTraceModeExclusive : 0);
       cleanup();
       return Status::Deadlock("waits-for cycle through txn " +
                               std::to_string(txn));
@@ -58,6 +60,9 @@ Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
     if (!counted_wait) {
       ++stats_.waits;
       counted_wait = true;
+      Tracer::emit(tracer_, TraceKind::LockWait, site_, txn, key, 0, 0,
+                   mode == LockMode::Exclusive ? kTraceModeExclusive : 0,
+                   self.waits_for.empty() ? 0 : *self.waits_for.begin());
     }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       // Re-evaluate once after timeout in case a grant raced the clock.
@@ -67,6 +72,8 @@ Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
         return Status::Ok();
       }
       ++stats_.timeouts;
+      Tracer::emit(tracer_, TraceKind::LockTimeout, site_, txn, key, 0, 0,
+                   mode == LockMode::Exclusive ? kTraceModeExclusive : 0);
       cleanup();
       return Status::Timeout("lock wait on key " + std::to_string(key));
     }
@@ -144,6 +151,9 @@ bool LockManager::creates_deadlock(TxnId from) const {
 
 void LockManager::grant(TxnId txn, Key key, LockMode mode, bool fuzzy,
                         Queue& q) {
+  Tracer::emit(tracer_, TraceKind::LockAcquire, site_, txn, key, 0, 0,
+               (mode == LockMode::Exclusive ? kTraceModeExclusive : 0) |
+                   (fuzzy ? kTraceGrantFuzzy : 0));
   for (LockHolder& h : q.holders) {
     if (h.txn == txn) {  // upgrade in place
       h.mode = LockMode::Exclusive;
@@ -159,6 +169,7 @@ void LockManager::release_all(TxnId txn) {
   std::lock_guard lock(mu_);
   auto held = held_keys_.find(txn);
   if (held != held_keys_.end()) {
+    Tracer::emit(tracer_, TraceKind::LockRelease, site_, txn);
     for (Key key : held->second) {
       auto qit = queues_.find(key);
       if (qit == queues_.end()) continue;

@@ -28,6 +28,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "trace/tracer.h"
 
 namespace atp {
 
@@ -117,6 +118,13 @@ class LockManager {
 
   void set_timeout(std::chrono::milliseconds t) { timeout_ = t; }
 
+  /// Attach a tracer: grants (with conflict type), waits, deadlocks,
+  /// timeouts and releases are recorded as structured events.
+  void set_trace(Tracer* tracer, SiteId site) noexcept {
+    tracer_ = tracer;
+    site_ = site;
+  }
+
  private:
   struct Waiter {
     TxnId txn;
@@ -142,6 +150,8 @@ class LockManager {
   std::unordered_map<TxnId, Waiter*> waiting_;
   LockStats stats_;
   std::chrono::milliseconds timeout_;
+  Tracer* tracer_ = nullptr;
+  SiteId site_ = 0;
 
   enum class Decision { Granted, Blocked };
 

@@ -26,8 +26,12 @@ std::uint64_t SimNetwork::send(Message msg) {
                              link_up_[msg.from][msg.to];
     if (!deliverable) {
       ++stats_.dropped;
+      Tracer::emit(tracer_, TraceKind::NetDrop, msg.from, kInvalidTxn, msg.to,
+                   0, 0, id);
       return id;
     }
+    Tracer::emit(tracer_, TraceKind::NetSend, msg.from, kInvalidTxn, msg.to, 0,
+                 0, id);
     auto delay = options_.one_way_latency;
     if (options_.jitter.count() > 0) {
       // xorshift for cheap deterministic-ish jitter
@@ -68,6 +72,8 @@ std::optional<Message> SimNetwork::receive_matching(
           std::lock_guard slock(state_mu_);
           ++stats_.delivered;
         }
+        Tracer::emit(tracer_, TraceKind::NetDeliver, site, kInvalidTxn, m.from,
+                     0, 0, m.id);
         return m;
       }
       if (it->deliver_at < earliest) earliest = it->deliver_at;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "trace/tracer.h"
 
 namespace atp {
 
@@ -67,6 +68,10 @@ class SimNetwork {
   [[nodiscard]] NetStats stats() const;
   void reset_stats();
 
+  /// Attach a tracer: every send, drop, and delivery is recorded (site =
+  /// sender for send/drop, receiver for delivery; key = the peer site).
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
   [[nodiscard]] std::size_t site_count() const noexcept {
     return inboxes_.size();
   }
@@ -98,6 +103,7 @@ class SimNetwork {
   NetStats stats_;
   std::uint64_t next_id_ = 1;
   std::uint64_t jitter_state_ = 0x9e3779b97f4a7c15ULL;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace atp

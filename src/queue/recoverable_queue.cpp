@@ -32,10 +32,13 @@ void QueueEndpoint::enqueue(Txn& txn, SiteId dest, std::string queue,
   // Stage: the message joins the durable outbound set only when the
   // transaction commits ("messages sent through a recoverable queue are
   // parts of transaction effects").
-  txn.on_commit([this, qmsg_id, dest, queue = std::move(queue),
+  txn.on_commit([this, qmsg_id, dest, txn_id = txn.id(),
+                 queue = std::move(queue),
                  payload = std::move(payload)]() mutable {
     std::lock_guard lock(mu_);
     ++stats_.enqueued;
+    Tracer::emit(tracer_, TraceKind::QueueEnqueue, site_, txn_id, 0, 0, 0,
+                 qmsg_id, dest);
     Outbound out;
     out.qmsg_id = qmsg_id;
     out.dest = dest;
@@ -64,17 +67,21 @@ std::optional<std::any> QueueEndpoint::try_dequeue(Txn& txn,
   }
   const std::uint64_t token = next_claim_++;
   std::any payload = d.payload;  // copy returned to the caller
+  Tracer::emit(tracer_, TraceKind::QueueDequeue, site_, txn.id(), 0, 0, 0,
+               d.qmsg_id);
   claims_.emplace(token, std::make_pair(queue, std::move(d)));
 
   txn.on_commit([this, token] {
     std::lock_guard lock(mu_);
     if (claims_.erase(token) > 0) ++stats_.consumed;
   });
-  txn.on_abort([this, token] {
+  txn.on_abort([this, token, txn_id = txn.id()] {
     std::lock_guard lock(mu_);
     auto cit = claims_.find(token);
     if (cit == claims_.end()) return;
     // Redelivery rule: the aborting consumer's message returns to the front.
+    Tracer::emit(tracer_, TraceKind::QueueRedeliver, site_, txn_id, 0, 0, 0,
+                 cit->second.second.qmsg_id);
     inbound_[cit->second.first].push_front(std::move(cit->second.second));
     claims_.erase(cit);
     ++stats_.redelivered;
@@ -113,6 +120,8 @@ bool QueueEndpoint::deliver(const Message& msg) {
     if (seen_.insert(msg.gtid).second) {
       is_new = true;
       ++stats_.delivered;
+      Tracer::emit(tracer_, TraceKind::QueueDeliver, site_, kInvalidTxn, 0, 1,
+                   0, msg.gtid, msg.from);
       const auto* envelope =
           std::any_cast<std::pair<std::string, std::any>>(&msg.payload);
       if (envelope != nullptr) {
@@ -186,6 +195,8 @@ void QueueEndpoint::crash() {
   // Claims are volatile: the claiming transactions died with the site, so
   // their messages return to their queues.
   for (auto& [token, entry] : claims_) {
+    Tracer::emit(tracer_, TraceKind::QueueRedeliver, site_, kInvalidTxn, 0, 0,
+                 0, entry.second.qmsg_id);
     inbound_[entry.first].push_front(std::move(entry.second));
     ++stats_.redelivered;
   }

@@ -34,6 +34,7 @@
 
 #include "net/network.h"
 #include "sched/database.h"
+#include "trace/tracer.h"
 #include "wal/log.h"
 #include "wal/recovery.h"
 
@@ -101,6 +102,10 @@ class QueueEndpoint {
   /// everything volatile first).
   void restore_from(const RecoveryResult& recovery);
 
+  /// Attach a tracer: queue lifecycle events (commit-time enqueue, dequeue
+  /// claims, inbound deliveries, abort/crash redeliveries) are recorded.
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -123,6 +128,7 @@ class QueueEndpoint {
   SiteId site_;
   SimNetwork& net_;
   LogDevice* wal_ = nullptr;
+  Tracer* tracer_ = nullptr;
   std::chrono::milliseconds retry_interval_{20};
 
   mutable std::mutex mu_;

@@ -11,12 +11,17 @@ Database::Database(DatabaseOptions opts)
       locks_(opts.lock_timeout),
       dc_resolver_(registry_, store_) {
   history_.set_enabled(opts.record_history);
+  locks_.set_trace(opts.tracer, opts.site_id);
+  registry_.set_trace(opts.tracer, opts.site_id);
 }
 
 void Database::load(Key key, Value value) { store_.load(key, value); }
 
 Txn Database::begin(TxnKind kind, EpsilonSpec spec, TxnId parent) {
   const TxnId id = registry_.begin(kind, spec, parent);
+  Tracer::emit(opts_.tracer, TraceKind::TxnBegin, opts_.site_id, id, 0,
+               spec.import_limit, spec.export_limit,
+               kind == TxnKind::Update ? 1 : 0, parent);
   Txn t(this, id, kind);
   t.state_ = Txn::State::Active;
   return t;
@@ -95,6 +100,8 @@ Result<Value> Txn::read(Key key) {
     if (v.ok()) {
       read_log_.emplace_back(key, v.value());
       db_->history_.record(id_, OpType::Read, key, v.value());
+      Tracer::emit(db_->opts_.tracer, TraceKind::Read, db_->opts_.site_id, id_,
+                   key, v.value());
     }
     return v;
   }
@@ -103,7 +110,11 @@ Result<Value> Txn::read(Key key) {
   // Under DC a fuzzy S grant may coexist with an uncommitted writer; the
   // value observed is the dirty one, whose divergence was charged at grant.
   Result<Value> v = db_->store_.read_latest(key);
-  if (v.ok()) db_->history_.record(id_, OpType::Read, key, v.value());
+  if (v.ok()) {
+    db_->history_.record(id_, OpType::Read, key, v.value());
+    Tracer::emit(db_->opts_.tracer, TraceKind::Read, db_->opts_.site_id, id_,
+                 key, v.value());
+  }
   return v;
 }
 
@@ -130,6 +141,8 @@ Status Txn::write(Key key, Value value) {
   if (!w.ok()) return w;
   write_set_.insert(key);
   db_->history_.record(id_, OpType::Write, key, value);
+  Tracer::emit(db_->opts_.tracer, TraceKind::Write, db_->opts_.site_id, id_,
+               key, value);
 
   // Incremental fuzziness charge to every query ET currently sharing the
   // key (they were fuzzy-granted past our X, or we were granted past their
@@ -183,6 +196,8 @@ Status Txn::add(Key key, Value delta) {
   Result<Value> old_latest = db_->store_.read_latest(key);
   if (!old_latest.ok()) return old_latest.status();
   db_->history_.record(id_, OpType::Read, key, old_latest.value());
+  Tracer::emit(db_->opts_.tracer, TraceKind::Read, db_->opts_.site_id, id_,
+               key, old_latest.value());
   // Delegate to write() for the staged write + fuzziness charging.  The X
   // lock is already held, so the inner acquire is a re-entrant no-op.
   return write(key, old_latest.value() + delta);
@@ -233,6 +248,8 @@ Status Txn::commit() {
   abort_hooks_.clear();
   final_fuzziness_ = db_->registry_.end_commit(id_);
   db_->history_.mark_committed(id_);
+  Tracer::emit(db_->opts_.tracer, TraceKind::TxnCommit, db_->opts_.site_id,
+               id_, 0, final_fuzziness_);
   db_->locks_.release_all(id_);
   state_ = State::Committed;
   return Status::Ok();
@@ -270,6 +287,8 @@ void Txn::abort() {
   commit_hooks_.clear();
   abort_hooks_.clear();
   db_->registry_.end_abort(id_);
+  Tracer::emit(db_->opts_.tracer, TraceKind::TxnAbort, db_->opts_.site_id,
+               id_);
   db_->locks_.release_all(id_);
   state_ = State::Aborted;
 }

@@ -31,6 +31,7 @@
 #include "sched/dc_resolver.h"
 #include "sched/history.h"
 #include "storage/store.h"
+#include "trace/tracer.h"
 #include "txn/epsilon.h"
 #include "txn/registry.h"
 #include "wal/recovery.h"
@@ -67,6 +68,14 @@ struct DatabaseOptions {
   /// total-loss crash.  Owned by the caller and must outlive the Database
   /// (it is the "disk").
   class LogDevice* wal = nullptr;
+  /// Optional structured-event tracer (trace/tracer.h).  When set, the full
+  /// transaction lifecycle -- begin/commit/abort, reads/writes, lock
+  /// traffic, fuzziness charges -- is recorded for the audit certifiers.
+  /// Owned by the caller; must outlive the Database.
+  Tracer* tracer = nullptr;
+  /// Site id stamped on every traced event (multi-site simulations give each
+  /// Database its own id so transaction ids never collide in a shared trace).
+  SiteId site_id = 0;
 };
 
 class Database;
@@ -167,6 +176,8 @@ class Database {
   EtRegistry& registry() noexcept { return registry_; }
   LockManager& locks() noexcept { return locks_; }
   HistoryRecorder& history() noexcept { return history_; }
+  Tracer* tracer() const noexcept { return opts_.tracer; }
+  [[nodiscard]] SiteId site_id() const noexcept { return opts_.site_id; }
 
   /// Simulated site failure: dirty data lost; live ETs must be abandoned by
   /// their drivers (their handles abort as no-ops afterwards).  `survivors`

@@ -1,0 +1,25 @@
+// Trace exporters.
+//
+// write_chrome_trace() emits the Chrome trace_event JSON object format
+// ({"traceEvents": [...]}), loadable in chrome://tracing and Perfetto.
+// Transactions, original (chopped) runs and pieces become complete ("X")
+// duration events on the recording thread's track; everything else becomes
+// an instant ("i") event.  pid = site, tid = the tracer's dense thread index.
+//
+// write_ndjson() emits one JSON object per line per event with every raw
+// field, for jq/python scripting.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "trace/tracer.h"
+
+namespace atp {
+
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& out);
+
+void write_ndjson(const std::vector<TraceEvent>& events, std::ostream& out);
+
+}  // namespace atp

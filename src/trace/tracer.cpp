@@ -1,0 +1,147 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+
+namespace atp {
+
+const char* to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::TxnBegin: return "txn_begin";
+    case TraceKind::TxnCommit: return "txn_commit";
+    case TraceKind::TxnAbort: return "txn_abort";
+    case TraceKind::Read: return "read";
+    case TraceKind::Write: return "write";
+    case TraceKind::RunBegin: return "run_begin";
+    case TraceKind::RunCommit: return "run_commit";
+    case TraceKind::RunRollback: return "run_rollback";
+    case TraceKind::PieceStart: return "piece_start";
+    case TraceKind::PieceFinish: return "piece_finish";
+    case TraceKind::PieceResubmit: return "piece_resubmit";
+    case TraceKind::LockWait: return "lock_wait";
+    case TraceKind::LockAcquire: return "lock_acquire";
+    case TraceKind::LockRelease: return "lock_release";
+    case TraceKind::LockDeadlock: return "lock_deadlock";
+    case TraceKind::LockTimeout: return "lock_timeout";
+    case TraceKind::FuzzImport: return "fuzz_import";
+    case TraceKind::FuzzExport: return "fuzz_export";
+    case TraceKind::QueueEnqueue: return "queue_enqueue";
+    case TraceKind::QueueDequeue: return "queue_dequeue";
+    case TraceKind::QueueDeliver: return "queue_deliver";
+    case TraceKind::QueueRedeliver: return "queue_redeliver";
+    case TraceKind::NetSend: return "net_send";
+    case TraceKind::NetDeliver: return "net_deliver";
+    case TraceKind::NetDrop: return "net_drop";
+    case TraceKind::SiteCrash: return "site_crash";
+    case TraceKind::SiteRecover: return "site_recover";
+  }
+  return "?";
+}
+
+namespace {
+std::atomic<std::uint64_t> next_tracer_id{1};
+}  // namespace
+
+Tracer::Tracer(std::size_t per_thread_capacity)
+    : id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(std::max<std::size_t>(1, per_thread_capacity)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::Ring* Tracer::ring_for_current_thread() {
+  // One-entry cache keyed by the tracer's never-reused id -- NOT its address:
+  // a dead tracer's storage can be reused by a new one, and an address match
+  // would then hand back a ring freed with the old tracer.  A thread
+  // alternating between live tracers gets a fresh ring per switch (the old
+  // ring stays in rings_, so its events still reach collect()).
+  struct Cache {
+    std::uint64_t tracer_id = 0;
+    Ring* ring = nullptr;
+  };
+  static thread_local Cache cache;
+  if (cache.tracer_id == id_) return cache.ring;
+
+  std::lock_guard lock(registry_mu_);
+  rings_.push_back(std::make_unique<Ring>());
+  cache.tracer_id = id_;
+  cache.ring = rings_.back().get();
+  return cache.ring;
+}
+
+void Tracer::record(TraceKind kind, SiteId site, TxnId txn, Key key, double a,
+                    double b, std::uint64_t aux, std::uint64_t aux2) {
+  TraceEvent ev;
+  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ev.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - epoch_)
+                 .count();
+  ev.site = site;
+  ev.kind = kind;
+  ev.txn = txn;
+  ev.key = key;
+  ev.a = a;
+  ev.b = b;
+  ev.aux = aux;
+  ev.aux2 = aux2;
+
+  Ring* ring = ring_for_current_thread();
+  std::lock_guard lock(ring->mu);
+  if (ring->slots.size() < capacity_) {
+    ring->slots.push_back(ev);
+  } else {
+    // (written - base) counts events since the last clear(), so this cycles
+    // through the slots oldest-first regardless of clears.
+    ring->slots[(ring->written - ring->base) % capacity_] = ev;
+  }
+  ++ring->written;
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard registry_lock(registry_mu_);
+    for (std::size_t i = 0; i < rings_.size(); ++i) {
+      const Ring& ring = *rings_[i];
+      std::lock_guard lock(ring.mu);
+      for (TraceEvent ev : ring.slots) {
+        ev.tid = static_cast<std::uint32_t>(i);
+        all.push_back(ev);
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  return all;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard registry_lock(registry_mu_);
+  std::uint64_t lost = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard lock(ring->mu);
+    const std::uint64_t live = ring->written - ring->base;
+    if (live > capacity_) lost += live - capacity_;
+  }
+  return lost;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard registry_lock(registry_mu_);
+  std::size_t n = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard lock(ring->mu);
+    n += ring->slots.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  std::lock_guard registry_lock(registry_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard lock(ring->mu);
+    ring->slots.clear();
+    ring->base = ring->written;
+  }
+}
+
+}  // namespace atp

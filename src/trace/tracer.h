@@ -1,0 +1,155 @@
+// Structured event tracing for the whole transaction lifecycle.
+//
+// The Tracer is a low-overhead, thread-safe recorder: each recording thread
+// writes into its own fixed-size ring buffer (one uncontended mutex per ring,
+// taken only by the owner thread and by collect()), and events carry a global
+// sequence number so collect() can merge the rings into one totally ordered
+// span stream.  When tracing is off every instrumented call site costs a
+// single null-pointer check.
+//
+// The captured history is the input to the audit layer (src/audit/): the SR
+// certifier rebuilds the direct-serialization graph from Read/Write events,
+// and the ESR certifier replays the FuzzImport/FuzzExport ledger.  The
+// exporters (trace/export.h) turn the same events into Chrome trace_event
+// JSON (chrome://tracing, Perfetto) and newline-delimited JSON.
+//
+// Rings overwrite their oldest events when full (the recorder never blocks
+// and never allocates after a ring fills); dropped() reports how many events
+// were lost so an auditor can refuse to certify an incomplete trace.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace atp {
+
+/// What happened.  Field conventions per kind are documented inline; unused
+/// fields are zero.
+enum class TraceKind : std::uint8_t {
+  // Epsilon-transaction (ET) lifecycle -- sched/.
+  TxnBegin,    ///< txn; a=import limit, b=export limit; aux=1 if update ET;
+               ///< aux2=parent id (0 when unchopped)
+  TxnCommit,   ///< txn; a=final fuzziness Z (imported+exported)
+  TxnAbort,    ///< txn
+  Read,        ///< txn, key; a=value observed
+  Write,       ///< txn, key; a=value installed
+  // Original (chopped) transaction + piece lifecycle -- engine/.
+  RunBegin,     ///< txn=original id
+  RunCommit,    ///< txn=original id; a=Z restricted, b=Z total
+  RunRollback,  ///< txn=original id (programmed rollback taken)
+  PieceStart,   ///< txn=piece ET id; key=piece index; a=piece Limit;
+                ///< aux2=original id
+  PieceFinish,  ///< txn=piece ET id; key=piece index; a=Z_p; aux2=original id
+  PieceResubmit,  ///< key=piece index; aux=attempt; aux2=original id
+  // Lock manager -- lock/.  aux bit0 = exclusive mode, bit1 = fuzzy grant.
+  LockWait,      ///< txn, key; aux=mode; aux2=one blocking txn
+  LockAcquire,   ///< txn, key; aux=mode|fuzzy<<1
+  LockRelease,   ///< txn (release_all: every key at once)
+  LockDeadlock,  ///< txn, key; aux=mode (refused as deadlock victim)
+  LockTimeout,   ///< txn, key; aux=mode
+  // Divergence-control fuzziness ledger -- txn/.
+  FuzzImport,  ///< txn=query ET; a=amount; b=import limit at charge time;
+               ///< aux2=counterpart update ET (0 for ODC self-import)
+  FuzzExport,  ///< txn=update ET; a=amount; b=export limit at charge time;
+               ///< aux2=counterpart query ET
+  // Recoverable queues -- queue/.
+  QueueEnqueue,    ///< txn; aux=qmsg id; aux2=destination site
+  QueueDequeue,    ///< txn; aux=qmsg id (claim staged under txn)
+  QueueDeliver,    ///< aux=qmsg id; aux2=sender site; a=1 new, 0 duplicate
+  QueueRedeliver,  ///< aux=qmsg id (claim returned by an aborting consumer)
+  // Simulated network -- net/.  site=sender for Send/Drop, receiver for
+  // Deliver; key carries the peer site id.
+  NetSend,     ///< site=from, key=to, aux=message id
+  NetDeliver,  ///< site=to, key=from, aux=message id
+  NetDrop,     ///< site=from, key=to, aux=message id
+  // Site failure injection -- dist/.
+  SiteCrash,    ///< site
+  SiteRecover,  ///< site
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind) noexcept;
+
+/// One recorded event.  POD on purpose: recording must not allocate.
+struct TraceEvent {
+  std::uint64_t seq = 0;   ///< global total order (assigned at record time)
+  std::int64_t ts_us = 0;  ///< microseconds since the tracer's epoch
+  std::uint32_t tid = 0;   ///< dense per-tracer thread index
+  SiteId site = 0;         ///< site the event happened at (0 when single-site)
+  TraceKind kind = TraceKind::TxnBegin;
+  TxnId txn = kInvalidTxn;
+  Key key = 0;
+  double a = 0;  ///< primary scalar payload (value, amount, Z, ...)
+  double b = 0;  ///< secondary scalar payload (limit, Z total, ...)
+  std::uint64_t aux = 0;   ///< small integer payload (mode bits, msg id, ...)
+  std::uint64_t aux2 = 0;  ///< second integer payload (parent, peer, ...)
+};
+
+/// Lock-mode bits carried in `aux` of the Lock* events.
+inline constexpr std::uint64_t kTraceModeExclusive = 1;
+inline constexpr std::uint64_t kTraceGrantFuzzy = 2;
+
+class Tracer {
+ public:
+  /// `per_thread_capacity`: ring size, in events, of each recording thread.
+  explicit Tracer(std::size_t per_thread_capacity = kDefaultCapacity);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Record one event.  Thread-safe; assigns seq/ts/tid.  Never blocks on
+  /// other recorders (each thread owns its ring).
+  void record(TraceKind kind, SiteId site, TxnId txn = kInvalidTxn,
+              Key key = 0, double a = 0, double b = 0, std::uint64_t aux = 0,
+              std::uint64_t aux2 = 0);
+
+  /// Null-safe convenience for instrumented call sites: one pointer check
+  /// when tracing is off.
+  static void emit(Tracer* tracer, TraceKind kind, SiteId site,
+                   TxnId txn = kInvalidTxn, Key key = 0, double a = 0,
+                   double b = 0, std::uint64_t aux = 0,
+                   std::uint64_t aux2 = 0) {
+    if (tracer != nullptr) tracer->record(kind, site, txn, key, a, b, aux, aux2);
+  }
+
+  /// Merge every thread's ring into one stream ordered by seq.
+  /// Non-destructive: events stay in their rings until overwritten.
+  [[nodiscard]] std::vector<TraceEvent> collect() const;
+
+  /// Events lost to ring overwrites since the last clear().  A nonzero value
+  /// means collect() is a suffix of the true history; certifiers report such
+  /// traces as incomplete.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Events currently retained across all rings.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drop all retained events and reset the drop counters.  The seq counter
+  /// keeps climbing so pre-clear stragglers can never alias post-clear order.
+  void clear();
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> slots;  ///< grows to capacity, then wraps
+    std::uint64_t written = 0;      ///< total events ever written
+    std::uint64_t base = 0;         ///< events discarded by clear()
+  };
+
+  [[nodiscard]] Ring* ring_for_current_thread();
+
+  const std::uint64_t id_;  ///< process-unique, never reused (cache key)
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_seq_{1};
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace atp

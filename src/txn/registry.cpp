@@ -24,6 +24,10 @@ bool EtRegistry::try_charge_pair(TxnId query_et, TxnId update_et,
   if (u.exported + amount > u.spec.export_limit) return false;
   q.imported += amount;
   u.exported += amount;
+  Tracer::emit(tracer_, TraceKind::FuzzImport, site_, query_et, 0, amount,
+               q.spec.import_limit, 0, update_et);
+  Tracer::emit(tracer_, TraceKind::FuzzExport, site_, update_et, 0, amount,
+               u.spec.export_limit, 0, query_et);
   return true;
 }
 
@@ -48,7 +52,13 @@ bool EtRegistry::try_charge_multi(std::span<const TxnId> queries,
   for (Entry* q : qs) {
     if (q->imported + amount > q->spec.import_limit) return false;
   }
-  for (Entry* q : qs) q->imported += amount;
+  for (Entry* q : qs) {
+    q->imported += amount;
+    Tracer::emit(tracer_, TraceKind::FuzzImport, site_, q->id, 0, amount,
+                 q->spec.import_limit, 0, update_et);
+    Tracer::emit(tracer_, TraceKind::FuzzExport, site_, update_et, 0, amount,
+                 u.spec.export_limit, 0, q->id);
+  }
   u.exported += amount * double(qs.size());
   return true;
 }
@@ -80,6 +90,8 @@ bool EtRegistry::try_self_import(TxnId query_et, Value amount) {
   Entry& q = it->second;
   if (q.imported + amount > q.spec.import_limit) return false;
   q.imported += amount;
+  Tracer::emit(tracer_, TraceKind::FuzzImport, site_, query_et, 0, amount,
+               q.spec.import_limit, 0, kInvalidTxn);
   return true;
 }
 

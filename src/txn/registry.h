@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "trace/tracer.h"
 #include "txn/epsilon.h"
 
 namespace atp {
@@ -97,11 +98,21 @@ class EtRegistry {
 
   [[nodiscard]] std::size_t live_count() const;
 
+  /// Attach a tracer: every successful import/export charge is recorded as a
+  /// fuzziness-ledger event (amount + the limit in force), which is what the
+  /// ESR certifier replays.
+  void set_trace(Tracer* tracer, SiteId site) noexcept {
+    tracer_ = tracer;
+    site_ = site;
+  }
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<TxnId, Entry> live_;
   std::unordered_map<TxnId, Value> parent_z_;  // Z_t accumulators
   std::atomic<TxnId> next_id_{1};
+  Tracer* tracer_ = nullptr;
+  SiteId site_ = 0;
 };
 
 }  // namespace atp

@@ -174,6 +174,55 @@ TEST(Histogram, SummaryStatistics) {
   EXPECT_NEAR(s.p99, 99.0, 1.0);
 }
 
+TEST(Histogram, PercentilesInterpolateBetweenRanks) {
+  Histogram h;
+  for (int i = 1; i <= 20; ++i) h.record(double(i));
+  const StatSummary s = h.summarize();
+  // Fractional rank q*(n-1): p50 = 10.5, p95 = rank 18.05 -> 19.05.
+  EXPECT_DOUBLE_EQ(s.p50, 10.5);
+  EXPECT_NEAR(s.p95, 19.05, 1e-9);
+  EXPECT_NEAR(s.p99, 19.81, 1e-9);
+  // Degenerate cases stay stable.
+  Histogram one;
+  one.record(7);
+  const StatSummary s1 = one.summarize();
+  EXPECT_EQ(s1.p50, 7.0);
+  EXPECT_EQ(s1.p99, 7.0);
+}
+
+TEST(Histogram, ReservoirBoundsMemoryButKeepsExactMoments) {
+  Histogram h(/*reservoir_capacity=*/64);
+  const int n = 10000;
+  double sum = 0;
+  for (int i = 1; i <= n; ++i) {
+    h.record(double(i));
+    sum += double(i);
+  }
+  EXPECT_EQ(h.reservoir_size(), 64u);  // bounded despite 10k samples
+  const StatSummary s = h.summarize();
+  // Count / min / max / sum / mean are exact; percentiles are estimates.
+  EXPECT_EQ(s.count, std::uint64_t(n));
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, double(n));
+  EXPECT_DOUBLE_EQ(s.sum, sum);
+  EXPECT_DOUBLE_EQ(s.mean, sum / n);
+  // A uniform reservoir of a uniform stream: the median estimate must land
+  // well inside the middle half.
+  EXPECT_GT(s.p50, n * 0.25);
+  EXPECT_LT(s.p50, n * 0.75);
+  EXPECT_GE(s.p95, s.p50);
+  EXPECT_GE(s.p99, s.p95);
+}
+
+TEST(Histogram, SmallCountsAreExactBelowTheCap) {
+  Histogram h(/*reservoir_capacity=*/64);
+  for (int i = 1; i <= 10; ++i) h.record(double(i));
+  EXPECT_EQ(h.reservoir_size(), 10u);
+  const StatSummary s = h.summarize();
+  EXPECT_DOUBLE_EQ(s.p50, 5.5);  // exact: the reservoir holds everything
+  EXPECT_DOUBLE_EQ(s.p95, 9.55);
+}
+
 TEST(Histogram, EmptySummaryIsZeroes) {
   Histogram h;
   const StatSummary s = h.summarize();

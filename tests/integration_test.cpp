@@ -2,7 +2,10 @@
 // stack (plan -> executor -> metrics), cross-checking each domain's oracle.
 #include <gtest/gtest.h>
 
+#include "audit/esr_certifier.h"
+#include "audit/sr_certifier.h"
 #include "engine/executor.h"
+#include "trace/tracer.h"
 #include "workload/airline.h"
 #include "workload/banking.h"
 #include "workload/orders.h"
@@ -213,6 +216,50 @@ TEST(Integration, DynamicDistributionNeverViolatesWhereStaticHolds) {
   }
   SUCCEED() << "static eps aborts " << eps_aborts[0] << " dynamic "
             << eps_aborts[1];
+}
+
+TEST(Integration, CertifiersAuditEveryMethod) {
+  // The trace-replay certifiers as independent oracles over the full stack:
+  // CC histories must be conflict-serializable at piece granularity, and the
+  // fuzziness ledger of Methods 1-3 must respect every committed eps-spec.
+  BankingConfig cfg;
+  cfg.branches = 2;
+  cfg.accounts_per_branch = 8;
+  cfg.branch_audit_fraction = 0.2;
+  cfg.global_audit_fraction = 0.1;
+  const Workload w = make_banking(cfg, 120, 53);
+
+  for (const MethodConfig method :
+       {MethodConfig::baseline_sr(), MethodConfig::method1(),
+        MethodConfig::method2(), MethodConfig::method3()}) {
+    Tracer tracer(1 << 18);
+    auto plan = ExecutionPlan::build(w.types, method);
+    ASSERT_TRUE(plan.ok());
+    DatabaseOptions dbo = Executor::database_options(method);
+    dbo.tracer = &tracer;
+    Database db(dbo);
+    w.load_into(db);
+    ExecutorOptions opts;
+    opts.workers = 4;
+    opts.seed = 11;
+    const auto report = Executor::run(db, plan.value(), w.instances, opts);
+    EXPECT_EQ(report.committed + report.rolled_back, w.instances.size());
+    EXPECT_EQ(report.budget_violations, 0u);
+
+    const auto events = tracer.collect();
+    const std::uint64_t dropped = tracer.dropped();
+    if (method.sched == SchedulerKind::CC) {
+      const SrReport sr = certify_sr(events, nullptr, dropped);
+      EXPECT_TRUE(sr.complete) << method.name();
+      EXPECT_TRUE(sr.serializable)
+          << method.name() << ": " << sr.describe();
+      EXPECT_GT(sr.committed_txns, 0u);
+    }
+    const EsrReport esr = certify_esr(events, dropped);
+    EXPECT_TRUE(esr.complete) << method.name();
+    EXPECT_TRUE(esr.ok) << method.name() << ": " << esr.describe();
+    EXPECT_GT(esr.committed_ets, 0u);
+  }
 }
 
 TEST(Integration, SerialExecutionMatchesAnyMethodFinalState) {

@@ -169,6 +169,75 @@ TEST(SimNetwork, StatsCountSentDeliveredDropped) {
   EXPECT_EQ(net.stats().sent, 0u);
 }
 
+TEST(SimNetwork, DownSenderDropsOutbound) {
+  // A crashed process cannot put messages on the wire: sends FROM a down
+  // site are dropped (and accounted), not queued for later.
+  SimNetwork net(2, fast());
+  net.set_site_up(0, false);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  const auto id = net.send(std::move(m));
+  EXPECT_GT(id, 0u);  // the id is still assigned
+  const NetStats s = net.stats();
+  EXPECT_EQ(s.sent, 1u);
+  EXPECT_EQ(s.dropped, 1u);
+  EXPECT_EQ(s.delivered, 0u);
+  // The drop is permanent: recovery does not resurrect the message.
+  net.set_site_up(0, true);
+  EXPECT_FALSE(net.receive_request(1, 30ms).has_value());
+}
+
+TEST(SimNetwork, CrashDiscardsOnlyTheCrashedInbox) {
+  NetworkOptions o;
+  o.one_way_latency = std::chrono::microseconds(30000);
+  SimNetwork net(3, o);
+  Message to1, to2;
+  to1.from = 0;
+  to1.to = 1;
+  to2.from = 0;
+  to2.to = 2;
+  net.send(std::move(to1));
+  net.send(std::move(to2));
+  net.set_site_up(1, false);  // crash while both are in flight
+  net.set_site_up(1, true);
+  // Site 1's in-flight message died with it; site 2's is untouched.
+  EXPECT_FALSE(net.receive_request(1, 60ms).has_value());
+  EXPECT_TRUE(net.receive_request(2, 200ms).has_value());
+  const NetStats s = net.stats();
+  EXPECT_EQ(s.sent, 2u);
+  EXPECT_EQ(s.dropped, 0u);    // both were deliverable at send time
+  EXPECT_EQ(s.delivered, 1u);  // only site 2's arrived
+}
+
+TEST(SimNetwork, LinkStateIsSymmetricAndIndependentOfSites) {
+  SimNetwork net(3, fast());
+  // Down and up are symmetric no matter which endpoint order is used.
+  net.set_link_up(0, 1, false);
+  EXPECT_FALSE(net.link_up(0, 1));
+  EXPECT_FALSE(net.link_up(1, 0));
+  net.set_link_up(1, 0, true);
+  EXPECT_TRUE(net.link_up(0, 1));
+  EXPECT_TRUE(net.link_up(1, 0));
+  // A down link leaves both sites up, and drops are accounted per send.
+  net.set_link_up(0, 1, false);
+  EXPECT_TRUE(net.site_up(0));
+  EXPECT_TRUE(net.site_up(1));
+  Message m;
+  m.from = 1;
+  m.to = 0;
+  net.send(std::move(m));
+  EXPECT_EQ(net.stats().dropped, 1u);
+  // Restoring the link restores delivery (but not the dropped message).
+  net.set_link_up(0, 1, true);
+  EXPECT_FALSE(net.receive_request(0, 30ms).has_value());
+  Message again;
+  again.from = 1;
+  again.to = 0;
+  net.send(std::move(again));
+  EXPECT_TRUE(net.receive_request(0, 100ms).has_value());
+}
+
 TEST(SimNetwork, PayloadsTravelByAny) {
   SimNetwork net(2, fast());
   Message m;

@@ -12,10 +12,12 @@
 #include <thread>
 #include <vector>
 
+#include "audit/esr_certifier.h"
 #include "common/rng.h"
 #include "dist/coordinator.h"
 #include "dist/site.h"
 #include "lock/lock_manager.h"
+#include "trace/tracer.h"
 
 namespace atp {
 namespace {
@@ -31,11 +33,18 @@ TEST_P(QueueTortureTest, CrashStormPreservesExactlyOnce) {
   NetworkOptions n;
   n.one_way_latency = std::chrono::microseconds(300);
   SimNetwork net(2, n);
+  Tracer tracer(1 << 18);
+  net.set_tracer(&tracer);
   DatabaseOptions dbo;
   dbo.scheduler = SchedulerKind::DC;
   dbo.lock_timeout = std::chrono::milliseconds(500);
-  Site ny(0, net, dbo);
-  Site la(1, net, dbo);
+  dbo.tracer = &tracer;
+  DatabaseOptions dbo_ny = dbo;
+  dbo_ny.site_id = 0;
+  DatabaseOptions dbo_la = dbo;
+  dbo_la.site_id = 1;
+  Site ny(0, net, dbo_ny);
+  Site la(1, net, dbo_la);
   constexpr Value kInitial = 100000;
   ny.db().load(kX, kInitial);
   la.db().load(kY, kInitial);
@@ -100,6 +109,25 @@ TEST_P(QueueTortureTest, CrashStormPreservesExactlyOnce) {
 
   ny.stop();
   la.stop();
+
+  // Certifier oracle: replay the fuzziness ledger of the whole crash-storm
+  // run -- every committed ET (on either site) must have stayed inside its
+  // eps-spec, crashes and redeliveries notwithstanding.
+  const auto events = tracer.collect();
+  const EsrReport esr = certify_esr(events, tracer.dropped());
+  EXPECT_TRUE(esr.complete);
+  EXPECT_TRUE(esr.ok) << esr.describe();
+  EXPECT_GT(esr.committed_ets, 0u);
+  // The trace saw the chaos: crashes, recoveries, queue and network traffic.
+  std::size_t crashes = 0, deliveries = 0, sends = 0;
+  for (const auto& e : events) {
+    crashes += (e.kind == TraceKind::SiteCrash);
+    deliveries += (e.kind == TraceKind::QueueDeliver);
+    sends += (e.kind == TraceKind::NetSend);
+  }
+  EXPECT_GE(crashes, 1u);
+  EXPECT_GE(deliveries, gtids.size());
+  EXPECT_GT(sends, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueueTortureTest,

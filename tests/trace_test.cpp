@@ -1,0 +1,198 @@
+// Tracer + exporter tests: ring mechanics (ordering, overwrite accounting,
+// clear semantics), multi-threaded recording, database lifecycle
+// instrumentation, and the two export formats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "sched/database.h"
+#include "trace/export.h"
+#include "trace/tracer.h"
+
+namespace atp {
+namespace {
+
+TEST(Tracer, RecordsInGlobalSeqOrder) {
+  Tracer tracer;
+  tracer.record(TraceKind::TxnBegin, 0, 1);
+  tracer.record(TraceKind::Read, 0, 1, 7, 3.0);
+  tracer.record(TraceKind::TxnCommit, 0, 1);
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_EQ(events[0].kind, TraceKind::TxnBegin);
+  EXPECT_EQ(events[1].kind, TraceKind::Read);
+  EXPECT_EQ(events[1].key, 7u);
+  EXPECT_EQ(events[1].a, 3.0);
+  EXPECT_EQ(events[2].kind, TraceKind::TxnCommit);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, EmitOnNullTracerIsANoop) {
+  Tracer::emit(nullptr, TraceKind::TxnBegin, 0, 1);  // must not crash
+}
+
+TEST(Tracer, ConcurrentRecordersMergeTotallyOrdered) {
+  Tracer tracer;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.record(TraceKind::Read, 0, TxnId(t + 1), Key(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), std::size_t(kThreads) * kPerThread);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);  // strict, no duplicates
+  }
+  // Per-txn (= per-recording-thread) order is preserved through the merge.
+  std::vector<Key> next_key(kThreads + 1, 0);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.key, next_key[e.txn]++);
+  }
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
+  Tracer tracer(/*per_thread_capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    tracer.record(TraceKind::Read, 0, 1, Key(i));
+  }
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 8u);
+  // The survivors are the newest 8, still in order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].key, Key(12 + i));
+  }
+}
+
+TEST(Tracer, ClearDropsEventsButSeqKeepsClimbing) {
+  Tracer tracer(/*per_thread_capacity=*/8);
+  for (int i = 0; i < 20; ++i) tracer.record(TraceKind::Read, 0, 1, Key(i));
+  const auto before = tracer.collect();
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  // Overwrite cycling must restart cleanly relative to the cleared state.
+  for (int i = 0; i < 10; ++i) tracer.record(TraceKind::Write, 0, 2, Key(i));
+  const auto after = tracer.collect();
+  ASSERT_EQ(after.size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].key, Key(2 + i));
+  }
+  EXPECT_GT(after.front().seq, before.back().seq);
+}
+
+TEST(Tracer, DatabaseLifecycleIsInstrumented) {
+  Tracer tracer;
+  DatabaseOptions dbo;
+  dbo.scheduler = SchedulerKind::CC;
+  dbo.tracer = &tracer;
+  dbo.site_id = 3;
+  Database db(dbo);
+  db.load(1, 10);
+
+  Txn t = db.begin(TxnKind::Update, EpsilonSpec::unlimited());
+  ASSERT_TRUE(t.read(1).ok());
+  ASSERT_TRUE(t.write(1, 11).ok());
+  ASSERT_TRUE(t.commit().ok());
+
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::unlimited());
+  ASSERT_TRUE(q.read(1).ok());
+  q.abort();
+
+  const auto events = tracer.collect();
+  auto count = [&](TraceKind k) {
+    std::size_t n = 0;
+    for (const auto& e : events) n += (e.kind == k);
+    return n;
+  };
+  EXPECT_EQ(count(TraceKind::TxnBegin), 2u);
+  EXPECT_EQ(count(TraceKind::TxnCommit), 1u);
+  EXPECT_EQ(count(TraceKind::TxnAbort), 1u);
+  EXPECT_EQ(count(TraceKind::Read), 2u);
+  EXPECT_EQ(count(TraceKind::Write), 1u);
+  EXPECT_GE(count(TraceKind::LockAcquire), 2u);
+  EXPECT_EQ(count(TraceKind::LockRelease), 2u);
+  for (const auto& e : events) EXPECT_EQ(e.site, 3u);
+  // The write event carries the installed value; the commit follows it.
+  for (const auto& e : events) {
+    if (e.kind == TraceKind::Write) EXPECT_EQ(e.a, 11.0);
+  }
+}
+
+TEST(Tracer, UntracedDatabaseStaysSilent) {
+  DatabaseOptions dbo;
+  dbo.scheduler = SchedulerKind::CC;  // tracer stays nullptr
+  Database db(dbo);
+  db.load(1, 5);
+  Txn t = db.begin(TxnKind::Update, EpsilonSpec::unlimited());
+  ASSERT_TRUE(t.write(1, 6).ok());
+  ASSERT_TRUE(t.commit().ok());  // must not crash on null tracer
+}
+
+TEST(TraceExport, ChromeTracePairsSpansAndEscapes) {
+  Tracer tracer;
+  tracer.record(TraceKind::TxnBegin, 1, 7);
+  tracer.record(TraceKind::Read, 1, 7, 3, 42.0);
+  tracer.record(TraceKind::TxnCommit, 1, 7, 0, 5.0);
+  tracer.record(TraceKind::LockWait, 1, 8, 3);  // instant, never closed
+
+  std::ostringstream out;
+  write_chrome_trace(tracer.collect(), out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // the txn span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // read + wait
+  EXPECT_NE(json.find("txn"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceExport, ChromeTraceClampsNonFiniteNumbers) {
+  Tracer tracer;
+  tracer.record(TraceKind::TxnBegin, 0, 1, 0,
+                std::numeric_limits<double>::infinity(),
+                std::numeric_limits<double>::quiet_NaN());
+  tracer.record(TraceKind::TxnCommit, 0, 1);
+  std::ostringstream out;
+  write_chrome_trace(tracer.collect(), out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST(TraceExport, NdjsonEmitsOneObjectPerEvent) {
+  Tracer tracer;
+  tracer.record(TraceKind::TxnBegin, 0, 1);
+  tracer.record(TraceKind::Write, 0, 1, 4, 9.5);
+  tracer.record(TraceKind::TxnCommit, 0, 1);
+  std::ostringstream out;
+  write_ndjson(tracer.collect(), out);
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find("\"kind\":\"write\""), std::string::npos);
+  EXPECT_NE(text.find("\"key\":4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atp

@@ -1,0 +1,246 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+namespace atp::analysis {
+namespace {
+
+const char* access_name(AccessType t) noexcept {
+  switch (t) {
+    case AccessType::Read: return "read";
+    case AccessType::Add: return "add";
+    case AccessType::Write: return "write";
+  }
+  return "?";
+}
+
+// JSON has no Infinity literal; clamp so the output always parses.
+void put_number(std::ostream& out, double v) {
+  if (std::isnan(v)) {
+    out << 0;
+    return;
+  }
+  if (std::isinf(v)) {
+    out << (v > 0 ? "1e308" : "-1e308");
+    return;
+  }
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << v;
+  out << s.str();
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void put_piece(std::ostream& out, const PieceId& p) {
+  out << "{\"txn\":" << p.txn << ",\"piece\":" << p.piece << "}";
+}
+
+}  // namespace
+
+const char* rule_id(Rule r) noexcept {
+  switch (r) {
+    case Rule::SC001: return "SC001";
+    case Rule::SC002: return "SC002";
+    case Rule::RB001: return "RB001";
+    case Rule::EP001: return "EP001";
+    case Rule::LM001: return "LM001";
+    case Rule::LM002: return "LM002";
+    case Rule::LM003: return "LM003";
+    case Rule::LM004: return "LM004";
+    case Rule::LM005: return "LM005";
+  }
+  return "??";
+}
+
+const char* rule_summary(Rule r) noexcept {
+  switch (r) {
+    case Rule::SC001: return "chopping graph contains an SC-cycle";
+    case Rule::SC002: return "SC-cycle through an update-update C edge";
+    case Rule::RB001: return "rollback statement escapes piece 1";
+    case Rule::EP001: return "inter-sibling fuzziness exceeds Limit_t";
+    case Rule::LM001: return "restricted piece limits do not sum to Limit_t";
+    case Rule::LM002: return "negative per-piece limit";
+    case Rule::LM003: return "unrestricted piece assigned a finite limit";
+    case Rule::LM004: return "malformed piece dependency graph";
+    case Rule::LM005: return "leftover propagation loses or invents budget";
+  }
+  return "?";
+}
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Note: return "note";
+  }
+  return "?";
+}
+
+bool CycleWitness::has_update_update() const noexcept {
+  return std::any_of(edges.begin(), edges.end(), [](const WitnessEdge& e) {
+    return e.conflict && e.conflict->update_update;
+  });
+}
+
+bool CycleWitness::verify(const PieceGraph& g,
+                          bool require_update_update) const {
+  if (edges.size() < 3) return false;  // simple graph: shortest cycle is 3
+  std::size_t s_count = 0, c_count = 0, uu_count = 0;
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const WitnessEdge& we = edges[i];
+    const WitnessEdge& next = edges[(i + 1) % edges.size()];
+    if (we.to != next.from) return false;  // not a closed chain
+    const std::size_t u = g.vertex_of(we.from.txn, we.from.piece);
+    const std::size_t v = g.vertex_of(we.to.txn, we.to.piece);
+    if (u == PieceGraph::npos || v == PieceGraph::npos) return false;
+    if (!seen.insert(u).second) return false;  // vertex entered twice
+    // The stated edge must exist in the graph with the stated kind.
+    const bool found = std::any_of(
+        g.edges().begin(), g.edges().end(), [&](const GraphEdge& e) {
+          return e.kind == we.kind && ((e.u == u && e.v == v) ||
+                                       (e.u == v && e.v == u));
+        });
+    if (!found) return false;
+    if (we.kind == EdgeKind::S) {
+      ++s_count;
+    } else {
+      ++c_count;
+      if (g.vertices()[u].update && g.vertices()[v].update) ++uu_count;
+    }
+  }
+  if (s_count == 0 || c_count == 0) return false;
+  if (require_update_update && uu_count == 0) return false;
+  return true;
+}
+
+std::string CycleWitness::to_string(
+    const std::vector<TxnProgram>& programs) const {
+  std::ostringstream out;
+  auto piece_name = [&](const PieceId& p) {
+    std::ostringstream s;
+    if (p.txn < programs.size()) s << programs[p.txn].name;
+    else s << "t" << p.txn;
+    s << ".p" << p.piece + 1;
+    return s.str();
+  };
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const WitnessEdge& e = edges[i];
+    out << piece_name(e.from);
+    if (e.kind == EdgeKind::S) {
+      out << " -S- ";
+    } else {
+      out << " -C[";
+      if (e.conflict) {
+        const ConflictProvenance& c = *e.conflict;
+        out << "item " << c.item << ": op " << c.op_from << " "
+            << access_name(c.type_from) << " / op " << c.op_to << " "
+            << access_name(c.type_to);
+        if (c.update_update) out << ", update-update";
+      }
+      out << "]- ";
+    }
+    if (i + 1 == edges.size()) out << piece_name(e.to);
+  }
+  return out.str();
+}
+
+std::size_t LintReport::error_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::Error;
+                    }));
+}
+
+void LintReport::merge(LintReport other) {
+  diagnostics.insert(diagnostics.end(),
+                     std::make_move_iterator(other.diagnostics.begin()),
+                     std::make_move_iterator(other.diagnostics.end()));
+}
+
+std::string LintReport::to_text() const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diagnostics) {
+    out << rule_id(d.rule) << " [" << atp::analysis::to_string(d.severity)
+        << "] " << d.message << "\n";
+  }
+  return out.str();
+}
+
+std::string LintReport::to_json() const {
+  std::ostringstream out;
+  out << "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i) out << ",";
+    out << "{\"rule\":\"" << rule_id(d.rule) << "\",\"severity\":\""
+        << atp::analysis::to_string(d.severity) << "\",\"message\":";
+    put_string(out, d.message);
+    if (!d.txn.empty()) {
+      out << ",\"txn\":";
+      put_string(out, d.txn);
+    }
+    if (d.piece) {
+      out << ",\"piece\":";
+      put_piece(out, *d.piece);
+    }
+    if (d.op) out << ",\"op\":" << *d.op;
+    if (d.cycle) {
+      out << ",\"cycle\":[";
+      for (std::size_t j = 0; j < d.cycle->edges.size(); ++j) {
+        const WitnessEdge& e = d.cycle->edges[j];
+        if (j) out << ",";
+        out << "{\"from\":";
+        put_piece(out, e.from);
+        out << ",\"to\":";
+        put_piece(out, e.to);
+        out << ",\"kind\":\"" << (e.kind == EdgeKind::S ? "S" : "C") << "\"";
+        if (e.kind == EdgeKind::C) {
+          out << ",\"weight\":";
+          put_number(out, e.weight);
+        }
+        if (e.conflict) {
+          const ConflictProvenance& c = *e.conflict;
+          out << ",\"conflict\":{\"item\":" << c.item
+              << ",\"opFrom\":" << c.op_from << ",\"opTo\":" << c.op_to
+              << ",\"typeFrom\":\"" << access_name(c.type_from)
+              << "\",\"typeTo\":\"" << access_name(c.type_to)
+              << "\",\"updateUpdate\":"
+              << (c.update_update ? "true" : "false") << "}";
+        }
+        out << "}";
+      }
+      out << "]";
+    }
+    out << "}";
+  }
+  out << "],\"errors\":" << error_count() << "}";
+  return out.str();
+}
+
+}  // namespace atp::analysis

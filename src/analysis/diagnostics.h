@@ -1,0 +1,123 @@
+// atp-lint diagnostics: stable rule IDs, typed findings, and cycle witnesses
+// for the off-line chopping analysis.
+//
+// The chopping validators in src/chop/ answer Theorem 1 / Definition 1 as
+// Status values; this layer upgrades every rejection into an *actionable*
+// finding: which rule fired, on which transaction/piece/statement, and -- for
+// cycle rules -- a concrete minimal SC-cycle with op-level provenance (which
+// two statements conflict on which data item, and whether each C edge joins
+// two update pieces).  Rule IDs are stable across releases so CI gates and
+// golden tests can match on them.
+//
+// Rule catalogue:
+//   SC001  SR: the chopping graph contains an SC-cycle (Theorem 1)
+//   SC002  ESR: an SC-cycle passes through an update-update C edge
+//          (Definition 1, condition 2 -- permanent inconsistency)
+//   RB001  a rollback statement escapes piece 1 (rollback-safety)
+//   EP001  inter-sibling fuzziness Z^is_t exceeds Limit_t (Def. 1, cond. 3)
+//   LM001  sum of Limit_p over restricted pieces != Limit_t (Condition 3)
+//   LM002  a per-piece limit is negative
+//   LM003  an unrestricted piece was assigned a finite limit
+//   LM004  DG(CHOP(t)) is malformed (not a forest rooted at piece 1)
+//   LM005  dynamic leftover propagation loses or invents budget (Figure 2)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chop/chopping.h"
+#include "chop/graph.h"
+#include "chop/program.h"
+
+namespace atp::analysis {
+
+enum class Rule : std::uint8_t {
+  SC001,
+  SC002,
+  RB001,
+  EP001,
+  LM001,
+  LM002,
+  LM003,
+  LM004,
+  LM005,
+};
+
+[[nodiscard]] const char* rule_id(Rule r) noexcept;
+[[nodiscard]] const char* rule_summary(Rule r) noexcept;
+
+enum class Severity : std::uint8_t { Error, Warning, Note };
+
+[[nodiscard]] const char* to_string(Severity s) noexcept;
+
+/// Op-level provenance of one C edge: the two program statements that
+/// conflict on one data item.
+struct ConflictProvenance {
+  Key item = 0;
+  std::size_t op_from = 0;  ///< op index in the `from` piece's program
+  std::size_t op_to = 0;    ///< op index in the `to` piece's program
+  AccessType type_from = AccessType::Read;
+  AccessType type_to = AccessType::Read;
+  bool update_update = false;  ///< both endpoint pieces belong to update ETs
+};
+
+/// One edge of a cycle witness, oriented head-to-tail around the cycle.
+struct WitnessEdge {
+  PieceId from, to;
+  EdgeKind kind = EdgeKind::C;
+  Value weight = 0;                            ///< W_C (C edges only)
+  std::optional<ConflictProvenance> conflict;  ///< C edges only
+};
+
+/// A concrete simple SC-cycle: a closed chain of witness edges
+/// (edges[i].to == edges[i+1].from, last wraps to first) containing at least
+/// one S and one C edge.  Produced by find_sc_cycle(); `verify` re-checks the
+/// claim against a chopping graph, so tests (and sceptical users) never have
+/// to trust the extraction.
+struct CycleWitness {
+  std::vector<WitnessEdge> edges;
+
+  [[nodiscard]] bool has_update_update() const noexcept;
+
+  /// Is this a genuine simple cycle of `g` -- every edge present with the
+  /// stated kind, every vertex entered exactly once -- with >= 1 S and >= 1
+  /// C edge (and, if required, >= 1 update-update C edge)?
+  [[nodiscard]] bool verify(const PieceGraph& g,
+                            bool require_update_update = false) const;
+
+  /// "t0.p2 -S- t0.p1 -C[x: t0.op0 add / t1.op0 read]- t1.p1 -..."
+  [[nodiscard]] std::string to_string(
+      const std::vector<TxnProgram>& programs) const;
+};
+
+/// One finding.  `message` is a complete human-readable sentence; the typed
+/// fields let tools localize without parsing it.
+struct Diagnostic {
+  Rule rule = Rule::SC001;
+  Severity severity = Severity::Error;
+  std::string message;
+  std::string txn;                    ///< subject transaction name, if any
+  std::optional<PieceId> piece;       ///< localization
+  std::optional<std::size_t> op;      ///< offending statement (RB001)
+  std::optional<CycleWitness> cycle;  ///< SC001 / SC002
+};
+
+/// A lint run's findings, renderable as text or JSON.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool ok() const noexcept { return error_count() == 0; }
+  [[nodiscard]] std::size_t error_count() const noexcept;
+
+  void add(Diagnostic d) { diagnostics.push_back(std::move(d)); }
+  void merge(LintReport other);
+
+  /// One line per finding: "<RULE> [<severity>] <message>".
+  [[nodiscard]] std::string to_text() const;
+  /// {"diagnostics":[...], "errors":N} -- see DESIGN.md for the schema.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace atp::analysis

@@ -1,0 +1,198 @@
+#include "analysis/limit_check.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace atp::analysis {
+namespace {
+
+// Float-sum identity with a relative tolerance: limits are doubles and an
+// even split of Limit_t over r pieces need not re-sum exactly.
+bool sums_to(Value sum, Value total) {
+  if (std::isinf(sum) || std::isinf(total)) return sum == total;
+  return std::fabs(sum - total) <= 1e-9 * std::max<Value>(1, std::fabs(total));
+}
+
+Diagnostic make(Rule rule, std::string txn, std::string message) {
+  Diagnostic d;
+  d.rule = rule;
+  d.txn = std::move(txn);
+  d.message = std::move(message);
+  return d;
+}
+
+std::string piece_label(const std::string& txn, std::size_t piece) {
+  std::ostringstream s;
+  s << "txn '" << txn << "' piece " << piece + 1;
+  return s.str();
+}
+
+void check_grant(const ChopPlanInfo& info, std::size_t piece, Value limit,
+                 const std::string& txn, std::size_t txn_index,
+                 LintReport& report) {
+  if (limit < 0) {
+    Diagnostic d = make(Rule::LM002, txn,
+                        piece_label(txn, piece) + ": negative limit " +
+                            std::to_string(limit));
+    d.piece = PieceId{txn_index, piece};
+    report.add(std::move(d));
+  }
+  if (!info.restricted[piece] && !std::isinf(limit)) {
+    Diagnostic d = make(
+        Rule::LM003, txn,
+        piece_label(txn, piece) +
+            ": unrestricted piece must run at an infinite limit, got " +
+            std::to_string(limit));
+    d.piece = PieceId{txn_index, piece};
+    report.add(std::move(d));
+  }
+}
+
+}  // namespace
+
+LintReport check_plan_structure(const ChopPlanInfo& info,
+                                const std::string& txn,
+                                std::size_t txn_index) {
+  LintReport report;
+  const std::size_t k = info.piece_count;
+  if (info.restricted.size() != k || info.children.size() != k) {
+    report.add(make(Rule::LM004, txn,
+                    "txn '" + txn + "': per-piece marks sized " +
+                        std::to_string(info.restricted.size()) + "/" +
+                        std::to_string(info.children.size()) +
+                        " for piece count " + std::to_string(k)));
+    return report;  // nothing below is safe to index
+  }
+  std::vector<std::size_t> in_degree(k, 0);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t child : info.children[p]) {
+      if (child >= k || child <= p) {
+        Diagnostic d = make(Rule::LM004, txn,
+                            piece_label(txn, p) + ": dependent piece index " +
+                                std::to_string(child) +
+                                " is not a later piece");
+        d.piece = PieceId{txn_index, p};
+        report.add(std::move(d));
+        continue;
+      }
+      ++in_degree[child];
+    }
+  }
+  if (!report.ok()) return report;
+  for (std::size_t p = 0; p < k; ++p) {
+    const std::size_t expected = p == 0 ? 0 : 1;
+    if (in_degree[p] != expected) {
+      Diagnostic d = make(
+          Rule::LM004, txn,
+          piece_label(txn, p) + ": " + std::to_string(in_degree[p]) +
+              " parents in DG(CHOP(t)) (piece 1 needs 0, later pieces 1)");
+      d.piece = PieceId{txn_index, p};
+      report.add(std::move(d));
+    }
+  }
+  return report;
+}
+
+LintReport check_static_plan(const ChopPlanInfo& info,
+                             const std::vector<Value>& limits,
+                             const std::string& txn,
+                             std::size_t txn_index) {
+  LintReport report = check_plan_structure(info, txn, txn_index);
+  if (!report.ok()) return report;
+  if (limits.size() != info.piece_count) {
+    report.add(make(Rule::LM004, txn,
+                    "txn '" + txn + "': " + std::to_string(limits.size()) +
+                        " limits for " + std::to_string(info.piece_count) +
+                        " pieces"));
+    return report;
+  }
+  Value sum = 0;
+  std::size_t restricted = 0;
+  for (std::size_t p = 0; p < info.piece_count; ++p) {
+    check_grant(info, p, limits[p], txn, txn_index, report);
+    if (info.restricted[p]) {
+      sum += limits[p];
+      ++restricted;
+    }
+  }
+  if (restricted > 0 && !sums_to(sum, info.limit_total)) {
+    std::ostringstream msg;
+    msg << "txn '" << txn << "': restricted piece limits sum to " << sum
+        << " but Limit_t = " << info.limit_total << " (pieces:";
+    for (std::size_t p = 0; p < info.piece_count; ++p) {
+      if (info.restricted[p]) msg << " p" << p + 1 << "=" << limits[p];
+    }
+    msg << ")";
+    report.add(make(Rule::LM001, txn, msg.str()));
+  }
+  return report;
+}
+
+LintReport check_dynamic_plan(const ChopPlanInfo& info,
+                              LimitDistributor& distributor,
+                              const std::vector<Value>& consumed,
+                              const std::string& txn,
+                              std::size_t txn_index) {
+  LintReport report = check_plan_structure(info, txn, txn_index);
+  if (!report.ok()) return report;
+  if (consumed.size() != info.piece_count) {
+    report.add(make(Rule::LM004, txn,
+                    "txn '" + txn + "': " + std::to_string(consumed.size()) +
+                        " consumption entries for " +
+                        std::to_string(info.piece_count) + " pieces"));
+    return report;
+  }
+  if (info.piece_count == 0) return report;
+
+  // Recompute Figure 2's expected assignments alongside the distributor.
+  // DG children are always later pieces, so ascending piece order is a
+  // topological order.
+  std::vector<Value> expected(info.piece_count, 0);
+  expected[0] = info.limit_total;
+  for (std::size_t p = 0; p < info.piece_count; ++p) {
+    const Value granted = distributor.limit_for(p);
+    check_grant(info, p, granted, txn, txn_index, report);
+    if (info.restricted[p] && !sums_to(granted, expected[p])) {
+      Diagnostic d = make(Rule::LM005, txn,
+                          piece_label(txn, p) + ": granted " +
+                              std::to_string(granted) +
+                              " but leftover propagation expects " +
+                              std::to_string(expected[p]));
+      d.piece = PieceId{txn_index, p};
+      report.add(std::move(d));
+    }
+    // Leftover: restricted pieces consume; unrestricted pieces forward their
+    // full assignment.
+    Value leftover = expected[p];
+    if (info.restricted[p]) {
+      leftover -= consumed[p];
+      if (leftover < 0) leftover = 0;
+    }
+    distributor.report_committed(p, consumed[p]);
+    const auto& kids = info.children[p];
+    if (!kids.empty()) {
+      const Value each = leftover / static_cast<Value>(kids.size());
+      for (std::size_t child : kids) expected[child] = each;
+    }
+  }
+  return report;
+}
+
+LintReport check_limit_plans(const ChopPlanInfo& info, const std::string& txn,
+                             std::size_t txn_index) {
+  LintReport report = check_plan_structure(info, txn, txn_index);
+  if (!report.ok()) return report;
+  StaticDistribution stat(info);
+  std::vector<Value> limits;
+  limits.reserve(info.piece_count);
+  for (std::size_t p = 0; p < info.piece_count; ++p) {
+    limits.push_back(stat.limit_for(p));
+  }
+  report.merge(check_static_plan(info, limits, txn, txn_index));
+  DynamicDistribution dyn(info);
+  const std::vector<Value> zero(info.piece_count, 0);
+  report.merge(check_dynamic_plan(info, dyn, zero, txn, txn_index));
+  return report;
+}
+
+}  // namespace atp::analysis

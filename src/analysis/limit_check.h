@@ -1,0 +1,56 @@
+// Epsilon-limit plan checker (rules LM001..LM005).
+//
+// Divergence control is only sound if the per-piece limits respect the
+// paper's Condition 3: over the restricted pieces CHOP_R(t) of each
+// transaction, Sigma Limit_p = Limit_t -- with unrestricted pieces running
+// at an infinite limit and nothing going negative.  The static policy
+// (Section 2.2.1) must satisfy the sum identity outright; the dynamic policy
+// (Section 2.2.2, Figure 2) must instead propagate leftovers consistently
+// over the piece dependency graph DG(CHOP(t)): the first piece is scheduled
+// with the whole Limit_t, and each completed piece passes Limit_p - Z_p
+// (unrestricted pieces: their full assignment) split evenly among its
+// dependents.  The checker validates both, with per-piece localization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "limits/distribution.h"
+
+namespace atp::analysis {
+
+/// Structural sanity of DG(CHOP(t)) (rule LM004): per-piece marks sized to
+/// the piece count, children a forest rooted at piece 1 (every other piece
+/// exactly one parent, parent index < child index, all reachable).
+[[nodiscard]] LintReport check_plan_structure(const ChopPlanInfo& info,
+                                              const std::string& txn,
+                                              std::size_t txn_index = 0);
+
+/// Validate a static per-piece limit assignment: LM001 (restricted limits
+/// must sum to Limit_t), LM002 (non-negativity), LM003 (unrestricted =>
+/// infinite).  `limits[p]` is the limit piece p would run with.
+[[nodiscard]] LintReport check_static_plan(const ChopPlanInfo& info,
+                                           const std::vector<Value>& limits,
+                                           const std::string& txn,
+                                           std::size_t txn_index = 0);
+
+/// Drive a distributor over DG(CHOP(t)) in dependency order, feeding it the
+/// measured consumption `consumed[p]` of each committed piece, and verify
+/// Figure 2 leftover propagation: piece 1 scheduled with the whole Limit_t,
+/// every restricted dependent granted exactly its parent's leftover split
+/// evenly (LM005), plus LM002/LM003 on every grant.
+[[nodiscard]] LintReport check_dynamic_plan(const ChopPlanInfo& info,
+                                            LimitDistributor& distributor,
+                                            const std::vector<Value>& consumed,
+                                            const std::string& txn,
+                                            std::size_t txn_index = 0);
+
+/// Convenience for the lint driver: build the repo's own StaticDistribution
+/// and DynamicDistribution for `info` and run both checks (dynamic with zero
+/// consumption).  A clean report certifies the plan the engine would run.
+[[nodiscard]] LintReport check_limit_plans(const ChopPlanInfo& info,
+                                           const std::string& txn,
+                                           std::size_t txn_index = 0);
+
+}  // namespace atp::analysis

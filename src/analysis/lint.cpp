@@ -1,0 +1,128 @@
+#include "analysis/lint.h"
+
+#include <sstream>
+
+namespace atp::analysis {
+namespace {
+
+Diagnostic cycle_diagnostic(Rule rule, CycleWitness witness,
+                            const std::vector<TxnProgram>& programs) {
+  Diagnostic d;
+  d.rule = rule;
+  std::ostringstream msg;
+  msg << (rule == Rule::SC002 ? "SC-cycle through an update-update C edge: "
+                              : "SC-cycle: ")
+      << witness.to_string(programs);
+  d.message = msg.str();
+  d.cycle = std::move(witness);
+  return d;
+}
+
+}  // namespace
+
+const char* to_string(Mode m) noexcept {
+  return m == Mode::Sr ? "SR" : "ESR";
+}
+
+LintReport lint_sr_chopping(const std::vector<TxnProgram>& programs,
+                            const Chopping& chopping) {
+  LintReport report;
+  for (Diagnostic& d : rollback_violations(programs, chopping)) {
+    report.add(std::move(d));
+  }
+  const PieceGraph g = build_chopping_graph(programs, chopping);
+  if (g.has_sc_cycle()) {
+    auto witness = find_sc_cycle(g, programs, chopping);
+    // has_sc_cycle guarantees a witness exists; the search budget is the
+    // only way to miss it, and that never fires on block-sized graphs.
+    if (witness) {
+      report.add(cycle_diagnostic(Rule::SC001, std::move(*witness), programs));
+    }
+  }
+  return report;
+}
+
+LintReport lint_esr_chopping(const std::vector<TxnProgram>& programs,
+                             const Chopping& chopping) {
+  LintReport report;
+  for (Diagnostic& d : rollback_violations(programs, chopping)) {
+    report.add(std::move(d));
+  }
+  const PieceGraph g = build_chopping_graph(programs, chopping);
+  if (g.has_update_update_sc_cycle()) {
+    auto witness =
+        find_sc_cycle(g, programs, chopping, /*require_update_update=*/true);
+    if (witness) {
+      report.add(cycle_diagnostic(Rule::SC002, std::move(*witness), programs));
+    }
+  }
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    const Value zis = g.inter_sibling_fuzziness(t);
+    if (zis <= programs[t].epsilon_limit) continue;
+    Diagnostic d;
+    d.rule = Rule::EP001;
+    d.txn = programs[t].name;
+    std::ostringstream msg;
+    msg << "txn '" << programs[t].name << "': inter-sibling fuzziness Z^is = "
+        << zis << " exceeds Limit_t = " << programs[t].epsilon_limit;
+    d.message = msg.str();
+    report.add(std::move(d));
+  }
+  return report;
+}
+
+LintReport lint_chopping(const std::vector<TxnProgram>& programs,
+                         const Chopping& chopping, Mode mode) {
+  return mode == Mode::Sr ? lint_sr_chopping(programs, chopping)
+                          : lint_esr_chopping(programs, chopping);
+}
+
+std::string MergeExplanation::to_string(
+    const std::vector<TxnProgram>& programs) const {
+  std::ostringstream out;
+  const std::string& name = step.txn < programs.size()
+                                ? programs[step.txn].name
+                                : "t" + std::to_string(step.txn);
+  out << "round " << step.round + 1 << ": merged pieces "
+      << step.first_piece + 1 << "-" << step.last_piece + 1 << " of txn '"
+      << name << "' -- ";
+  switch (step.cause) {
+    case MergeCause::ScCycle:
+      out << "SC-cycle";
+      break;
+    case MergeCause::UpdateUpdateScCycle:
+      out << "SC-cycle through an update-update C edge";
+      break;
+    case MergeCause::LimitOverflow:
+      out << "Z^is = " << step.zis << " > Limit_t = " << step.limit
+          << " (heaviest S edge merged)";
+      break;
+  }
+  if (witness) out << ": " << witness->to_string(programs);
+  return out.str();
+}
+
+ExplainedChopping explain_finest_chopping(
+    const std::vector<TxnProgram>& programs, Mode mode) {
+  ExplainedChopping out;
+  std::vector<MergeStep> log;
+  out.chopping = mode == Mode::Sr ? finest_sr_chopping(programs, &log)
+                                  : finest_esr_chopping(programs, &log);
+  out.steps.reserve(log.size());
+  for (MergeStep& step : log) {
+    MergeExplanation ex;
+    if (step.cause != MergeCause::LimitOverflow) {
+      // Rebuild that round's graph and extract the cycle inside the block
+      // that forced this very merge.
+      const PieceGraph g = build_chopping_graph(programs, step.before);
+      ex.witness = find_sc_cycle(
+          g, programs, step.before,
+          step.cause == MergeCause::UpdateUpdateScCycle, &step.block);
+    }
+    ex.step = std::move(step);
+    out.steps.push_back(std::move(ex));
+  }
+  return out;
+}
+
+}  // namespace atp::analysis

@@ -1,0 +1,63 @@
+// atp-lint entry points: diagnostics-first validators and explained
+// finest-chopping derivations.
+//
+// lint_sr_chopping / lint_esr_chopping are the witness-bearing upgrades of
+// chop/analyzer.h's validate_* functions: instead of a bare Status they
+// return every rule violation with its localization and, for cycle rules, a
+// concrete minimal SC-cycle.  explain_finest_chopping runs the merge
+// fixpoint with its log and attaches, to every coarsening step, the cycle
+// (extracted from that round's graph, confined to the offending block) that
+// forced it -- an auditable derivation of why the final chopping is no
+// finer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/witness.h"
+#include "chop/analyzer.h"
+
+namespace atp::analysis {
+
+enum class Mode : std::uint8_t { Sr, Esr };
+
+[[nodiscard]] const char* to_string(Mode m) noexcept;
+
+/// Theorem 1 with witnesses: RB001 for every escaping rollback statement,
+/// SC001 with a minimal cycle if the chopping graph has an SC-cycle.
+[[nodiscard]] LintReport lint_sr_chopping(
+    const std::vector<TxnProgram>& programs, const Chopping& chopping);
+
+/// Definition 1 with witnesses: RB001, SC002 with a minimal cycle through an
+/// update-update C edge, and EP001 per transaction whose Z^is_t > Limit_t.
+[[nodiscard]] LintReport lint_esr_chopping(
+    const std::vector<TxnProgram>& programs, const Chopping& chopping);
+
+/// Mode dispatch for the two validators above.
+[[nodiscard]] LintReport lint_chopping(const std::vector<TxnProgram>& programs,
+                                       const Chopping& chopping, Mode mode);
+
+/// One explained coarsening step of a finest-chopping search.
+struct MergeExplanation {
+  MergeStep step;
+  /// Cycle causes: the SC-cycle (inside the offending block, at that round's
+  /// graph) that forced the merge.  Empty for LimitOverflow steps.
+  std::optional<CycleWitness> witness;
+
+  /// "round 1: merged pieces 1-2 of txn 'transfer' -- SC-cycle: ..."
+  [[nodiscard]] std::string to_string(
+      const std::vector<TxnProgram>& programs) const;
+};
+
+/// A finest chopping plus the auditable derivation that produced it.
+struct ExplainedChopping {
+  Chopping chopping;
+  std::vector<MergeExplanation> steps;
+};
+
+[[nodiscard]] ExplainedChopping explain_finest_chopping(
+    const std::vector<TxnProgram>& programs, Mode mode);
+
+}  // namespace atp::analysis

@@ -1,0 +1,168 @@
+#include "analysis/session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace atp::analysis {
+namespace {
+
+// Content signature of a program: everything the chopping analysis reads.
+// (Deltas are runtime payloads the off-line analysis never looks at.)
+std::string signature_of(const TxnProgram& p) {
+  std::ostringstream s;
+  s << p.name << '\x1e' << static_cast<int>(p.kind) << '\x1e'
+    << p.epsilon_limit << '\x1e' << p.choppable;
+  for (std::size_t r : p.rollback_after) s << '\x1e' << 'r' << r;
+  for (const Access& a : p.ops) {
+    s << '\x1e' << static_cast<int>(a.type) << ':' << a.item << ':' << a.bound;
+  }
+  return s.str();
+}
+
+// Do two types interact (a potential C edge between some of their pieces)?
+bool types_conflict(const TxnProgram& a, const TxnProgram& b) {
+  for (const Access& x : a.ops) {
+    for (const Access& y : b.ops) {
+      if (conflicts(x, y)) return true;
+    }
+  }
+  return false;
+}
+
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+// Rewrite a component-local report (txn indices = member positions) into
+// session ids.
+LintReport remap_report(const LintReport& in,
+                        const std::vector<std::size_t>& local_to_id) {
+  LintReport out = in;
+  for (Diagnostic& d : out.diagnostics) {
+    if (d.piece) d.piece->txn = local_to_id[d.piece->txn];
+    if (d.cycle) {
+      for (WitnessEdge& e : d.cycle->edges) {
+        e.from.txn = local_to_id[e.from.txn];
+        e.to.txn = local_to_id[e.to.txn];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t AnalysisSession::add_txn(TxnProgram program) {
+  Slot slot;
+  slot.signature = signature_of(program);
+  slot.program = std::move(program);
+  slot.live = true;
+  slots_.push_back(std::move(slot));
+  refresh();
+  return slots_.size() - 1;
+}
+
+void AnalysisSession::remove_txn(std::size_t id) {
+  if (!live(id)) return;
+  slots_[id].live = false;
+  refresh();
+}
+
+std::size_t AnalysisSession::live_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(slots_.begin(), slots_.end(),
+                    [](const Slot& s) { return s.live; }));
+}
+
+const TypeAnalysis& AnalysisSession::analysis(std::size_t id) const {
+  assert(live(id));
+  return slots_[id].analysis;
+}
+
+const TxnProgram& AnalysisSession::program(std::size_t id) const {
+  assert(live(id));
+  return slots_[id].program;
+}
+
+void AnalysisSession::refresh() {
+  report_ = LintReport{};
+
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) ids.push_back(i);
+  }
+  if (ids.empty()) return;
+
+  // Components of the type conflict graph.
+  UnionFind uf(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      if (types_conflict(slots_[ids[i]].program, slots_[ids[j]].program)) {
+        uf.unite(i, j);
+      }
+    }
+  }
+  std::map<std::size_t, std::vector<std::size_t>> components;  // root -> ids
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    components[uf.find(i)].push_back(ids[i]);
+  }
+
+  for (auto& [root, members] : components) {
+    // Canonical member order: by content signature (ties by id), so the
+    // cache key is independent of join order.
+    std::sort(members.begin(), members.end(),
+              [&](std::size_t a, std::size_t b) {
+                return std::tie(slots_[a].signature, a) <
+                       std::tie(slots_[b].signature, b);
+              });
+    std::string key = to_string(mode_);
+    for (std::size_t id : members) {
+      key += '\x1f';
+      key += slots_[id].signature;
+    }
+
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      // Run the fixpoint for this component only.
+      std::vector<TxnProgram> programs;
+      programs.reserve(members.size());
+      for (std::size_t id : members) programs.push_back(slots_[id].program);
+      const Chopping chopping = mode_ == Mode::Sr
+                                    ? finest_sr_chopping(programs)
+                                    : finest_esr_chopping(programs);
+      const PieceGraph g = build_chopping_graph(programs, chopping);
+      ComponentResult result;
+      result.members.resize(members.size());
+      for (std::size_t local = 0; local < members.size(); ++local) {
+        TypeAnalysis& ta = result.members[local];
+        ta.piece_starts = chopping.starts()[local];
+        ta.restricted.resize(chopping.piece_count(local));
+        for (std::size_t p = 0; p < ta.restricted.size(); ++p) {
+          ta.restricted[p] = g.restricted(g.vertex_of(local, p));
+        }
+        ta.zis = g.inter_sibling_fuzziness(local);
+      }
+      result.report = lint_chopping(programs, chopping, mode_);
+      it = cache_.emplace(std::move(key), std::move(result)).first;
+      ++recompute_count_;
+    }
+
+    const ComponentResult& result = it->second;
+    for (std::size_t local = 0; local < members.size(); ++local) {
+      slots_[members[local]].analysis = result.members[local];
+    }
+    report_.merge(remap_report(result.report, members));
+  }
+}
+
+}  // namespace atp::analysis

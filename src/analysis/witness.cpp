@@ -1,0 +1,245 @@
+#include "analysis/witness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <sstream>
+
+namespace atp::analysis {
+namespace {
+
+using Adjacency = std::vector<std::vector<std::pair<std::size_t, std::size_t>>>;
+
+/// Adjacency over the allowed vertex set only (allowed empty = all).
+Adjacency build_adjacency(const PieceGraph& g,
+                          const std::vector<bool>& allowed) {
+  Adjacency adj(g.vertex_count());
+  for (std::size_t e = 0; e < g.edges().size(); ++e) {
+    const std::size_t u = g.edges()[e].u, v = g.edges()[e].v;
+    if (!allowed[u] || !allowed[v]) continue;
+    adj[u].emplace_back(v, e);
+    adj[v].emplace_back(u, e);
+  }
+  return adj;
+}
+
+/// Shortest walk src -> dst avoiding edge `banned` and crossing >= 1 S edge,
+/// via BFS over states (vertex, seen-S).  The projected walk can revisit a
+/// vertex (once per layer); the caller must check simplicity.
+std::vector<std::size_t> layered_bfs(const PieceGraph& g, const Adjacency& adj,
+                                     std::size_t banned, std::size_t src,
+                                     std::size_t dst) {
+  const std::size_t n = g.vertex_count();
+  constexpr std::size_t npos = PieceGraph::npos;
+  std::vector<std::size_t> parent(2 * n, npos);  // previous state
+  std::vector<bool> visited(2 * n, false);
+  const std::size_t start = 2 * src;  // (src, no S yet)
+  visited[start] = true;
+  std::queue<std::size_t> q;
+  q.push(start);
+  const std::size_t goal = 2 * dst + 1;
+  while (!q.empty()) {
+    const std::size_t state = q.front();
+    q.pop();
+    if (state == goal) break;
+    const std::size_t v = state / 2;
+    const std::size_t seen_s = state % 2;
+    for (const auto& [w, e] : adj[v]) {
+      if (e == banned) continue;
+      const std::size_t next =
+          2 * w + (seen_s | (g.edges()[e].kind == EdgeKind::S ? 1u : 0u));
+      if (visited[next]) continue;
+      visited[next] = true;
+      parent[next] = state;
+      q.push(next);
+    }
+  }
+  if (!visited[goal]) return {};
+  std::vector<std::size_t> path;
+  for (std::size_t s = goal; s != npos; s = parent[s]) path.push_back(s / 2);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+[[nodiscard]] bool is_simple(const std::vector<std::size_t>& path) {
+  std::vector<std::size_t> sorted = path;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+/// Exhaustive fallback: shortest *simple* src -> dst path avoiding `banned`
+/// with >= 1 S edge, by pruned DFS.  Bounded by `budget` expansions; the
+/// blocks this runs on are small, and existence is guaranteed by the
+/// two-edges-one-cycle theorem, so the budget is a safety net only.
+struct SimplePathSearch {
+  const PieceGraph& g;
+  const Adjacency& adj;
+  std::size_t banned, dst;
+  std::vector<bool> on_path;
+  std::vector<std::size_t> path, best;
+  std::size_t budget = 1'000'000;
+
+  void dfs(std::size_t v, bool seen_s) {
+    if (budget == 0) return;
+    --budget;
+    if (!best.empty() && path.size() + 1 >= best.size()) return;  // prune
+    if (v == dst) {
+      if (seen_s) best = path;
+      return;
+    }
+    for (const auto& [w, e] : adj[v]) {
+      if (e == banned || on_path[w]) continue;
+      on_path[w] = true;
+      path.push_back(w);
+      dfs(w, seen_s || g.edges()[e].kind == EdgeKind::S);
+      path.pop_back();
+      on_path[w] = false;
+    }
+  }
+};
+
+std::vector<std::size_t> shortest_simple_path(const PieceGraph& g,
+                                              const Adjacency& adj,
+                                              std::size_t banned,
+                                              std::size_t src,
+                                              std::size_t dst) {
+  std::vector<std::size_t> path = layered_bfs(g, adj, banned, src, dst);
+  if (!path.empty() && is_simple(path)) return path;
+  SimplePathSearch search{g, adj, banned, dst, {}, {}, {}, 1'000'000};
+  search.on_path.assign(g.vertex_count(), false);
+  search.on_path[src] = true;
+  search.path.push_back(src);
+  // dst may be re-entered: it terminates the path, it is not "on" it.
+  search.dfs(src, false);
+  return search.best;
+}
+
+/// First conflicting statement pair between two pieces (the op-level
+/// provenance of their C edge).
+std::optional<ConflictProvenance> resolve_conflict(
+    const std::vector<TxnProgram>& programs, const Chopping& chopping,
+    const PieceId& from, const PieceId& to) {
+  const TxnProgram& pf = programs[from.txn];
+  const TxnProgram& pt = programs[to.txn];
+  const auto [fb, fe] = chopping.piece_range(from.txn, from.piece,
+                                             pf.ops.size());
+  const auto [tb, te] = chopping.piece_range(to.txn, to.piece, pt.ops.size());
+  for (std::size_t i = fb; i < fe; ++i) {
+    for (std::size_t j = tb; j < te; ++j) {
+      if (!conflicts(pf.ops[i], pt.ops[j])) continue;
+      ConflictProvenance c;
+      c.item = pf.ops[i].item;
+      c.op_from = i;
+      c.op_to = j;
+      c.type_from = pf.ops[i].type;
+      c.type_to = pt.ops[j].type;
+      c.update_update = pf.is_update() && pt.is_update();
+      return c;
+    }
+  }
+  return std::nullopt;
+}
+
+CycleWitness witness_from_cycle(const PieceGraph& g,
+                                const std::vector<TxnProgram>& programs,
+                                const Chopping& chopping,
+                                const std::vector<std::size_t>& cycle) {
+  // cycle: vertex sequence v0 v1 ... vk with the closing edge vk -> v0
+  // implied.  Look up each consecutive edge for its kind and weight.
+  std::map<std::pair<std::size_t, std::size_t>, const GraphEdge*> lookup;
+  for (const GraphEdge& e : g.edges()) {
+    lookup[std::minmax(e.u, e.v)] = &e;
+  }
+  CycleWitness w;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const std::size_t u = cycle[i];
+    const std::size_t v = cycle[(i + 1) % cycle.size()];
+    const GraphEdge* e = lookup.at(std::minmax(u, v));
+    WitnessEdge we;
+    we.from = g.piece_of(u);
+    we.to = g.piece_of(v);
+    we.kind = e->kind;
+    we.weight = e->kind == EdgeKind::C ? e->weight : 0;
+    if (e->kind == EdgeKind::C) {
+      we.conflict = resolve_conflict(programs, chopping, we.from, we.to);
+    }
+    w.edges.push_back(std::move(we));
+  }
+  return w;
+}
+
+}  // namespace
+
+std::optional<CycleWitness> find_sc_cycle(const PieceGraph& graph,
+                                          const std::vector<TxnProgram>& programs,
+                                          const Chopping& chopping,
+                                          bool require_update_update,
+                                          const std::vector<PieceId>* within) {
+  if (require_update_update ? !graph.has_update_update_sc_cycle()
+                            : !graph.has_sc_cycle()) {
+    return std::nullopt;
+  }
+  std::vector<bool> allowed(graph.vertex_count(), within == nullptr);
+  if (within) {
+    for (const PieceId& p : *within) {
+      const std::size_t v = graph.vertex_of(p.txn, p.piece);
+      if (v != PieceGraph::npos) allowed[v] = true;
+    }
+  }
+  const Adjacency adj = build_adjacency(graph, allowed);
+  std::vector<std::size_t> best;  // vertex sequence, closing edge implied
+  // Seed the search from every C edge proven to lie on an SC-cycle: the
+  // cycle is that edge plus a simple S-crossing return path.
+  for (std::size_t e = 0; e < graph.edges().size(); ++e) {
+    const GraphEdge& edge = graph.edges()[e];
+    if (edge.kind != EdgeKind::C || !graph.c_edge_on_sc_cycle(e)) continue;
+    if (!allowed[edge.u] || !allowed[edge.v]) continue;
+    if (require_update_update && !(graph.vertices()[edge.u].update &&
+                                   graph.vertices()[edge.v].update)) {
+      continue;
+    }
+    const std::vector<std::size_t> path =
+        shortest_simple_path(graph, adj, e, edge.v, edge.u);
+    if (path.empty()) continue;
+    // Cycle: u -C- v, then the path v .. u (closing edge u -> v is path[0]).
+    std::vector<std::size_t> cycle;
+    cycle.push_back(edge.u);
+    cycle.insert(cycle.end(), path.begin(), path.end() - 1);
+    if (best.empty() || cycle.size() < best.size()) best = std::move(cycle);
+    if (best.size() == 3) break;  // nothing shorter exists
+  }
+  if (best.empty()) return std::nullopt;
+  return witness_from_cycle(graph, programs, chopping, best);
+}
+
+std::vector<Diagnostic> rollback_violations(
+    const std::vector<TxnProgram>& programs, const Chopping& chopping) {
+  std::vector<Diagnostic> out;
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    const TxnProgram& p = programs[t];
+    for (std::size_t r : p.rollback_after) {
+      // Find the piece whose op range contains the rollback point.
+      for (std::size_t piece = 0; piece < chopping.piece_count(t); ++piece) {
+        const auto [b, e] = chopping.piece_range(t, piece, p.ops.size());
+        if (r < b || r >= e) continue;
+        if (piece == 0) break;  // safe
+        Diagnostic d;
+        d.rule = Rule::RB001;
+        d.txn = p.name;
+        d.piece = PieceId{t, piece};
+        d.op = r;
+        std::ostringstream msg;
+        msg << "txn '" << p.name << "': rollback statement after op " << r
+            << " lands in piece " << piece + 1
+            << " (rollback-safety requires piece 1)";
+        d.message = msg.str();
+        out.push_back(std::move(d));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace atp::analysis

@@ -1,0 +1,43 @@
+// SC-cycle witness extraction.
+//
+// The block decomposition in chop/graph.h proves *existence* of SC-cycles;
+// a diagnostic needs the cycle itself.  find_sc_cycle() turns the existence
+// proof into a concrete minimal witness: for every C edge the blocks proved
+// to lie on an SC-cycle, it searches the shortest simple return path that
+// crosses at least one S edge (layered BFS over (vertex, seen-S); exhaustive
+// DFS fallback when the layered path revisits a vertex), and keeps the
+// shortest cycle found overall.  Every C edge of the witness carries op-level
+// provenance: the two conflicting statements and their common data item.
+//
+// The theorem backing termination: in a biconnected block with >= 2 edges
+// containing both an S and a C edge, any two edges lie on a common simple
+// cycle -- so whenever the graph reports has_sc_cycle(), a witness exists
+// and the search finds one.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "chop/analyzer.h"
+
+namespace atp::analysis {
+
+/// Extract a shortest-found simple SC-cycle from a finalized chopping graph.
+/// With `require_update_update`, only cycles through an update-update C edge
+/// qualify (Definition 1, condition 2 witnesses).  With `within` non-null,
+/// the search is confined to that piece set (used to localize the cycle
+/// inside one offending block).  Returns nullopt iff no qualifying cycle is
+/// reachable.  `programs` and `chopping` supply the op-level provenance of
+/// each C edge.
+[[nodiscard]] std::optional<CycleWitness> find_sc_cycle(
+    const PieceGraph& graph, const std::vector<TxnProgram>& programs,
+    const Chopping& chopping, bool require_update_update = false,
+    const std::vector<PieceId>* within = nullptr);
+
+/// RB001 witnesses: every rollback statement that escapes piece 1, with the
+/// exact program, op index, and the piece it landed in.
+[[nodiscard]] std::vector<Diagnostic> rollback_violations(
+    const std::vector<TxnProgram>& programs, const Chopping& chopping);
+
+}  // namespace atp::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
@@ -142,54 +143,71 @@ Status validate_esr_chopping(const std::vector<TxnProgram>& programs,
 namespace {
 
 // Merge, inside one offending block, the sibling group of one transaction.
-// Returns true if a merge happened.  Piece indices come from graph vertices,
-// which are invalidated by the merge -- callers must rebuild the graph.
-bool merge_one_sibling_group(const PieceGraph& g,
-                             const std::vector<std::vector<std::size_t>>& blocks,
-                             Chopping& chopping) {
+// Returns the step record (cause/round filled in by the caller) or nullopt
+// if no block holds >= 2 pieces of one transaction.  Piece indices come from
+// graph vertices, which are invalidated by the merge -- callers must rebuild
+// the graph.
+std::optional<MergeStep> merge_one_sibling_group(
+    const std::vector<std::vector<PieceId>>& blocks, Chopping& chopping) {
   for (const auto& block : blocks) {
-    // Group block vertices by transaction.
-    std::unordered_map<std::size_t, std::vector<std::size_t>> group;
-    for (std::size_t v : block) {
-      group[g.vertices()[v].txn].push_back(g.vertices()[v].piece);
-    }
+    // Group block pieces by transaction (ordered map: deterministic choice).
+    std::map<std::size_t, std::vector<std::size_t>> group;
+    for (const PieceId& p : block) group[p.txn].push_back(p.piece);
     for (auto& [txn, pieces] : group) {
       if (pieces.size() < 2) continue;
       const auto [mn, mx] = std::minmax_element(pieces.begin(), pieces.end());
+      MergeStep step;
+      step.txn = txn;
+      step.first_piece = *mn;
+      step.last_piece = *mx;
+      step.block = block;
+      step.before = chopping;
       chopping.merge(txn, *mn, *mx);
-      return true;
+      return step;
     }
   }
-  return false;
+  return std::nullopt;
+}
+
+void record(std::vector<MergeStep>* log, MergeStep step, std::size_t round,
+            MergeCause cause) {
+  if (!log) return;
+  step.round = round;
+  step.cause = cause;
+  log->push_back(std::move(step));
 }
 
 }  // namespace
 
-Chopping finest_sr_chopping(const std::vector<TxnProgram>& programs) {
+Chopping finest_sr_chopping(const std::vector<TxnProgram>& programs,
+                            std::vector<MergeStep>* merge_log) {
   Chopping chopping = Chopping::finest_candidate(programs);
-  for (;;) {
+  for (std::size_t round = 0;; ++round) {
     const PieceGraph g = build_chopping_graph(programs, chopping);
     if (!g.has_sc_cycle()) return chopping;
-    const bool merged = merge_one_sibling_group(g, g.sc_blocks(), chopping);
+    auto step = merge_one_sibling_group(g.sc_cycle_blocks(), chopping);
     // An SC-cycle always involves >= 2 pieces of some transaction inside one
     // block (the block contains an S edge), so a merge must be possible.
-    assert(merged);
-    if (!merged) return chopping;  // defensive: avoid an infinite loop
+    assert(step);
+    if (!step) return chopping;  // defensive: avoid an infinite loop
+    record(merge_log, std::move(*step), round, MergeCause::ScCycle);
   }
 }
 
-Chopping finest_esr_chopping(const std::vector<TxnProgram>& programs) {
+Chopping finest_esr_chopping(const std::vector<TxnProgram>& programs,
+                             std::vector<MergeStep>* merge_log) {
   Chopping chopping = Chopping::finest_candidate(programs);
-  for (;;) {
+  for (std::size_t round = 0;; ++round) {
     const PieceGraph g = build_chopping_graph(programs, chopping);
 
     // Condition 2: update-update C edges may not sit on SC-cycles.  Merge
     // those blocks first, exactly as in the SR search.
     if (g.has_update_update_sc_cycle()) {
-      const bool merged =
-          merge_one_sibling_group(g, g.uu_sc_blocks(), chopping);
-      assert(merged);
-      if (!merged) return chopping;
+      auto step = merge_one_sibling_group(g.uu_sc_cycle_blocks(), chopping);
+      assert(step);
+      if (!step) return chopping;
+      record(merge_log, std::move(*step), round,
+             MergeCause::UpdateUpdateScCycle);
       continue;
     }
 
@@ -217,7 +235,16 @@ Chopping finest_esr_chopping(const std::vector<TxnProgram>& programs) {
     if (!heaviest) return chopping;  // defensive
     const std::size_t pu = g.vertices()[heaviest->u].piece;
     const std::size_t pv = g.vertices()[heaviest->v].piece;
-    chopping.merge(worst_txn, std::min(pu, pv), std::max(pu, pv));
+    MergeStep step;
+    step.txn = worst_txn;
+    step.first_piece = std::min(pu, pv);
+    step.last_piece = std::max(pu, pv);
+    step.block = {g.piece_of(heaviest->u), g.piece_of(heaviest->v)};
+    step.zis = g.inter_sibling_fuzziness(worst_txn);
+    step.limit = programs[worst_txn].epsilon_limit;
+    step.before = chopping;
+    chopping.merge(worst_txn, step.first_piece, step.last_piece);
+    record(merge_log, std::move(step), round, MergeCause::LimitOverflow);
   }
 }
 

@@ -39,13 +39,40 @@ namespace atp {
 [[nodiscard]] std::vector<Value> inter_sibling_fuzziness(
     const std::vector<TxnProgram>& programs, const Chopping& chopping);
 
+/// Why one coarsening step of a finest-chopping search merged pieces.
+enum class MergeCause : std::uint8_t {
+  ScCycle,              ///< SR search: the block witnessed an SC-cycle
+  UpdateUpdateScCycle,  ///< ESR search: SC-cycle through an update-update C edge
+  LimitOverflow,        ///< ESR search: Z^is_t > Limit_t; heaviest S edge merged
+};
+
+/// One step of the finest-chopping merge fixpoint: an auditable record of
+/// which pieces merged and the evidence that forced it.  `before` is the
+/// chopping the step acted on, so a diagnostics layer can rebuild that
+/// round's graph and extract a concrete cycle witness.
+struct MergeStep {
+  std::size_t round = 0;
+  MergeCause cause = MergeCause::ScCycle;
+  std::size_t txn = 0;          ///< transaction whose pieces merged
+  std::size_t first_piece = 0;  ///< merged range [first, last], pre-merge indices
+  std::size_t last_piece = 0;
+  /// Cycle causes: the offending SC-block.  LimitOverflow: the two endpoints
+  /// of the S edge that was merged away.
+  std::vector<PieceId> block;
+  Value zis = 0;    ///< LimitOverflow: the overflowing Z^is_t
+  Value limit = 0;  ///< LimitOverflow: the Limit_t it exceeded
+  Chopping before;  ///< chopping state at the start of the step
+};
+
 /// Finest SR-chopping by merge-fixpoint: start from the finest rollback-safe
 /// candidate; while an SC-cycle exists, merge -- within each offending block
 /// -- all pieces that belong to the same transaction; repeat.  Terminates
 /// (every round removes at least one piece) and yields an SR-correct
-/// chopping.
+/// chopping.  With `merge_log` non-null, every coarsening step is appended:
+/// the full derivation of why the result is no finer.
 [[nodiscard]] Chopping finest_sr_chopping(
-    const std::vector<TxnProgram>& programs);
+    const std::vector<TxnProgram>& programs,
+    std::vector<MergeStep>* merge_log = nullptr);
 
 /// Finest ESR-chopping by merge-fixpoint: like finest_sr_chopping, but an
 /// SC-cycle is tolerable when it has no update-update C edge and the
@@ -54,6 +81,7 @@ namespace atp {
 /// away first (greedy).  With all C-edge weights unknown this degrades to
 /// exactly the SR-chopping -- the paper's upward compatibility.
 [[nodiscard]] Chopping finest_esr_chopping(
-    const std::vector<TxnProgram>& programs);
+    const std::vector<TxnProgram>& programs,
+    std::vector<MergeStep>* merge_log = nullptr);
 
 }  // namespace atp

@@ -18,11 +18,14 @@
 namespace atp {
 
 /// Identifies one piece: transaction index within the job stream + piece
-/// index within that transaction's partition.
+/// index within that transaction's partition.  The typed handle every
+/// chopping-graph query hands out, so tools never reverse-engineer vertex
+/// numbering.
 struct PieceId {
   std::size_t txn = 0;
   std::size_t piece = 0;
   friend bool operator==(const PieceId&, const PieceId&) = default;
+  friend auto operator<=>(const PieceId&, const PieceId&) = default;
 };
 
 class Chopping {
@@ -35,6 +38,9 @@ class Chopping {
   /// starting point of the finest-chopping fixpoint searches.
   [[nodiscard]] static Chopping finest_candidate(
       const std::vector<TxnProgram>& programs);
+
+  /// Empty chopping (no transactions); useful as a value-type default.
+  Chopping() = default;
 
   /// Explicit construction: starts[t] = sorted op indices at which pieces of
   /// transaction t begin; starts[t].front() must be 0.

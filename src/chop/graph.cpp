@@ -166,8 +166,12 @@ void PieceGraph::finalize() {
       auto& vs = block_vertices[b];
       std::sort(vs.begin(), vs.end());
       vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
-      sc_block_vertices_.push_back(vs);
-      if (block_has_uu[b]) uu_sc_block_vertices_.push_back(vs);
+      std::vector<PieceId> pieces;
+      pieces.reserve(vs.size());
+      for (std::size_t v : vs) pieces.push_back(piece_of(v));
+      std::sort(pieces.begin(), pieces.end());
+      sc_blocks_.push_back(pieces);
+      if (block_has_uu[b]) uu_sc_blocks_.push_back(std::move(pieces));
     }
   }
 

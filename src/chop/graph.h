@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "chop/chopping.h"
 #include "common/types.h"
 
 namespace atp {
@@ -91,19 +92,19 @@ class PieceGraph {
   /// Z^is_t: sum of W_S over all S edges of transaction `txn`.
   [[nodiscard]] Value inter_sibling_fuzziness(std::size_t txn) const;
 
-  /// Vertex sets of the blocks that witness an SC-cycle (>= 2 edges, both an
-  /// S and a C edge).  The finest-chopping searches merge sibling groups
-  /// inside these.
-  [[nodiscard]] const std::vector<std::vector<std::size_t>>& sc_blocks()
+  /// Piece sets of the blocks that witness an SC-cycle (>= 2 edges, both an
+  /// S and a C edge), as typed {txn, piece} handles sorted by (txn, piece).
+  /// The finest-chopping searches merge sibling groups inside these.
+  [[nodiscard]] const std::vector<std::vector<PieceId>>& sc_cycle_blocks()
       const noexcept {
-    return sc_block_vertices_;
+    return sc_blocks_;
   }
 
-  /// Vertex sets of SC-cycle blocks that additionally contain a C edge
+  /// Piece sets of SC-cycle blocks that additionally contain a C edge
   /// joining two update pieces (Definition 1, condition 2 violations).
-  [[nodiscard]] const std::vector<std::vector<std::size_t>>& uu_sc_blocks()
+  [[nodiscard]] const std::vector<std::vector<PieceId>>& uu_sc_cycle_blocks()
       const noexcept {
-    return uu_sc_block_vertices_;
+    return uu_sc_blocks_;
   }
 
   // --- introspection ------------------------------------------------------
@@ -119,6 +120,10 @@ class PieceGraph {
   }
   /// Vertex id of (txn, piece), or npos if absent.
   [[nodiscard]] std::size_t vertex_of(std::size_t txn, std::size_t piece) const;
+  /// Typed handle of a vertex id.
+  [[nodiscard]] PieceId piece_of(std::size_t vertex) const {
+    return PieceId{vertices_[vertex].txn, vertices_[vertex].piece};
+  }
 
   /// Graphviz dump: S edges dashed, C edges solid with weights, restricted
   /// pieces shaded.
@@ -135,8 +140,8 @@ class PieceGraph {
   bool has_uu_sc_cycle_ = false;
   std::vector<bool> restricted_;   // per vertex
   std::vector<bool> on_sc_cycle_;  // per edge (meaningful for C edges)
-  std::vector<std::vector<std::size_t>> sc_block_vertices_;
-  std::vector<std::vector<std::size_t>> uu_sc_block_vertices_;
+  std::vector<std::vector<PieceId>> sc_blocks_;
+  std::vector<std::vector<PieceId>> uu_sc_blocks_;
 };
 
 /// Biconnected-component decomposition of an undirected simple graph.

@@ -1,0 +1,156 @@
+// Epsilon-limit plan checker (rules LM001..LM005): the repo's own
+// distributions must certify clean, and every seeded violation must be
+// caught with the right rule ID and piece localization.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/limit_check.h"
+#include "limits/distribution.h"
+
+namespace atp {
+namespace {
+
+using namespace atp::analysis;
+
+LintReport plan_errors_only(const LintReport& r, Rule rule) {
+  LintReport out;
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.rule == rule) out.add(d);
+  }
+  return out;
+}
+
+TEST(LimitCheck, RepoDistributionsCertifyClean) {
+  // Mixed restricted/unrestricted chain, the common shape after chopping.
+  const ChopPlanInfo chain = ChopPlanInfo::chain(
+      {true, false, true, true}, TxnKind::Update, /*limit_total=*/300);
+  EXPECT_TRUE(check_limit_plans(chain, "t").ok())
+      << check_limit_plans(chain, "t").to_text();
+
+  // Tree-shaped DG: piece 0 fans out to 1 and 2; 2 has dependent 3.
+  const ChopPlanInfo tree =
+      ChopPlanInfo::tree({true, true, true, true}, {0, 0, 0, 2},
+                         TxnKind::Update, /*limit_total=*/400);
+  EXPECT_TRUE(check_limit_plans(tree, "t").ok())
+      << check_limit_plans(tree, "t").to_text();
+
+  // Degenerate: nothing restricted at all.
+  const ChopPlanInfo free_chain =
+      ChopPlanInfo::chain({false, false}, TxnKind::Query, 100);
+  EXPECT_TRUE(check_limit_plans(free_chain, "t").ok());
+}
+
+TEST(LimitCheck, SumMismatchIsLm001) {
+  const ChopPlanInfo info = ChopPlanInfo::chain(
+      {true, true, true}, TxnKind::Update, /*limit_total=*/300);
+  // 100 + 100 + 50 != 300.
+  const LintReport r =
+      check_static_plan(info, {100, 100, 50}, "leaky", /*txn_index=*/7);
+  const LintReport lm001 = plan_errors_only(r, Rule::LM001);
+  ASSERT_EQ(lm001.diagnostics.size(), 1u);
+  EXPECT_EQ(lm001.diagnostics[0].txn, "leaky");
+}
+
+TEST(LimitCheck, NegativeLimitIsLm002) {
+  const ChopPlanInfo info =
+      ChopPlanInfo::chain({true, true}, TxnKind::Update, 100);
+  const LintReport r = check_static_plan(info, {150, -50}, "neg");
+  const LintReport lm002 = plan_errors_only(r, Rule::LM002);
+  ASSERT_EQ(lm002.diagnostics.size(), 1u);
+  ASSERT_TRUE(lm002.diagnostics[0].piece.has_value());
+  EXPECT_EQ(lm002.diagnostics[0].piece->piece, 1u);
+}
+
+TEST(LimitCheck, FiniteLimitOnUnrestrictedPieceIsLm003) {
+  const ChopPlanInfo info =
+      ChopPlanInfo::chain({true, false}, TxnKind::Update, 100);
+  // Piece 1 is unrestricted yet granted a finite 40.
+  const LintReport r = check_static_plan(info, {100, 40}, "t");
+  const LintReport lm003 = plan_errors_only(r, Rule::LM003);
+  ASSERT_EQ(lm003.diagnostics.size(), 1u);
+  ASSERT_TRUE(lm003.diagnostics[0].piece.has_value());
+  EXPECT_EQ(lm003.diagnostics[0].piece->piece, 1u);
+
+  const std::vector<Value> good{100, kInfiniteLimit};
+  EXPECT_TRUE(check_static_plan(info, good, "t").ok());
+}
+
+TEST(LimitCheck, MalformedDependencyGraphIsLm004) {
+  // A child listed before its parent breaks the forest invariant.
+  ChopPlanInfo bad;
+  bad.piece_count = 3;
+  bad.restricted = {true, true, true};
+  bad.children = {{1}, {}, {1}};  // piece 1 has two parents (0 and 2)
+  bad.kind = TxnKind::Update;
+  bad.limit_total = 100;
+  const LintReport r = check_plan_structure(bad, "t");
+  EXPECT_FALSE(plan_errors_only(r, Rule::LM004).diagnostics.empty());
+
+  // Marks not sized to the piece count.
+  ChopPlanInfo short_marks;
+  short_marks.piece_count = 3;
+  short_marks.restricted = {true, true};
+  short_marks.children = {{1}, {2}, {}};
+  short_marks.kind = TxnKind::Update;
+  short_marks.limit_total = 100;
+  EXPECT_FALSE(plan_errors_only(check_plan_structure(short_marks, "t"),
+                                Rule::LM004)
+                   .diagnostics.empty());
+}
+
+/// A distributor that forgets half of every leftover -- the Figure 2 bug the
+/// dynamic checker exists to catch.
+class LeakyDistribution final : public LimitDistributor {
+ public:
+  explicit LeakyDistribution(const ChopPlanInfo& info) : info_(info) {
+    assigned_.assign(info.piece_count, 0);
+    if (!assigned_.empty()) assigned_[0] = info.limit_total;
+  }
+  Value limit_for(std::size_t piece) override {
+    return info_.restricted[piece] ? assigned_[piece] : kInfiniteLimit;
+  }
+  void report_committed(std::size_t piece, Value z_p) override {
+    const Value leftover = info_.restricted[piece]
+                               ? (assigned_[piece] - z_p) / 2  // leaks half
+                               : assigned_[piece];
+    for (std::size_t child : info_.children[piece]) {
+      assigned_[child] =
+          leftover / static_cast<Value>(info_.children[piece].size());
+    }
+  }
+
+ private:
+  ChopPlanInfo info_;
+  std::vector<Value> assigned_;
+};
+
+TEST(LimitCheck, LeftoverLeakIsLm005) {
+  const ChopPlanInfo info = ChopPlanInfo::chain(
+      {true, true, true}, TxnKind::Update, /*limit_total=*/300);
+  const std::vector<Value> consumed{50, 50, 50};
+
+  // The repo's own dynamic policy propagates exactly.
+  DynamicDistribution good(info);
+  EXPECT_TRUE(check_dynamic_plan(info, good, consumed, "t").ok());
+
+  LeakyDistribution leaky(info);
+  const LintReport r = check_dynamic_plan(info, leaky, consumed, "t");
+  const LintReport lm005 = plan_errors_only(r, Rule::LM005);
+  ASSERT_FALSE(lm005.diagnostics.empty());
+  // First divergence is at piece 1: granted (300-50)/2, expected 250.
+  ASSERT_TRUE(lm005.diagnostics[0].piece.has_value());
+  EXPECT_EQ(lm005.diagnostics[0].piece->piece, 1u);
+}
+
+TEST(LimitCheck, DynamicConsumptionBeyondGrantStillConserves) {
+  // Overconsumption clamps the leftover at zero (a piece cannot bequeath
+  // negative budget); the checker models the same clamp, so this is clean.
+  const ChopPlanInfo info =
+      ChopPlanInfo::chain({true, true}, TxnKind::Update, 100);
+  DynamicDistribution d(info);
+  EXPECT_TRUE(check_dynamic_plan(info, d, {150, 0}, "t").ok());
+}
+
+}  // namespace
+}  // namespace atp

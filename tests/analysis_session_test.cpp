@@ -1,0 +1,157 @@
+// AnalysisSession: incremental re-analysis over the type conflict graph's
+// connected components.  recompute_count() pins exactly how many component
+// fixpoints ran, so these tests fail if incrementality regresses to
+// whole-stream recomputation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/session.h"
+
+namespace atp {
+namespace {
+
+using namespace atp::analysis;
+
+constexpr Key A1 = 1, A2 = 2, B1 = 11, B2 = 12, C1 = 21;
+
+TxnProgram touching(const std::string& name, Key x, Key y,
+                    TxnKind kind = TxnKind::Update) {
+  ProgramBuilder b(name, kind);
+  if (kind == TxnKind::Update) {
+    b.add(x, 1, 10).add(y, 1, 10);
+  } else {
+    b.read(x).read(y);
+  }
+  return b.epsilon(100).build();
+}
+
+TEST(Session, DisjointTypesAnalyzeIndependently) {
+  AnalysisSession s;
+  const std::size_t a = s.add_txn(touching("a", A1, A2));
+  EXPECT_EQ(s.recompute_count(), 1u);
+
+  // b touches disjoint items: its arrival must not re-run a's component.
+  const std::size_t b = s.add_txn(touching("b", B1, B2));
+  EXPECT_EQ(s.recompute_count(), 2u);
+  EXPECT_EQ(s.live_count(), 2u);
+
+  // A third disjoint type: again exactly one new fixpoint.
+  s.add_txn(touching("c", C1, C1));
+  EXPECT_EQ(s.recompute_count(), 3u);
+
+  EXPECT_TRUE(s.live(a));
+  EXPECT_TRUE(s.live(b));
+  EXPECT_TRUE(s.report().ok());
+}
+
+TEST(Session, RemoveAndReAddIsACacheHit) {
+  AnalysisSession s;
+  s.add_txn(touching("a", A1, A2));
+  const std::size_t b = s.add_txn(touching("b", B1, B2));
+  ASSERT_EQ(s.recompute_count(), 2u);
+
+  // Removing b leaves {a}, whose result is cached from step 1.
+  s.remove_txn(b);
+  EXPECT_EQ(s.recompute_count(), 2u);
+  EXPECT_EQ(s.live_count(), 1u);
+  EXPECT_FALSE(s.live(b));
+
+  // Re-adding an identical program re-creates the cached two-component mix.
+  s.add_txn(touching("b", B1, B2));
+  EXPECT_EQ(s.recompute_count(), 2u);
+  EXPECT_EQ(s.live_count(), 2u);
+}
+
+TEST(Session, ConflictingTypeMergesComponents) {
+  AnalysisSession s;
+  const std::size_t a = s.add_txn(touching("a", A1, A2));
+  const std::size_t b = s.add_txn(touching("b", B1, B2));
+  ASSERT_EQ(s.recompute_count(), 2u);
+
+  // A query spanning both item families fuses the two components: one new
+  // fixpoint over the merged component (the singletons stay cached).
+  const std::size_t bridge =
+      s.add_txn(touching("bridge", A1, B1, TxnKind::Query));
+  EXPECT_EQ(s.recompute_count(), 3u);
+
+  // With the bridge gone the old components resolve from cache.
+  s.remove_txn(bridge);
+  EXPECT_EQ(s.recompute_count(), 3u);
+  EXPECT_TRUE(s.live(a));
+  EXPECT_TRUE(s.live(b));
+}
+
+TEST(Session, AnalysisReflectsCurrentMix) {
+  // Alone, an update pair chops fully under ESR; a conflicting reader
+  // changes its restricted marks when it joins.
+  AnalysisSession s(Mode::Esr);
+  const std::size_t t = s.add_txn(touching("transfer", A1, A2));
+  {
+    const TypeAnalysis& ta = s.analysis(t);
+    EXPECT_EQ(ta.piece_starts.size(), 2u);  // chopped into singletons
+    EXPECT_EQ(ta.zis, 0);                   // no siblings to diverge from
+    for (bool r : ta.restricted) EXPECT_FALSE(r);
+  }
+
+  // A whole-transaction reader makes the S edge SC-cyclic: Z^is turns
+  // positive, but one C path is no C-*cycle*, so nothing is restricted yet.
+  const std::size_t audit = s.add_txn(ProgramBuilder("audit", TxnKind::Query)
+                                          .read(A1)
+                                          .read(A2)
+                                          .epsilon(100)
+                                          .not_choppable()
+                                          .build());
+  {
+    const TypeAnalysis& ta = s.analysis(t);
+    EXPECT_EQ(ta.piece_starts.size(), 2u);
+    EXPECT_GT(ta.zis, 0);
+  }
+
+  // A second whole reader closes a C-only cycle through both transfer
+  // pieces: they are restricted now.
+  s.add_txn(ProgramBuilder("audit2", TxnKind::Query)
+                .read(A1)
+                .read(A2)
+                .epsilon(100)
+                .not_choppable()
+                .build());
+  {
+    const TypeAnalysis& ta = s.analysis(t);
+    EXPECT_EQ(ta.piece_starts.size(), 2u);
+    for (bool r : ta.restricted) EXPECT_TRUE(r);
+  }
+  EXPECT_EQ(s.program(audit).name, "audit");
+  EXPECT_TRUE(s.report().ok()) << s.report().to_text();
+}
+
+TEST(Session, SrModeSessionsCoarsenInsteadOfFlagging) {
+  // Under SR the transfer/audit mix cannot stay chopped: the session's
+  // finest chopping leaves both whole, and the report is clean (the cycle
+  // forced a merge, not a diagnostic).
+  AnalysisSession s(Mode::Sr);
+  const std::size_t t = s.add_txn(touching("transfer", A1, A2));
+  EXPECT_EQ(s.analysis(t).piece_starts.size(), 2u);
+
+  s.add_txn(touching("audit", A1, A2, TxnKind::Query));
+  EXPECT_EQ(s.analysis(t).piece_starts.size(), 1u);
+  EXPECT_TRUE(s.report().ok());
+}
+
+TEST(Session, ModeIsPartOfTheCacheKey) {
+  // The same mix analyzed under SR and ESR must not share cache entries --
+  // a fresh session per mode recomputes.
+  AnalysisSession sr(Mode::Sr);
+  sr.add_txn(touching("transfer", A1, A2));
+  sr.add_txn(touching("audit", A1, A2, TxnKind::Query));
+  AnalysisSession esr(Mode::Esr);
+  esr.add_txn(touching("transfer", A1, A2));
+  esr.add_txn(touching("audit", A1, A2, TxnKind::Query));
+  // SR merges back to whole; ESR keeps the chop.  Different answers prove
+  // different fixpoints ran.
+  EXPECT_EQ(sr.analysis(0).piece_starts.size(), 1u);
+  EXPECT_EQ(esr.analysis(0).piece_starts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace atp

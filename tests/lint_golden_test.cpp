@@ -1,0 +1,117 @@
+// Golden-file tests for the lint report renderings.  The exact text and JSON
+// are contracts: CI pipelines match on rule IDs and the JSON schema, so any
+// drift must be a conscious decision (regenerate with ATP_REGEN_GOLDEN=1 in
+// the environment and review the diff).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "chop/analyzer.h"
+
+#ifndef ATP_GOLDEN_DIR
+#error "ATP_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace atp {
+namespace {
+
+using namespace atp::analysis;
+
+constexpr Key X = 1, Y = 2, Z = 3;
+
+std::string golden_path(const std::string& name) {
+  return std::string(ATP_GOLDEN_DIR) + "/" + name;
+}
+
+void expect_matches_golden(const std::string& actual,
+                           const std::string& name) {
+  const std::string path = golden_path(name);
+  if (std::getenv("ATP_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with ATP_REGEN_GOLDEN=1)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), actual) << "golden mismatch for " << name;
+}
+
+std::vector<TxnProgram> transfer_audit(Value bound, Value transfer_eps,
+                                       Value audit_eps) {
+  return {ProgramBuilder("transfer", TxnKind::Update)
+              .add(X, -10, bound)
+              .add(Y, +10, bound)
+              .epsilon(transfer_eps)
+              .build(),
+          ProgramBuilder("audit", TxnKind::Query)
+              .read(X)
+              .read(Y)
+              .epsilon(audit_eps)
+              .build()};
+}
+
+// The canonical seeded-bad chopping: both transactions fully chopped.  SR
+// reports the SC-cycle with its witness; ESR accepts the identical chopping
+// (the cycle has no update-update C edge and the limits are generous).
+TEST(LintGolden, SrRejectsChoppedTransferAudit) {
+  const auto programs = transfer_audit(100, 1000, 1000);
+  const Chopping chopping = Chopping::finest_candidate(programs);
+  const LintReport report = lint_sr_chopping(programs, chopping);
+  ASSERT_EQ(report.error_count(), 1u);
+  expect_matches_golden(report.to_text(), "sr_chopped_transfer_audit.txt");
+  expect_matches_golden(report.to_json(), "sr_chopped_transfer_audit.json");
+
+  const LintReport esr = lint_esr_chopping(programs, chopping);
+  EXPECT_TRUE(esr.ok()) << esr.to_text();
+  expect_matches_golden(esr.to_json(), "esr_tolerates_same_chopping.json");
+}
+
+// ESR's own failure modes: tight limits turn the tolerated cycle into EP001,
+// and a second writer turns it into SC002 with an update-update witness.
+TEST(LintGolden, EsrOverflowAndUpdateUpdate) {
+  const auto overflow = transfer_audit(100, 150, 10000);
+  const Chopping chop_first({{0, 1}, {0}});
+  expect_matches_golden(lint_esr_chopping(overflow, chop_first).to_text(),
+                        "esr_zis_overflow.txt");
+
+  const std::vector<TxnProgram> writers{ProgramBuilder("w1", TxnKind::Update)
+                                            .write(X, 1, 1)
+                                            .write(Y, 1, 1)
+                                            .epsilon(1000)
+                                            .build(),
+                                        ProgramBuilder("w2", TxnKind::Update)
+                                            .write(X, 2, 1)
+                                            .write(Y, 2, 1)
+                                            .epsilon(1000)
+                                            .build()};
+  const LintReport report =
+      lint_esr_chopping(writers, Chopping::finest_candidate(writers));
+  expect_matches_golden(report.to_text(), "esr_update_update_cycle.txt");
+  expect_matches_golden(report.to_json(), "esr_update_update_cycle.json");
+}
+
+TEST(LintGolden, RollbackEscape) {
+  TxnProgram p = ProgramBuilder("risky", TxnKind::Update)
+                     .add(X, 1, 1)
+                     .add(Y, 1, 1)
+                     .rollback_point()
+                     .add(Z, 1, 1)
+                     .epsilon(100)
+                     .build();
+  const std::vector<TxnProgram> programs{p};
+  const LintReport report =
+      lint_sr_chopping(programs, Chopping({{0, 1, 2}}));
+  expect_matches_golden(report.to_text(), "rollback_escape.txt");
+}
+
+}  // namespace
+}  // namespace atp

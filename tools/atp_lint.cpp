@@ -1,0 +1,322 @@
+// atp-lint -- the chopping diagnostics engine, CLI face.
+//
+// Successor of the old `chopper` report tool: parses a job-stream
+// description (see src/chop/parser.h) or loads a built-in workload's type
+// stream, computes the finest SR/ESR choppings with their full merge
+// derivations, lints the result (SC/RB/EP rules with cycle witnesses), and
+// statically validates the eps-limit plans divergence control would run with
+// (LM rules).  Findings carry stable rule IDs; the exit code makes it a CI
+// gate.
+//
+//   atp-lint [options] [file...]          (stdin if no file/workload)
+//
+//   --mode=sr|esr|both     correctness notion to lint (default: both)
+//   --workload=NAME        built-in type stream: banking|airline|orders|
+//                          payroll|all (instead of files)
+//   --chop=SPEC            lint this explicit chopping instead of the finest
+//                          one; SPEC = "0:0,2;1:0,1" -- per transaction
+//                          index, the op indices where pieces start;
+//                          unlisted transactions run whole
+//   --explain              print the finest-chopping merge derivation
+//   --no-plan              skip the eps-limit plan checks (LM rules)
+//   --json                 machine-readable report on stdout
+//   --dot                  append the chopping graph in Graphviz format
+//
+// Exit codes: 0 clean, 1 error-severity diagnostics, 2 usage/input error.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/limit_check.h"
+#include "analysis/lint.h"
+#include "chop/parser.h"
+#include "workload/airline.h"
+#include "workload/banking.h"
+#include "workload/orders.h"
+#include "workload/payroll.h"
+
+using namespace atp;
+using namespace atp::analysis;
+
+namespace {
+
+struct Options {
+  bool sr = true, esr = true;
+  bool json = false, explain = false, plan = true, dot = false;
+  std::optional<std::string> chop_spec;
+  std::vector<std::string> workloads;
+  std::vector<std::string> files;
+};
+
+struct Stream {
+  std::string source;  ///< file path or workload name
+  std::vector<TxnProgram> programs;
+};
+
+int usage(int code) {
+  std::fprintf(
+      code ? stderr : stdout,
+      "usage: atp-lint [--mode=sr|esr|both] [--workload=banking|airline|"
+      "orders|payroll|all]\n"
+      "                [--chop=SPEC] [--explain] [--no-plan] [--json] "
+      "[--dot] [file...]\n");
+  return code;
+}
+
+std::optional<std::vector<TxnProgram>> builtin_types(const std::string& name) {
+  // Instance counts are irrelevant here: the lint runs over the *type*
+  // stream the administrator chops off-line.
+  if (name == "banking") return make_banking(BankingConfig{}, 1, 1).types;
+  if (name == "airline") return make_airline(AirlineConfig{}, 1, 1).types;
+  if (name == "orders") return make_orders(OrdersConfig{}, 1, 1).types;
+  if (name == "payroll") return make_payroll(PayrollConfig{}, 1, 1).types;
+  return std::nullopt;
+}
+
+/// "--chop=0:0,2;1:0,1" -> per-txn piece start lists (unlisted txns whole).
+std::optional<Chopping> parse_chop_spec(const std::string& spec,
+                                        const std::vector<TxnProgram>& programs) {
+  std::vector<std::vector<std::size_t>> starts(programs.size(), {0});
+  std::istringstream in(spec);
+  std::string entry;
+  while (std::getline(in, entry, ';')) {
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    std::size_t txn = 0;
+    try {
+      txn = std::stoul(entry.substr(0, colon));
+    } catch (...) {
+      return std::nullopt;
+    }
+    if (txn >= programs.size()) return std::nullopt;
+    std::vector<std::size_t> s;
+    std::istringstream ops(entry.substr(colon + 1));
+    std::string tok;
+    while (std::getline(ops, tok, ',')) {
+      try {
+        s.push_back(std::stoul(tok));
+      } catch (...) {
+        return std::nullopt;
+      }
+    }
+    if (s.empty() || s.front() != 0) return std::nullopt;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (s[i] <= s[i - 1] || s[i] >= programs[txn].ops.size()) {
+        return std::nullopt;
+      }
+    }
+    starts[txn] = std::move(s);
+  }
+  return Chopping(std::move(starts));
+}
+
+/// Per-type eps-limit plan checks over the chopping's restricted marks.
+LintReport lint_limit_plans(const std::vector<TxnProgram>& programs,
+                            const Chopping& chopping) {
+  const PieceGraph g = build_chopping_graph(programs, chopping);
+  LintReport report;
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    std::vector<bool> restricted(chopping.piece_count(t));
+    for (std::size_t p = 0; p < restricted.size(); ++p) {
+      restricted[p] = g.restricted(g.vertex_of(t, p));
+    }
+    const ChopPlanInfo info = ChopPlanInfo::chain(
+        std::move(restricted), programs[t].kind, programs[t].epsilon_limit);
+    report.merge(check_limit_plans(info, programs[t].name, t));
+  }
+  return report;
+}
+
+void print_piece_table(const std::vector<TxnProgram>& programs,
+                       const Chopping& chopping) {
+  const PieceGraph graph = build_chopping_graph(programs, chopping);
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    const TxnProgram& p = programs[t];
+    const std::size_t k = chopping.piece_count(t);
+    std::printf("  %-20s %zu op(s) -> %zu piece(s)", p.name.c_str(),
+                p.ops.size(), k);
+    const Value zis = graph.inter_sibling_fuzziness(t);
+    if (zis == kInfiniteLimit) {
+      std::printf("  Z^is=inf");
+    } else {
+      std::printf("  Z^is=%.0f", zis);
+    }
+    std::printf("  Limit_t=%.0f\n", p.epsilon_limit);
+    for (std::size_t piece = 0; piece < k; ++piece) {
+      const auto [b, e] = chopping.piece_range(t, piece, p.ops.size());
+      const std::size_t v = graph.vertex_of(t, piece);
+      std::printf("    piece %zu: ops [%zu, %zu)%s\n", piece + 1, b, e,
+                  graph.restricted(v) ? "  [restricted]" : "");
+    }
+  }
+}
+
+/// One lint pass: (stream, mode) -> report; fills JSON fragments if asked.
+struct RunResult {
+  std::string mode;
+  LintReport report;
+  Chopping chopping;
+};
+
+RunResult run_mode(const Stream& stream, Mode mode, const Options& opt) {
+  RunResult result;
+  result.mode = analysis::to_string(mode);
+
+  if (opt.chop_spec) {
+    const auto chopping = parse_chop_spec(*opt.chop_spec, stream.programs);
+    if (!chopping) {
+      std::fprintf(stderr, "atp-lint: bad --chop spec '%s'\n",
+                   opt.chop_spec->c_str());
+      std::exit(2);
+    }
+    result.chopping = *chopping;
+    result.report = lint_chopping(stream.programs, result.chopping, mode);
+  } else {
+    ExplainedChopping explained =
+        explain_finest_chopping(stream.programs, mode);
+    result.chopping = std::move(explained.chopping);
+    result.report = lint_chopping(stream.programs, result.chopping, mode);
+    if (opt.explain && !opt.json) {
+      std::printf("  derivation (%zu merge step(s)):\n",
+                  explained.steps.size());
+      for (const MergeExplanation& ex : explained.steps) {
+        std::printf("    %s\n", ex.to_string(stream.programs).c_str());
+      }
+    }
+  }
+  if (opt.plan) {
+    result.report.merge(lint_limit_plans(stream.programs, result.chopping));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const std::string& prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (const auto v = value_of("--mode=")) {
+      opt.sr = *v == "sr" || *v == "both";
+      opt.esr = *v == "esr" || *v == "both";
+      if (!opt.sr && !opt.esr) return usage(2);
+    } else if (const auto v = value_of("--workload=")) {
+      if (*v == "all") {
+        opt.workloads = {"banking", "airline", "orders", "payroll"};
+      } else {
+        opt.workloads.push_back(*v);
+      }
+    } else if (const auto v = value_of("--chop=")) {
+      opt.chop_spec = *v;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--explain") {
+      opt.explain = true;
+    } else if (arg == "--no-plan") {
+      opt.plan = false;
+    } else if (arg == "--dot") {
+      opt.dot = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(2);
+    } else {
+      opt.files.push_back(arg);
+    }
+  }
+
+  std::vector<Stream> streams;
+  for (const std::string& name : opt.workloads) {
+    auto types = builtin_types(name);
+    if (!types) {
+      std::fprintf(stderr, "atp-lint: unknown workload '%s'\n", name.c_str());
+      return 2;
+    }
+    streams.push_back(Stream{name, std::move(*types)});
+  }
+  for (const std::string& path : opt.files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "atp-lint: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = parse_job_stream(buf.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "atp-lint: %s: parse error: %s\n", path.c_str(),
+                   parsed.status().to_string().c_str());
+      return 2;
+    }
+    streams.push_back(Stream{path, std::move(parsed.value().programs)});
+  }
+  if (streams.empty()) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    auto parsed = parse_job_stream(buf.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "atp-lint: <stdin>: parse error: %s\n",
+                   parsed.status().to_string().c_str());
+      return 2;
+    }
+    streams.push_back(Stream{"<stdin>", std::move(parsed.value().programs)});
+  }
+
+  std::vector<Mode> modes;
+  if (opt.sr) modes.push_back(Mode::Sr);
+  if (opt.esr) modes.push_back(Mode::Esr);
+
+  std::size_t total_errors = 0;
+  std::ostringstream json;
+  json << "{\"runs\":[";
+  bool first_run = true;
+  for (const Stream& stream : streams) {
+    if (!opt.json) {
+      std::printf("== %s: %zu transaction type(s) ==\n", stream.source.c_str(),
+                  stream.programs.size());
+    }
+    for (Mode mode : modes) {
+      if (!opt.json) {
+        std::printf("-- %s %s --\n", analysis::to_string(mode),
+                    opt.chop_spec ? "chopping (from --chop)"
+                                  : "finest chopping");
+      }
+      const RunResult result = run_mode(stream, mode, opt);
+      total_errors += result.report.error_count();
+      if (opt.json) {
+        if (!first_run) json << ",";
+        first_run = false;
+        json << "{\"source\":\"" << stream.source << "\",\"mode\":\""
+             << result.mode << "\",\"report\":" << result.report.to_json()
+             << "}";
+      } else {
+        print_piece_table(stream.programs, result.chopping);
+        if (result.report.diagnostics.empty()) {
+          std::printf("  clean: no diagnostics\n");
+        } else {
+          std::printf("%s", result.report.to_text().c_str());
+        }
+        if (opt.dot) {
+          std::printf("%s\n",
+                      build_chopping_graph(stream.programs, result.chopping)
+                          .to_dot()
+                          .c_str());
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  if (opt.json) {
+    json << "],\"errors\":" << total_errors << "}";
+    std::printf("%s\n", json.str().c_str());
+  }
+  return total_errors == 0 ? 0 : 1;
+}

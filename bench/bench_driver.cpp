@@ -1,0 +1,373 @@
+// Unified bench driver: every local bench scenario x applicable methods x
+// thread counts {1, 2, 4, 8}, with machine-readable output.
+//
+// Where the individual bench_* binaries each print one human-oriented table,
+// this driver runs the same scenario configurations under one roof and emits
+// two JSON artifacts in the schema documented in docs/BENCH_SCHEMA.md:
+//
+//   * BENCH_scaling.json -- every (scenario, method, threads) run;
+//   * BENCH_table1.json  -- the Table-1 method matrix (banking scenario at
+//     the reference thread count), the paper's headline comparison.
+//
+// Every run records a full trace and is certifier-verified before its row is
+// emitted: the ESR certifier replays the fuzziness ledger (all methods), and
+// the SR certifier checks the direct-serialization graph (CC schedulers,
+// where serializability is the promise).  A certification failure makes the
+// driver exit nonzero -- the JSON is a *verified* artifact, not raw numbers.
+//
+// Timing: all wall-clock measurement inside runs uses steady_clock (see
+// bench_util.h); percentiles are the shared interpolated-rank definition
+// from common/metrics.h.
+//
+// Flags:
+//   --json           emit JSON files (default: also prints a summary table)
+//   --quick          CI smoke mode: fewer instances per run
+//   --out-dir=DIR    directory for BENCH_*.json (default ".")
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/esr_certifier.h"
+#include "audit/sr_certifier.h"
+#include "bench_util.h"
+#include "trace/tracer.h"
+#include "workload/banking.h"
+
+using namespace atp;
+using namespace atp::bench;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  BankingConfig cfg;
+  std::size_t instances = 0;
+  std::uint64_t seed = 0;
+  std::vector<MethodConfig> methods;
+};
+
+/// The scenario set mirrors the standalone benches so their tables and the
+/// JSON artifacts describe the same workloads (configs kept in sync by hand;
+/// the source bench is named on each block).
+std::vector<Scenario> make_scenarios(bool quick) {
+  std::vector<Scenario> out;
+
+  {  // bench_table1: the paper's banking mix, all six methods.
+    Scenario s;
+    s.name = "banking";
+    s.cfg.branches = 2;
+    s.cfg.accounts_per_branch = 24;
+    s.cfg.max_transfer = 50;
+    s.cfg.branch_audit_fraction = 0.15;
+    s.cfg.global_audit_fraction = 0.08;
+    s.cfg.audit_scan = 12;
+    s.cfg.zipf_theta = 0.6;
+    s.cfg.update_epsilon = 1200;
+    s.cfg.query_epsilon = 2500;
+    s.instances = quick ? 120 : 400;
+    s.seed = 424242;
+    s.methods = table1_methods();
+    out.push_back(s);
+  }
+
+  {  // bench_fig2_dynamic at hops=2: multi-hop transfers, Method 3 policies.
+    Scenario s;
+    s.name = "multihop";
+    s.cfg.branches = 2;
+    s.cfg.accounts_per_branch = 12;
+    s.cfg.max_transfer = 10;
+    s.cfg.hops = 2;
+    s.cfg.branch_audit_fraction = 0.0;
+    s.cfg.global_audit_fraction = 0.20;
+    s.cfg.zipf_theta = 0.6;
+    s.cfg.update_epsilon = 200;     // 100 * hops, as in the ablation
+    s.cfg.query_epsilon = 100000;   // audits never block
+    s.instances = quick ? 80 : 200;
+    s.seed = 7;
+    s.methods = {MethodConfig::method3(DistPolicy::Static),
+                 MethodConfig::method3(DistPolicy::Dynamic)};
+    out.push_back(s);
+  }
+
+  {  // bench_dc_vs_cc at eps=800: query-heavy mix, unchopped baselines.
+    Scenario s;
+    s.name = "query_heavy";
+    s.cfg.branches = 2;
+    s.cfg.accounts_per_branch = 16;
+    s.cfg.max_transfer = 40;
+    s.cfg.branch_audit_fraction = 0.25;
+    s.cfg.global_audit_fraction = 0.15;
+    s.cfg.audit_scan = 12;
+    s.cfg.zipf_theta = 0.7;
+    s.cfg.update_epsilon = 800;
+    s.cfg.query_epsilon = 800;
+    s.instances = quick ? 100 : 300;
+    s.seed = 5150;
+    s.methods = {MethodConfig::baseline_sr(), MethodConfig::baseline_dc(),
+                 MethodConfig::baseline_odc()};
+    out.push_back(s);
+  }
+
+  {  // bench_method_crossover "heavy audits, tight eps" cell, all methods.
+    Scenario s;
+    s.name = "crossover_tight";
+    s.cfg.branches = 2;
+    s.cfg.accounts_per_branch = 16;
+    s.cfg.max_transfer = 40;
+    s.cfg.branch_audit_fraction = 0.35;
+    s.cfg.global_audit_fraction = 0.15;
+    s.cfg.audit_scan = 10;
+    s.cfg.zipf_theta = 0.8;
+    s.cfg.update_epsilon = 200;   // 800 * 0.25
+    s.cfg.query_epsilon = 400;    // 1600 * 0.25
+    s.instances = quick ? 100 : 300;
+    s.seed = 999;
+    s.methods = table1_methods();
+    out.push_back(s);
+  }
+
+  return out;
+}
+
+struct RunRecord {
+  std::string scenario;
+  std::string method;
+  std::string sched;
+  std::size_t threads = 0;
+  std::size_t instances = 0;
+  Value eps_q = 0;
+  ExecutorReport report;
+  bool esr_ok = false;
+  bool sr_checked = false;
+  bool sr_ok = false;
+};
+
+/// `git rev-parse --short HEAD`, or "unknown" outside a work tree.
+std::string git_sha() {
+  std::string sha = "unknown";
+  if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof buf, p) != nullptr) {
+      std::string s(buf);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+      if (!s.empty()) sha = s;
+    }
+    pclose(p);
+  }
+  return sha;
+}
+
+/// Minimal JSON string escaping (method names contain only safe chars, but
+/// the emitter shouldn't rely on that).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_run_json(std::string& out, const RunRecord& r,
+                     const char* indent) {
+  char buf[512];
+  const ExecutorReport& rep = r.report;
+  std::snprintf(
+      buf, sizeof buf,
+      "%s{\"scenario\": \"%s\", \"method\": \"%s\", \"sched\": \"%s\", "
+      "\"threads\": %zu, \"instances\": %zu,\n"
+      "%s \"committed\": %llu, \"tps\": %.2f, "
+      "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f,\n"
+      "%s \"mean_z\": %.4f, \"max_audit_error\": %.4f, \"eps_q\": %.1f, "
+      "\"budget_violations\": %llu,\n",
+      indent, json_escape(r.scenario).c_str(), json_escape(r.method).c_str(),
+      r.sched.c_str(), r.threads, r.instances, indent,
+      (unsigned long long)rep.committed, rep.throughput_tps, rep.latency_us.p50,
+      rep.latency_us.p95, rep.latency_us.p99, indent, rep.txn_fuzziness.mean,
+      rep.query_error.max, double(r.eps_q),
+      (unsigned long long)rep.budget_violations);
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "%s \"deadlock_aborts\": %llu, \"epsilon_aborts\": %llu, "
+      "\"resubmissions\": %llu, \"steals\": %llu, \"wall_seconds\": %.4f,\n"
+      "%s \"certified\": {\"esr_ok\": %s, \"sr_checked\": %s, \"sr_ok\": "
+      "%s}}",
+      indent, (unsigned long long)rep.deadlock_aborts,
+      (unsigned long long)rep.epsilon_aborts,
+      (unsigned long long)rep.resubmissions, (unsigned long long)rep.steals,
+      rep.wall_seconds, indent, r.esr_ok ? "true" : "false",
+      r.sr_checked ? "true" : "false",
+      r.sr_checked ? (r.sr_ok ? "true" : "false") : "null");
+  out += buf;
+}
+
+void write_json(const std::string& path, const std::string& sha, bool quick,
+                const std::vector<const RunRecord*>& runs) {
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"generated_by\": \"bench_driver\",\n";
+  out += "  \"git_sha\": \"" + json_escape(sha) + "\",\n";
+  out += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
+  out += "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    append_run_json(out, *runs[i], "    ");
+    if (i + 1 < runs.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_driver: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  f << out;
+  std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool emit_json = false;
+  bool quick = false;
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      emit_json = true;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      out_dir = arg.substr(std::strlen("--out-dir="));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_driver [--json] [--quick] [--out-dir=DIR]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  constexpr std::size_t kReferenceThreads = 8;  // Table-1 rows come from here
+
+  const std::vector<Scenario> scenarios = make_scenarios(quick);
+  std::vector<std::unique_ptr<RunRecord>> records;
+  bool cert_failed = false;
+
+  std::printf("%-16s %-22s %8s %10s %12s %10s %10s %10s %12s %8s\n",
+              "scenario", "method", "threads", "commit", "tps", "p50(us)",
+              "p99(us)", "maxErr", "eps(Q)", "cert");
+  for (const Scenario& sc : scenarios) {
+    const Workload w = make_banking(sc.cfg, sc.instances, sc.seed);
+    for (const MethodConfig& method : sc.methods) {
+      for (const std::size_t threads : thread_counts) {
+        Tracer tracer(1 << 18);
+        LocalRunConfig rc;
+        rc.workers = threads;
+        rc.tracer = &tracer;
+        const ExecutorReport rep = run_local(w, method, rc);
+
+        const std::vector<TraceEvent> events = tracer.collect();
+        const std::uint64_t dropped = tracer.dropped();
+        const EsrReport esr = certify_esr(events, dropped);
+
+        auto rec = std::make_unique<RunRecord>();
+        rec->scenario = sc.name;
+        rec->method = method.name();
+        rec->sched = to_string(method.sched);
+        rec->threads = threads;
+        rec->instances = sc.instances;
+        rec->eps_q = sc.cfg.query_epsilon;
+        rec->report = rep;
+        rec->esr_ok = esr.ok && esr.complete;
+        if (method.sched == SchedulerKind::CC) {
+          // Serializability is only the CC schedulers' promise; DC schedules
+          // are epsilon-serializable by design and would (correctly) show
+          // cycles involving fuzzy reads.  SR-choppings (Theorem 1) are
+          // serializable at original-transaction granularity, so pieces are
+          // merged; an ESR-chopping only promises ET-level SR.
+          const auto merge = piece_merge_map(events);
+          const bool merge_pieces = method.chop != ChopMode::ESR;
+          const SrReport sr =
+              certify_sr(events, merge_pieces ? &merge : nullptr, dropped);
+          rec->sr_checked = true;
+          rec->sr_ok = sr.serializable && sr.complete;
+          if (!rec->sr_ok) {
+            std::fprintf(stderr, "SR certification FAILED (%s/%s, %zu thr): %s\n",
+                         sc.name.c_str(), rec->method.c_str(), threads,
+                         sr.describe().c_str());
+            cert_failed = true;
+          }
+        }
+        if (!rec->esr_ok) {
+          std::fprintf(stderr, "ESR certification FAILED (%s/%s, %zu thr): %s\n",
+                       sc.name.c_str(), rec->method.c_str(), threads,
+                       esr.describe().c_str());
+          cert_failed = true;
+        }
+
+        const bool cert_ok = rec->esr_ok && (!rec->sr_checked || rec->sr_ok);
+        std::printf(
+            "%-16s %-22s %8zu %10llu %12.1f %10.0f %10.0f %10.1f %12.0f %8s\n",
+            sc.name.c_str(), rec->method.c_str(), threads,
+            (unsigned long long)rep.committed, rep.throughput_tps,
+            rep.latency_us.p50, rep.latency_us.p99, rep.query_error.max,
+            double(sc.cfg.query_epsilon), cert_ok ? "ok" : "FAIL");
+        records.push_back(std::move(rec));
+      }
+    }
+  }
+
+  // Shape checks (see EXPERIMENTS.md "Scaling"): chopped methods must turn
+  // extra workers into throughput on the think-time-bound banking mix.
+  int shape_failures = 0;
+  for (const auto& rec : records) {
+    if (rec->scenario != "banking" || rec->threads != 4) continue;
+    if (rec->method != MethodConfig::method3().name()) continue;
+    for (const auto& base : records) {
+      if (base->scenario == "banking" && base->method == rec->method &&
+          base->threads == 1) {
+        const double ratio =
+            base->report.throughput_tps > 0
+                ? rec->report.throughput_tps / base->report.throughput_tps
+                : 0;
+        std::printf("\nscaling check: %s banking 4-thread / 1-thread tps = "
+                    "%.2fx (require >= 2.0x)\n",
+                    rec->method.c_str(), ratio);
+        if (ratio < 2.0) {
+          std::fprintf(stderr, "scaling check FAILED\n");
+          ++shape_failures;
+        }
+      }
+    }
+  }
+
+  if (emit_json) {
+    const std::string sha = git_sha();
+    std::vector<const RunRecord*> all;
+    std::vector<const RunRecord*> table1;
+    for (const auto& r : records) {
+      all.push_back(r.get());
+      if (r->scenario == "banking" && r->threads == kReferenceThreads) {
+        table1.push_back(r.get());
+      }
+    }
+    write_json(out_dir + "/BENCH_scaling.json", sha, quick, all);
+    write_json(out_dir + "/BENCH_table1.json", sha, quick, table1);
+  }
+
+  if (cert_failed) {
+    std::fprintf(stderr, "bench_driver: certification failures\n");
+    return 1;
+  }
+  if (shape_failures > 0) return 1;
+  std::printf("\nall runs certifier-verified (ESR everywhere, SR on CC)\n");
+  return 0;
+}

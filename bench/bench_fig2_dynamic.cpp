@@ -69,12 +69,10 @@ int main() {
         resub += r.resubmissions;
         commit = r.committed;
       }
-      std::sort(tps.begin(), tps.end());
-      std::sort(p95.begin(), p95.end());
       std::printf("%-6zu %-8zu %-22s %10llu %10llu %10llu %12.1f %12.0f\n",
                   hops, transfer_pieces, method.name().c_str(),
                   (unsigned long long)commit, (unsigned long long)eps,
-                  (unsigned long long)resub, tps[1], p95[1]);
+                  (unsigned long long)resub, median(tps), median(p95));
     }
   }
   std::printf("\nexpected shape: both policies run the same chopping; as\n"

@@ -5,8 +5,17 @@
 // locks for realistic durations -- without it, in-memory ops finish in
 // nanoseconds and no method differentiates.  The distributed bench instead
 // charges simulated network latency.
+//
+// Timing discipline: every wall-clock measurement in the bench suite goes
+// through bench_now_us() (std::chrono::steady_clock) -- never the system
+// clock, which NTP can step mid-run.  Percentiles go through
+// atp::percentile_of (common/metrics.h), the single interpolated-rank
+// definition shared with Histogram and the JSON emitters; the report rows
+// carry p50, p95 AND p99 so tail behaviour is visible in every table.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,12 +25,33 @@
 
 namespace atp::bench {
 
+/// Monotonic microsecond timestamp (steady_clock).  Use for every elapsed-
+/// time measurement in benches; differences are immune to wall-clock steps.
+[[nodiscard]] inline std::int64_t bench_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Interpolated percentile of an *unsorted* sample set (sorts a copy).
+/// q in [0, 1]; the math is percentile_of from common/metrics.h.
+[[nodiscard]] inline double percentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_of(samples, q);
+}
+
+/// Median convenience (benches report medians of repeated runs).
+[[nodiscard]] inline double median(std::vector<double> samples) {
+  return percentile(std::move(samples), 0.5);
+}
+
 struct LocalRunConfig {
   std::size_t workers = 8;
   std::uint64_t seed = 20260705;
   std::uint64_t op_delay_min_us = 100;
   std::uint64_t op_delay_max_us = 300;
   std::chrono::milliseconds lock_timeout{2000};
+  Tracer* tracer = nullptr;  ///< optional: certifier-grade event capture
 };
 
 inline ExecutorReport run_local(const Workload& w, MethodConfig method,
@@ -34,7 +64,9 @@ inline ExecutorReport run_local(const Workload& w, MethodConfig method,
     r.method_name = method.name() + " (PLAN FAILED)";
     return r;
   }
-  Database db(Executor::database_options(method, cfg.lock_timeout));
+  DatabaseOptions dbo = Executor::database_options(method, cfg.lock_timeout);
+  dbo.tracer = cfg.tracer;
+  Database db(dbo);
   w.load_into(db);
   ExecutorOptions opts;
   opts.workers = cfg.workers;

@@ -34,6 +34,23 @@ struct StatSummary {
   double min = 0, max = 0, mean = 0, p50 = 0, p95 = 0, p99 = 0, sum = 0;
 };
 
+/// Interpolated percentile over an already-sorted, non-empty sample set.
+/// Linear interpolation between closest ranks (the "C = 1" convention):
+/// percentile q in [0, 1] sits at fractional rank q*(n-1).  This is the one
+/// percentile definition used everywhere (Histogram, the bench harness, the
+/// JSON emitters) so numbers are comparable across reports.
+[[nodiscard]] inline double percentile_of(const std::vector<double>& sorted,
+                                          double q) {
+  if (sorted.empty()) return 0;
+  if (q <= 0) return sorted.front();
+  if (q >= 1) return sorted.back();
+  const double rank = q * double(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - double(lo);
+  if (lo + 1 >= sorted.size()) return sorted[lo];
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
 /// Mutex-guarded sample recorder with bounded memory: count/sum/min/max are
 /// tracked exactly, while percentiles come from a fixed-size reservoir
 /// (Vitter's Algorithm R -- each sample survives with probability cap/n, so
@@ -72,18 +89,9 @@ class Histogram {
     s.mean = sum_ / double(count_);
     std::vector<double> sorted = samples_;
     std::sort(sorted.begin(), sorted.end());
-    // Linear interpolation between closest ranks (the "C = 1" convention):
-    // percentile q sits at fractional rank q*(n-1).
-    auto pct = [&](double q) {
-      const double rank = q * double(sorted.size() - 1);
-      const auto lo = static_cast<std::size_t>(rank);
-      const double frac = rank - double(lo);
-      if (lo + 1 >= sorted.size()) return sorted[lo];
-      return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
-    };
-    s.p50 = pct(0.50);
-    s.p95 = pct(0.95);
-    s.p99 = pct(0.99);
+    s.p50 = percentile_of(sorted, 0.50);
+    s.p95 = percentile_of(sorted, 0.95);
+    s.p99 = percentile_of(sorted, 0.99);
     return s;
   }
 

@@ -1,8 +1,12 @@
 #include "engine/executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <deque>
 #include <iomanip>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -23,6 +27,7 @@ std::string ExecutorReport::header() {
       << std::setw(11) << "tps"                                //
       << std::setw(12) << "p50(us)"                            //
       << std::setw(12) << "p95(us)"                            //
+      << std::setw(12) << "p99(us)"                            //
       << std::setw(12) << "meanZ"                              //
       << std::setw(12) << "maxErr";
   return out.str();
@@ -40,6 +45,7 @@ std::string ExecutorReport::row() const {
       << throughput_tps                                           //
       << std::setw(12) << std::setprecision(0) << latency_us.p50  //
       << std::setw(12) << latency_us.p95                          //
+      << std::setw(12) << latency_us.p99                          //
       << std::setw(12) << std::setprecision(2) << txn_fuzziness.mean  //
       << std::setw(12) << query_error.max;
   return out.str();
@@ -55,6 +61,18 @@ DatabaseOptions Executor::database_options(const MethodConfig& method,
   return opts;
 }
 
+namespace {
+
+/// One worker's run queue.  The owner pops batches from the front; thieves
+/// pop from the back, so contention on the mutex is the only interaction
+/// and it is short.  Padded so neighbouring queues never share a line.
+struct alignas(64) WorkerQueue {
+  std::mutex mu;
+  std::deque<std::size_t> q;  // indices into the instance stream
+};
+
+}  // namespace
+
 ExecutorReport Executor::run(Database& db, const ExecutionPlan& plan,
                              const std::vector<TxnInstance>& instances,
                              const ExecutorOptions& opts) {
@@ -62,36 +80,92 @@ ExecutorReport Executor::run(Database& db, const ExecutionPlan& plan,
          "database scheduler must match the method");
 
   RunMetrics metrics;
-  std::atomic<std::size_t> next{0};
   std::atomic<std::uint64_t> budget_violations{0};
+  std::atomic<std::uint64_t> steals{0};
   Rng seeder(opts.seed);
 
-  Stopwatch wall;
   const std::size_t workers = std::max<std::size_t>(1, opts.workers);
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
+  const std::size_t batch_size =
+      opts.dequeue_batch > 0 ? opts.dequeue_batch : kDequeueBatch;
+
+  // Round-robin partition keeps each worker's slice spread across the whole
+  // stream (a contiguous split would serialize the workload's phases).
+  std::vector<std::unique_ptr<WorkerQueue>> queues;
+  queues.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    queues.push_back(std::make_unique<WorkerQueue>());
+  }
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    queues[i % workers]->q.push_back(i);
+  }
 
   std::vector<Rng> worker_rngs;
   worker_rngs.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) worker_rngs.push_back(seeder.split());
 
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
       PieceRunner runner(db, &metrics, opts.op_delay_min_us,
                          opts.op_delay_max_us, opts.parallel_pieces);
       Rng& rng = worker_rngs[w];
+      std::vector<std::size_t> batch;
+      batch.reserve(batch_size);
+
+      auto dequeue_own = [&] {
+        WorkerQueue& wq = *queues[w];
+        std::lock_guard lock(wq.mu);
+        while (batch.size() < batch_size && !wq.q.empty()) {
+          batch.push_back(wq.q.front());
+          wq.q.pop_front();
+        }
+        return !batch.empty();
+      };
+      auto steal_from = [&](std::size_t victim) {
+        WorkerQueue& wq = *queues[victim];
+        std::lock_guard lock(wq.mu);
+        // Take at most half the victim's remainder (leave it work) and at
+        // most one batch, from the back -- opposite end from the owner.
+        std::size_t take =
+            std::min(batch_size, (wq.q.size() + 1) / 2);
+        while (take-- > 0 && !wq.q.empty()) {
+          batch.push_back(wq.q.back());
+          wq.q.pop_back();
+        }
+        if (batch.empty()) return false;
+        // Back-popping reversed the stolen run; restore stream order.
+        std::reverse(batch.begin(), batch.end());
+        steals.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      };
+
       for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= instances.size()) break;
-        const TxnInstance& inst = instances[i];
-        assert(inst.type_index < plan.types.size());
-        const TxnTypePlan& tp = plan.types[inst.type_index];
-        const TxnRunResult r = runner.run(tp, inst, plan.method.dist, rng);
-        // Runtime check of Condition 2: a committed transaction's restricted
-        // fuzziness must fit within its Limit_t (tiny float tolerance).
-        if (r.committed &&
-            r.z_restricted > tp.type.epsilon_limit * (1 + 1e-9) + 1e-9) {
-          budget_violations.fetch_add(1, std::memory_order_relaxed);
+        batch.clear();
+        if (!dequeue_own()) {
+          // Own queue dry: sweep victims from a random offset.  Queues only
+          // drain, so one full empty sweep means the run is over.
+          const std::size_t start = workers > 1 ? rng.uniform(workers) : 0;
+          for (std::size_t k = 0; k < workers && batch.empty(); ++k) {
+            const std::size_t victim = (start + k) % workers;
+            if (victim == w) continue;
+            steal_from(victim);
+          }
+          if (batch.empty()) break;  // everything everywhere is done
+        }
+        for (const std::size_t i : batch) {
+          const TxnInstance& inst = instances[i];
+          assert(inst.type_index < plan.types.size());
+          const TxnTypePlan& tp = plan.types[inst.type_index];
+          const TxnRunResult r = runner.run(tp, inst, plan.method.dist, rng);
+          // Runtime check of Condition 2: a committed transaction's
+          // restricted fuzziness must fit within its Limit_t (tiny float
+          // tolerance).
+          if (r.committed &&
+              r.z_restricted > tp.type.epsilon_limit * (1 + 1e-9) + 1e-9) {
+            budget_violations.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
     });
@@ -108,6 +182,7 @@ ExecutorReport Executor::run(Database& db, const ExecutionPlan& plan,
   report.deadlock_aborts = metrics.aborts_deadlock.get();
   report.epsilon_aborts = metrics.aborts_epsilon.get();
   report.budget_violations = budget_violations.load();
+  report.steals = steals.load();
   report.lock_stats = db.locks().stats();
   report.wall_seconds = seconds;
   report.throughput_tps = seconds > 0 ? double(report.committed) / seconds : 0;

@@ -5,13 +5,21 @@
 
 namespace atp {
 
-LockManager::LockManager(std::chrono::milliseconds default_timeout)
-    : timeout_(default_timeout) {}
+LockManager::LockManager(std::chrono::milliseconds default_timeout,
+                         std::size_t stripes)
+    : timeout_(default_timeout) {
+  const std::size_t n = std::max<std::size_t>(1, stripes);
+  stripes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
 
 Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
                             ConflictResolver& resolver) {
-  std::unique_lock lock(mu_);
-  Queue& q = queues_[key];
+  Stripe& s = stripe_of(key);
+  std::unique_lock lock(s.mu);
+  Queue& q = s.queues[key];
 
   // Re-entrancy: already covered?
   for (const LockHolder& h : q.holders) {
@@ -28,7 +36,8 @@ Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
 
   auto cleanup = [&] {
     if (queued) q.waiters.remove(&self);
-    waiting_.erase(txn);
+    s.waiting.erase(txn);
+    retract_wait_edges(txn);
   };
 
   for (;;) {
@@ -40,7 +49,7 @@ Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
     // Always pass &self: before queueing, every queued waiter counts as
     // "ahead", and the waits-for edges must land in self for the deadlock
     // DFS that runs right after.
-    if (evaluate(txn, key, mode, resolver, q, &self) == Decision::Granted) {
+    if (evaluate(txn, key, mode, resolver, s, q, &self) == Decision::Granted) {
       cleanup();
       return Status::Ok();
     }
@@ -48,9 +57,9 @@ Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
       q.waiters.push_back(&self);
       queued = true;
     }
-    waiting_[txn] = &self;
-    if (creates_deadlock(txn)) {
-      ++stats_.deadlocks;
+    s.waiting[txn] = &self;
+    if (publish_and_check_deadlock(txn, self)) {
+      ++s.stats.deadlocks;
       Tracer::emit(tracer_, TraceKind::LockDeadlock, site_, txn, key, 0, 0,
                    mode == LockMode::Exclusive ? kTraceModeExclusive : 0);
       cleanup();
@@ -58,20 +67,21 @@ Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
                               std::to_string(txn));
     }
     if (!counted_wait) {
-      ++stats_.waits;
+      ++s.stats.waits;
       counted_wait = true;
       Tracer::emit(tracer_, TraceKind::LockWait, site_, txn, key, 0, 0,
                    mode == LockMode::Exclusive ? kTraceModeExclusive : 0,
                    self.waits_for.empty() ? 0 : *self.waits_for.begin());
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (s.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
       // Re-evaluate once after timeout in case a grant raced the clock.
       self.waits_for.clear();
-      if (evaluate(txn, key, mode, resolver, q, &self) == Decision::Granted) {
+      if (evaluate(txn, key, mode, resolver, s, q, &self) ==
+          Decision::Granted) {
         cleanup();
         return Status::Ok();
       }
-      ++stats_.timeouts;
+      ++s.stats.timeouts;
       Tracer::emit(tracer_, TraceKind::LockTimeout, site_, txn, key, 0, 0,
                    mode == LockMode::Exclusive ? kTraceModeExclusive : 0);
       cleanup();
@@ -82,7 +92,8 @@ Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
 
 LockManager::Decision LockManager::evaluate(TxnId txn, Key key, LockMode mode,
                                             ConflictResolver& resolver,
-                                            Queue& q, Waiter* self) {
+                                            Stripe& s, Queue& q,
+                                            Waiter* self) {
   const bool holds_any =
       std::any_of(q.holders.begin(), q.holders.end(),
                   [&](const LockHolder& h) { return h.txn == txn; });
@@ -118,39 +129,45 @@ LockManager::Decision LockManager::evaluate(TxnId txn, Key key, LockMode mode,
     return Decision::Blocked;
   }
   if (conflicting.empty()) {
-    grant(txn, key, mode, /*fuzzy=*/false, q);
+    grant(txn, key, mode, /*fuzzy=*/false, s, q);
     return Decision::Granted;
   }
   if (resolver.try_fuzzy_grant(txn, mode, key, conflicting)) {
-    ++stats_.fuzzy_grants;
-    grant(txn, key, mode, /*fuzzy=*/true, q);
+    ++s.stats.fuzzy_grants;
+    grant(txn, key, mode, /*fuzzy=*/true, s, q);
     return Decision::Granted;
   }
   for (const LockHolder& h : conflicting) waits_for->insert(h.txn);
   return Decision::Blocked;
 }
 
-bool LockManager::creates_deadlock(TxnId from) const {
-  // DFS through wait edges looking for a path back to `from`.
+bool LockManager::publish_and_check_deadlock(TxnId from, const Waiter& self) {
+  std::lock_guard lock(wait_mu_);
+  wait_edges_[from] = self.waits_for;  // republish the fresh snapshot
+
+  // DFS through the published wait edges looking for a path back to `from`.
   std::vector<TxnId> stack;
   std::unordered_set<TxnId> visited;
-  auto it = waiting_.find(from);
-  if (it == waiting_.end()) return false;
-  for (TxnId t : it->second->waits_for) stack.push_back(t);
+  for (TxnId t : self.waits_for) stack.push_back(t);
   while (!stack.empty()) {
     const TxnId t = stack.back();
     stack.pop_back();
     if (t == from) return true;
     if (!visited.insert(t).second) continue;
-    auto wit = waiting_.find(t);
-    if (wit == waiting_.end()) continue;  // not waiting: sink
-    for (TxnId next : wit->second->waits_for) stack.push_back(next);
+    auto it = wait_edges_.find(t);
+    if (it == wait_edges_.end()) continue;  // not waiting: sink
+    for (TxnId next : it->second) stack.push_back(next);
   }
   return false;
 }
 
+void LockManager::retract_wait_edges(TxnId txn) {
+  std::lock_guard lock(wait_mu_);
+  wait_edges_.erase(txn);
+}
+
 void LockManager::grant(TxnId txn, Key key, LockMode mode, bool fuzzy,
-                        Queue& q) {
+                        Stripe& s, Queue& q) {
   Tracer::emit(tracer_, TraceKind::LockAcquire, site_, txn, key, 0, 0,
                (mode == LockMode::Exclusive ? kTraceModeExclusive : 0) |
                    (fuzzy ? kTraceGrantFuzzy : 0));
@@ -162,33 +179,47 @@ void LockManager::grant(TxnId txn, Key key, LockMode mode, bool fuzzy,
     }
   }
   q.holders.push_back(LockHolder{txn, mode, fuzzy});
-  held_keys_[txn].insert(key);
+  s.held_keys[txn].insert(key);
 }
 
 void LockManager::release_all(TxnId txn) {
-  std::lock_guard lock(mu_);
-  auto held = held_keys_.find(txn);
-  if (held != held_keys_.end()) {
-    Tracer::emit(tracer_, TraceKind::LockRelease, site_, txn);
-    for (Key key : held->second) {
-      auto qit = queues_.find(key);
-      if (qit == queues_.end()) continue;
-      auto& holders = qit->second.holders;
-      std::erase_if(holders,
-                    [&](const LockHolder& h) { return h.txn == txn; });
+  bool held_anything = false;
+  for (auto& sp : stripes_) {
+    Stripe& s = *sp;
+    std::lock_guard lock(s.mu);
+    bool touched = false;
+    auto held = s.held_keys.find(txn);
+    if (held != s.held_keys.end()) {
+      held_anything = true;
+      touched = true;
+      for (Key key : held->second) {
+        auto qit = s.queues.find(key);
+        if (qit == s.queues.end()) continue;
+        auto& holders = qit->second.holders;
+        std::erase_if(holders,
+                      [&](const LockHolder& h) { return h.txn == txn; });
+      }
+      s.held_keys.erase(held);
     }
-    held_keys_.erase(held);
+    // Cancel an in-flight wait (cross-thread abort path).  The waiter owns
+    // its global wait edges and retracts them when it wakes.
+    auto wit = s.waiting.find(txn);
+    if (wit != s.waiting.end()) {
+      wit->second->cancelled = true;
+      touched = true;
+    }
+    if (touched) s.cv.notify_all();
   }
-  // Cancel an in-flight wait (cross-thread abort path).
-  auto wit = waiting_.find(txn);
-  if (wit != waiting_.end()) wit->second->cancelled = true;
-  cv_.notify_all();
+  if (held_anything) {
+    Tracer::emit(tracer_, TraceKind::LockRelease, site_, txn);
+  }
 }
 
 bool LockManager::holds(TxnId txn, Key key, LockMode mode) const {
-  std::lock_guard lock(mu_);
-  auto qit = queues_.find(key);
-  if (qit == queues_.end()) return false;
+  Stripe& s = stripe_of(key);
+  std::lock_guard lock(s.mu);
+  auto qit = s.queues.find(key);
+  if (qit == s.queues.end()) return false;
   for (const LockHolder& h : qit->second.holders) {
     if (h.txn == txn &&
         (h.mode == LockMode::Exclusive || mode == LockMode::Shared)) {
@@ -199,15 +230,23 @@ bool LockManager::holds(TxnId txn, Key key, LockMode mode) const {
 }
 
 std::vector<LockHolder> LockManager::holders_of(Key key) const {
-  std::lock_guard lock(mu_);
-  auto qit = queues_.find(key);
-  if (qit == queues_.end()) return {};
+  Stripe& s = stripe_of(key);
+  std::lock_guard lock(s.mu);
+  auto qit = s.queues.find(key);
+  if (qit == s.queues.end()) return {};
   return qit->second.holders;
 }
 
 LockStats LockManager::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  LockStats total;
+  for (const auto& sp : stripes_) {
+    std::lock_guard lock(sp->mu);
+    total.waits += sp->stats.waits;
+    total.deadlocks += sp->stats.deadlocks;
+    total.timeouts += sp->stats.timeouts;
+    total.fuzzy_grants += sp->stats.fuzzy_grants;
+  }
+  return total;
 }
 
 }  // namespace atp

@@ -1,4 +1,5 @@
-// Two-phase-locking lock manager with pluggable conflict resolution.
+// Two-phase-locking lock manager with pluggable conflict resolution,
+// sharded into independently-locked stripes.
 //
 // Classic strict 2PL concurrency control and 2PL divergence control (Wu, Yu,
 // Pu, ICDE'92) differ *only* in how they handle read-write conflicts between
@@ -7,10 +8,27 @@
 // would be exceeded.  We factor that single decision into a ConflictResolver
 // so one lock manager serves both schedulers.
 //
-// Deadlocks are detected eagerly: every time a request is about to block, a
-// waits-for DFS runs through the new wait edges; if the requester closes a
-// cycle the acquire fails with kDeadlock and the caller aborts (youngest-ish
-// victim: the transaction that *created* the cycle dies, which is always
+// Scalability: the lock table is partitioned into N stripes keyed by
+// hash(key) % N.  Each stripe owns its mutex, condition variable, wait
+// queues, per-transaction held-key index and wait/timeout statistics, so
+// acquires and releases on different stripes never contend.  What cannot be
+// striped is the waits-for relation: a transaction blocked in stripe A may
+// wait for a transaction blocked in stripe B, so deadlock cycles cross
+// stripes.  Wait edges are therefore *published* to one global wait graph
+// (its own small mutex, ordered strictly after any stripe mutex) and the
+// deadlock DFS runs there.  Publication happens before the DFS under the
+// same wait-graph lock, so a cycle formed by concurrent blockers in
+// different stripes is always visible to whichever blocker publishes last --
+// no deadlock goes undetected that the single-mutex design would have
+// caught.  The converse race (a just-granted waiter whose edges linger for a
+// moment) can produce a rare *spurious* victim under heavy contention;
+// aborting a transaction is always safe (the piece runner resubmits), and
+// the wait timeout backstops anything else.
+//
+// Deadlocks are detected eagerly: every time a request is about to block,
+// the waits-for DFS runs through the new wait edges; if the requester closes
+// a cycle the acquire fails with kDeadlock and the caller aborts (youngest-
+// ish victim: the transaction that *created* the cycle dies, which is always
 // sufficient to break it because cycles can only appear when a new edge is
 // added).  A wait timeout backstops anything the DFS cannot see (e.g. waits
 // induced outside this lock manager).
@@ -20,6 +38,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -59,7 +78,7 @@ class ConflictResolver {
   virtual ~ConflictResolver() = default;
 
   /// May `requester` (wanting `mode` on `key`) be granted despite the
-  /// conflicting holders?  Called with the lock-manager mutex held; must not
+  /// conflicting holders?  Called with the key's stripe mutex held; must not
   /// call back into the lock manager.  On true, any fuzziness charges have
   /// been applied atomically.
   virtual bool try_fuzzy_grant(TxnId requester, LockMode mode, Key key,
@@ -94,8 +113,14 @@ struct LockStats {
 
 class LockManager {
  public:
+  /// Default stripe count: enough that a handful of workers rarely collide
+  /// on stripe mutexes for uniformly-hashed keys, small enough that
+  /// release_all's full-stripe sweep stays cheap.
+  static constexpr std::size_t kDefaultStripes = 16;
+
   explicit LockManager(std::chrono::milliseconds default_timeout =
-                           std::chrono::milliseconds(2000));
+                           std::chrono::milliseconds(2000),
+                       std::size_t stripes = kDefaultStripes);
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
@@ -114,7 +139,12 @@ class LockManager {
   /// Snapshot of current holders of `key` (diagnostics / DC write charging).
   [[nodiscard]] std::vector<LockHolder> holders_of(Key key) const;
 
+  /// Aggregated over all stripes.
   [[nodiscard]] LockStats stats() const;
+
+  [[nodiscard]] std::size_t stripe_count() const noexcept {
+    return stripes_.size();
+  }
 
   void set_timeout(std::chrono::milliseconds t) { timeout_ = t; }
 
@@ -129,9 +159,10 @@ class LockManager {
   struct Waiter {
     TxnId txn;
     LockMode mode;
-    bool cancelled = false;
+    bool cancelled = false;  // guarded by the owning stripe's mutex
     // Txns this waiter currently waits for (holders + conflicting waiters
-    // ahead); refreshed on each blocking evaluation.
+    // ahead); refreshed on each blocking evaluation under the stripe mutex,
+    // then copied into the global wait graph.
     std::unordered_set<TxnId> waits_for;
   };
 
@@ -140,30 +171,55 @@ class LockManager {
     std::list<Waiter*> waiters;  // FIFO
   };
 
-  // All state guarded by mu_; cv_ broadcast on any release/cancel.
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<Key, Queue> queues_;
-  std::unordered_map<TxnId, std::unordered_set<Key>> held_keys_;
-  // Live wait edges for deadlock DFS: txn -> waiter record (one outstanding
-  // request per txn at a time, which the piece runner guarantees).
-  std::unordered_map<TxnId, Waiter*> waiting_;
-  LockStats stats_;
-  std::chrono::milliseconds timeout_;
-  Tracer* tracer_ = nullptr;
-  SiteId site_ = 0;
+  /// One shard of the lock table.  Everything inside is guarded by mu; cv is
+  /// broadcast on any release/cancel affecting the stripe.
+  struct Stripe {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<Key, Queue> queues;
+    std::unordered_map<TxnId, std::unordered_set<Key>> held_keys;
+    // One outstanding request per txn at a time (the piece runner
+    // guarantees it), so at most one entry per txn across ALL stripes.
+    std::unordered_map<TxnId, Waiter*> waiting;
+    LockStats stats;
+  };
+
+  [[nodiscard]] Stripe& stripe_of(Key key) const noexcept {
+    // Multiplicative hash: workload keys are clustered (branch*1e6 + index),
+    // so identity % N would put whole branches on few stripes.
+    return *stripes_[(key * 0x9E3779B97F4A7C15ULL >> 32) % stripes_.size()];
+  }
 
   enum class Decision { Granted, Blocked };
 
   // Evaluate whether the request can be granted now.  Fills waits_for with
-  // the blockers when not.  Caller holds mu_.
+  // the blockers when not.  Caller holds the stripe mutex.
   Decision evaluate(TxnId txn, Key key, LockMode mode,
-                    ConflictResolver& resolver, Queue& q, Waiter* self);
+                    ConflictResolver& resolver, Stripe& s, Queue& q,
+                    Waiter* self);
 
-  // Does adding `from`'s wait edges close a cycle back to `from`?
-  [[nodiscard]] bool creates_deadlock(TxnId from) const;
+  // Publish `self`'s current wait edges to the global graph and check
+  // whether they close a cycle back to `txn`.  Caller holds the stripe
+  // mutex; takes wait_mu_ (stripe -> wait order, never the reverse).
+  [[nodiscard]] bool publish_and_check_deadlock(TxnId txn, const Waiter& self);
 
-  void grant(TxnId txn, Key key, LockMode mode, bool fuzzy, Queue& q);
+  // Remove txn's published wait edges (after grant/deadlock/timeout/cancel).
+  void retract_wait_edges(TxnId txn);
+
+  void grant(TxnId txn, Key key, LockMode mode, bool fuzzy, Stripe& s,
+             Queue& q);
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  // Global waits-for graph for cross-stripe deadlock detection.  Lock order:
+  // any stripe mutex, then wait_mu_.  Values are snapshots of each blocked
+  // txn's waits_for set, republished on every blocking evaluation.
+  mutable std::mutex wait_mu_;
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> wait_edges_;
+
+  std::chrono::milliseconds timeout_;
+  Tracer* tracer_ = nullptr;
+  SiteId site_ = 0;
 };
 
 }  // namespace atp

@@ -8,7 +8,9 @@ namespace atp {
 
 Database::Database(DatabaseOptions opts)
     : opts_(opts),
-      locks_(opts.lock_timeout),
+      locks_(opts.lock_timeout, opts.lock_stripes > 0
+                                    ? opts.lock_stripes
+                                    : LockManager::kDefaultStripes),
       dc_resolver_(registry_, store_) {
   history_.set_enabled(opts.record_history);
   locks_.set_trace(opts.tracer, opts.site_id);

@@ -61,6 +61,8 @@ inline const char* to_string(SchedulerKind k) noexcept {
 struct DatabaseOptions {
   SchedulerKind scheduler = SchedulerKind::CC;
   std::chrono::milliseconds lock_timeout{2000};
+  /// Stripe count of the sharded lock table (see LockManager); 0 = default.
+  std::size_t lock_stripes = 0;
   bool record_history = false;
   /// Optional write-ahead log.  When set, commits append after-images + a
   /// commit record and force the log before applying (redo-only, no-steal

@@ -5,19 +5,22 @@
 namespace atp {
 
 void DcResolver::announce_write_delta(TxnId txn, Value delta) {
-  std::lock_guard lock(mu_);
-  pending_write_delta_[txn] = delta < 0 ? -delta : delta;
+  DeltaStripe& s = delta_stripe_of(txn);
+  std::lock_guard lock(s.mu);
+  s.pending[txn] = delta < 0 ? -delta : delta;
 }
 
 void DcResolver::clear_write_delta(TxnId txn) {
-  std::lock_guard lock(mu_);
-  pending_write_delta_.erase(txn);
+  DeltaStripe& s = delta_stripe_of(txn);
+  std::lock_guard lock(s.mu);
+  s.pending.erase(txn);
 }
 
 Value DcResolver::pending_delta_of(TxnId txn) {
-  std::lock_guard lock(mu_);
-  auto it = pending_write_delta_.find(txn);
-  return it == pending_write_delta_.end() ? 0 : it->second;
+  DeltaStripe& s = delta_stripe_of(txn);
+  std::lock_guard lock(s.mu);
+  auto it = s.pending.find(txn);
+  return it == s.pending.end() ? 0 : it->second;
 }
 
 bool DcResolver::try_fuzzy_grant(TxnId requester, LockMode mode, Key key,

@@ -25,6 +25,7 @@
 // already-X-locked key charge incrementally at write time (see Database).
 #pragma once
 
+#include <array>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -61,8 +62,20 @@ class DcResolver final : public ConflictResolver {
  private:
   EtRegistry& registry_;
   Store& store_;
-  std::mutex mu_;
-  std::unordered_map<TxnId, Value> pending_write_delta_;
+  // Announced deltas are per-transaction and single-writer (each txn's
+  // driver announces its own), so the map is striped by txn hash: announce /
+  // clear / peek traffic from workers on different lock stripes never meets
+  // on one mutex.
+  static constexpr std::size_t kDeltaStripes = 16;
+  struct alignas(64) DeltaStripe {
+    std::mutex mu;
+    std::unordered_map<TxnId, Value> pending;
+  };
+  std::array<DeltaStripe, kDeltaStripes> delta_stripes_;
+
+  [[nodiscard]] DeltaStripe& delta_stripe_of(TxnId txn) noexcept {
+    return delta_stripes_[txn % kDeltaStripes];
+  }
 
   [[nodiscard]] Value pending_delta_of(TxnId txn);
 };

@@ -6,28 +6,39 @@ namespace atp {
 
 TxnId EtRegistry::begin(TxnKind kind, EpsilonSpec spec, TxnId parent) {
   const TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard lock(mu_);
-  live_.emplace(id, Entry{id, kind, parent, spec, 0, 0});
+  auto slot = std::make_unique<Slot>();
+  slot->id = id;
+  slot->kind = kind;
+  slot->parent = parent;
+  slot->import_limit.store(spec.import_limit, std::memory_order_relaxed);
+  slot->export_limit.store(spec.export_limit, std::memory_order_relaxed);
+  std::unique_lock lock(struct_mu_);
+  live_.emplace(id, std::move(slot));
   return id;
 }
 
 bool EtRegistry::try_charge_pair(TxnId query_et, TxnId update_et,
                                  Value amount) {
   if (amount < 0) return false;
-  std::lock_guard lock(mu_);
-  auto qit = live_.find(query_et);
-  auto uit = live_.find(update_et);
-  if (qit == live_.end() || uit == live_.end()) return false;
-  Entry& q = qit->second;
-  Entry& u = uit->second;
-  if (q.imported + amount > q.spec.import_limit) return false;
-  if (u.exported + amount > u.spec.export_limit) return false;
-  q.imported += amount;
-  u.exported += amount;
+  std::shared_lock slock(struct_mu_);
+  Slot* q = find(query_et);
+  Slot* u = find(update_et);
+  if (!q || !u) return false;
+  std::lock_guard clock(charge_mu_);
+  const Value q_imp = q->imported.load(std::memory_order_relaxed);
+  const Value u_exp = u->exported.load(std::memory_order_relaxed);
+  const Value q_lim = q->import_limit.load(std::memory_order_relaxed);
+  const Value u_lim = u->export_limit.load(std::memory_order_relaxed);
+  if (q_imp + amount > q_lim) return false;
+  if (u_exp + amount > u_lim) return false;
+  write_begin();
+  q->imported.store(q_imp + amount, std::memory_order_relaxed);
+  u->exported.store(u_exp + amount, std::memory_order_relaxed);
+  write_end();
   Tracer::emit(tracer_, TraceKind::FuzzImport, site_, query_et, 0, amount,
-               q.spec.import_limit, 0, update_et);
+               q_lim, 0, update_et);
   Tracer::emit(tracer_, TraceKind::FuzzExport, site_, update_et, 0, amount,
-               u.spec.export_limit, 0, query_et);
+               u_lim, 0, query_et);
   return true;
 }
 
@@ -35,31 +46,42 @@ bool EtRegistry::try_charge_multi(std::span<const TxnId> queries,
                                   TxnId update_et, Value amount) {
   if (amount < 0) return false;
   if (amount == 0) return true;
-  std::lock_guard lock(mu_);
-  auto uit = live_.find(update_et);
-  if (uit == live_.end()) return false;
-  Entry& u = uit->second;
+  std::shared_lock slock(struct_mu_);
+  Slot* u = find(update_et);
+  if (!u) return false;
 
-  std::vector<Entry*> qs;
+  std::vector<Slot*> qs;
   qs.reserve(queries.size());
   for (TxnId q : queries) {
-    auto qit = live_.find(q);
-    if (qit == live_.end()) continue;  // ended query: lock gone or going
-    qs.push_back(&qit->second);
+    Slot* s = find(q);
+    if (!s) continue;  // ended query: lock gone or going
+    qs.push_back(s);
   }
-  if (u.exported + amount * double(qs.size()) > u.spec.export_limit)
-    return false;
-  for (Entry* q : qs) {
-    if (q->imported + amount > q->spec.import_limit) return false;
+  std::lock_guard clock(charge_mu_);
+  const Value u_exp = u->exported.load(std::memory_order_relaxed);
+  const Value u_lim = u->export_limit.load(std::memory_order_relaxed);
+  if (u_exp + amount * double(qs.size()) > u_lim) return false;
+  for (Slot* q : qs) {
+    if (q->imported.load(std::memory_order_relaxed) + amount >
+        q->import_limit.load(std::memory_order_relaxed)) {
+      return false;
+    }
   }
-  for (Entry* q : qs) {
-    q->imported += amount;
+  write_begin();
+  for (Slot* q : qs) {
+    q->imported.store(q->imported.load(std::memory_order_relaxed) + amount,
+                      std::memory_order_relaxed);
+  }
+  u->exported.store(u_exp + amount * double(qs.size()),
+                    std::memory_order_relaxed);
+  write_end();
+  for (Slot* q : qs) {
     Tracer::emit(tracer_, TraceKind::FuzzImport, site_, q->id, 0, amount,
-                 q->spec.import_limit, 0, update_et);
+                 q->import_limit.load(std::memory_order_relaxed), 0,
+                 update_et);
     Tracer::emit(tracer_, TraceKind::FuzzExport, site_, update_et, 0, amount,
-                 u.spec.export_limit, 0, q->id);
+                 u_lim, 0, q->id);
   }
-  u.exported += amount * double(qs.size());
   return true;
 }
 
@@ -67,90 +89,123 @@ bool EtRegistry::can_charge_multi(std::span<const TxnId> queries,
                                   TxnId update_et, Value amount) const {
   if (amount < 0) return false;
   if (amount == 0) return true;
-  std::lock_guard lock(mu_);
-  auto uit = live_.find(update_et);
-  if (uit == live_.end()) return false;
-  const Entry& u = uit->second;
-  std::size_t n = 0;
-  for (TxnId q : queries) {
-    auto qit = live_.find(q);
-    if (qit == live_.end()) continue;
-    if (qit->second.imported + amount > qit->second.spec.import_limit)
-      return false;
-    ++n;
-  }
-  return u.exported + amount * double(n) <= u.spec.export_limit;
+  std::shared_lock slock(struct_mu_);
+  const Slot* u = find(update_et);
+  if (!u) return false;
+  // Epoch-consistent feasibility check: every (counter, limit) pair is read
+  // inside one even epoch, so a concurrent charge can never make us compare
+  // a pre-charge counter against a post-charge limit (or vice versa).
+  return epoch_consistent([&]() -> bool {
+    std::size_t n = 0;
+    for (TxnId q : queries) {
+      const Slot* s = find(q);
+      if (!s) continue;
+      if (s->imported.load(std::memory_order_relaxed) + amount >
+          s->import_limit.load(std::memory_order_relaxed)) {
+        return false;
+      }
+      ++n;
+    }
+    return u->exported.load(std::memory_order_relaxed) + amount * double(n) <=
+           u->export_limit.load(std::memory_order_relaxed);
+  });
 }
 
 bool EtRegistry::try_self_import(TxnId query_et, Value amount) {
   if (amount < 0) return false;
-  std::lock_guard lock(mu_);
-  auto it = live_.find(query_et);
-  if (it == live_.end()) return false;
-  Entry& q = it->second;
-  if (q.imported + amount > q.spec.import_limit) return false;
-  q.imported += amount;
+  std::shared_lock slock(struct_mu_);
+  Slot* q = find(query_et);
+  if (!q) return false;
+  std::lock_guard clock(charge_mu_);
+  const Value imp = q->imported.load(std::memory_order_relaxed);
+  const Value lim = q->import_limit.load(std::memory_order_relaxed);
+  if (imp + amount > lim) return false;
+  write_begin();
+  q->imported.store(imp + amount, std::memory_order_relaxed);
+  write_end();
   Tracer::emit(tracer_, TraceKind::FuzzImport, site_, query_et, 0, amount,
-               q.spec.import_limit, 0, kInvalidTxn);
+               lim, 0, kInvalidTxn);
   return true;
 }
 
 std::optional<EtRegistry::Entry> EtRegistry::get(TxnId id) const {
-  std::lock_guard lock(mu_);
-  auto it = live_.find(id);
-  if (it == live_.end()) return std::nullopt;
-  return it->second;
+  std::shared_lock lock(struct_mu_);
+  const Slot* s = find(id);
+  if (!s) return std::nullopt;
+  return epoch_consistent([&]() -> Entry {
+    Entry e;
+    e.id = s->id;
+    e.kind = s->kind;
+    e.parent = s->parent;
+    e.spec.import_limit = s->import_limit.load(std::memory_order_relaxed);
+    e.spec.export_limit = s->export_limit.load(std::memory_order_relaxed);
+    e.imported = s->imported.load(std::memory_order_relaxed);
+    e.exported = s->exported.load(std::memory_order_relaxed);
+    return e;
+  });
 }
 
 TxnKind EtRegistry::kind_of(TxnId id) const {
-  std::lock_guard lock(mu_);
-  auto it = live_.find(id);
+  std::shared_lock lock(struct_mu_);
+  const Slot* s = find(id);
   // Ended/unknown ETs are treated as updates: the conservative choice -- an
   // unknown partner never justifies a fuzzy grant.
-  return it == live_.end() ? TxnKind::Update : it->second.kind;
+  return s ? s->kind : TxnKind::Update;
 }
 
 Value EtRegistry::fuzziness_of(TxnId id) const {
-  std::lock_guard lock(mu_);
-  auto it = live_.find(id);
-  if (it == live_.end()) return 0;
-  return it->second.imported + it->second.exported;
+  std::shared_lock lock(struct_mu_);
+  const Slot* s = find(id);
+  if (!s) return 0;
+  return epoch_consistent([&]() -> Value {
+    return s->imported.load(std::memory_order_relaxed) +
+           s->exported.load(std::memory_order_relaxed);
+  });
 }
 
 void EtRegistry::set_spec(TxnId id, EpsilonSpec spec) {
-  std::lock_guard lock(mu_);
-  auto it = live_.find(id);
-  if (it != live_.end()) it->second.spec = spec;
+  std::shared_lock slock(struct_mu_);
+  Slot* s = find(id);
+  if (!s) return;
+  std::lock_guard clock(charge_mu_);
+  write_begin();
+  s->import_limit.store(spec.import_limit, std::memory_order_relaxed);
+  s->export_limit.store(spec.export_limit, std::memory_order_relaxed);
+  write_end();
 }
 
 Value EtRegistry::end_commit(TxnId id) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(struct_mu_);
   auto it = live_.find(id);
   if (it == live_.end()) return 0;
-  const Value z = it->second.imported + it->second.exported;
-  if (it->second.parent != kInvalidTxn) parent_z_[it->second.parent] += z;
+  // Exclusive struct lock: no charge holds the shared lock, so the counters
+  // are quiescent and plain relaxed loads are the final values.
+  const Slot& s = *it->second;
+  const Value z = s.imported.load(std::memory_order_relaxed) +
+                  s.exported.load(std::memory_order_relaxed);
+  if (s.parent != kInvalidTxn) parent_z_[s.parent] += z;
   live_.erase(it);
   return z;
 }
 
 void EtRegistry::end_abort(TxnId id) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(struct_mu_);
   live_.erase(id);
 }
 
 Value EtRegistry::parent_fuzziness(TxnId parent) const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(struct_mu_);
   auto it = parent_z_.find(parent);
   return it == parent_z_.end() ? 0 : it->second;
 }
 
 void EtRegistry::forget_parent(TxnId parent) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(struct_mu_);
   parent_z_.erase(parent);
 }
 
 std::size_t EtRegistry::live_count() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(struct_mu_);
   return live_.size();
 }
 

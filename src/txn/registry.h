@@ -2,9 +2,22 @@
 //
 // Divergence control needs, at every read-write conflict, an atomic check-
 // and-charge across *two* budgets: the query side's import account and the
-// update side's export account (Section 1.1).  The registry owns both and
-// performs the pair charge under one mutex so budgets can never be
-// overcommitted by racing conflicts.
+// update side's export account (Section 1.1).  The registry performs the
+// pair/multi charge all-or-nothing under one charge mutex so budgets can
+// never be overcommitted by racing conflicts.
+//
+// Hot-path layout: with the lock table sharded (lock/lock_manager.h), fuzzy
+// grants on different stripes reach this ledger concurrently, so the per-ET
+// import/export counters live in cache-line-padded atomics.  Mutations stay
+// serialized behind charge_mu_, but the *read* paths divergence control hits
+// on every conflict evaluation -- the can_charge_multi feasibility peek,
+// kind_of, fuzziness_of -- never take it.  Readers get a consistent
+// (counter, limit) snapshot via an epoch counter (seqlock discipline): a
+// charge bumps the epoch to odd, applies its stores, bumps back to even;
+// a reader retries until it sees the same even epoch on both sides of its
+// loads.  Torn eps-spec checks (counter from before a charge, limit from
+// after) are therefore impossible, which is what keeps the DC admission
+// decision sound under cross-stripe concurrency -- see DESIGN.md section 7.
 //
 // Pieces of a chopped transaction register with a `parent` id; committed
 // fuzziness rolls up into per-parent totals so the engine can verify
@@ -12,9 +25,12 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -23,10 +39,22 @@
 #include "trace/tracer.h"
 #include "txn/epsilon.h"
 
+// ThreadSanitizer does not model standalone fences (GCC hard-errors on
+// atomic_thread_fence under -fsanitize=thread); the seqlock read below
+// substitutes an instrumented RMW when TSan is active.
+#if defined(__SANITIZE_THREAD__)
+#define ATP_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ATP_TSAN 1
+#endif
+#endif
+
 namespace atp {
 
 class EtRegistry {
  public:
+  /// Read-only snapshot of a live ET (epoch-consistent copy).
   struct Entry {
     TxnId id = kInvalidTxn;
     TxnKind kind = TxnKind::Update;
@@ -59,8 +87,9 @@ class EtRegistry {
                         Value amount);
 
   /// Feasibility peek: would try_charge_multi succeed right now?  No state
-  /// change.  Used by the DC resolver to admit an update's X lock whose
-  /// write will be charged (for real) at write time.
+  /// change and no charge-mutex acquisition (epoch-consistent reads only).
+  /// Used by the DC resolver to admit an update's X lock whose write will be
+  /// charged (for real) at write time.
   [[nodiscard]] bool can_charge_multi(std::span<const TxnId> queries,
                                       TxnId update_et, Value amount) const;
 
@@ -107,9 +136,74 @@ class EtRegistry {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<TxnId, Entry> live_;
+  /// Live ET record.  One cache line per ET: the import/export counters are
+  /// the write-hot fields, and padding keeps two ETs charged from different
+  /// lock stripes from false-sharing.  id/kind/parent are immutable after
+  /// begin(); the limits and counters are atomics mutated only under
+  /// charge_mu_ inside an epoch window, and read lock-free under the epoch
+  /// protocol.
+  struct alignas(64) Slot {
+    TxnId id = kInvalidTxn;
+    TxnKind kind = TxnKind::Update;
+    TxnId parent = kInvalidTxn;
+    std::atomic<Value> import_limit{0};
+    std::atomic<Value> export_limit{0};
+    std::atomic<Value> imported{0};
+    std::atomic<Value> exported{0};
+  };
+
+  /// Begin an epoch-write window (caller holds charge_mu_).
+  void write_begin() noexcept {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);  // now odd
+  }
+  void write_end() noexcept {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);  // even again
+  }
+
+  /// Run `read` until it executes entirely inside one even epoch.
+  template <typename F>
+  auto epoch_consistent(F&& read) const {
+    for (;;) {
+      const std::uint64_t e1 = epoch_.load(std::memory_order_acquire);
+      if (e1 & 1) {  // charge in flight
+        std::this_thread::yield();
+        continue;
+      }
+      auto result = read();
+#if defined(ATP_TSAN)
+      // Fence-free variant: a seq_cst RMW on the epoch orders the data loads
+      // above before the recheck and is fully TSan-instrumented.
+      if (epoch_.fetch_add(0, std::memory_order_seq_cst) == e1) return result;
+#else
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (epoch_.load(std::memory_order_acquire) == e1) return result;
+#endif
+    }
+  }
+
+  [[nodiscard]] const Slot* find(TxnId id) const {
+    auto it = live_.find(id);
+    return it == live_.end() ? nullptr : it->second.get();
+  }
+  [[nodiscard]] Slot* find(TxnId id) {
+    auto it = live_.find(id);
+    return it == live_.end() ? nullptr : it->second.get();
+  }
+
+  // Guards the maps themselves (insert/erase/lookup), NOT the counters:
+  // lookups take it shared, begin/end take it unique.  Slots are heap-
+  // allocated so pointers stay stable while a shared holder works on them.
+  mutable std::shared_mutex struct_mu_;
+  std::unordered_map<TxnId, std::unique_ptr<Slot>> live_;
   std::unordered_map<TxnId, Value> parent_z_;  // Z_t accumulators
+
+  // Serializes all counter/limit mutations (all-or-nothing multi charges).
+  // Lock order: struct_mu_ (shared) then charge_mu_.
+  mutable std::mutex charge_mu_;
+  /// Seqlock epoch; odd = write in flight.  Mutable: the TSan-friendly
+  /// read path re-checks it with a (value-preserving) RMW from const reads.
+  mutable std::atomic<std::uint64_t> epoch_{0};
+
   std::atomic<TxnId> next_id_{1};
   Tracer* tracer_ = nullptr;
   SiteId site_ = 0;

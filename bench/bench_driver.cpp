@@ -20,9 +20,18 @@
 // from common/metrics.h.
 //
 // Flags:
-//   --json           emit JSON files (default: also prints a summary table)
-//   --quick          CI smoke mode: fewer instances per run
-//   --out-dir=DIR    directory for BENCH_*.json (default ".")
+//   --json             emit JSON files (default: also prints a summary table)
+//   --quick            CI smoke mode: fewer instances per run
+//   --out-dir=DIR      directory for BENCH_*.json (default ".")
+//   --metrics-port=N   serve live metrics on 127.0.0.1:N while running
+//                      (atp-top --url 127.0.0.1:N; SIGUSR1 dumps a snapshot
+//                      JSON into --out-dir)
+//
+// Observability: every run publishes into its own MetricsRegistry; the final
+// snapshot (taken before the run's Database dies, so the retired epsilon-
+// budget roll-ups and the stripe heatmap are populated) is embedded in each
+// run's JSON record as the "metrics" block -- schema v2, docs/BENCH_SCHEMA.md.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +42,8 @@
 #include "audit/esr_certifier.h"
 #include "audit/sr_certifier.h"
 #include "bench_util.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics_registry.h"
 #include "trace/tracer.h"
 #include "workload/banking.h"
 
@@ -140,6 +151,7 @@ struct RunRecord {
   std::size_t instances = 0;
   Value eps_q = 0;
   ExecutorReport report;
+  obs::MetricsSnapshot metrics;  ///< final per-run snapshot (schema "metrics")
   bool esr_ok = false;
   bool sr_checked = false;
   bool sr_ok = false;
@@ -176,6 +188,67 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Counter/gauge value of `name` in the snapshot (0 when absent).
+double mval(const obs::MetricsSnapshot& s, const std::string& name) {
+  const obs::Sample* p = s.find(name);
+  return p == nullptr ? 0 : p->value;
+}
+
+/// The run's "metrics" block: epsilon-budget roll-ups (retired + live -- at
+/// snapshot time every ET has retired, but the split keeps the numbers
+/// honest if that ever changes), commit/abort tallies, and the per-stripe
+/// lock heatmap.  Shapes documented in docs/BENCH_SCHEMA.md (schema v2).
+void append_metrics_json(std::string& out, const obs::MetricsSnapshot& m,
+                         const char* indent) {
+  char buf[512];
+  auto eps_cls = [&](const char* cls) {
+    const std::string live = std::string("eps.live.") + cls + ".";
+    const std::string ret = std::string("eps.retired.") + cls + ".";
+    std::snprintf(buf, sizeof buf,
+                  "\"%s_ets\": %.0f, \"%s_used\": %.6g, \"%s_limit\": %.6g, "
+                  "\"%s_unlimited\": %.0f",
+                  cls, mval(m, live + "count") + mval(m, ret + "count"), cls,
+                  mval(m, live + "used") + mval(m, ret + "used"), cls,
+                  mval(m, live + "limit") + mval(m, ret + "limit"), cls,
+                  mval(m, live + "unlimited") + mval(m, ret + "unlimited"));
+    return std::string(buf);
+  };
+  out += std::string(indent) + " \"metrics\": {\n";
+  std::snprintf(buf, sizeof buf,
+                "%s  \"eps\": {\"charges_ok\": %.0f, \"rejected_import\": "
+                "%.0f, \"rejected_export\": %.0f, \"rejected_admission\": "
+                "%.0f, \"import_charged\": %.6g, \"export_charged\": %.6g,\n",
+                indent, mval(m, "eps.charges_ok"),
+                mval(m, "eps.rejected_import"), mval(m, "eps.rejected_export"),
+                mval(m, "eps.rejected_admission"),
+                mval(m, "eps.import_charged"), mval(m, "eps.export_charged"));
+  out += buf;
+  out += std::string(indent) + "   " + eps_cls("query") + ",\n";
+  out += std::string(indent) + "   " + eps_cls("update") + "},\n";
+  std::snprintf(buf, sizeof buf,
+                "%s  \"db\": {\"commits\": %.0f, \"aborts\": %.0f},\n", indent,
+                mval(m, "db.commits"), mval(m, "db.aborts"));
+  out += buf;
+  out += std::string(indent) + "  \"lock_stripes\": [";
+  const auto stripes = std::size_t(mval(m, "lock.stripes"));
+  for (std::size_t i = 0; i < stripes; ++i) {
+    const std::string p = "lock.stripe." + std::to_string(i) + ".";
+    const obs::Sample* lat = m.find(p + "acquire_us");
+    std::snprintf(
+        buf, sizeof buf,
+        "%s{\"acquires\": %.0f, \"waits\": %.0f, \"deadlocks\": %.0f, "
+        "\"timeouts\": %.0f, \"fuzzy_grants\": %.0f, \"max_waiters\": %.0f, "
+        "\"acquire_us_p50\": %.3g, \"acquire_us_p95\": %.3g}",
+        i == 0 ? "" : ", ", mval(m, p + "acquires"), mval(m, p + "waits"),
+        mval(m, p + "deadlocks"), mval(m, p + "timeouts"),
+        mval(m, p + "fuzzy_grants"), mval(m, p + "max_waiters"),
+        lat != nullptr ? lat->summary.p50 : 0,
+        lat != nullptr ? lat->summary.p95 : 0);
+    out += buf;
+  }
+  out += "]}";
+}
+
 void append_run_json(std::string& out, const RunRecord& r,
                      const char* indent) {
   char buf[512];
@@ -200,7 +273,7 @@ void append_run_json(std::string& out, const RunRecord& r,
       "%s \"deadlock_aborts\": %llu, \"epsilon_aborts\": %llu, "
       "\"resubmissions\": %llu, \"steals\": %llu, \"wall_seconds\": %.4f,\n"
       "%s \"certified\": {\"esr_ok\": %s, \"sr_checked\": %s, \"sr_ok\": "
-      "%s}}",
+      "%s},\n",
       indent, (unsigned long long)rep.deadlock_aborts,
       (unsigned long long)rep.epsilon_aborts,
       (unsigned long long)rep.resubmissions, (unsigned long long)rep.steals,
@@ -208,12 +281,14 @@ void append_run_json(std::string& out, const RunRecord& r,
       r.sr_checked ? "true" : "false",
       r.sr_checked ? (r.sr_ok ? "true" : "false") : "null");
   out += buf;
+  append_metrics_json(out, r.metrics, indent);
+  out += "}";
 }
 
 void write_json(const std::string& path, const std::string& sha, bool quick,
                 const std::vector<const RunRecord*>& runs) {
   std::string out = "{\n";
-  out += "  \"schema_version\": 1,\n";
+  out += "  \"schema_version\": 2,\n";
   out += "  \"generated_by\": \"bench_driver\",\n";
   out += "  \"git_sha\": \"" + json_escape(sha) + "\",\n";
   out += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
@@ -239,6 +314,7 @@ int main(int argc, char** argv) {
   bool emit_json = false;
   bool quick = false;
   std::string out_dir = ".";
+  std::uint16_t metrics_port = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -247,10 +323,30 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg.rfind("--out-dir=", 0) == 0) {
       out_dir = arg.substr(std::strlen("--out-dir="));
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      metrics_port = std::uint16_t(
+          std::strtoul(arg.c_str() + std::strlen("--metrics-port="), nullptr,
+                       10));
     } else {
       std::fprintf(stderr,
-                   "usage: bench_driver [--json] [--quick] [--out-dir=DIR]\n");
+                   "usage: bench_driver [--json] [--quick] [--out-dir=DIR] "
+                   "[--metrics-port=N]\n");
       return 2;
+    }
+  }
+
+  // One exporter for the whole driver; each run points it at its own
+  // registry, so atp-top always watches the run in progress.
+  std::unique_ptr<obs::ObsServer> metrics_server;
+  if (metrics_port != 0) {
+    metrics_server =
+        std::make_unique<obs::ObsServer>(nullptr, metrics_port);
+    if (metrics_server->ok()) {
+      metrics_server->enable_signal_dump(out_dir + "/metrics_dump", SIGUSR1);
+      std::printf("serving metrics on 127.0.0.1:%u "
+                  "(atp-top --url 127.0.0.1:%u; SIGUSR1 dumps JSON)\n",
+                  unsigned(metrics_server->port()),
+                  unsigned(metrics_server->port()));
     }
   }
 
@@ -269,10 +365,17 @@ int main(int argc, char** argv) {
     for (const MethodConfig& method : sc.methods) {
       for (const std::size_t threads : thread_counts) {
         Tracer tracer(1 << 18);
+        obs::MetricsRegistry run_metrics;
+        obs::MetricsSnapshot final_snapshot;
+        if (metrics_server) metrics_server->set_registry(&run_metrics);
         LocalRunConfig rc;
         rc.workers = threads;
         rc.tracer = &tracer;
+        rc.metrics = &run_metrics;
+        rc.final_snapshot_out = &final_snapshot;
         const ExecutorReport rep = run_local(w, method, rc);
+        // Detach before run_metrics dies; a scrape between runs sees empty.
+        if (metrics_server) metrics_server->set_registry(nullptr);
 
         const std::vector<TraceEvent> events = tracer.collect();
         const std::uint64_t dropped = tracer.dropped();
@@ -286,6 +389,7 @@ int main(int argc, char** argv) {
         rec->instances = sc.instances;
         rec->eps_q = sc.cfg.query_epsilon;
         rec->report = rep;
+        rec->metrics = std::move(final_snapshot);
         rec->esr_ok = esr.ok && esr.complete;
         if (method.sched == SchedulerKind::CC) {
           // Serializability is only the CC schedulers' promise; DC schedules

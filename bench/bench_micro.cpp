@@ -1,11 +1,18 @@
 // Component micro-benchmarks (google-benchmark): the building blocks whose
 // costs underlie the system-level numbers -- lock acquisition, fuzziness
 // charging, chopping-graph analysis, and the finest-chopping searches.
+//
+// The obs group doubles as the instrumentation-overhead experiment: build
+// once with -DATP_OBS=ON and once with OFF and compare
+// BM_LockAcquireReleaseUncontended / BM_TxnCommitCycle /
+// BM_TxnCommitCycleWithMetrics (EXPERIMENTS.md records the numbers; the
+// budget is <2% on the enabled build).
 #include <benchmark/benchmark.h>
 
 #include "chop/analyzer.h"
 #include "common/rng.h"
 #include "lock/lock_manager.h"
+#include "obs/metrics_registry.h"
 #include "sched/database.h"
 #include "txn/registry.h"
 #include "workload/banking.h"
@@ -73,6 +80,53 @@ void BM_DcFuzzyRead(benchmark::State& state) {
   u.abort();
 }
 BENCHMARK(BM_DcFuzzyRead);
+
+void BM_TxnCommitCycleWithMetrics(benchmark::State& state) {
+  // Same cycle as BM_TxnCommitCycle but with a registry attached: measures
+  // what a Database pays for live telemetry (commit counters + the
+  // registered collector, which costs nothing until snapshot time).
+  obs::MetricsRegistry reg;
+  DatabaseOptions o;
+  o.metrics = &reg;
+  Database db(o);
+  db.load(1, 100);
+  db.load(2, 100);
+  for (auto _ : state) {
+    Txn t = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+    (void)t.add(1, -5);
+    (void)t.add(2, +5);
+    (void)t.commit();
+  }
+}
+BENCHMARK(BM_TxnCommitCycleWithMetrics);
+
+void BM_ObsShardedCounterAdd(benchmark::State& state) {
+  static obs::ShardedCounter counter;
+  for (auto _ : state) {
+    counter.add();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsShardedCounterAdd)->Threads(1)->Threads(8);
+
+void BM_ObsRegistrySnapshot(benchmark::State& state) {
+  // Snapshot cost with a realistic population: a Database's collector
+  // (16-stripe heatmap + eps roll-ups) plus a few push instruments.
+  obs::MetricsRegistry reg;
+  DatabaseOptions o;
+  o.metrics = &reg;
+  Database db(o);
+  db.load(1, 100);
+  for (int i = 0; i < 64; ++i) {
+    Txn t = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+    (void)t.add(1, 1);
+    (void)t.commit();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.snapshot());
+  }
+}
+BENCHMARK(BM_ObsRegistrySnapshot);
 
 void BM_BuildChoppingGraph(benchmark::State& state) {
   BankingConfig cfg;

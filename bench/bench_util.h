@@ -52,6 +52,13 @@ struct LocalRunConfig {
   std::uint64_t op_delay_max_us = 300;
   std::chrono::milliseconds lock_timeout{2000};
   Tracer* tracer = nullptr;  ///< optional: certifier-grade event capture
+  /// Optional metrics registry the run's Database + Executor publish into
+  /// (live scrapes via an ObsServer pointed at it, final snapshot below).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When set (with `metrics`), receives a final snapshot taken after the
+  /// run completes but BEFORE the Database dies -- the run's eps budgets,
+  /// stripe heatmap and executor counters, ready for the bench JSON.
+  obs::MetricsSnapshot* final_snapshot_out = nullptr;
 };
 
 inline ExecutorReport run_local(const Workload& w, MethodConfig method,
@@ -66,6 +73,7 @@ inline ExecutorReport run_local(const Workload& w, MethodConfig method,
   }
   DatabaseOptions dbo = Executor::database_options(method, cfg.lock_timeout);
   dbo.tracer = cfg.tracer;
+  dbo.metrics = cfg.metrics;
   Database db(dbo);
   w.load_into(db);
   ExecutorOptions opts;
@@ -73,7 +81,13 @@ inline ExecutorReport run_local(const Workload& w, MethodConfig method,
   opts.seed = cfg.seed;
   opts.op_delay_min_us = cfg.op_delay_min_us;
   opts.op_delay_max_us = cfg.op_delay_max_us;
-  return Executor::run(db, plan.value(), w.instances, opts);
+  ExecutorReport report = Executor::run(db, plan.value(), w.instances, opts);
+  if (cfg.metrics != nullptr && cfg.final_snapshot_out != nullptr) {
+    // Taken while the Database's collector is still registered, so the
+    // retired-ET budget roll-ups and the stripe heatmap land in the output.
+    *cfg.final_snapshot_out = cfg.metrics->snapshot();
+  }
+  return report;
 }
 
 inline void print_header(const char* title) {

@@ -80,9 +80,15 @@ LintReport lint_chopping(const std::vector<TxnProgram>& programs,
 std::string MergeExplanation::to_string(
     const std::vector<TxnProgram>& programs) const {
   std::ostringstream out;
-  const std::string& name = step.txn < programs.size()
-                                ? programs[step.txn].name
-                                : "t" + std::to_string(step.txn);
+  std::string name;
+  if (step.txn < programs.size()) {
+    name = programs[step.txn].name;
+  } else {
+    // Built by append: `"t" + std::to_string(...)` trips GCC 12's
+    // -Wrestrict false positive (PR105651) at -O2 under -Werror.
+    name = "t";
+    name += std::to_string(step.txn);
+  }
   out << "round " << step.round + 1 << ": merged pieces "
       << step.first_piece + 1 << "-" << step.last_piece + 1 << " of txn '"
       << name << "' -- ";

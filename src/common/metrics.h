@@ -38,17 +38,20 @@ struct StatSummary {
 /// Linear interpolation between closest ranks (the "C = 1" convention):
 /// percentile q in [0, 1] sits at fractional rank q*(n-1).  This is the one
 /// percentile definition used everywhere (Histogram, the bench harness, the
-/// JSON emitters) so numbers are comparable across reports.
+/// JSON emitters, the obs snapshots) so numbers are comparable across
+/// reports.  Every edge case -- q outside [0, 1], n == 1, an exact top
+/// rank -- funnels through the single clamped interpolation below rather
+/// than early-return special cases, so no caller can disagree with another
+/// about the boundaries.
 [[nodiscard]] inline double percentile_of(const std::vector<double>& sorted,
                                           double q) {
   if (sorted.empty()) return 0;
-  if (q <= 0) return sorted.front();
-  if (q >= 1) return sorted.back();
-  const double rank = q * double(sorted.size() - 1);
+  const double rank =
+      std::clamp(q, 0.0, 1.0) * double(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - double(lo);
-  if (lo + 1 >= sorted.size()) return sorted[lo];
-  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
 /// Mutex-guarded sample recorder with bounded memory: count/sum/min/max are
@@ -100,6 +103,76 @@ class Histogram {
   [[nodiscard]] std::size_t reservoir_size() const {
     std::lock_guard lock(mu_);
     return samples_.size();
+  }
+
+  /// Fold `other` into this histogram without re-recording samples.
+  /// Count/sum/min/max merge exactly.  The reservoirs merge reservoir-aware:
+  /// when both sides still hold their complete streams the samples simply
+  /// concatenate (merge stays exact below the cap); otherwise the merged
+  /// reservoir draws each slot from one side with probability proportional
+  /// to the *stream* sizes behind the reservoirs (not the reservoir sizes),
+  /// so it remains an approximately uniform sample of the combined stream.
+  /// This is what lets per-thread histograms aggregate into one snapshot at
+  /// collection time.  Thread-safe against concurrent record()s on either
+  /// side; `other` is snapshotted first, so merging a histogram into itself
+  /// behaves as merging an identical copy.
+  void merge(const Histogram& other) {
+    std::uint64_t o_count;
+    double o_sum, o_min, o_max;
+    std::vector<double> o_samples;
+    {
+      std::lock_guard lock(other.mu_);
+      o_count = other.count_;
+      o_sum = other.sum_;
+      o_min = other.min_;
+      o_max = other.max_;
+      o_samples = other.samples_;
+    }
+    if (o_count == 0) return;
+    std::lock_guard lock(mu_);
+    if (count_ == 0) {
+      min_ = o_min;
+      max_ = o_max;
+    } else {
+      min_ = std::min(min_, o_min);
+      max_ = std::max(max_, o_max);
+    }
+    const bool both_complete =
+        samples_.size() == count_ && o_samples.size() == o_count;
+    if (both_complete && samples_.size() + o_samples.size() <= capacity_) {
+      samples_.insert(samples_.end(), o_samples.begin(), o_samples.end());
+    } else {
+      // Weighted draw without replacement: slot by slot, pick side A (ours)
+      // with probability rem_a / (rem_a + rem_b), where the remainders start
+      // at the stream counts and scale down as each side's reservoir drains.
+      std::vector<double> merged;
+      const std::size_t m =
+          std::min(capacity_, samples_.size() + o_samples.size());
+      merged.reserve(m);
+      // Per-sample stream weight: how many stream elements one reservoir
+      // sample stands for.
+      const double w_a =
+          samples_.empty() ? 0 : double(count_) / double(samples_.size());
+      const double w_b =
+          o_samples.empty() ? 0 : double(o_count) / double(o_samples.size());
+      std::size_t ia = 0, ib = 0;
+      while (merged.size() < m) {
+        const double rem_a = w_a * double(samples_.size() - ia);
+        const double rem_b = w_b * double(o_samples.size() - ib);
+        if (rem_a + rem_b <= 0) break;
+        const double pick =
+            double(next_random() % (1u << 24)) / double(1u << 24);
+        if (ia < samples_.size() &&
+            (ib >= o_samples.size() || pick * (rem_a + rem_b) < rem_a)) {
+          merged.push_back(samples_[ia++]);
+        } else {
+          merged.push_back(o_samples[ib++]);
+        }
+      }
+      samples_ = std::move(merged);
+    }
+    count_ += o_count;
+    sum_ += o_sum;
   }
 
   void reset() {

@@ -46,6 +46,21 @@ Status execute_ops(Txn& txn, const std::vector<Access>& ops) {
   return Status::Ok();
 }
 
+/// Commit-round outcome telemetry, pushed into the home site's registry (the
+/// coordinator has no instruments of its own; protocol rounds dominate, so a
+/// name lookup per outcome is noise).
+void dist_count(Site& home, const std::string& name) {
+  if (obs::MetricsRegistry* reg = home.db().metrics(); reg != nullptr) {
+    reg->counter(name).add();
+  }
+}
+
+void dist_record(Site& home, const std::string& name, double v) {
+  if (obs::MetricsRegistry* reg = home.db().metrics(); reg != nullptr) {
+    reg->histogram(name).record(v);
+  }
+}
+
 }  // namespace
 
 Coordinator::Coordinator(Site& home, std::vector<Site*> sites)
@@ -72,6 +87,7 @@ Result<DistOutcome> Coordinator::run_2pc(
     if (!s.ok()) {
       txn.abort();
       for (Txn& t : txns) t.abort();
+      dist_count(home_, "dist.2pc.aborted");
       return s;
     }
     if (piece.site != home_.id()) participants.push_back(piece.site);
@@ -114,6 +130,7 @@ Result<DistOutcome> Coordinator::run_2pc(
     round("abort", decision_timeout);
     for (Txn& t : txns) t.abort();  // aborts the home piece (moved-out remote
                                     // handles are inert)
+    dist_count(home_, "dist.2pc.aborted");
     return Status::Aborted("2pc prepare failed or timed out");
   }
 
@@ -121,6 +138,8 @@ Result<DistOutcome> Coordinator::run_2pc(
   if (validation_round && !round("validate", decision_timeout)) {
     round("abort", decision_timeout);
     for (Txn& t : txns) t.abort();
+    dist_count(home_, "dist.2pc.validation_failed");
+    dist_count(home_, "dist.2pc.aborted");
     return Status::Aborted("2pc validation failed or timed out");
   }
 
@@ -167,6 +186,9 @@ Result<DistOutcome> Coordinator::run_2pc(
 
   out.complete_latency_us = double(clock.elapsed_us());
   out.completed = true;
+  dist_count(home_, "dist.2pc.committed");
+  dist_record(home_, "dist.2pc.client_us", out.client_latency_us);
+  dist_record(home_, "dist.2pc.complete_us", out.complete_latency_us);
   return out;
 }
 
@@ -190,6 +212,7 @@ Result<DistOutcome> Coordinator::run_chopped(
   Status s = execute_ops(txn, spec.pieces[0].ops);
   if (!s.ok()) {
     txn.abort();
+    dist_count(home_, "dist.chopped.aborted");
     return s;  // piece 1 may abort freely: nothing committed yet
   }
   if (spec.pieces.size() > 1) {
@@ -217,14 +240,22 @@ Result<DistOutcome> Coordinator::run_chopped(
   out.gtid = gtid;
   // The client-visible commit: one local commit, zero protocol rounds.
   out.client_latency_us = double(clock.elapsed_us());
+  dist_count(home_, "dist.chopped.started");
+  dist_record(home_, "dist.chopped.client_us", out.client_latency_us);
 
   if (spec.pieces.size() == 1) {
     out.complete_latency_us = out.client_latency_us;
     out.completed = true;
+    dist_count(home_, "dist.chopped.completed");
+    dist_record(home_, "dist.chopped.complete_us", out.complete_latency_us);
     return out;
   }
   out.completed = home_.wait_done(gtid, completion_timeout);
   out.complete_latency_us = double(clock.elapsed_us());
+  if (out.completed) {
+    dist_count(home_, "dist.chopped.completed");
+    dist_record(home_, "dist.chopped.complete_us", out.complete_latency_us);
+  }
   return out;
 }
 

@@ -9,9 +9,36 @@ Site::Site(SiteId id, SimNetwork& net, DatabaseOptions db_options)
   // One tracer serves the whole site: the database options carry it to the
   // scheduler/locks/registry, and the queue endpoint shares it.
   queues_.set_tracer(db_options.tracer);
+  // Likewise one metrics registry: the Database registered its own eps/lock
+  // collector; the site adds the queue-endpoint and network views under a
+  // site-scoped prefix (many sites may share one registry).
+  if (obs::MetricsRegistry* reg = db_.metrics(); reg != nullptr) {
+    const std::string p = "site" + std::to_string(id_) + ".";
+    collector_id_ = reg->add_collector([this, p](obs::SnapshotBuilder& b) {
+      const QueueStats qs = queues_.stats();
+      b.counter(p + "queue.enqueued", double(qs.enqueued));
+      b.counter(p + "queue.transmitted", double(qs.transmitted));
+      b.counter(p + "queue.delivered", double(qs.delivered));
+      b.counter(p + "queue.duplicates", double(qs.duplicates));
+      b.counter(p + "queue.consumed", double(qs.consumed));
+      b.counter(p + "queue.redelivered", double(qs.redelivered));
+      b.gauge(p + "queue.backlog", double(queues_.outbound_backlog()));
+      // Site-prefixed though the network is shared: sample names must be
+      // unique when several sites publish into one registry.
+      const NetStats ns = net_.stats();
+      b.counter(p + "net.sent", double(ns.sent));
+      b.counter(p + "net.delivered", double(ns.delivered));
+      b.counter(p + "net.dropped", double(ns.dropped));
+    });
+  }
 }
 
-Site::~Site() { stop(); }
+Site::~Site() {
+  stop();
+  if (obs::MetricsRegistry* reg = db_.metrics(); reg != nullptr) {
+    reg->remove_collector(collector_id_);
+  }
+}
 
 void Site::start() {
   if (running_.exchange(true)) return;

@@ -100,6 +100,7 @@ class Site {
   SimNetwork& net_;
   Database db_;
   QueueEndpoint queues_;
+  obs::MetricsRegistry::CollectorId collector_id_ = 0;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> up_{true};

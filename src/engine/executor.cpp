@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "engine/piece_runner.h"
+#include "obs/metrics_registry.h"
 
 namespace atp {
 
@@ -103,6 +104,34 @@ ExecutorReport Executor::run(Database& db, const ExecutionPlan& plan,
   worker_rngs.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) worker_rngs.push_back(seeder.split());
 
+  // Observability: one pull collector over the run's own metrics + queues.
+  // The hot loops pay nothing extra -- the collector reads the counters the
+  // run maintains anyway, at snapshot time, from the snapshotting thread.
+  obs::MetricsRegistry* reg = db.metrics();
+  obs::MetricsRegistry::CollectorId cid = 0;
+  if (reg != nullptr) {
+    cid = reg->add_collector([&](obs::SnapshotBuilder& b) {
+      std::size_t depth = 0;
+      for (const auto& wq : queues) {
+        std::lock_guard lock(wq->mu);
+        depth += wq->q.size();
+      }
+      b.gauge("exec.queue_depth", double(depth));
+      b.gauge("exec.workers", double(workers));
+      b.counter("exec.committed", double(metrics.committed_txns.get()));
+      b.counter("exec.committed_pieces",
+                double(metrics.committed_pieces.get()));
+      b.counter("exec.resubmissions", double(metrics.resubmissions.get()));
+      b.counter("exec.deadlock_aborts", double(metrics.aborts_deadlock.get()));
+      b.counter("exec.epsilon_aborts", double(metrics.aborts_epsilon.get()));
+      b.counter("exec.rollbacks", double(metrics.aborts_rollback.get()));
+      b.counter("exec.steals",
+                double(steals.load(std::memory_order_relaxed)));
+      b.histogram("exec.piece_us", metrics.piece_latency_us.summarize());
+      b.histogram("exec.txn_us", metrics.txn_latency_us.summarize());
+    });
+  }
+
   Stopwatch wall;
   std::vector<std::thread> threads;
   threads.reserve(workers);
@@ -172,6 +201,9 @@ ExecutorReport Executor::run(Database& db, const ExecutionPlan& plan,
   }
   for (auto& t : threads) t.join();
   const double seconds = double(wall.elapsed_us()) / 1e6;
+  // The collector captures this frame's locals; detach it before they die.
+  // (remove_collector returns only after any in-flight snapshot finishes.)
+  if (reg != nullptr) reg->remove_collector(cid);
 
   ExecutorReport report;
   report.method_name = plan.method.name();

@@ -18,6 +18,26 @@ LockManager::LockManager(std::chrono::milliseconds default_timeout,
 Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
                             ConflictResolver& resolver) {
   Stripe& s = stripe_of(key);
+#if defined(ATP_OBS_ENABLED)
+  // Sampled latency probe: the acquires counter doubles as the sampling
+  // clock.  Timed acquires pay two steady_clock reads and one histogram
+  // record; the other 63 of 64 pay a single relaxed fetch_add.
+  const std::uint64_t n =
+      s.acquires.fetch_add(1, std::memory_order_relaxed);
+  if ((n & ((1u << kLatencySampleShift) - 1)) == 0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status st = acquire_impl(txn, key, mode, resolver, s);
+    const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - t0);
+    s.acquire_us.record(double(dt.count()) / 1e3);
+    return st;
+  }
+#endif
+  return acquire_impl(txn, key, mode, resolver, s);
+}
+
+Status LockManager::acquire_impl(TxnId txn, Key key, LockMode mode,
+                                 ConflictResolver& resolver, Stripe& s) {
   std::unique_lock lock(s.mu);
   Queue& q = s.queues[key];
 
@@ -58,6 +78,7 @@ Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
       queued = true;
     }
     s.waiting[txn] = &self;
+    s.max_waiters = std::max<std::uint64_t>(s.max_waiters, s.waiting.size());
     if (publish_and_check_deadlock(txn, self)) {
       ++s.stats.deadlocks;
       Tracer::emit(tracer_, TraceKind::LockDeadlock, site_, txn, key, 0, 0,
@@ -247,6 +268,27 @@ LockStats LockManager::stats() const {
     total.fuzzy_grants += sp->stats.fuzzy_grants;
   }
   return total;
+}
+
+std::vector<LockStripeSnapshot> LockManager::stripe_stats() const {
+  std::vector<LockStripeSnapshot> out;
+  out.reserve(stripes_.size());
+  for (const auto& sp : stripes_) {
+    LockStripeSnapshot snap;
+    {
+      std::lock_guard lock(sp->mu);
+      snap.stats = sp->stats;
+      snap.waiters_now = sp->waiting.size();
+      snap.max_waiters = sp->max_waiters;
+    }
+    // Read outside the stripe mutex: both are self-consistent on their own
+    // (relaxed atomic / histogram-internal lock), and the heatmap does not
+    // need them to be from the same instant as the mutexed fields.
+    snap.acquires = sp->acquires.load(std::memory_order_relaxed);
+    snap.acquire_us = sp->acquire_us.summarize();
+    out.push_back(std::move(snap));
+  }
+  return out;
 }
 
 }  // namespace atp

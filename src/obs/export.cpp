@@ -1,0 +1,113 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace atp::obs {
+
+namespace {
+
+/// Shortest round-trippable-enough representation: plain %.17g prints
+/// 0.1-style doubles with noise digits; %.12g is exact for every value the
+/// metrics layer produces (counts, microseconds, fuzziness budgets).
+std::string num(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = "atp_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string snapshot_to_json(const MetricsSnapshot& snap) {
+  std::string out = "{\n";
+  out += "  \"epoch\": " + std::to_string(snap.epoch) + ",\n";
+  out += "  \"steady_us\": " + std::to_string(snap.steady_us) + ",\n";
+  out += "  \"samples\": [\n";
+  for (std::size_t i = 0; i < snap.samples.size(); ++i) {
+    const Sample& s = snap.samples[i];
+    out += "    {\"name\": \"" + json_escape(s.name) + "\", ";
+    switch (s.kind) {
+      case Sample::Kind::Counter:
+        out += "\"kind\": \"counter\", \"value\": " + num(s.value);
+        break;
+      case Sample::Kind::Gauge:
+        out += "\"kind\": \"gauge\", \"value\": " + num(s.value);
+        break;
+      case Sample::Kind::Histogram:
+        out += "\"kind\": \"histogram\", \"count\": " +
+               std::to_string(s.summary.count) +
+               ", \"min\": " + num(s.summary.min) +
+               ", \"max\": " + num(s.summary.max) +
+               ", \"mean\": " + num(s.summary.mean) +
+               ", \"p50\": " + num(s.summary.p50) +
+               ", \"p95\": " + num(s.summary.p95) +
+               ", \"p99\": " + num(s.summary.p99);
+        break;
+    }
+    out += "}";
+    if (i + 1 < snap.samples.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string snapshot_to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(snap.samples.size() * 48);
+  for (const Sample& s : snap.samples) {
+    const std::string base = prom_name(s.name);
+    switch (s.kind) {
+      case Sample::Kind::Counter:
+        out += "# TYPE " + base + " counter\n";
+        out += base + " " + num(s.value) + "\n";
+        break;
+      case Sample::Kind::Gauge:
+        out += "# TYPE " + base + " gauge\n";
+        out += base + " " + num(s.value) + "\n";
+        break;
+      case Sample::Kind::Histogram:
+        out += "# TYPE " + base + " summary\n";
+        out += base + "_count " + std::to_string(s.summary.count) + "\n";
+        out += base + "_sum " + num(s.summary.sum) + "\n";
+        out += base + "_min " + num(s.summary.min) + "\n";
+        out += base + "_max " + num(s.summary.max) + "\n";
+        out += base + "_mean " + num(s.summary.mean) + "\n";
+        out += base + "_p50 " + num(s.summary.p50) + "\n";
+        out += base + "_p95 " + num(s.summary.p95) + "\n";
+        out += base + "_p99 " + num(s.summary.p99) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace atp::obs

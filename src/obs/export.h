@@ -1,0 +1,35 @@
+// Snapshot exposition: one JSON document and one Prometheus text page per
+// MetricsSnapshot.  Both are pure functions of the snapshot so the HTTP
+// endpoint, the signal-dump path, bench_driver's embedded metrics block and
+// atp-top all render identical data.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace atp::obs {
+
+/// JSON document:
+/// {
+///   "epoch": 3, "steady_us": 123,
+///   "samples": [
+///     {"name": "db.commits", "kind": "counter", "value": 42},
+///     {"name": "exec.piece_us", "kind": "histogram", "count": 9,
+///      "min": ..., "max": ..., "mean": ..., "p50": ..., "p95": ..., "p99": ...},
+///     ...
+///   ]
+/// }
+/// Samples are sorted by name; atp-top and the bench driver key off the
+/// dotted name prefixes (eps., lock.stripe.<i>., exec., queue., net., dist.).
+[[nodiscard]] std::string snapshot_to_json(const MetricsSnapshot& snap);
+
+/// Prometheus text exposition (version 0.0.4).  Dots and dashes in names
+/// become underscores and everything is prefixed "atp_"; histograms are
+/// flattened to _count/_sum/_min/_max/_mean/_p50/_p95/_p99 gauges.
+[[nodiscard]] std::string snapshot_to_prometheus(const MetricsSnapshot& snap);
+
+/// Minimal JSON string escaping for emitters (quotes, backslashes, newlines).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace atp::obs

@@ -1,0 +1,198 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/export.h"
+
+namespace atp::obs {
+
+namespace {
+
+/// Signal handlers can only touch lock-free globals; the serve loop polls
+/// this every tick.
+std::atomic<bool> g_dump_requested{false};
+
+extern "C" void obs_dump_signal_handler(int) {
+  g_dump_requested.store(true, std::memory_order_relaxed);
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) return;
+    off += std::size_t(n);
+  }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+ObsServer::ObsServer(MetricsRegistry* registry, std::uint16_t port)
+    : registry_(registry) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("obs: socket");
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 4) < 0) {
+    std::fprintf(stderr, "obs: cannot listen on 127.0.0.1:%u: %s\n",
+                 unsigned(port), std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+ObsServer::~ObsServer() {
+  running_.store(false, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void ObsServer::set_registry(MetricsRegistry* registry) {
+  std::lock_guard lock(registry_mu_);
+  registry_ = registry;
+}
+
+MetricsSnapshot ObsServer::take_snapshot() {
+  std::lock_guard lock(registry_mu_);
+  return registry_ ? registry_->snapshot() : MetricsSnapshot{};
+}
+
+bool ObsServer::dump_json(const std::string& path) {
+  const MetricsSnapshot snap = take_snapshot();
+  std::ofstream f(path);
+  if (!f) return false;
+  f << snapshot_to_json(snap);
+  return bool(f);
+}
+
+void ObsServer::enable_signal_dump(const std::string& path_prefix, int signo) {
+  dump_prefix_ = path_prefix;
+  struct sigaction sa{};
+  sa.sa_handler = obs_dump_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(signo, &sa, nullptr);
+}
+
+void ObsServer::serve_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    if (g_dump_requested.exchange(false, std::memory_order_relaxed) &&
+        !dump_prefix_.empty()) {
+      const MetricsSnapshot snap = take_snapshot();
+      const std::string path =
+          dump_prefix_ + "." + std::to_string(snap.epoch) + ".json";
+      std::ofstream f(path);
+      if (f) f << snapshot_to_json(snap);
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void ObsServer::handle_connection(int fd) {
+  // Read until the end of the request head (we never expect a body).
+  std::string req;
+  char buf[1024];
+  while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    req.append(buf, std::size_t(n));
+  }
+  const std::size_t sp1 = req.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? sp1 : req.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || req.compare(0, 3, "GET") != 0) {
+    send_all(fd, http_response("400 Bad Request", "text/plain", "bad request\n"));
+    return;
+  }
+  const std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (path == "/metrics") {
+    send_all(fd, http_response("200 OK", "text/plain; version=0.0.4",
+                               snapshot_to_prometheus(take_snapshot())));
+  } else if (path == "/snapshot.json" || path == "/snapshot") {
+    send_all(fd, http_response("200 OK", "application/json",
+                               snapshot_to_json(take_snapshot())));
+  } else if (path == "/healthz") {
+    send_all(fd, http_response("200 OK", "text/plain", "ok\n"));
+  } else {
+    send_all(fd, http_response("404 Not Found", "text/plain", "not found\n"));
+  }
+}
+
+bool http_get(const std::string& host, std::uint16_t port,
+              const std::string& path, std::string* body_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host == "localhost" ? "127.0.0.1" : host.c_str(),
+                  &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  send_all(fd, req);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    resp.append(buf, std::size_t(n));
+  }
+  ::close(fd);
+  const std::size_t head_end = resp.find("\r\n\r\n");
+  if (head_end == std::string::npos) return false;
+  if (resp.compare(0, 12, "HTTP/1.1 200") != 0 &&
+      resp.compare(0, 12, "HTTP/1.0 200") != 0) {
+    return false;
+  }
+  if (body_out) *body_out = resp.substr(head_end + 4);
+  return true;
+}
+
+}  // namespace atp::obs

@@ -1,0 +1,80 @@
+// Tiny blocking HTTP exposition endpoint + snapshot dump plumbing.
+//
+// ObsServer runs one thread: a poll()-timeout accept loop serving
+//   GET /metrics        -> Prometheus text (0.0.4)
+//   GET /snapshot.json  -> the JSON snapshot document (export.h)
+//   GET /healthz        -> "ok"
+// one request per connection (Connection: close).  It is deliberately not a
+// real HTTP server -- one synchronous client at a time (atp-top or a scrape)
+// is the design point, and the snapshot itself is where the cost is.
+//
+// The snapshot source is swappable at runtime (set_registry): long-lived
+// drivers like bench_driver keep one server up across many short-lived
+// databases, pointing it at the current run's registry.
+//
+// Dump paths: dump_json() writes the current snapshot to a file
+// programmatically; enable_signal_dump() installs a signal handler (SIGUSR1
+// by default) that makes the server thread write
+// <prefix>.<epoch>.json on the next loop tick -- the handler itself only
+// sets an atomic flag, so it is async-signal-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics_registry.h"
+
+namespace atp::obs {
+
+class ObsServer {
+ public:
+  /// Binds 127.0.0.1:port (port 0 = kernel-assigned, see port()) and starts
+  /// the serving thread.  `registry` may be nullptr until set_registry().
+  ObsServer(MetricsRegistry* registry, std::uint16_t port);
+  ~ObsServer();
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  /// Did the socket bind?  (A taken port logs to stderr and leaves the
+  /// server inert rather than aborting the host process.)
+  [[nodiscard]] bool ok() const noexcept { return listen_fd_ >= 0; }
+
+  /// Actual bound port (after port-0 auto-assign).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Swap the snapshot source; nullptr serves an empty snapshot.
+  void set_registry(MetricsRegistry* registry);
+
+  /// Write the current snapshot JSON to `path`; false on I/O error or no
+  /// registry.
+  bool dump_json(const std::string& path);
+
+  /// Arrange for `signo` (default SIGUSR1) to dump <prefix>.<epoch>.json
+  /// from the server thread.  One server per process may use this (the
+  /// handler targets a process-global flag).
+  void enable_signal_dump(const std::string& path_prefix, int signo);
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  [[nodiscard]] MetricsSnapshot take_snapshot();
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::mutex registry_mu_;
+  MetricsRegistry* registry_ = nullptr;
+  std::atomic<bool> running_{false};
+  std::string dump_prefix_;
+  std::thread thread_;
+};
+
+/// Minimal HTTP/1.1 GET for atp-top and tests: fetches
+/// http://host:port/path and returns the response body, or empty optional on
+/// connect/protocol failure.
+[[nodiscard]] bool http_get(const std::string& host, std::uint16_t port,
+                            const std::string& path, std::string* body_out);
+
+}  // namespace atp::obs

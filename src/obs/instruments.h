@@ -1,0 +1,92 @@
+// Hot-path metric instruments: the write side of the observability layer.
+//
+// Everything the engine's hot paths touch lives here and costs at most one
+// relaxed atomic RMW per event -- no locks, no allocation, no syscalls.  The
+// read side (aggregation into snapshots) is in metrics_registry.h and pays
+// all the consistency cost instead.
+//
+// Compile-time gate: the root CMake option ATP_OBS (default ON) defines
+// ATP_OBS_ENABLED.  When the option is OFF, the ATP_OBS_ONLY(...) macro
+// compiles instrumentation statements out entirely so the overhead of the
+// metrics layer on the hot paths is exactly zero -- this is what the
+// EXPERIMENTS.md "instrumentation overhead" comparison builds.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace atp::obs {
+
+#if defined(ATP_OBS_ENABLED)
+#define ATP_OBS_ONLY(...) __VA_ARGS__
+#else
+#define ATP_OBS_ONLY(...)
+#endif
+
+/// Monotonic counter sharded across cache-line-padded per-thread slots:
+/// add() is one relaxed fetch_add on the calling thread's home slot, so
+/// concurrent writers on different cores never bounce a line between them.
+/// value() sums the slots (monotone: slots only grow, and a reader that sums
+/// twice can only see values >= the first pass).
+class ShardedCounter {
+ public:
+  static constexpr std::size_t kSlots = 16;
+
+  void add(std::uint64_t n = 1) noexcept {
+#if defined(ATP_OBS_ENABLED)
+    slots_[slot_index()].v.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  /// Each thread gets a stable slot index on first use (round-robin over
+  /// kSlots); collisions just share a fetch_add target, which stays correct.
+  static std::size_t slot_index() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t mine =
+        next.fetch_add(1, std::memory_order_relaxed) % kSlots;
+    return mine;
+  }
+
+  std::array<Slot, kSlots> slots_{};
+};
+
+/// Last-value-wins gauge (queue depth, live-ET count, ...).  Double-valued so
+/// fuzziness budgets fit; stores are relaxed (the snapshot only needs *a*
+/// recent value, not a serialization point).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    ATP_OBS_ONLY(value_.store(v, std::memory_order_relaxed);)
+    (void)v;
+  }
+  void add(double d) noexcept {
+#if defined(ATP_OBS_ENABLED)
+    // fetch_add on atomic<double> (C++20); relaxed: only the sum matters.
+    value_.fetch_add(d, std::memory_order_relaxed);
+#else
+    (void)d;
+#endif
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+}  // namespace atp::obs

@@ -1,0 +1,70 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace atp::obs {
+
+const Sample* MetricsSnapshot::find(const std::string& name) const {
+  for (const Sample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+ShardedCounter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<ShardedCounter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::size_t reservoir) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(reservoir);
+  return *slot;
+}
+
+MetricsRegistry::CollectorId MetricsRegistry::add_collector(Collector fn) {
+  std::lock_guard lock(mu_);
+  const CollectorId id = next_collector_++;
+  collectors_.emplace(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::remove_collector(CollectorId id) {
+  std::lock_guard lock(mu_);
+  collectors_.erase(id);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  snap.epoch = ++epoch_;
+  snap.steady_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  SnapshotBuilder b;
+  for (const auto& [name, c] : counters_) {
+    b.counter(name, double(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) b.gauge(name, g->value());
+  for (const auto& [name, h] : histograms_) b.histogram(name, h->summarize());
+  for (const auto& kv : collectors_) kv.second(b);
+  snap.samples = std::move(b.samples_);
+  std::stable_sort(
+      snap.samples.begin(), snap.samples.end(),
+      [](const Sample& a, const Sample& c) { return a.name < c.name; });
+  return snap;
+}
+
+}  // namespace atp::obs

@@ -1,0 +1,116 @@
+// MetricsRegistry: the always-on metrics hub every subsystem registers into.
+//
+// Two registration styles, matching two kinds of state:
+//
+//   * push instruments -- counter()/gauge()/histogram() hand out stable
+//     references to named instruments (instruments.h, common/metrics.h).
+//     Hot paths hold the reference and pay one relaxed atomic per event.
+//   * pull collectors  -- add_collector() registers a callback that reads a
+//     component's own thread-safe state (EtRegistry::snapshot_all,
+//     LockManager::stripe_stats, QueueEndpoint::stats, ...) and appends
+//     samples at snapshot time.  Components that already keep consistent
+//     internal stats expose them this way for free, and a component's owner
+//     unregisters the collector before the component dies.
+//
+// snapshot() produces an epoch-consistent MetricsSnapshot: each snapshot
+// carries a strictly-increasing epoch and a steady-clock timestamp, every
+// sample in it was read after the previous snapshot's samples (the snapshot
+// mutex orders them), counters are monotone between epochs, and any
+// multi-value invariant a collector needs (e.g. the registry's
+// import == export pairing) is taken under that component's own consistency
+// protocol (the EtRegistry seqlock), so no torn pairs can appear.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "obs/instruments.h"
+
+namespace atp::obs {
+
+/// One aggregated data point in a snapshot.
+struct Sample {
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+  std::string name;
+  Kind kind = Kind::Counter;
+  double value = 0;     ///< counter/gauge value (histograms: count)
+  StatSummary summary;  ///< populated for histograms only
+};
+
+/// Passed to collectors so they can append samples without seeing the
+/// registry's internals.
+class SnapshotBuilder {
+ public:
+  void counter(std::string name, double value) {
+    samples_.push_back({std::move(name), Sample::Kind::Counter, value, {}});
+  }
+  void gauge(std::string name, double value) {
+    samples_.push_back({std::move(name), Sample::Kind::Gauge, value, {}});
+  }
+  void histogram(std::string name, const StatSummary& s) {
+    samples_.push_back(
+        {std::move(name), Sample::Kind::Histogram, double(s.count), s});
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<Sample> samples_;
+};
+
+struct MetricsSnapshot {
+  std::uint64_t epoch = 0;       ///< strictly increasing per registry
+  std::int64_t steady_us = 0;    ///< steady-clock capture time
+  std::vector<Sample> samples;   ///< sorted by name
+
+  /// First sample with this exact name, or nullptr.
+  [[nodiscard]] const Sample* find(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  using Collector = std::function<void(SnapshotBuilder&)>;
+  using CollectorId = std::uint64_t;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Named push instruments.  First call creates; later calls return the
+  /// same object, whose address is stable for the registry's lifetime.
+  ShardedCounter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::size_t reservoir = kHistogramReservoir);
+
+  /// Register/unregister a pull collector.  The callback must stay valid
+  /// until remove_collector returns; it runs under the snapshot mutex with
+  /// no registry locks its component could also want.
+  CollectorId add_collector(Collector fn);
+  void remove_collector(CollectorId id);
+
+  /// Aggregate everything into one epoch-stamped snapshot.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Smaller default reservoir than common/metrics.h: registries can hold
+  /// many histograms (one per lock stripe), and the exposition layer only
+  /// reads p50/p95/p99.
+  static constexpr std::size_t kHistogramReservoir = 512;
+
+ private:
+  mutable std::mutex mu_;  // instruments + collectors + snapshot serialization
+  // std::map: stable iteration order gives deterministically-sorted samples.
+  std::map<std::string, std::unique_ptr<ShardedCounter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<CollectorId, Collector> collectors_;
+  CollectorId next_collector_ = 1;
+  mutable std::uint64_t epoch_ = 0;
+};
+
+}  // namespace atp::obs

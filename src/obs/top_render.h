@@ -1,0 +1,35 @@
+// atp-top's engine room: parse a snapshot JSON document back into a
+// MetricsSnapshot and render one terminal frame from it.
+//
+// Factored out of tools/atp_top.cpp so the epsilon-utilization math, the
+// stripe-heatmap intensity mapping and the rate computation are plain
+// functions with unit tests (tests/obs_test.cpp); the tool itself is just
+// fetch/poll/clear-screen glue.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace atp::obs {
+
+/// Parse the document produced by snapshot_to_json() (export.h).  Returns
+/// false (leaving *out untouched) on anything that does not look like our
+/// own emitter's output; this is a parser for the sibling format, not a
+/// general JSON parser.
+[[nodiscard]] bool parse_snapshot_json(const std::string& json,
+                                       MetricsSnapshot* out);
+
+struct TopOptions {
+  std::size_t width = 80;  ///< terminal columns the frame may use
+};
+
+/// Render one atp-top frame: epsilon-budget utilization bars (live +
+/// retired, per ET class), the per-stripe lock contention heatmap, and
+/// commit/abort/charge throughput.  `prev` supplies the deltas for rates;
+/// pass nullptr on the first frame (rates show as totals).
+[[nodiscard]] std::string render_top(const MetricsSnapshot& now,
+                                     const MetricsSnapshot* prev,
+                                     const TopOptions& opts = {});
+
+}  // namespace atp::obs

@@ -1,10 +1,91 @@
 #include "sched/database.h"
 
 #include <cassert>
+#include <cmath>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/http_exporter.h"
+
 namespace atp {
+
+namespace {
+
+/// Database pull collector: epsilon-budget telemetry from the ET registry
+/// plus the per-stripe lock contention heatmap.  Runs at snapshot time only;
+/// the hot paths pay nothing for it.
+void collect_db_samples(const EtRegistry& registry, const LockManager& locks,
+                        obs::SnapshotBuilder& out) {
+  const EtRegistry::ChargeStats cs = registry.charge_stats();
+  out.counter("eps.charges_ok", double(cs.charges_ok));
+  out.counter("eps.rejected_import", double(cs.rejected_import));
+  out.counter("eps.rejected_export", double(cs.rejected_export));
+  out.counter("eps.rejected_admission", double(cs.rejected_admission));
+  out.counter("eps.import_charged", cs.import_charged);
+  out.counter("eps.export_charged", cs.export_charged);
+  out.counter("eps.retired.query.count", double(cs.retired_query_count));
+  out.counter("eps.retired.query.unlimited",
+              double(cs.retired_query_unlimited));
+  out.counter("eps.retired.query.used", cs.retired_query_used);
+  out.counter("eps.retired.query.limit", cs.retired_query_limit);
+  out.counter("eps.retired.update.count", double(cs.retired_update_count));
+  out.counter("eps.retired.update.unlimited",
+              double(cs.retired_update_unlimited));
+  out.counter("eps.retired.update.used", cs.retired_update_used);
+  out.counter("eps.retired.update.limit", cs.retired_update_limit);
+
+  // Live ETs: per-kind roll-up of budget consumption (finite limits only --
+  // infinite budgets would make the utilization ratio meaningless).
+  double live_q_used = 0, live_q_limit = 0, live_u_used = 0, live_u_limit = 0;
+  std::uint64_t live_q = 0, live_u = 0, live_q_inf = 0, live_u_inf = 0;
+  for (const EtRegistry::Entry& e : registry.snapshot_all()) {
+    if (e.kind == TxnKind::Query) {
+      ++live_q;
+      if (std::isinf(double(e.spec.import_limit))) {
+        ++live_q_inf;
+      } else {
+        live_q_used += double(e.imported);
+        live_q_limit += double(e.spec.import_limit);
+      }
+    } else {
+      ++live_u;
+      if (std::isinf(double(e.spec.export_limit))) {
+        ++live_u_inf;
+      } else {
+        live_u_used += double(e.exported);
+        live_u_limit += double(e.spec.export_limit);
+      }
+    }
+  }
+  out.gauge("eps.live.query.count", double(live_q));
+  out.gauge("eps.live.query.unlimited", double(live_q_inf));
+  out.gauge("eps.live.query.used", live_q_used);
+  out.gauge("eps.live.query.limit", live_q_limit);
+  out.gauge("eps.live.update.count", double(live_u));
+  out.gauge("eps.live.update.unlimited", double(live_u_inf));
+  out.gauge("eps.live.update.used", live_u_used);
+  out.gauge("eps.live.update.limit", live_u_limit);
+  out.gauge("db.live_ets", double(live_q + live_u));
+
+  // Per-stripe contention heatmap.
+  const auto stripes = locks.stripe_stats();
+  out.gauge("lock.stripes", double(stripes.size()));
+  for (std::size_t i = 0; i < stripes.size(); ++i) {
+    const LockStripeSnapshot& s = stripes[i];
+    const std::string p = "lock.stripe." + std::to_string(i) + ".";
+    out.counter(p + "acquires", double(s.acquires));
+    out.counter(p + "waits", double(s.stats.waits));
+    out.counter(p + "deadlocks", double(s.stats.deadlocks));
+    out.counter(p + "timeouts", double(s.stats.timeouts));
+    out.counter(p + "fuzzy_grants", double(s.stats.fuzzy_grants));
+    out.gauge(p + "waiters", double(s.waiters_now));
+    out.counter(p + "max_waiters", double(s.max_waiters));
+    out.histogram(p + "acquire_us", s.acquire_us);
+  }
+}
+
+}  // namespace
 
 Database::Database(DatabaseOptions opts)
     : opts_(opts),
@@ -15,6 +96,30 @@ Database::Database(DatabaseOptions opts)
   history_.set_enabled(opts.record_history);
   locks_.set_trace(opts.tracer, opts.site_id);
   registry_.set_trace(opts.tracer, opts.site_id);
+
+  metrics_ = opts_.metrics;
+  if (metrics_ == nullptr && opts_.metrics_port != 0) {
+    // Endpoint requested without a registry: own a private one.
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  if (metrics_ != nullptr) {
+    commit_counter_ = &metrics_->counter("db.commits");
+    abort_counter_ = &metrics_->counter("db.aborts");
+    collector_id_ = metrics_->add_collector([this](obs::SnapshotBuilder& b) {
+      collect_db_samples(registry_, locks_, b);
+    });
+    if (opts_.metrics_port != 0) {
+      server_ = std::make_unique<obs::ObsServer>(metrics_, opts_.metrics_port);
+    }
+  }
+}
+
+Database::~Database() {
+  server_.reset();  // join the serve thread before the registry can go
+  if (metrics_ != nullptr && collector_id_ != 0) {
+    metrics_->remove_collector(collector_id_);
+  }
 }
 
 void Database::load(Key key, Value value) { store_.load(key, value); }
@@ -249,6 +354,7 @@ Status Txn::commit() {
   commit_hooks_.clear();
   abort_hooks_.clear();
   final_fuzziness_ = db_->registry_.end_commit(id_);
+  if (db_->commit_counter_ != nullptr) db_->commit_counter_->add();
   db_->history_.mark_committed(id_);
   Tracer::emit(db_->opts_.tracer, TraceKind::TxnCommit, db_->opts_.site_id,
                id_, 0, final_fuzziness_);
@@ -289,6 +395,7 @@ void Txn::abort() {
   commit_hooks_.clear();
   abort_hooks_.clear();
   db_->registry_.end_abort(id_);
+  if (db_->abort_counter_ != nullptr) db_->abort_counter_->add();
   Tracer::emit(db_->opts_.tracer, TraceKind::TxnAbort, db_->opts_.site_id,
                id_);
   db_->locks_.release_all(id_);

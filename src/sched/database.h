@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "lock/lock_manager.h"
+#include "obs/metrics_registry.h"
 #include "sched/dc_resolver.h"
 #include "sched/history.h"
 #include "storage/store.h"
@@ -37,6 +38,10 @@
 #include "wal/recovery.h"
 
 namespace atp {
+
+namespace obs {
+class ObsServer;
+}
 
 enum class SchedulerKind : std::uint8_t {
   CC,   ///< strict two-phase locking concurrency control (serializable)
@@ -78,6 +83,17 @@ struct DatabaseOptions {
   /// Site id stamped on every traced event (multi-site simulations give each
   /// Database its own id so transaction ids never collide in a shared trace).
   SiteId site_id = 0;
+  /// Optional metrics registry (obs/metrics_registry.h).  When set, the
+  /// Database registers a pull collector that publishes epsilon-budget
+  /// telemetry (eps.*), the per-stripe lock contention heatmap
+  /// (lock.stripe.<i>.*) and commit/abort counters (db.*) into every
+  /// snapshot.  Owned by the caller; must outlive the Database.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When nonzero, serve metrics over HTTP on 127.0.0.1:<metrics_port>
+  /// (GET /metrics = Prometheus text, /snapshot.json = JSON; port 0 with a
+  /// registry set means no server).  If `metrics` is null the Database owns
+  /// a private registry so the endpoint still works.  Off by default.
+  std::uint16_t metrics_port = 0;
 };
 
 class Database;
@@ -160,6 +176,7 @@ class Database {
   explicit Database(DatabaseOptions opts = {});
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+  ~Database();
 
   /// Bulk-load a committed value (setup, not transactional).
   void load(Key key, Value value);
@@ -180,6 +197,17 @@ class Database {
   HistoryRecorder& history() noexcept { return history_; }
   Tracer* tracer() const noexcept { return opts_.tracer; }
   [[nodiscard]] SiteId site_id() const noexcept { return opts_.site_id; }
+
+  /// The metrics registry this Database publishes into: the caller's
+  /// (options().metrics), a private one (metrics_port set with no registry),
+  /// or null when observability is not configured.
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return metrics_;
+  }
+  /// The embedded HTTP exporter, if metrics_port was set (null otherwise).
+  [[nodiscard]] obs::ObsServer* metrics_server() const noexcept {
+    return server_.get();
+  }
 
   /// Simulated site failure: dirty data lost; live ETs must be abandoned by
   /// their drivers (their handles abort as no-ops afterwards).  `survivors`
@@ -213,6 +241,18 @@ class Database {
   HistoryRecorder history_;
   NeverFuzzyResolver cc_resolver_;
   DcResolver dc_resolver_;
+
+  // --- Observability (all null/zero when unconfigured) ---
+  // Declaration order matters: owned_metrics_ must outlive server_ (the
+  // server reads the registry from its serve thread until joined).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::ObsServer> server_;
+  obs::MetricsRegistry::CollectorId collector_id_ = 0;
+  // Commit/abort tallies, push-incremented by Txn::commit/abort.  Pointers
+  // into the registry's stable counter storage; null without a registry.
+  obs::ShardedCounter* commit_counter_ = nullptr;
+  obs::ShardedCounter* abort_counter_ = nullptr;
 };
 
 }  // namespace atp

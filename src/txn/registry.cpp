@@ -1,8 +1,20 @@
 #include "txn/registry.h"
 
 #include <cassert>
+#include <cmath>
 
 namespace atp {
+
+namespace {
+/// Relaxed add on an atomic<double> telemetry cell (mutations are already
+/// serialized by the caller's lock; the atomic is for lock-free readers).
+inline void stat_add(std::atomic<double>& cell, double v) {
+  cell.fetch_add(v, std::memory_order_relaxed);
+}
+inline void stat_inc(std::atomic<std::uint64_t>& cell) {
+  cell.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
 
 TxnId EtRegistry::begin(TxnKind kind, EpsilonSpec spec, TxnId parent) {
   const TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
@@ -29,12 +41,21 @@ bool EtRegistry::try_charge_pair(TxnId query_et, TxnId update_et,
   const Value u_exp = u->exported.load(std::memory_order_relaxed);
   const Value q_lim = q->import_limit.load(std::memory_order_relaxed);
   const Value u_lim = u->export_limit.load(std::memory_order_relaxed);
-  if (q_imp + amount > q_lim) return false;
-  if (u_exp + amount > u_lim) return false;
+  if (q_imp + amount > q_lim) {
+    stat_inc(charge_counters_.rejected_import);
+    return false;
+  }
+  if (u_exp + amount > u_lim) {
+    stat_inc(charge_counters_.rejected_export);
+    return false;
+  }
   write_begin();
   q->imported.store(q_imp + amount, std::memory_order_relaxed);
   u->exported.store(u_exp + amount, std::memory_order_relaxed);
   write_end();
+  stat_inc(charge_counters_.charges_ok);
+  stat_add(charge_counters_.import_charged, amount);
+  stat_add(charge_counters_.export_charged, amount);
   Tracer::emit(tracer_, TraceKind::FuzzImport, site_, query_et, 0, amount,
                q_lim, 0, update_et);
   Tracer::emit(tracer_, TraceKind::FuzzExport, site_, update_et, 0, amount,
@@ -60,10 +81,14 @@ bool EtRegistry::try_charge_multi(std::span<const TxnId> queries,
   std::lock_guard clock(charge_mu_);
   const Value u_exp = u->exported.load(std::memory_order_relaxed);
   const Value u_lim = u->export_limit.load(std::memory_order_relaxed);
-  if (u_exp + amount * double(qs.size()) > u_lim) return false;
+  if (u_exp + amount * double(qs.size()) > u_lim) {
+    stat_inc(charge_counters_.rejected_export);
+    return false;
+  }
   for (Slot* q : qs) {
     if (q->imported.load(std::memory_order_relaxed) + amount >
         q->import_limit.load(std::memory_order_relaxed)) {
+      stat_inc(charge_counters_.rejected_import);
       return false;
     }
   }
@@ -75,6 +100,9 @@ bool EtRegistry::try_charge_multi(std::span<const TxnId> queries,
   u->exported.store(u_exp + amount * double(qs.size()),
                     std::memory_order_relaxed);
   write_end();
+  stat_inc(charge_counters_.charges_ok);
+  stat_add(charge_counters_.import_charged, amount * double(qs.size()));
+  stat_add(charge_counters_.export_charged, amount * double(qs.size()));
   for (Slot* q : qs) {
     Tracer::emit(tracer_, TraceKind::FuzzImport, site_, q->id, 0, amount,
                  q->import_limit.load(std::memory_order_relaxed), 0,
@@ -95,7 +123,7 @@ bool EtRegistry::can_charge_multi(std::span<const TxnId> queries,
   // Epoch-consistent feasibility check: every (counter, limit) pair is read
   // inside one even epoch, so a concurrent charge can never make us compare
   // a pre-charge counter against a post-charge limit (or vice versa).
-  return epoch_consistent([&]() -> bool {
+  const bool feasible = epoch_consistent([&]() -> bool {
     std::size_t n = 0;
     for (TxnId q : queries) {
       const Slot* s = find(q);
@@ -109,6 +137,8 @@ bool EtRegistry::can_charge_multi(std::span<const TxnId> queries,
     return u->exported.load(std::memory_order_relaxed) + amount * double(n) <=
            u->export_limit.load(std::memory_order_relaxed);
   });
+  if (!feasible) stat_inc(charge_counters_.rejected_admission);
+  return feasible;
 }
 
 bool EtRegistry::try_self_import(TxnId query_et, Value amount) {
@@ -119,10 +149,15 @@ bool EtRegistry::try_self_import(TxnId query_et, Value amount) {
   std::lock_guard clock(charge_mu_);
   const Value imp = q->imported.load(std::memory_order_relaxed);
   const Value lim = q->import_limit.load(std::memory_order_relaxed);
-  if (imp + amount > lim) return false;
+  if (imp + amount > lim) {
+    stat_inc(charge_counters_.rejected_import);
+    return false;
+  }
   write_begin();
   q->imported.store(imp + amount, std::memory_order_relaxed);
   write_end();
+  stat_inc(charge_counters_.charges_ok);
+  stat_add(charge_counters_.import_charged, amount);
   Tracer::emit(tracer_, TraceKind::FuzzImport, site_, query_et, 0, amount,
                lim, 0, kInvalidTxn);
   return true;
@@ -184,6 +219,30 @@ Value EtRegistry::end_commit(TxnId id) {
   const Value z = s.imported.load(std::memory_order_relaxed) +
                   s.exported.load(std::memory_order_relaxed);
   if (s.parent != kInvalidTxn) parent_z_[s.parent] += z;
+  // Retirement roll-up for the obs layer: fold the ET's budget consumption
+  // into the per-kind cumulative telemetry (its own slot is about to go).
+  // Infinite limits are tallied apart so utilization ratios stay meaningful.
+  if (s.kind == TxnKind::Query) {
+    const Value lim = s.import_limit.load(std::memory_order_relaxed);
+    stat_inc(charge_counters_.retired_query_count);
+    if (std::isinf(lim)) {
+      stat_inc(charge_counters_.retired_query_unlimited);
+    } else {
+      stat_add(charge_counters_.retired_query_used,
+               s.imported.load(std::memory_order_relaxed));
+      stat_add(charge_counters_.retired_query_limit, lim);
+    }
+  } else {
+    const Value lim = s.export_limit.load(std::memory_order_relaxed);
+    stat_inc(charge_counters_.retired_update_count);
+    if (std::isinf(lim)) {
+      stat_inc(charge_counters_.retired_update_unlimited);
+    } else {
+      stat_add(charge_counters_.retired_update_used,
+               s.exported.load(std::memory_order_relaxed));
+      stat_add(charge_counters_.retired_update_limit, lim);
+    }
+  }
   live_.erase(it);
   return z;
 }
@@ -207,6 +266,51 @@ void EtRegistry::forget_parent(TxnId parent) {
 std::size_t EtRegistry::live_count() const {
   std::shared_lock lock(struct_mu_);
   return live_.size();
+}
+
+std::vector<EtRegistry::Entry> EtRegistry::snapshot_all() const {
+  std::shared_lock lock(struct_mu_);
+  return epoch_consistent([&]() -> std::vector<Entry> {
+    std::vector<Entry> out;
+    out.reserve(live_.size());
+    for (const auto& kv : live_) {
+      const Slot& s = *kv.second;
+      Entry e;
+      e.id = s.id;
+      e.kind = s.kind;
+      e.parent = s.parent;
+      e.spec.import_limit = s.import_limit.load(std::memory_order_relaxed);
+      e.spec.export_limit = s.export_limit.load(std::memory_order_relaxed);
+      e.imported = s.imported.load(std::memory_order_relaxed);
+      e.exported = s.exported.load(std::memory_order_relaxed);
+      out.push_back(e);
+    }
+    return out;
+  });
+}
+
+EtRegistry::ChargeStats EtRegistry::charge_stats() const {
+  const ChargeCounters& c = charge_counters_;
+  ChargeStats s;
+  s.charges_ok = c.charges_ok.load(std::memory_order_relaxed);
+  s.rejected_import = c.rejected_import.load(std::memory_order_relaxed);
+  s.rejected_export = c.rejected_export.load(std::memory_order_relaxed);
+  s.rejected_admission = c.rejected_admission.load(std::memory_order_relaxed);
+  s.import_charged = c.import_charged.load(std::memory_order_relaxed);
+  s.export_charged = c.export_charged.load(std::memory_order_relaxed);
+  s.retired_query_count = c.retired_query_count.load(std::memory_order_relaxed);
+  s.retired_query_unlimited =
+      c.retired_query_unlimited.load(std::memory_order_relaxed);
+  s.retired_query_used = c.retired_query_used.load(std::memory_order_relaxed);
+  s.retired_query_limit = c.retired_query_limit.load(std::memory_order_relaxed);
+  s.retired_update_count =
+      c.retired_update_count.load(std::memory_order_relaxed);
+  s.retired_update_unlimited =
+      c.retired_update_unlimited.load(std::memory_order_relaxed);
+  s.retired_update_used = c.retired_update_used.load(std::memory_order_relaxed);
+  s.retired_update_limit =
+      c.retired_update_limit.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace atp

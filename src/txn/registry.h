@@ -99,8 +99,40 @@ class EtRegistry {
   /// nothing against the import limit.
   bool try_self_import(TxnId query_et, Value amount);
 
+  /// Cumulative charge/rejection telemetry plus roll-ups of ended ETs,
+  /// maintained inline (relaxed atomics, all mutated under existing locks)
+  /// so the obs layer can report epsilon budgets as an operational quantity.
+  /// "used"/"limit" are per-kind: a query's budget is its import side, an
+  /// update's its export side; ETs whose limit on that side is infinite are
+  /// counted in `*_unlimited` and excluded from the used/limit sums so a
+  /// utilization ratio stays meaningful.
+  struct ChargeStats {
+    std::uint64_t charges_ok = 0;          ///< successful charge operations
+    std::uint64_t rejected_import = 0;     ///< refusals: import limit hit
+    std::uint64_t rejected_export = 0;     ///< refusals: export limit hit
+    std::uint64_t rejected_admission = 0;  ///< DC feasibility peeks refused
+    double import_charged = 0;             ///< total fuzziness imported
+    double export_charged = 0;             ///< total fuzziness exported
+    std::uint64_t retired_query_count = 0;
+    std::uint64_t retired_query_unlimited = 0;
+    double retired_query_used = 0;
+    double retired_query_limit = 0;
+    std::uint64_t retired_update_count = 0;
+    std::uint64_t retired_update_unlimited = 0;
+    double retired_update_used = 0;
+    double retired_update_limit = 0;
+  };
+
+  [[nodiscard]] ChargeStats charge_stats() const;
+
   /// Snapshot of an entry (copies; absent if ended).
   [[nodiscard]] std::optional<Entry> get(TxnId id) const;
+
+  /// Epoch-consistent copy of every live ET -- the obs layer's bulk read.
+  /// All (counter, limit) pairs are captured inside one even seqlock epoch,
+  /// so a concurrent all-or-nothing charge is either fully visible in the
+  /// result or not at all (no torn epsilon-budget pairs).
+  [[nodiscard]] std::vector<Entry> snapshot_all() const;
 
   [[nodiscard]] TxnKind kind_of(TxnId id) const;
 
@@ -207,6 +239,27 @@ class EtRegistry {
   std::atomic<TxnId> next_id_{1};
   Tracer* tracer_ = nullptr;
   SiteId site_ = 0;
+
+  /// ChargeStats backing store.  Mutations happen under charge_mu_ (charges)
+  /// or the unique struct_mu_ (retirement), so the relaxed atomics are only
+  /// for lock-free reads by charge_stats().
+  struct ChargeCounters {
+    std::atomic<std::uint64_t> charges_ok{0};
+    std::atomic<std::uint64_t> rejected_import{0};
+    std::atomic<std::uint64_t> rejected_export{0};
+    std::atomic<std::uint64_t> rejected_admission{0};
+    std::atomic<double> import_charged{0};
+    std::atomic<double> export_charged{0};
+    std::atomic<std::uint64_t> retired_query_count{0};
+    std::atomic<std::uint64_t> retired_query_unlimited{0};
+    std::atomic<double> retired_query_used{0};
+    std::atomic<double> retired_query_limit{0};
+    std::atomic<std::uint64_t> retired_update_count{0};
+    std::atomic<std::uint64_t> retired_update_unlimited{0};
+    std::atomic<double> retired_update_used{0};
+    std::atomic<double> retired_update_limit{0};
+  };
+  mutable ChargeCounters charge_counters_;
 };
 
 }  // namespace atp

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.h"
@@ -235,6 +237,105 @@ TEST(Histogram, ResetClears) {
   h.record(5);
   h.reset();
   EXPECT_EQ(h.summarize().count, 0u);
+}
+
+TEST(HistogramMerge, ExactBelowTheCap) {
+  // Both reservoirs complete and their union fits: merge is concatenation,
+  // so every statistic -- percentiles included -- is exact.
+  Histogram a(64), b(64);
+  for (int i = 1; i <= 10; ++i) a.record(double(i));
+  for (int i = 11; i <= 20; ++i) b.record(double(i));
+  a.merge(b);
+  const StatSummary s = a.summarize();
+  EXPECT_EQ(s.count, 20u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 20.0);
+  EXPECT_DOUBLE_EQ(s.mean, 10.5);
+  EXPECT_DOUBLE_EQ(s.p50, 10.5);  // identical to recording 1..20 directly
+  EXPECT_NEAR(s.p95, 19.05, 1e-9);
+}
+
+TEST(HistogramMerge, EmptySidesAreNoOps) {
+  Histogram a, b;
+  a.record(3);
+  a.merge(b);  // empty rhs: nothing changes
+  EXPECT_EQ(a.summarize().count, 1u);
+  EXPECT_DOUBLE_EQ(a.summarize().mean, 3.0);
+  b.merge(a);  // empty lhs adopts rhs wholesale
+  EXPECT_EQ(b.summarize().count, 1u);
+  EXPECT_DOUBLE_EQ(b.summarize().p50, 3.0);
+}
+
+TEST(HistogramMerge, MomentsExactWhenReservoirsOverflow) {
+  // Past the cap percentiles become estimates, but count/sum/mean/min/max
+  // must merge exactly regardless.
+  Histogram a(32), b(32);
+  double sum = 0;
+  for (int i = 1; i <= 5000; ++i) {
+    a.record(double(i));
+    sum += double(i);
+  }
+  for (int i = 5001; i <= 10000; ++i) {
+    b.record(double(i));
+    sum += double(i);
+  }
+  a.merge(b);
+  const StatSummary s = a.summarize();
+  EXPECT_EQ(s.count, 10000u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10000.0);
+  EXPECT_DOUBLE_EQ(s.sum, sum);
+  EXPECT_DOUBLE_EQ(s.mean, sum / 10000.0);
+  EXPECT_LE(a.reservoir_size(), 32u);  // the merge respects the cap
+}
+
+TEST(HistogramMerge, WeightsBySourceStreamSize) {
+  // One side saw 100x the stream of the other; a reservoir-aware merge must
+  // draw overwhelmingly from the big side.  Distinguishable values: big
+  // stream records 1000s, small stream records 1s.
+  Histogram big(64), small(64);
+  for (int i = 0; i < 10000; ++i) big.record(1000.0);
+  for (int i = 0; i < 100; ++i) small.record(1.0);
+  big.merge(small);
+  const StatSummary s = big.summarize();
+  EXPECT_EQ(s.count, 10100u);
+  // The combined stream is ~99% 1000-valued: the median estimate must be
+  // 1000, not 1 (a reservoir-size-weighted merge would pull it way down,
+  // since both reservoirs held 64 samples).
+  EXPECT_DOUBLE_EQ(s.p50, 1000.0);
+  EXPECT_DOUBLE_EQ(s.p95, 1000.0);
+}
+
+TEST(HistogramMerge, SelfMergeDoubles) {
+  // merge() snapshots the rhs first, so folding a histogram into itself is
+  // well-defined: counts double, the value distribution is unchanged.
+  Histogram h(64);
+  for (int i = 1; i <= 10; ++i) h.record(double(i));
+  h.merge(h);
+  const StatSummary s = h.summarize();
+  EXPECT_EQ(s.count, 20u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+}
+
+TEST(HistogramMerge, ConcurrentRecordAndMergeIsSafe) {
+  // Aggregation happens while workers still record; the merge must tolerate
+  // concurrent writes on both sides (it locks each side in turn).
+  Histogram target(128);
+  Histogram source(128);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) source.record(1.0);
+  });
+  for (int i = 0; i < 100; ++i) target.merge(source);
+  stop.store(true);
+  writer.join();
+  // No assertion beyond "no crash/race"; the count is whatever the
+  // interleaving produced, but the summary must be self-consistent.
+  const StatSummary s = target.summarize();
+  EXPECT_GE(s.max, s.min);
+  EXPECT_LE(target.reservoir_size(), 128u);
 }
 
 }  // namespace

@@ -191,5 +191,74 @@ TEST(EtRegistry, InfiniteLimitAbsorbsAnyCharge) {
   }
 }
 
+TEST(EtRegistry, SnapshotAllReportsEveryLiveEt) {
+  EtRegistry reg;
+  const TxnId parent = reg.allocate_id();
+  const TxnId q =
+      reg.begin(TxnKind::Query, EpsilonSpec::importing(10), parent);
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(20));
+  ASSERT_TRUE(reg.try_charge_pair(q, u, 4));
+
+  const std::vector<EtRegistry::Entry> all = reg.snapshot_all();
+  ASSERT_EQ(all.size(), 2u);
+
+  const auto find = [&](TxnId id) -> const EtRegistry::Entry* {
+    for (const EtRegistry::Entry& e : all)
+      if (e.id == id) return &e;
+    return nullptr;
+  };
+  const EtRegistry::Entry* qe = find(q);
+  const EtRegistry::Entry* ue = find(u);
+  ASSERT_NE(qe, nullptr);
+  ASSERT_NE(ue, nullptr);
+  EXPECT_EQ(qe->kind, TxnKind::Query);
+  EXPECT_EQ(qe->parent, parent);
+  EXPECT_EQ(qe->spec.import_limit, 10);
+  EXPECT_EQ(qe->imported, 4);
+  EXPECT_EQ(qe->exported, 0);
+  EXPECT_EQ(ue->kind, TxnKind::Update);
+  EXPECT_EQ(ue->parent, kInvalidTxn);
+  EXPECT_EQ(ue->spec.export_limit, 20);
+  EXPECT_EQ(ue->exported, 4);
+}
+
+TEST(EtRegistry, SnapshotAllExcludesEndedEts) {
+  EtRegistry reg;
+  const TxnId q = reg.begin(TxnKind::Query, EpsilonSpec::importing(10));
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(10));
+  (void)reg.end_commit(q);
+  reg.end_abort(u);
+  EXPECT_TRUE(reg.snapshot_all().empty());
+}
+
+TEST(EtRegistry, SnapshotAllSeesSpecWidening) {
+  EtRegistry reg;
+  const TxnId q = reg.begin(TxnKind::Query, EpsilonSpec::importing(5));
+  reg.set_spec(q, EpsilonSpec::importing(50));
+  const std::vector<EtRegistry::Entry> all = reg.snapshot_all();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].spec.import_limit, 50);
+}
+
+TEST(EtRegistry, SnapshotAllPairsStayConsistent) {
+  // The import == export pairing of a lockstep-charged pair must hold in
+  // every snapshot (snapshot_all reads the whole set under one seqlock
+  // window; a charge in flight forces a retry, never a torn pair).
+  EtRegistry reg;
+  const TxnId q = reg.begin(TxnKind::Query, EpsilonSpec::importing(1e9));
+  const TxnId u = reg.begin(TxnKind::Update, EpsilonSpec::exporting(1e9));
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(reg.try_charge_pair(q, u, 1));
+    const std::vector<EtRegistry::Entry> all = reg.snapshot_all();
+    Value imported = -1, exported = -2;
+    for (const EtRegistry::Entry& e : all) {
+      if (e.id == q) imported = e.imported;
+      if (e.id == u) exported = e.exported;
+    }
+    EXPECT_EQ(imported, exported);
+    EXPECT_EQ(imported, Value(round + 1));
+  }
+}
+
 }  // namespace
 }  // namespace atp

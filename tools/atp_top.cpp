@@ -1,0 +1,152 @@
+// atp-top: terminal inspector for a running (or finished) ATP process.
+//
+// Polls a metrics snapshot -- over HTTP from a live process's ObsServer
+// (--url) or from a dumped snapshot file (--file) -- and renders epsilon-
+// budget utilization bars, the per-stripe lock contention heatmap and
+// commit/abort throughput (src/obs/top_render.h does the math).
+//
+//   atp-top --url 127.0.0.1:9464             # live, refresh every second
+//   atp-top --url 127.0.0.1:9464 --once      # one frame, no screen clear
+//   atp-top --file snapshot.json --once      # inspect a SIGUSR1 dump
+//
+// Start any bench with --metrics-port 9464 (or set
+// DatabaseOptions::metrics_port) to give atp-top something to watch.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/http_exporter.h"
+#include "obs/top_render.h"
+
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string file;
+  bool once = false;
+  double interval_s = 1.0;
+  std::size_t width = 80;
+};
+
+void usage() {
+  std::cerr
+      << "usage: atp-top (--url HOST:PORT | --file SNAPSHOT.json)\n"
+         "               [--once] [--interval SECONDS] [--width COLS]\n";
+}
+
+bool parse_url(const std::string& url, Args* a) {
+  const auto colon = url.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= url.size()) return false;
+  a->host = url.substr(0, colon);
+  const long p = std::strtol(url.c_str() + colon + 1, nullptr, 10);
+  if (p <= 0 || p > 65535) return false;
+  a->port = std::uint16_t(p);
+  return true;
+}
+
+bool fetch(const Args& a, atp::obs::MetricsSnapshot* out) {
+  std::string body;
+  if (!a.file.empty()) {
+    std::ifstream in(a.file);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    body = ss.str();
+  } else if (!atp::obs::http_get(a.host, a.port, "/snapshot.json", &body)) {
+    return false;
+  }
+  return atp::obs::parse_snapshot_json(body, out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg.resize(eq);
+      has_inline = true;
+    }
+    auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--url") {
+      const char* v = next();
+      if (v == nullptr || !parse_url(v, &args)) {
+        usage();
+        return 2;
+      }
+    } else if (arg == "--file") {
+      const char* v = next();
+      if (v == nullptr) {
+        usage();
+        return 2;
+      }
+      args.file = v;
+    } else if (arg == "--once") {
+      args.once = true;
+    } else if (arg == "--interval") {
+      const char* v = next();
+      args.interval_s = v != nullptr ? std::strtod(v, nullptr) : 0;
+      if (args.interval_s <= 0) {
+        usage();
+        return 2;
+      }
+    } else if (arg == "--width") {
+      const char* v = next();
+      args.width = v != nullptr ? std::size_t(std::strtoul(v, nullptr, 10)) : 0;
+      if (args.width < 40) args.width = 80;
+    } else {
+      usage();
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  if (args.port == 0 && args.file.empty()) {
+    usage();
+    return 2;
+  }
+
+  atp::obs::TopOptions topts;
+  topts.width = args.width;
+
+  atp::obs::MetricsSnapshot prev;
+  bool have_prev = false;
+  for (;;) {
+    atp::obs::MetricsSnapshot now;
+    if (!fetch(args, &now)) {
+      std::cerr << "atp-top: cannot fetch snapshot from "
+                << (args.file.empty()
+                        ? args.host + ":" + std::to_string(args.port)
+                        : args.file)
+                << "\n";
+      return 1;
+    }
+    const std::string frame =
+        atp::obs::render_top(now, have_prev ? &prev : nullptr, topts);
+    if (args.once) {
+      std::fputs(frame.c_str(), stdout);
+      return 0;
+    }
+    // ANSI home+clear keeps the display steady without a curses dependency.
+    std::fputs("\x1b[H\x1b[2J", stdout);
+    std::fputs(frame.c_str(), stdout);
+    std::fflush(stdout);
+    prev = std::move(now);
+    have_prev = true;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::int64_t(args.interval_s * 1000)));
+  }
+}

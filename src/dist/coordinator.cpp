@@ -1,10 +1,13 @@
 #include "dist/coordinator.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <functional>
 #include <thread>
 
 #include "common/stopwatch.h"
+#include "fault/retry.h"
 
 namespace atp {
 namespace {
@@ -102,26 +105,50 @@ Result<DistOutcome> Coordinator::run_2pc(
 
   auto round = [&](const char* type,
                    std::chrono::milliseconds timeout) -> bool {
-    // One round trip to every participant, in parallel.
-    std::vector<std::uint64_t> correlations;
-    correlations.reserve(participants.size());
-    for (SiteId p : participants) {
-      Message m;
-      m.from = home_.id();
-      m.to = p;
-      m.type = type;
-      m.gtid = gtid;
-      correlations.push_back(home_.net().send(std::move(m)));
-    }
-    bool all_ok = true;
-    for (std::size_t i = 0; i < participants.size(); ++i) {
-      auto reply = home_.net().receive_reply(home_.id(), correlations[i],
-                                             timeout);
-      if (!reply || (reply->type == "vote" && reply->value == 0)) {
-        all_ok = false;
+    // One round trip to every participant, retransmitting to the silent
+    // ones until the decision timeout.  A lost or delayed message is NOT a
+    // vote: only an explicit NO (or the deadline) fails the round.  The
+    // per-try wait starts well above a healthy round trip, so retransmits
+    // fire only when something was actually lost.
+    const RetryPolicy policy = RetryPolicy::protocol_round();
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::vector<std::uint64_t> correlations(participants.size(), 0);
+    std::vector<bool> replied(participants.size(), false);
+    std::size_t missing = participants.size();
+    for (std::uint64_t attempt = 0; missing > 0; ++attempt) {
+      for (std::size_t i = 0; i < participants.size(); ++i) {
+        if (replied[i]) continue;
+        Message m;
+        m.from = home_.id();
+        m.to = participants[i];
+        m.type = type;
+        m.gtid = gtid;
+        correlations[i] = home_.net().send(std::move(m));
+        if (attempt > 0) dist_count(home_, "retry.2pc.retransmits");
+      }
+      const auto per_try = std::max<std::chrono::milliseconds>(
+          std::chrono::milliseconds(1),
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              policy.delay(attempt + 1, gtid)));
+      for (std::size_t i = 0; i < participants.size(); ++i) {
+        if (replied[i]) continue;
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return false;
+        const auto wait = std::min(
+            per_try, std::chrono::duration_cast<std::chrono::milliseconds>(
+                         deadline - now));
+        auto reply =
+            home_.net().receive_reply(home_.id(), correlations[i], wait);
+        if (!reply) continue;  // retransmit on the next pass
+        if (reply->type == "vote" && reply->value == 0) return false;
+        replied[i] = true;
+        --missing;
+      }
+      if (std::chrono::steady_clock::now() >= deadline && missing > 0) {
+        return false;
       }
     }
-    return all_ok;
+    return true;
   };
 
   // --- prepare round --------------------------------------------------------
@@ -160,7 +187,7 @@ Result<DistOutcome> Coordinator::run_2pc(
   // --- commit round: retry until every participant acknowledges ------------
   // (this is where 2PC *blocks* when a participant is down).
   std::vector<bool> acked(participants.size(), participants.empty());
-  for (;;) {
+  for (std::uint64_t attempt = 0;; ++attempt) {
     bool all = true;
     for (std::size_t i = 0; i < participants.size(); ++i) {
       if (acked[i]) continue;
@@ -170,6 +197,7 @@ Result<DistOutcome> Coordinator::run_2pc(
       m.type = "commit";
       m.gtid = gtid;
       const std::uint64_t corr = home_.net().send(std::move(m));
+      if (attempt > 0) dist_count(home_, "retry.2pc.commit_retransmits");
       // Per-try wait generously above a WAN round trip so healthy links do
       // not see spurious duplicate decisions.
       auto reply = home_.net().receive_reply(home_.id(), corr,
@@ -233,8 +261,12 @@ Result<DistOutcome> Coordinator::run_chopped(
                            chop_queue_for(spec.kind), std::move(cont));
   }
   Status c = txn.commit();
-  assert(c.ok());
-  (void)c;
+  if (!c.ok()) {
+    // The home site crashed under us (crash-epoch guard): nothing committed,
+    // nothing was forwarded.  Piece 1 may abort freely -- report it.
+    dist_count(home_, "dist.chopped.aborted");
+    return c;
+  }
 
   DistOutcome out;
   out.gtid = gtid;
@@ -262,12 +294,21 @@ Result<DistOutcome> Coordinator::run_chopped(
 void Coordinator::install_chop_handler(const std::vector<Site*>& sites) {
   auto handler = [](Site& site, const std::string& queue) {
     const TxnKind kind = kind_of_chop_queue(queue);
+    // Rollback-safety (Theorem 1): once piece 1 committed, this piece must
+    // retry until it commits -- backing off between attempts, never giving
+    // up.  The only exits are success, a concurrent worker winning the
+    // dequeue, or a site crash (the durable queue redelivers afterwards).
+    const RetryPolicy policy = RetryPolicy::chop_handler();
+    const std::uint64_t backoff_seed =
+        fault_mix64(std::uint64_t(site.id()) ^
+                    std::hash<std::string>{}(queue));
     for (std::uint64_t attempt = 0;; ++attempt) {
       if (!site.up()) return;  // crash: the durable queue redelivers later
       if (attempt > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(100 + 200 * std::min<std::uint64_t>(
-                                                      attempt, 8)));
+        if (obs::MetricsRegistry* reg = site.db().metrics(); reg != nullptr) {
+          reg->counter("retry.chop.attempts").add();
+        }
+        std::this_thread::sleep_for(policy.delay(attempt, backoff_seed));
       }
       // Kind comes from the queue name so the transaction can be opened
       // before the payload is known; the eps budget is applied right after
@@ -305,8 +346,16 @@ void Coordinator::install_chop_handler(const std::vector<Site*>& sites) {
                               std::any(cont->gtid));
       }
       Status c = txn.commit();
-      assert(c.ok());
-      (void)c;
+      if (!c.ok()) {
+        // Crash-epoch guard tripped: the site crashed between our dequeue
+        // and this commit.  The staged writes are gone and -- crucially --
+        // the continuation was NOT forwarded (commit hooks never ran); the
+        // message is back in the durable queue for redelivery after
+        // recovery.  Committing blindly here used to forward the
+        // continuation for work that never happened, double-running every
+        // later piece.
+        return;
+      }
       return;
     }
   };

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/stopwatch.h"
+#include "fault/retry.h"
 
 namespace atp {
 
@@ -66,7 +67,14 @@ DistExecutorReport DistExecutor::run(const std::vector<Site*>& sites,
         Coordinator coord(*home, sites);
 
         if (options.use_chopping) {
-          for (;;) {  // piece-1 conflicts retry like any local transaction
+          // Piece-1 conflicts retry like any local transaction -- but with
+          // backoff, so an aborting hot-key transaction stops hammering the
+          // very locks it is losing to.
+          const RetryPolicy policy = RetryPolicy::chop_handler();
+          for (std::uint64_t attempt = 0;; ++attempt) {
+            if (attempt > 0) {
+              std::this_thread::sleep_for(policy.delay(attempt, i));
+            }
             auto out = coord.run_chopped(spec, std::chrono::milliseconds(0));
             if (out.ok()) {
               committed.fetch_add(1, std::memory_order_relaxed);
@@ -85,7 +93,12 @@ DistExecutorReport DistExecutor::run(const std::vector<Site*>& sites,
           }
         } else {
           bool done = false;
+          const RetryPolicy policy = RetryPolicy::protocol_round();
           for (int attempt = 0; attempt < 16 && !done; ++attempt) {
+            if (attempt > 0) {
+              std::this_thread::sleep_for(
+                  policy.delay(std::uint64_t(attempt), i));
+            }
             auto out = coord.run_2pc(spec, options.validation_round,
                                      options.decision_timeout);
             if (out.ok()) {

@@ -1,0 +1,215 @@
+#include "fault/fault.h"
+
+#include <functional>
+
+#include "fault/retry.h"
+
+namespace atp {
+
+namespace {
+
+/// Hash → uniform double in [0, 1).
+double unit(std::uint64_t h) noexcept {
+  return double(h >> 11) / double(1ULL << 53);
+}
+
+/// Stable identity of a message for fault purposes: who, to whom, what.
+/// Message::id is deliberately excluded -- it differs per transmission, and
+/// retransmissions of one logical message must be separate attempts of ONE
+/// identity, not fresh identities.
+std::uint64_t message_identity(std::uint64_t seed, const Message& m) {
+  std::uint64_t h = seed;
+  h = fault_mix64(h ^ (std::uint64_t(m.from) * 0x9e3779b97f4a7c15ULL));
+  h = fault_mix64(h ^ (std::uint64_t(m.to) * 0xc2b2ae3d27d4eb4fULL));
+  h = fault_mix64(h ^ m.gtid);
+  h = fault_mix64(h ^ std::hash<std::string>{}(m.type));
+  h = fault_mix64(h ^ m.correlation);
+  return h;
+}
+
+std::uint64_t event_digest(const FaultEvent& e) {
+  std::uint64_t h = fault_mix64(std::uint64_t(e.kind) * 0xff51afd7ed558ccdULL);
+  h = fault_mix64(h ^ (std::uint64_t(e.from) << 32) ^ std::uint64_t(e.to));
+  h = fault_mix64(h ^ e.gtid);
+  h = fault_mix64(h ^ e.attempt);
+  h = fault_mix64(h ^ std::uint64_t(e.delay_us));
+  h = fault_mix64(h ^ std::hash<std::string>{}(e.msg_type));
+  return h;
+}
+
+}  // namespace
+
+std::string FaultEvent::describe() const {
+  std::string out = "#" + std::to_string(seq) + " " + to_string(kind);
+  out += " site " + std::to_string(from);
+  if (kind == FaultKind::NetDrop || kind == FaultKind::NetDuplicate ||
+      kind == FaultKind::NetDelay) {
+    out += "->" + std::to_string(to) + " " + msg_type + " gtid " +
+           std::to_string(gtid) + " attempt " + std::to_string(attempt);
+    if (delay_us > 0) out += " +" + std::to_string(delay_us) + "us";
+  }
+  return out;
+}
+
+NetFault FaultInjector::on_send(const Message& msg) {
+  NetFault fault;
+  const std::uint64_t identity = message_identity(seed_, msg);
+  std::uint64_t attempt;
+  {
+    std::lock_guard lock(mu_);
+    attempt = send_attempts_[identity]++;
+  }
+  const std::uint64_t h = fault_mix64(identity ^ (attempt * 0xd1342543de82ef95ULL));
+  // Three independent draws from one hash via distinct salts.
+  fault.drop = unit(fault_mix64(h ^ 0x1111)) < spec_.drop;
+  fault.duplicate = !fault.drop && unit(fault_mix64(h ^ 0x2222)) < spec_.duplicate;
+  const bool delayed =
+      !fault.drop && spec_.max_extra_delay.count() > 0 &&
+      unit(fault_mix64(h ^ 0x3333)) < spec_.delay;
+  if (delayed) {
+    fault.extra_delay = std::chrono::microseconds(std::int64_t(
+        unit(fault_mix64(h ^ 0x4444)) * double(spec_.max_extra_delay.count())));
+  }
+
+  if (fault.drop) {
+    record({0, FaultKind::NetDrop, msg.from, msg.to, msg.gtid, attempt, 0,
+            msg.type});
+  }
+  if (fault.duplicate) {
+    record({0, FaultKind::NetDuplicate, msg.from, msg.to, msg.gtid, attempt, 0,
+            msg.type});
+  }
+  if (delayed) {
+    record({0, FaultKind::NetDelay, msg.from, msg.to, msg.gtid, attempt,
+            fault.extra_delay.count(), msg.type});
+  }
+  return fault;
+}
+
+bool FaultInjector::fsync_fails(SiteId site) {
+  if (spec_.fsync_fail <= 0) return false;
+  std::uint64_t attempt;
+  std::uint32_t consecutive;
+  {
+    std::lock_guard lock(mu_);
+    attempt = fsync_attempts_[site]++;
+    consecutive = fsync_consecutive_[site];
+  }
+  const std::uint64_t h = fault_mix64(
+      seed_ ^ fault_mix64(std::uint64_t(site) * 0xacd5ad43274593b9ULL) ^
+      (attempt * 0x6a09e667f3bcc909ULL));
+  const bool fail = consecutive < spec_.max_consecutive_fsync_fails &&
+                    unit(h) < spec_.fsync_fail;
+  {
+    std::lock_guard lock(mu_);
+    fsync_consecutive_[site] = fail ? consecutive + 1 : 0;
+  }
+  if (fail) {
+    record({0, FaultKind::FsyncFail, site, 0, 0, attempt, 0, {}});
+  }
+  return fail;
+}
+
+void FaultInjector::note_crash(SiteId site) {
+  record({0, FaultKind::SiteCrash, site, 0, 0, 0, 0, {}});
+}
+
+void FaultInjector::note_recover(SiteId site) {
+  record({0, FaultKind::SiteRecover, site, 0, 0, 0, 0, {}});
+}
+
+std::chrono::milliseconds FaultInjector::storm_up_for(
+    SiteId site, std::uint64_t cycle) const {
+  const auto lo = spec_.storm_min_up.count();
+  const auto hi = spec_.storm_max_up.count();
+  const std::uint64_t h = fault_mix64(
+      seed_ ^ fault_mix64(std::uint64_t(site) + 0x5151) ^ (cycle * 2 + 0));
+  return std::chrono::milliseconds(
+      lo + std::int64_t(unit(h) * double(std::max<std::int64_t>(1, hi - lo))));
+}
+
+std::chrono::milliseconds FaultInjector::storm_down_for(
+    SiteId site, std::uint64_t cycle) const {
+  const auto lo = spec_.storm_min_down.count();
+  const auto hi = spec_.storm_max_down.count();
+  const std::uint64_t h = fault_mix64(
+      seed_ ^ fault_mix64(std::uint64_t(site) + 0x5151) ^ (cycle * 2 + 1));
+  return std::chrono::milliseconds(
+      lo + std::int64_t(unit(h) * double(std::max<std::int64_t>(1, hi - lo))));
+}
+
+std::vector<FaultEvent> FaultInjector::trace() const {
+  std::lock_guard lock(mu_);
+  return trace_;
+}
+
+std::uint64_t FaultInjector::fingerprint() const {
+  std::lock_guard lock(mu_);
+  // XOR of per-event digests: insensitive to record order, so concurrent
+  // runs that injected the same fault multiset agree.
+  std::uint64_t fp = 0xa0761d6478bd642fULL;
+  for (const FaultEvent& e : trace_) fp ^= event_digest(e);
+  return fp;
+}
+
+void FaultInjector::attach_metrics(obs::MetricsRegistry* reg) {
+  if (reg == nullptr) return;
+  ctr_drop_ = &reg->counter("fault.net.dropped");
+  ctr_dup_ = &reg->counter("fault.net.duplicated");
+  ctr_delay_ = &reg->counter("fault.net.delayed");
+  ctr_fsync_ = &reg->counter("fault.wal.fsync_failed");
+  ctr_crash_ = &reg->counter("fault.site.crashes");
+  ctr_recover_ = &reg->counter("fault.site.recoveries");
+}
+
+void FaultInjector::record(FaultEvent ev) {
+  obs::ShardedCounter* ctr = nullptr;
+  switch (ev.kind) {
+    case FaultKind::NetDrop: ctr = ctr_drop_; break;
+    case FaultKind::NetDuplicate: ctr = ctr_dup_; break;
+    case FaultKind::NetDelay: ctr = ctr_delay_; break;
+    case FaultKind::FsyncFail: ctr = ctr_fsync_; break;
+    case FaultKind::SiteCrash: ctr = ctr_crash_; break;
+    case FaultKind::SiteRecover: ctr = ctr_recover_; break;
+  }
+  if (ctr != nullptr) ctr->add();
+  std::lock_guard lock(mu_);
+  ev.seq = next_seq_++;
+  trace_.push_back(std::move(ev));
+}
+
+FaultSchedule FaultSchedule::named(const std::string& name) {
+  FaultSchedule s;
+  s.name = name;
+  if (name == "drop") {
+    // Pure message loss: retransmission paths carry the run.
+    s.spec.drop = 0.25;
+  } else if (name == "duplicate_reorder") {
+    // Every dedupe and correlation path under stress: copies with fresh
+    // ids, plus delays long enough to overtake several later sends.
+    s.spec.duplicate = 0.30;
+    s.spec.delay = 0.30;
+    s.spec.max_extra_delay = std::chrono::microseconds(4000);
+  } else if (name == "crash_storm") {
+    // Sites flap while traffic flows; a little loss keeps timing honest.
+    s.spec.crash_storm = true;
+    s.spec.drop = 0.05;
+  } else if (name == "torn_wal_tail") {
+    // Crash storm plus WAL tail loss and transient fsync failures: the
+    // recovery path must rebuild consistent state from the durable prefix.
+    s.spec.crash_storm = true;
+    s.spec.torn_wal_tail = true;
+    s.spec.fsync_fail = 0.20;
+    s.spec.storm_min_up = std::chrono::milliseconds(15);
+    s.spec.storm_max_up = std::chrono::milliseconds(60);
+  } else {
+    s.name = "none";
+  }
+  return s;
+}
+
+std::vector<std::string> FaultSchedule::known_names() {
+  return {"drop", "duplicate_reorder", "crash_storm", "torn_wal_tail"};
+}
+
+}  // namespace atp

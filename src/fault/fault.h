@@ -1,0 +1,174 @@
+// Deterministic fault injection (the chaos layer under chaos_test).
+//
+// Exercising the paper's correctness story needs faults on demand: Theorem
+// 1's rollback-safety ("once the first piece commits, later pieces are
+// retried until they commit, never rolled back") is only testable when
+// messages are lost, duplicated and reordered, sites crash mid-chain, and
+// the WAL tears at the un-fsynced tail.  This module injects exactly those
+// faults, reproducibly:
+//
+//   * every decision is a PURE FUNCTION of (seed, fault identity, attempt
+//     number) -- no shared RNG stream -- so thread interleavings cannot
+//     perturb which transmission of which message gets which fate, and a
+//     rerun with the same seed injects the identical fault set;
+//   * every decision is recorded in a fault trace (and counted through the
+//     obs registry as fault.* when attached), so a failing chaos run prints
+//     what was injected and the seed reproduces it.
+//
+// Hook points: SimNetwork::send consults on_send() for drop / duplicate /
+// extra-delay verdicts; LogDevice::fsync consults fsync_fails(); the chaos
+// harness's crash-storm driver reports crash/recover transitions through
+// note_crash()/note_recover() so they land in the same trace.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+#include "obs/metrics_registry.h"
+
+namespace atp {
+
+/// What to inject, with what probability.  All probabilities independent.
+struct FaultSpec {
+  double drop = 0;       ///< P(message vanishes in flight)
+  double duplicate = 0;  ///< P(message delivered twice, fresh id on the copy)
+  double delay = 0;      ///< P(message held back by an extra random delay)
+  std::chrono::microseconds max_extra_delay{0};  ///< cap for `delay` holds
+  double fsync_fail = 0;  ///< P(one fsync attempt fails transiently)
+  /// A real device recovers eventually; force success after this many
+  /// consecutive failures per log so retry loops provably terminate.
+  std::uint32_t max_consecutive_fsync_fails = 8;
+
+  // Crash-storm shape (consumed by the chaos harness, not SimNetwork).
+  bool crash_storm = false;
+  std::chrono::milliseconds storm_min_up{10}, storm_max_up{45};
+  std::chrono::milliseconds storm_min_down{5}, storm_max_down{30};
+  /// Tear the crashed site's WAL back to its durable LSN on every crash
+  /// (models losing the un-fsynced tail of the log with the process).
+  bool torn_wal_tail = false;
+};
+
+enum class FaultKind : std::uint8_t {
+  NetDrop,
+  NetDuplicate,
+  NetDelay,
+  FsyncFail,
+  SiteCrash,
+  SiteRecover,
+};
+
+[[nodiscard]] inline const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::NetDrop: return "net.drop";
+    case FaultKind::NetDuplicate: return "net.duplicate";
+    case FaultKind::NetDelay: return "net.delay";
+    case FaultKind::FsyncFail: return "wal.fsync_fail";
+    case FaultKind::SiteCrash: return "site.crash";
+    case FaultKind::SiteRecover: return "site.recover";
+  }
+  return "?";
+}
+
+/// One injected fault, as recorded in the trace.
+struct FaultEvent {
+  std::uint64_t seq = 0;  ///< record order (monotone per injector)
+  FaultKind kind = FaultKind::NetDrop;
+  SiteId from = 0;            ///< sender / crashing site / fsyncing site
+  SiteId to = 0;              ///< receiver (network faults only)
+  std::uint64_t gtid = 0;     ///< the message's gtid (network faults)
+  std::uint64_t attempt = 0;  ///< which transmission/fsync of this identity
+  std::int64_t delay_us = 0;  ///< extra delay injected (NetDelay only)
+  std::string msg_type;       ///< message type (network faults)
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Verdict for one network send.
+struct NetFault {
+  bool drop = false;
+  bool duplicate = false;
+  std::chrono::microseconds extra_delay{0};
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, FaultSpec spec)
+      : seed_(seed), spec_(spec) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Decide the fate of one transmission.  The decision keys on the
+  /// message's stable identity (from, to, type, gtid) plus how many times
+  /// that identity has been sent, NOT on global call order: the k-th
+  /// retransmission of a given message meets the same fault in every run.
+  [[nodiscard]] NetFault on_send(const Message& msg);
+
+  /// Decide whether this fsync attempt of `site`'s log fails (transient).
+  [[nodiscard]] bool fsync_fails(SiteId site);
+
+  /// Crash-storm bookkeeping: record the transition in the fault trace.
+  void note_crash(SiteId site);
+  void note_recover(SiteId site);
+
+  /// Deterministic storm dwell times: how long `site` stays up before its
+  /// `cycle`-th crash, and down after it.  Pure in (seed, site, cycle).
+  [[nodiscard]] std::chrono::milliseconds storm_up_for(SiteId site,
+                                                       std::uint64_t cycle) const;
+  [[nodiscard]] std::chrono::milliseconds storm_down_for(
+      SiteId site, std::uint64_t cycle) const;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+  /// Everything injected so far, in record order.
+  [[nodiscard]] std::vector<FaultEvent> trace() const;
+
+  /// Order-independent digest of the injected fault multiset: two runs that
+  /// injected the same faults (regardless of thread interleaving) agree.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Publish fault.* counters into `reg` (drop/duplicate/delay/fsync_fail/
+  /// crash/recover).  Call before injecting; `reg` must outlive this.
+  void attach_metrics(obs::MetricsRegistry* reg);
+
+ private:
+  void record(FaultEvent ev);  // assigns seq, appends, counts
+
+  std::uint64_t seed_;
+  FaultSpec spec_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::uint64_t> send_attempts_;
+  std::unordered_map<SiteId, std::uint64_t> fsync_attempts_;
+  std::unordered_map<SiteId, std::uint32_t> fsync_consecutive_;
+  std::vector<FaultEvent> trace_;
+  std::uint64_t next_seq_ = 1;
+
+  obs::ShardedCounter* ctr_drop_ = nullptr;
+  obs::ShardedCounter* ctr_dup_ = nullptr;
+  obs::ShardedCounter* ctr_delay_ = nullptr;
+  obs::ShardedCounter* ctr_fsync_ = nullptr;
+  obs::ShardedCounter* ctr_crash_ = nullptr;
+  obs::ShardedCounter* ctr_recover_ = nullptr;
+};
+
+/// A named, seeded fault configuration -- the vocabulary chaos_test and the
+/// README speak ("run the crash-storm schedule under seed 7").
+struct FaultSchedule {
+  std::string name;
+  FaultSpec spec;
+
+  /// The shipped schedules: "drop", "duplicate_reorder", "crash_storm",
+  /// "torn_wal_tail".  Unknown names return a fault-free schedule named
+  /// "none".
+  [[nodiscard]] static FaultSchedule named(const std::string& name);
+  [[nodiscard]] static std::vector<std::string> known_names();
+};
+
+}  // namespace atp

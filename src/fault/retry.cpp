@@ -1,0 +1,35 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atp {
+
+std::uint64_t fault_mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::chrono::microseconds RetryPolicy::delay(std::uint64_t attempt,
+                                             std::uint64_t seed) const noexcept {
+  if (attempt == 0) return std::chrono::microseconds(0);
+  // initial * multiplier^(attempt-1), saturated at max_delay.
+  double us = double(initial.count());
+  for (std::uint64_t i = 1; i < attempt && us < double(max_delay.count());
+       ++i) {
+    us *= multiplier;
+  }
+  us = std::min(us, double(max_delay.count()));
+  if (jitter_fraction > 0) {
+    // Deterministic jitter in [-jitter_fraction, +jitter_fraction] * us,
+    // a pure function of (seed, attempt).
+    const std::uint64_t h = fault_mix64(seed ^ (attempt * 0xd1342543de82ef95ULL));
+    const double unit = double(h >> 11) / double(1ULL << 53);  // [0, 1)
+    us *= 1.0 + jitter_fraction * (2.0 * unit - 1.0);
+  }
+  return std::chrono::microseconds(std::int64_t(std::max(0.0, us)));
+}
+
+}  // namespace atp

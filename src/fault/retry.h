@@ -1,0 +1,70 @@
+// RetryPolicy: bounded exponential backoff with deterministic jitter.
+//
+// The paper's rollback-safety rule (Theorem 1) turns "retry until commit"
+// into a correctness obligation: once the first piece of a chopped
+// transaction commits, every later piece must be re-executed until it
+// commits, never rolled back.  The layers that honour that obligation --
+// the chopped-piece process handler, the 2PC protocol rounds, the WAL
+// force-at-commit loop -- all share this policy object so their backoff
+// behaviour is uniform, bounded, and (given a seed) exactly reproducible.
+//
+// Jitter is a pure function of (seed, attempt): no shared RNG state, so
+// concurrent retry loops never perturb each other's schedules and a rerun
+// with the same seed waits the same intervals.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace atp {
+
+struct RetryPolicy {
+  /// Delay before the first retry (attempt 1).  Attempt 0 never waits.
+  std::chrono::microseconds initial{200};
+  /// Geometric growth factor per attempt.
+  double multiplier = 2.0;
+  /// Ceiling on any single delay (keeps crash-storm recovery prompt).
+  std::chrono::microseconds max_delay{50000};
+  /// Fraction of the computed delay drawn as +/- jitter (0 = none, 0.5 =
+  /// up to half the delay added or removed).
+  double jitter_fraction = 0.25;
+  /// Give up after this many attempts; 0 = retry forever (the chopped-piece
+  /// contract).  "Attempts" counts executions, so 3 means try, retry, retry.
+  std::uint64_t max_attempts = 0;
+
+  /// Backoff before executing `attempt` (1-based for retries; attempt 0
+  /// returns zero).  Deterministic in (seed, attempt).
+  [[nodiscard]] std::chrono::microseconds delay(
+      std::uint64_t attempt, std::uint64_t seed = 0) const noexcept;
+
+  /// May `attempt` (0-based execution counter) run at all?
+  [[nodiscard]] bool allowed(std::uint64_t attempt) const noexcept {
+    return max_attempts == 0 || attempt < max_attempts;
+  }
+
+  /// Policies the shipped wirings default to.
+  [[nodiscard]] static RetryPolicy chop_handler() noexcept {
+    // Unbounded: rollback-safety forbids giving up on a non-first piece.
+    return RetryPolicy{std::chrono::microseconds(100), 2.0,
+                       std::chrono::microseconds(20000), 0.25, 0};
+  }
+  [[nodiscard]] static RetryPolicy protocol_round() noexcept {
+    // Bounded per round by the decision timeout; the first per-try wait must
+    // comfortably exceed a healthy round trip so clean links never see
+    // duplicate protocol messages.
+    return RetryPolicy{std::chrono::microseconds(25000), 2.0,
+                       std::chrono::microseconds(250000), 0.0, 0};
+  }
+  [[nodiscard]] static RetryPolicy wal_fsync() noexcept {
+    // Transient device failures: retry quickly, forever (a commit may not
+    // report success until its records are stable).
+    return RetryPolicy{std::chrono::microseconds(50), 2.0,
+                       std::chrono::microseconds(5000), 0.25, 0};
+  }
+};
+
+/// SplitMix64 finalizer: the pure hash both RetryPolicy jitter and the
+/// fault injector's per-event decisions are built on.
+[[nodiscard]] std::uint64_t fault_mix64(std::uint64_t x) noexcept;
+
+}  // namespace atp

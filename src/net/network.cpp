@@ -3,12 +3,15 @@
 #include <cassert>
 #include <memory>
 
+#include "fault/fault.h"
+
 namespace atp {
 
 SimNetwork::SimNetwork(std::size_t n_sites, NetworkOptions options)
     : options_(options),
       site_up_(n_sites, true),
-      link_up_(n_sites, std::vector<bool>(n_sites, true)) {
+      link_up_(n_sites, std::vector<bool>(n_sites, true)),
+      jitter_rng_(options.jitter_seed) {
   inboxes_.reserve(n_sites);
   for (std::size_t i = 0; i < n_sites; ++i) {
     inboxes_.push_back(std::make_unique<Inbox>());
@@ -16,39 +19,76 @@ SimNetwork::SimNetwork(std::size_t n_sites, NetworkOptions options)
 }
 
 std::uint64_t SimNetwork::send(Message msg) {
-  Clock::time_point deliver_at;
+  Inbox& inbox = *inboxes_[msg.to];
+  // The inbox lock is held across the liveness check AND the publish (lock
+  // order: inbox.mu before state_mu_, matching the receive path).  A
+  // concurrent set_site_up(to, false) therefore cannot clear the inbox
+  // between our check and our push: a "crashed" site never observes a
+  // message whose send raced its crash.
+  std::unique_lock ilock(inbox.mu);
   std::uint64_t id;
+  bool deliverable;
+  auto delay = options_.one_way_latency;
   {
-    std::lock_guard lock(state_mu_);
+    std::lock_guard slock(state_mu_);
     id = next_id_++;
     ++stats_.sent;
-    const bool deliverable = site_up_[msg.to] && site_up_[msg.from] &&
-                             link_up_[msg.from][msg.to];
+    deliverable = site_up_[msg.to] && site_up_[msg.from] &&
+                  link_up_[msg.from][msg.to];
     if (!deliverable) {
       ++stats_.dropped;
-      Tracer::emit(tracer_, TraceKind::NetDrop, msg.from, kInvalidTxn, msg.to,
-                   0, 0, id);
-      return id;
-    }
-    Tracer::emit(tracer_, TraceKind::NetSend, msg.from, kInvalidTxn, msg.to, 0,
-                 0, id);
-    auto delay = options_.one_way_latency;
-    if (options_.jitter.count() > 0) {
-      // xorshift for cheap deterministic-ish jitter
-      jitter_state_ ^= jitter_state_ << 13;
-      jitter_state_ ^= jitter_state_ >> 7;
-      jitter_state_ ^= jitter_state_ << 17;
+    } else if (options_.jitter.count() > 0) {
+      // Unbiased uniform draw over [0, jitter] (Rng::uniform rejects).
       delay += std::chrono::microseconds(
-          jitter_state_ % std::uint64_t(options_.jitter.count() + 1));
+          jitter_rng_.uniform(std::uint64_t(options_.jitter.count()) + 1));
     }
-    deliver_at = Clock::now() + delay;
+  }
+  if (!deliverable) {
+    ilock.unlock();
+    Tracer::emit(tracer_, TraceKind::NetDrop, msg.from, kInvalidTxn, msg.to, 0,
+                 0, id);
+    return id;
+  }
+
+  NetFault fault;  // injector keeps its own lock; decisions are pure hashes
+  if (fault_ != nullptr) fault = fault_->on_send(msg);
+  if (fault.drop) {
+    {
+      std::lock_guard slock(state_mu_);
+      ++stats_.dropped;
+    }
+    ilock.unlock();
+    Tracer::emit(tracer_, TraceKind::NetDrop, msg.from, kInvalidTxn, msg.to, 0,
+                 0, id);
+    return id;
+  }
+
+  const auto now = Clock::now();
+  Tracer::emit(tracer_, TraceKind::NetSend, msg.from, kInvalidTxn, msg.to, 0,
+               0, id);
+  if (fault.duplicate) {
+    // The copy travels under a FRESH id (and its own jitter draw): reply
+    // correlation keys on the id of one specific transmission, and two
+    // in-flight messages sharing an id would break that assumption.
+    Message copy = msg;
+    auto dup_delay = options_.one_way_latency + fault.extra_delay;
+    {
+      std::lock_guard slock(state_mu_);
+      copy.id = next_id_++;
+      ++stats_.sent;
+      if (options_.jitter.count() > 0) {
+        dup_delay += std::chrono::microseconds(
+            jitter_rng_.uniform(std::uint64_t(options_.jitter.count()) + 1));
+      }
+    }
+    Tracer::emit(tracer_, TraceKind::NetSend, copy.from, kInvalidTxn, copy.to,
+                 0, 0, copy.id);
+    inbox.messages.push_back(Pending{now + dup_delay, std::move(copy)});
   }
   msg.id = id;
-  Inbox& inbox = *inboxes_[msg.to];
-  {
-    std::lock_guard lock(inbox.mu);
-    inbox.messages.push_back(Pending{deliver_at, std::move(msg)});
-  }
+  inbox.messages.push_back(Pending{now + delay + fault.extra_delay,
+                                   std::move(msg)});
+  ilock.unlock();
   inbox.cv.notify_all();
   return id;
 }

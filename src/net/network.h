@@ -21,14 +21,18 @@
 #include <optional>
 #include <vector>
 
+#include "common/rng.h"
 #include "net/message.h"
 #include "trace/tracer.h"
 
 namespace atp {
 
+class FaultInjector;
+
 struct NetworkOptions {
   std::chrono::microseconds one_way_latency{500};
   std::chrono::microseconds jitter{0};  ///< uniform extra delay in [0, jitter]
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
 };
 
 struct NetStats {
@@ -72,6 +76,15 @@ class SimNetwork {
   /// sender for send/drop, receiver for delivery; key = the peer site).
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attach a fault injector: every otherwise-deliverable send consults it
+  /// for a drop / duplicate / extra-delay verdict (fault/fault.h).  Injected
+  /// duplicates are delivered under FRESH message ids, so reply correlation
+  /// (keyed on the id of a specific transmission) stays unambiguous.  Owned
+  /// by the caller; must outlive the network or be detached with nullptr.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+
   [[nodiscard]] std::size_t site_count() const noexcept {
     return inboxes_.size();
   }
@@ -95,15 +108,22 @@ class SimNetwork {
       SiteId site, std::chrono::milliseconds timeout,
       const std::function<bool(const Message&)>& pred);
 
+  // Lock order: an inbox's mu is ALWAYS taken before state_mu_ (send nests
+  // the liveness check + id assignment inside the destination inbox lock;
+  // the receive path nests its stats update the same way).  set_site_up
+  // follows the same order, which is what closes the crash/send race: a
+  // send either observes the site down, or completes its publish before the
+  // crash clears the inbox -- never a push into an already-cleared inbox.
   NetworkOptions options_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
-  mutable std::mutex state_mu_;  // site/link up-ness + stats + jitter rng
+  mutable std::mutex state_mu_;  // site/link up-ness + stats + ids + jitter
   std::vector<bool> site_up_;
   std::vector<std::vector<bool>> link_up_;
   NetStats stats_;
   std::uint64_t next_id_ = 1;
-  std::uint64_t jitter_state_ = 0x9e3779b97f4a7c15ULL;
+  Rng jitter_rng_{0};  // re-seeded from options in the constructor
   Tracer* tracer_ = nullptr;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace atp

@@ -243,6 +243,37 @@ std::string render_top(const MetricsSnapshot& now, const MetricsSnapshot* prev,
     }
     out += "\n";
   }
+
+  // --- Faults & retries (present only when an injector / retry layer
+  // publishes; fault.* comes from FaultInjector::attach_metrics, retry.*
+  // from the coordinator and chop-handler wirings) ---
+  const bool have_faults = now.find("fault.net.dropped") != nullptr ||
+                           now.find("fault.wal.fsync_failed") != nullptr;
+  const bool have_retries = now.find("retry.2pc.retransmits") != nullptr ||
+                            now.find("retry.chop.attempts") != nullptr;
+  if (have_faults || have_retries) {
+    out += "faults & retries\n";
+    if (have_faults) {
+      out += "  injected: drop " + fmt("%.6g", rate("fault.net.dropped")) +
+             unit + "  dup " + fmt("%.6g", rate("fault.net.duplicated")) +
+             unit + "  delay " + fmt("%.6g", rate("fault.net.delayed")) +
+             unit + "  fsync fail " +
+             fmt("%.6g", rate("fault.wal.fsync_failed")) + unit +
+             "  crash/recover " +
+             fmt("%.6g", delta_of(now, prev, "fault.site.crashes")) + "/" +
+             fmt("%.6g", delta_of(now, prev, "fault.site.recoveries"));
+      out += "\n";
+    }
+    if (have_retries) {
+      out += "  retries: 2pc rexmit " +
+             fmt("%.6g", rate("retry.2pc.retransmits")) + unit +
+             "  commit rexmit " +
+             fmt("%.6g", rate("retry.2pc.commit_retransmits")) + unit +
+             "  chop attempts " + fmt("%.6g", rate("retry.chop.attempts")) +
+             unit;
+      out += "\n";
+    }
+  }
   return out;
 }
 

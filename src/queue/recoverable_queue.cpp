@@ -1,6 +1,9 @@
 #include "queue/recoverable_queue.h"
 
+#include <thread>
 #include <utility>
+
+#include "fault/retry.h"
 
 namespace atp {
 
@@ -137,7 +140,13 @@ bool QueueEndpoint::deliver(const Message& msg) {
           r.peer = msg.from;
           r.payload = envelope->second;
           wal_->append(std::move(r));
-          wal_->fsync();
+          // Retry failed fsyncs before acking: the ack IS the durability
+          // promise, so it must not outrun the record.  (The injector caps
+          // consecutive failures, so this terminates.)
+          const RetryPolicy policy = RetryPolicy::wal_fsync();
+          for (std::uint64_t attempt = 1; !wal_->fsync(); ++attempt) {
+            std::this_thread::sleep_for(policy.delay(attempt, msg.gtid));
+          }
         }
       }
     } else {

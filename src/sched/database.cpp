@@ -1,16 +1,30 @@
 #include "sched/database.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "fault/retry.h"
 #include "obs/http_exporter.h"
 
 namespace atp {
 
 namespace {
+
+/// Force the log, retrying failed fsyncs until the records are durable.
+/// A failed fsync (injected; real disks return EIO) made NOTHING durable,
+/// so the only correct move on a commit-critical path is to try again --
+/// returning success early would break the write-ahead contract.
+void force_log(LogDevice* wal, std::uint64_t seed) {
+  const RetryPolicy policy = RetryPolicy::wal_fsync();
+  for (std::uint64_t attempt = 1; !wal->fsync(); ++attempt) {
+    std::this_thread::sleep_for(policy.delay(attempt, seed));
+  }
+}
 
 /// Database pull collector: epsilon-budget telemetry from the ET registry
 /// plus the per-stripe lock contention heatmap.  Runs at snapshot time only;
@@ -131,6 +145,7 @@ Txn Database::begin(TxnKind kind, EpsilonSpec spec, TxnId parent) {
                kind == TxnKind::Update ? 1 : 0, parent);
   Txn t(this, id, kind);
   t.state_ = Txn::State::Active;
+  t.crash_epoch_ = crash_epoch();
   return t;
 }
 
@@ -140,6 +155,12 @@ ConflictResolver& Database::resolver() noexcept {
 }
 
 void Database::crash(const std::unordered_set<TxnId>* survivors) {
+  {
+    std::lock_guard lock(crash_mu_);
+    crash_survivors_.clear();
+    if (survivors != nullptr) crash_survivors_ = *survivors;
+  }
+  crash_epoch_.fetch_add(1, std::memory_order_acq_rel);
   store_.crash(survivors);
 }
 
@@ -159,8 +180,72 @@ void Database::checkpoint() {
   marker.type = LogRecordType::kCheckpoint;
   marker.qmsg_id = first_kv;  // start of this checkpoint's kv run
   wal->append(std::move(marker));
-  wal->fsync();
-  wal->truncate_before(first_kv);
+  force_log(wal, first_kv);
+
+  // Truncation point: the checkpoint covers committed state ONLY.  Records
+  // the snapshot cannot stand in for must survive, however old they are:
+  //   * every record of an undecided transaction (no kCommit/kAbort yet) --
+  //     in-doubt 2PC participants' kWrite/kPrepare, or a concurrent ET's
+  //     staged writes;
+  //   * a committed kQueueEnqueue not yet acknowledged (retransmit source);
+  //   * a kQueueDeliver not yet consumed by a committed transaction
+  //     (redelivery source + dedupe evidence).
+  // Dropping any of these (the old behavior truncated at first_kv flat) made
+  // a post-checkpoint crash forget in-doubt staged writes and pending queue
+  // traffic -- exactly the state recovery exists to reinstate.
+  const std::vector<LogRecord> records = wal->records();
+  std::unordered_set<TxnId> decided;
+  std::unordered_set<std::uint64_t> acked;
+  std::unordered_set<std::uint64_t> consumed;  // by a committed txn
+  std::unordered_set<TxnId> winners;
+  for (const LogRecord& r : records) {
+    if (r.type == LogRecordType::kCommit) {
+      decided.insert(r.txn);
+      winners.insert(r.txn);
+    } else if (r.type == LogRecordType::kAbort) {
+      decided.insert(r.txn);
+    } else if (r.type == LogRecordType::kQueueAck) {
+      acked.insert(r.qmsg_id);
+    }
+  }
+  for (const LogRecord& r : records) {
+    if (r.type == LogRecordType::kQueueConsume &&
+        (r.txn == kInvalidTxn || winners.count(r.txn))) {
+      consumed.insert(r.qmsg_id);
+    }
+  }
+  std::uint64_t keep_from = first_kv;
+  for (const LogRecord& r : records) {
+    bool needed = false;
+    switch (r.type) {
+      case LogRecordType::kBegin:
+      case LogRecordType::kWrite:
+      case LogRecordType::kPrepare:
+        needed = !decided.count(r.txn);
+        break;
+      case LogRecordType::kQueueEnqueue:
+        // Pending (txn undecided) or committed-but-unacked: both needed.
+        needed = !acked.count(r.qmsg_id) &&
+                 (r.txn == kInvalidTxn || !decided.count(r.txn) ||
+                  winners.count(r.txn));
+        break;
+      case LogRecordType::kQueueDeliver:
+        needed = !consumed.count(r.qmsg_id);
+        break;
+      case LogRecordType::kQueueConsume:
+        // A pending consume (its txn undecided) must keep its record so a
+        // post-crash redo neither replays nor forgets the claim wrongly.
+        needed = r.txn != kInvalidTxn && !decided.count(r.txn);
+        break;
+      default:
+        break;
+    }
+    if (needed) {
+      keep_from = std::min(keep_from, r.lsn);
+      break;  // records() is LSN-ordered: the first hit is the oldest
+    }
+  }
+  wal->truncate_before(keep_from);
 }
 
 RecoveryResult Database::recover_from_wal() {
@@ -176,6 +261,7 @@ Txn& Txn::operator=(Txn&& other) noexcept {
   db_ = other.db_;
   id_ = other.id_;
   kind_ = other.kind_;
+  crash_epoch_ = other.crash_epoch_;
   state_ = other.state_;
   final_fuzziness_ = other.final_fuzziness_;
   write_set_ = std::move(other.write_set_);
@@ -313,6 +399,21 @@ Status Txn::add(Key key, Value delta) {
 Status Txn::commit() {
   if (state_ != State::Active)
     return Status::FailedPrecondition("commit on inactive txn");
+  // Crash-epoch guard: if the site crashed since begin, our staged writes
+  // are gone -- committing now would apply nothing while still firing the
+  // commit hooks (forwarding queue continuations for work that never
+  // happened).  Prepared 2PC survivors are the one legitimate exception.
+  if (crash_epoch_ != db_->crash_epoch()) {
+    bool survivor;
+    {
+      std::lock_guard lock(db_->crash_mu_);
+      survivor = db_->crash_survivors_.count(id_) > 0;
+    }
+    if (!survivor) {
+      abort();
+      return Status::Aborted("site crashed after this transaction began");
+    }
+  }
   if (optimistic() && !read_log_.empty()) {
     // Optimistic validation: total drift between what was read and what is
     // committed now is the fuzziness this query imported.  Within limit ->
@@ -345,7 +446,7 @@ Status Txn::commit() {
     c.type = LogRecordType::kCommit;
     c.txn = id_;
     wal->append(std::move(c));
-    wal->fsync();
+    force_log(wal, id_);
   }
   for (Key k : write_set_) db_->store_.commit_key(id_, k);
   // Commit hooks make external effects (recoverable-queue sends/claims)
@@ -379,7 +480,7 @@ void Txn::log_prepare() {
   p.type = LogRecordType::kPrepare;
   p.txn = id_;
   wal->append(std::move(p));
-  wal->fsync();
+  force_log(wal, id_);
 }
 
 void Txn::abort() {

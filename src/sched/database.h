@@ -18,9 +18,11 @@
 // (Lemma 1), and releases all locks (strict 2PL).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -162,6 +164,13 @@ class Txn {
   Database* db_ = nullptr;
   TxnId id_ = kInvalidTxn;
   TxnKind kind_ = TxnKind::Update;
+  /// Database crash epoch captured at begin.  commit() refuses (returns
+  /// Aborted) if the site crashed in between -- the staged writes were
+  /// already wiped, so "committing" would silently apply nothing while the
+  /// caller's commit hooks (queue forwards!) fired as if it had.  Prepared
+  /// 2PC survivors are exempt: their staged writes were force-logged and
+  /// reinstated, and they legitimately commit on the coordinator's decision.
+  std::uint64_t crash_epoch_ = 0;
   State state_ = State::Invalid;
   Value final_fuzziness_ = 0;
   std::unordered_set<Key> write_set_;
@@ -212,8 +221,15 @@ class Database {
   /// Simulated site failure: dirty data lost; live ETs must be abandoned by
   /// their drivers (their handles abort as no-ops afterwards).  `survivors`
   /// lists transactions whose staged writes persist -- 2PC participants in
-  /// the *prepared* state, which a real system has force-logged.
+  /// the *prepared* state, which a real system has force-logged.  Bumps the
+  /// crash epoch: a Txn begun before the crash can no longer commit (it
+  /// gets Status::Aborted) unless listed as a survivor.
   void crash(const std::unordered_set<TxnId>* survivors = nullptr);
+
+  /// Current crash epoch (starts at 0, +1 per crash()).
+  [[nodiscard]] std::uint64_t crash_epoch() const noexcept {
+    return crash_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Quiescent checkpoint: snapshot every committed value into the WAL and
   /// truncate the log before it.  Caller guarantees no transactions or
@@ -241,6 +257,13 @@ class Database {
   HistoryRecorder history_;
   NeverFuzzyResolver cc_resolver_;
   DcResolver dc_resolver_;
+
+  // Crash-epoch guard state (see Txn::crash_epoch_).  The survivor set
+  // holds the prepared transactions of the LATEST crash only; earlier
+  // epochs' survivors have long since resolved by the next crash.
+  std::atomic<std::uint64_t> crash_epoch_{0};
+  mutable std::mutex crash_mu_;
+  std::unordered_set<TxnId> crash_survivors_;
 
   // --- Observability (all null/zero when unconfigured) ---
   // Declaration order matters: owned_metrics_ must outlive server_ (the

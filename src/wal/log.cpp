@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
+
 namespace atp {
 
 std::uint64_t LogDevice::append(LogRecord record) {
@@ -11,14 +13,46 @@ std::uint64_t LogDevice::append(LogRecord record) {
   return records_.back().lsn;
 }
 
-void LogDevice::fsync() {
+bool LogDevice::fsync() {
+  // The injector's verdict is drawn outside mu_ (it has its own lock, and
+  // the decision depends only on seed + per-site attempt count).
+  FaultInjector* fault;
+  SiteId site;
+  {
+    std::lock_guard lock(mu_);
+    fault = fault_;
+    site = fault_site_;
+  }
+  if (fault != nullptr && fault->fsync_fails(site)) {
+    std::lock_guard lock(mu_);
+    ++fsync_failures_;
+    return false;
+  }
   std::lock_guard lock(mu_);
   ++fsyncs_;
+  durable_lsn_ = next_lsn_ - 1;
+  return true;
+}
+
+void LogDevice::set_fault_injector(FaultInjector* injector, SiteId site) {
+  std::lock_guard lock(mu_);
+  fault_ = injector;
+  fault_site_ = site;
 }
 
 std::uint64_t LogDevice::fsync_count() const {
   std::lock_guard lock(mu_);
   return fsyncs_;
+}
+
+std::uint64_t LogDevice::fsync_failures() const {
+  std::lock_guard lock(mu_);
+  return fsync_failures_;
+}
+
+std::uint64_t LogDevice::durable_lsn() const {
+  std::lock_guard lock(mu_);
+  return durable_lsn_;
 }
 
 std::uint64_t LogDevice::next_lsn() const {
@@ -35,6 +69,13 @@ void LogDevice::truncate_before(std::uint64_t lsn) {
   std::lock_guard lock(mu_);
   std::erase_if(records_,
                 [lsn](const LogRecord& r) { return r.lsn < lsn; });
+}
+
+void LogDevice::tear_to_durable() {
+  std::lock_guard lock(mu_);
+  std::erase_if(records_, [this](const LogRecord& r) {
+    return r.lsn > durable_lsn_;
+  });
 }
 
 std::size_t LogDevice::size() const {

@@ -32,6 +32,8 @@
 
 namespace atp {
 
+class FaultInjector;
+
 enum class LogRecordType : std::uint8_t {
   kBegin,         // txn started (informational)
   kWrite,         // after-image: txn staged value for key
@@ -67,11 +69,24 @@ class LogDevice {
   std::uint64_t append(LogRecord record);
 
   /// Force to stable storage.  A no-op for memory, but counted: tests
-  /// assert the write-ahead discipline through this number.
-  void fsync();
+  /// assert the force-at-commit discipline through this number.  Returns
+  /// false if an attached fault injector failed this attempt (nothing
+  /// became durable); callers on commit-critical paths must retry until
+  /// true before reporting success.
+  bool fsync();
+
+  /// fsync failures are injected through here (fault/fault.h).  `site`
+  /// names this device's owner in the injector's per-site schedules.
+  /// Caller-owned; must outlive the device or be detached with nullptr.
+  void set_fault_injector(FaultInjector* injector, SiteId site);
 
   [[nodiscard]] std::uint64_t fsync_count() const;
+  [[nodiscard]] std::uint64_t fsync_failures() const;
   [[nodiscard]] std::uint64_t next_lsn() const;
+
+  /// Highest LSN made durable by a successful fsync (0 = none yet).
+  /// Records above it exist only in the volatile tail.
+  [[nodiscard]] std::uint64_t durable_lsn() const;
 
   /// Stable snapshot of the records (recovery input).
   [[nodiscard]] std::vector<LogRecord> records() const;
@@ -79,13 +94,21 @@ class LogDevice {
   /// Drop records before `lsn` (checkpoint truncation).
   void truncate_before(std::uint64_t lsn);
 
+  /// Simulate a torn tail at crash: records never covered by a successful
+  /// fsync vanish.  LSNs are not reused -- next_lsn_ keeps counting.
+  void tear_to_durable();
+
   [[nodiscard]] std::size_t size() const;
 
  private:
   mutable std::mutex mu_;
   std::vector<LogRecord> records_;
   std::uint64_t next_lsn_ = 1;
+  std::uint64_t durable_lsn_ = 0;
   std::uint64_t fsyncs_ = 0;
+  std::uint64_t fsync_failures_ = 0;
+  FaultInjector* fault_ = nullptr;
+  SiteId fault_site_ = 0;
 };
 
 }  // namespace atp

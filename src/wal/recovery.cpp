@@ -29,10 +29,11 @@ RecoveryResult recover_from_log(const LogDevice& log, Store& store) {
   }
 
   // --- analysis: winners, losers, in-doubt -------------------------------
-  std::unordered_set<TxnId> winners, losers, prepared;
+  std::unordered_map<TxnId, std::uint64_t> winners;  // txn -> commit LSN
+  std::unordered_set<TxnId> losers, prepared;
   for (const auto& r : records) {
     switch (r.type) {
-      case LogRecordType::kCommit: winners.insert(r.txn); break;
+      case LogRecordType::kCommit: winners.emplace(r.txn, r.lsn); break;
       case LogRecordType::kAbort: losers.insert(r.txn); break;
       case LogRecordType::kPrepare: prepared.insert(r.txn); break;
       default: break;
@@ -41,10 +42,19 @@ RecoveryResult recover_from_log(const LogDevice& log, Store& store) {
   result.committed_txns = winners.size();
 
   // --- redo winners; collect in-doubt staged images ----------------------
+  // The checkpoint snapshot reflects exactly the transactions whose COMMIT
+  // precedes the checkpoint record, so that is the horizon test: a winner
+  // that committed after the checkpoint redoes ALL its writes, even ones
+  // whose kWrite LSN predates it (no-steal keeps staged writes out of the
+  // snapshot until commit).  In-doubt staged images are collected with no
+  // LSN filter at all -- a prepared-but-undecided transaction is never in
+  // the snapshot, wherever its writes fall relative to the checkpoint.
   std::map<TxnId, InDoubtTxn> in_doubt;
   for (const auto& r : records) {
-    if (r.type != LogRecordType::kWrite || r.lsn <= horizon) continue;
-    if (winners.count(r.txn)) {
+    if (r.type != LogRecordType::kWrite) continue;
+    auto win = winners.find(r.txn);
+    if (win != winners.end()) {
+      if (win->second <= horizon) continue;  // already in the snapshot
       store.load(r.key, r.value);  // after-image redo, LSN order
       ++result.redone_writes;
     } else if (prepared.count(r.txn) && !losers.count(r.txn)) {

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "common/stopwatch.h"
+#include "fault/fault.h"
 #include "net/network.h"
 
 namespace atp {
@@ -236,6 +238,120 @@ TEST(SimNetwork, LinkStateIsSymmetricAndIndependentOfSites) {
   again.to = 0;
   net.send(std::move(again));
   EXPECT_TRUE(net.receive_request(0, 100ms).has_value());
+}
+
+TEST(SimNetwork, CrashSendRaceNeverLeaksIntoClearedInbox) {
+  // Regression: send() used to check the destination's liveness under the
+  // state lock, drop it, and push into the inbox afterwards -- so a send
+  // racing with a crash could publish into an inbox set_site_up(false) had
+  // already cleared, and the "crashed" site would receive a message that
+  // should have died with it.  The liveness check now happens under the
+  // inbox lock; pre-fix this hammer loop leaks within a few hundred
+  // iterations.
+  NetworkOptions o;
+  o.one_way_latency = std::chrono::microseconds(0);  // receivable on arrival
+  SimNetwork net(2, o);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::thread sender([&net] {
+      for (int i = 0; i < 8; ++i) {
+        Message m;
+        m.from = 0;
+        m.to = 1;
+        m.type = "burst";
+        net.send(std::move(m));
+      }
+    });
+    net.set_site_up(1, false);  // races the burst
+    sender.join();
+    net.set_site_up(1, true);
+    // Every burst message either observed the down site (dropped) or was
+    // published before the crash (cleared); none may survive into the
+    // post-crash inbox.
+    EXPECT_FALSE(net.receive_request(1, 0ms).has_value()) << "iter " << iter;
+  }
+}
+
+TEST(SimNetwork, InjectedDropIsCountedAndNeverDelivered) {
+  SimNetwork net(2, fast());
+  FaultSpec spec;
+  spec.drop = 1.0;
+  FaultInjector inj(7, spec);
+  net.set_fault_injector(&inj);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = "doomed";
+  net.send(std::move(m));
+  EXPECT_FALSE(net.receive_request(1, 30ms).has_value());
+  EXPECT_EQ(net.stats().dropped, 1u);
+  ASSERT_EQ(inj.trace().size(), 1u);
+  EXPECT_EQ(inj.trace()[0].kind, FaultKind::NetDrop);
+}
+
+TEST(SimNetwork, InjectedDuplicateTravelsUnderFreshId) {
+  // Regression: reply correlation keys on the id of one specific
+  // transmission, so a duplicated message must NOT reuse the original's id
+  // -- the copy gets a fresh one from the same sequence.
+  SimNetwork net(2, fast());
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  FaultInjector inj(7, spec);
+  net.set_fault_injector(&inj);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = "twin";
+  m.gtid = 99;
+  const auto id = net.send(std::move(m));
+  auto a = net.receive_request(1, 100ms);
+  auto b = net.receive_request(1, 100ms);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  // Same content, distinct ids, and exactly one travels under the id the
+  // sender was told.
+  EXPECT_EQ(a->type, "twin");
+  EXPECT_EQ(b->type, "twin");
+  EXPECT_EQ(a->gtid, 99u);
+  EXPECT_EQ(b->gtid, 99u);
+  EXPECT_NE(a->id, b->id);
+  EXPECT_TRUE(a->id == id || b->id == id);
+  // Both transmissions are accounted as sent.
+  EXPECT_EQ(net.stats().sent, 2u);
+  EXPECT_EQ(net.stats().delivered, 2u);
+}
+
+TEST(SimNetwork, JitterIsBoundedAndSeedDeterministic) {
+  // Jitter draws come from a seeded, unbiased uniform over [0, jitter]:
+  // two networks built with the same jitter_seed deliver an identical
+  // burst in the identical (reordered) sequence.
+  NetworkOptions o;
+  o.one_way_latency = std::chrono::microseconds(0);
+  o.jitter = std::chrono::microseconds(300000);  // big spread: reorders
+  o.jitter_seed = 42;
+  SimNetwork net_a(2, o), net_b(2, o);
+  constexpr int kMsgs = 6;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    Message m;
+    m.from = 0;
+    m.to = 1;
+    m.gtid = i;
+    Message copy = m;
+    net_a.send(std::move(m));
+    net_b.send(std::move(copy));
+  }
+  std::vector<std::uint64_t> order_a, order_b;
+  Stopwatch clock;
+  for (int i = 0; i < kMsgs; ++i) {
+    auto ra = net_a.receive_request(1, 1000ms);
+    auto rb = net_b.receive_request(1, 1000ms);
+    ASSERT_TRUE(ra.has_value());
+    ASSERT_TRUE(rb.has_value());
+    order_a.push_back(ra->gtid);
+    order_b.push_back(rb->gtid);
+  }
+  EXPECT_EQ(order_a, order_b);
+  // And the jitter stayed within its bound (generous slack for slow CI).
+  EXPECT_LE(clock.elapsed_us(), 900000);
 }
 
 TEST(SimNetwork, PayloadsTravelByAny) {

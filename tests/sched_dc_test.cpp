@@ -220,6 +220,46 @@ TEST(DcTxn, FuzzyGrantStatRecorded) {
 // The ESR guarantee, exercised end to end: under concurrent bounded
 // transfers, an audit query's observed total deviates from the invariant
 // total by at most its import limit.
+TEST(DcTxn, CrashRestartNeverUnderCountsBudgets) {
+  // Crash-restart interaction of the epsilon ledger with durability: an
+  // update whose export was charged to a concurrent query dies with the
+  // crash -- its handle must NOT be able to commit afterwards (the staged
+  // write was wiped; "committing" would install nothing while reporting
+  // success, silently divorcing the committed state from what the query's
+  // import charge accounted for).  Post-recovery, fresh transactions run
+  // with a clean ledger.
+  LogDevice wal;
+  DatabaseOptions o = dc_options();
+  o.wal = &wal;
+  Database db(o);
+  db.load(1, 100);
+  db.checkpoint();
+
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(60));
+  ASSERT_TRUE(u.add(1, 50).ok());
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(60));
+  ASSERT_TRUE(q.read(1).ok());  // fuzzy grant: both sides charge 50
+  EXPECT_EQ(q.fuzziness(), 50);
+  ASSERT_TRUE(q.commit().ok());
+
+  db.crash();
+  // The crash-epoch guard refuses the stale commit.
+  EXPECT_FALSE(u.commit().ok());
+
+  (void)db.recover_from_wal();
+  EXPECT_EQ(db.store().read_committed(1).value(), 100);
+
+  // The ledger is clean: a full-budget export and import succeed afresh.
+  Txn u2 = db.begin(TxnKind::Update, EpsilonSpec::exporting(60));
+  ASSERT_TRUE(u2.add(1, 50).ok());
+  Txn q2 = db.begin(TxnKind::Query, EpsilonSpec::importing(60));
+  ASSERT_TRUE(q2.read(1).ok());
+  EXPECT_EQ(q2.fuzziness(), 50);
+  ASSERT_TRUE(q2.commit().ok());
+  ASSERT_TRUE(u2.commit().ok());
+  EXPECT_EQ(db.store().read_committed(1).value(), 150);
+}
+
 TEST(DcGuarantee, AuditErrorBoundedByImportLimit) {
   Database db(dc_options(std::chrono::milliseconds(2000)));
   constexpr int kAccounts = 8;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "net/network.h"
 #include "queue/recoverable_queue.h"
 #include "sched/database.h"
@@ -143,6 +144,155 @@ TEST(Recovery, PreparedThenCommittedRedoesNormally) {
   const RecoveryResult r = db.recover_from_wal();
   EXPECT_TRUE(r.in_doubt.empty());
   EXPECT_EQ(db.store().read_committed(1).value(), 175);
+}
+
+TEST(Recovery, CheckpointPreservesInDoubtPreparedState) {
+  // Regression: checkpoint truncation used to cut the log at the snapshot
+  // unconditionally, dropping the kWrite/kPrepare records of an in-doubt
+  // 2PC participant that predated it -- after the next crash the
+  // coordinator's commit decision had nothing to apply.  Truncation now
+  // respects the oldest undecided transaction.
+  LogDevice log;
+  Database db(wal_options(&log));
+  db.load(1, 100);
+  db.load(2, 200);
+  db.checkpoint();
+
+  Txn p = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+  ASSERT_TRUE(p.write(1, 175).ok());
+  p.log_prepare();  // voted; awaiting the coordinator's decision
+  const TxnId prepared_id = p.id();
+
+  // Unrelated traffic commits, then a checkpoint truncates the log.
+  {
+    Txn t = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+    ASSERT_TRUE(t.add(2, 5).ok());
+    ASSERT_TRUE(t.commit().ok());
+  }
+  db.checkpoint();
+
+  const RecoveryResult r = db.recover_from_wal();
+  ASSERT_EQ(r.in_doubt.size(), 1u);
+  EXPECT_EQ(r.in_doubt[0].txn, prepared_id);
+  ASSERT_EQ(r.in_doubt[0].staged.size(), 1u);
+  EXPECT_EQ(r.in_doubt[0].staged[0], (std::pair<Key, Value>{1, 175}));
+  // Committed state is intact either way.
+  EXPECT_EQ(db.store().read_committed(1).value(), 100);
+  EXPECT_EQ(db.store().read_committed(2).value(), 205);
+  p.abort();  // silence the handle
+}
+
+TEST(Recovery, InDoubtStagedWritesBelowCheckpointHorizonAreKept) {
+  // Regression (hand-crafted log): recovery used to skip staged writes at
+  // lsn <= checkpoint horizon when collecting in-doubt state, losing the
+  // after-images a post-crash commit decision needs.  A prepared txn is
+  // never part of the snapshot, so its writes must be collected from
+  // anywhere in the log.
+  LogDevice log;
+  LogRecord w;
+  w.type = LogRecordType::kWrite;
+  w.txn = 5;
+  w.key = 1;
+  w.value = 175;
+  log.append(std::move(w));
+  LogRecord p;
+  p.type = LogRecordType::kPrepare;
+  p.txn = 5;
+  log.append(std::move(p));
+  LogRecord kv;
+  kv.type = LogRecordType::kCheckpointKv;
+  kv.key = 1;
+  kv.value = 100;
+  const std::uint64_t first_kv = log.append(std::move(kv));
+  LogRecord marker;
+  marker.type = LogRecordType::kCheckpoint;
+  marker.qmsg_id = first_kv;  // the marker names its kv run
+  log.append(std::move(marker));
+
+  Store store;
+  const RecoveryResult r = recover_from_log(log, store);
+  EXPECT_EQ(store.read_committed(1).value(), 100);  // snapshot state
+  ASSERT_EQ(r.in_doubt.size(), 1u);
+  EXPECT_EQ(r.in_doubt[0].txn, 5u);
+  ASSERT_EQ(r.in_doubt[0].staged.size(), 1u);
+  EXPECT_EQ(r.in_doubt[0].staged[0], (std::pair<Key, Value>{1, 175}));
+}
+
+TEST(Recovery, WinnerCommittedAfterCheckpointRedoesPreCheckpointWrites) {
+  // The checkpoint snapshot reflects exactly the transactions whose COMMIT
+  // precedes the marker (no-steal: staged writes never enter the snapshot).
+  // A transaction that staged before the checkpoint but committed after it
+  // must redo ALL its writes, including the pre-checkpoint ones.
+  LogDevice log;
+  LogRecord w;
+  w.type = LogRecordType::kWrite;
+  w.txn = 7;
+  w.key = 1;
+  w.value = 500;
+  log.append(std::move(w));
+  LogRecord kv;
+  kv.type = LogRecordType::kCheckpointKv;
+  kv.key = 1;
+  kv.value = 100;
+  const std::uint64_t first_kv = log.append(std::move(kv));
+  LogRecord marker;
+  marker.type = LogRecordType::kCheckpoint;
+  marker.qmsg_id = first_kv;
+  log.append(std::move(marker));
+  LogRecord c;
+  c.type = LogRecordType::kCommit;
+  c.txn = 7;
+  log.append(std::move(c));
+
+  Store store;
+  const RecoveryResult r = recover_from_log(log, store);
+  EXPECT_EQ(r.redone_writes, 1u);
+  EXPECT_EQ(store.read_committed(1).value(), 500);
+}
+
+// --- torn tails & failed fsyncs --------------------------------------------
+
+TEST(LogDevice, TearToDurableDropsOnlyTheUnsyncedTail) {
+  LogDevice log;
+  log.append(LogRecord{});
+  ASSERT_TRUE(log.fsync());
+  log.append(LogRecord{});
+  log.append(LogRecord{});
+  EXPECT_EQ(log.durable_lsn(), 1u);
+  log.tear_to_durable();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.records()[0].lsn, 1u);
+  // LSNs are never reused after a tear.
+  EXPECT_EQ(log.next_lsn(), 4u);
+  EXPECT_EQ(log.append(LogRecord{}), 4u);
+}
+
+TEST(LogDevice, CommitRetriesFailedFsyncsUntilDurable) {
+  // Injected transient fsync failures: the commit path retries (with
+  // backoff) until the force succeeds, so commit acknowledgement always
+  // implies durability -- a crash plus torn tail right after commit loses
+  // nothing the caller was promised.
+  LogDevice log;
+  FaultSpec spec;
+  spec.fsync_fail = 1.0;
+  spec.max_consecutive_fsync_fails = 2;  // device "recovers" quickly
+  FaultInjector inj(3, spec);
+  log.set_fault_injector(&inj, 0);
+
+  Database db(wal_options(&log));
+  db.load(1, 100);
+  {
+    Txn t = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+    ASSERT_TRUE(t.add(1, 50).ok());
+    ASSERT_TRUE(t.commit().ok());
+  }
+  EXPECT_GT(log.fsync_failures(), 0u);
+
+  // Everything the commit promised survives a torn tail.
+  log.tear_to_durable();
+  const RecoveryResult r = db.recover_from_wal();
+  EXPECT_EQ(r.committed_txns, 1u);
+  EXPECT_EQ(db.store().read_committed(1).value(), 150);
 }
 
 // --- log-backed recoverable queues ----------------------------------------

@@ -1,0 +1,244 @@
+// bench_net: end-to-end throughput and latency through the network
+// front-end.
+//
+// Starts an in-process AtpServer on a kernel-assigned loopback TCP port
+// (the same stack atpd runs) and drives it with N concurrent client
+// threads, each holding its own connection and running closed-loop
+// transactions: a two-account transfer (update) or a two-account audit
+// (query), 80/20.  Every cell reports committed tps and per-transaction
+// latency p50/p95/p99 over the loopback socket -- protocol encode, epoll,
+// session dispatch, lock manager, and reply included.
+//
+// Cells: clients x {1, 2, 4, 8} for each of two client classes, so the
+// admission surface shows up in the numbers:
+//   * bronze -- wide eps ceilings; DC lets queries read past update locks;
+//   * gold   -- eps = 0 (serializable); queries block on lock conflicts.
+//
+// Output: a human table, and with --json a BENCH_net.json artifact
+// (schema v2 "net" cell family, docs/BENCH_SCHEMA.md).
+//
+// Flags: --json  --quick (CI smoke: fewer clients/ops)  --out-dir=DIR
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/metrics_registry.h"
+#include "sched/database.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+
+using namespace atp;
+using namespace atp::bench;
+using namespace atp::server;
+
+namespace {
+
+constexpr Key kAccounts = 64;
+
+struct CellResult {
+  std::string client_class;
+  std::size_t clients = 0;
+  std::size_t txns_committed = 0;
+  std::size_t txns_aborted = 0;
+  double wall_seconds = 0;
+  double tps = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  double admission_rejected = 0;  ///< srv.admission.rejected.<class>
+};
+
+/// One client thread: closed-loop transactions until `ops` commits+aborts.
+struct ClientStats {
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  std::vector<double> txn_us;
+};
+
+ClientStats run_client(std::uint16_t port, const std::string& cls,
+                       std::size_t txns, std::uint64_t seed) {
+  ClientStats st;
+  Client c(std::make_unique<TcpByteChannel>("127.0.0.1", port));
+  if (!c.ok() || !c.hello(cls).ok()) return st;
+  Rng rng(seed);
+  st.txn_us.reserve(txns);
+  for (std::size_t i = 0; i < txns; ++i) {
+    const Key a = Key(rng.next() % kAccounts);
+    Key b = Key(rng.next() % kAccounts);
+    if (b == a) b = (b + 1) % kAccounts;
+    const bool update = rng.next() % 10 < 8;
+    const std::int64_t t0 = bench_now_us();
+    auto txn = c.begin(update ? TxnKind::Update : TxnKind::Query);
+    if (!txn.ok()) {
+      ++st.aborted;
+      continue;
+    }
+    bool ok = true;
+    if (update) {
+      const double amount = double(1 + rng.next() % 20);
+      ok = c.add(txn.value(), a, -amount).ok() &&
+           c.add(txn.value(), b, +amount).ok();
+    } else {
+      ok = c.read(txn.value(), a).ok() && c.read(txn.value(), b).ok();
+    }
+    // A failed op already aborted server-side; only an intact txn commits.
+    if (ok && c.commit(txn.value()).ok()) {
+      ++st.committed;
+      st.txn_us.push_back(double(bench_now_us() - t0));
+    } else {
+      ++st.aborted;
+    }
+  }
+  c.close();
+  return st;
+}
+
+CellResult run_cell(const std::string& cls, std::size_t clients,
+                    std::size_t txns_per_client) {
+  obs::MetricsRegistry metrics;
+  DatabaseOptions dbo;
+  dbo.scheduler = SchedulerKind::DC;
+  dbo.metrics = &metrics;
+  Database db(dbo);
+  for (Key k = 0; k < kAccounts; ++k) db.load(k, 10000);
+
+  ServerOptions so;
+  so.workers = 8;
+  so.metrics = &metrics;
+  AtpServer srv(db, std::make_unique<TcpTransport>(0), std::move(so));
+  if (!srv.ok()) {
+    std::fprintf(stderr, "bench_net: server failed to start\n");
+    std::exit(1);
+  }
+
+  std::vector<ClientStats> stats(clients);
+  const std::int64_t t0 = bench_now_us();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t i = 0; i < clients; ++i) {
+      threads.emplace_back([&, i] {
+        stats[i] = run_client(srv.port(), cls, txns_per_client,
+                              0x5eed + 977 * i);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall_s = double(bench_now_us() - t0) / 1e6;
+
+  CellResult r;
+  r.client_class = cls;
+  r.clients = clients;
+  r.wall_seconds = wall_s;
+  std::vector<double> all_us;
+  for (const ClientStats& s : stats) {
+    r.txns_committed += s.committed;
+    r.txns_aborted += s.aborted;
+    all_us.insert(all_us.end(), s.txn_us.begin(), s.txn_us.end());
+  }
+  r.tps = wall_s > 0 ? double(r.txns_committed) / wall_s : 0;
+  if (!all_us.empty()) {
+    r.p50_us = percentile(all_us, 0.50);
+    r.p95_us = percentile(all_us, 0.95);
+    r.p99_us = percentile(all_us, 0.99);
+  }
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  const obs::Sample* rej = snap.find("srv.admission.rejected." + cls);
+  r.admission_rejected = rej == nullptr ? 0 : rej->value;
+  srv.stop();
+  return r;
+}
+
+std::string git_sha() {
+  std::string sha = "unknown";
+  if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof buf, p) != nullptr) {
+      std::string s(buf);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+      if (!s.empty()) sha = s;
+    }
+    pclose(p);
+  }
+  return sha;
+}
+
+void write_json(const std::string& path, bool quick,
+                const std::vector<CellResult>& cells) {
+  std::string out = "{\n";
+  out += "  \"schema_version\": 2,\n";
+  out += "  \"generated_by\": \"bench_net\",\n";
+  out += "  \"git_sha\": \"" + git_sha() + "\",\n";
+  out += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
+  out += "  \"runs\": [\n";
+  char buf[512];
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"scenario\": \"net_loopback\", \"class\": \"%s\", "
+        "\"clients\": %zu, \"txns_committed\": %zu, \"txns_aborted\": %zu, "
+        "\"wall_seconds\": %.6f, \"txn_per_sec\": %.1f, "
+        "\"latency_us\": {\"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f}, "
+        "\"admission_rejected\": %.0f}%s\n",
+        c.client_class.c_str(), c.clients, c.txns_committed, c.txns_aborted,
+        c.wall_seconds, c.tps, c.p50_us, c.p95_us, c.p99_us,
+        c.admission_rejected, i + 1 < cells.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_net: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  f << out;
+  std::printf("wrote %s (%zu cells)\n", path.c_str(), cells.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool emit_json = false;
+  bool quick = false;
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      emit_json = true;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      out_dir = arg.substr(std::strlen("--out-dir="));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_net [--json] [--quick] [--out-dir=DIR]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> client_counts =
+      quick ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  const std::size_t txns_per_client = quick ? 200 : 1500;
+
+  std::vector<CellResult> cells;
+  std::printf("%-8s %8s %10s %12s %10s %10s %10s\n", "class", "clients",
+              "committed", "tps", "p50(us)", "p95(us)", "p99(us)");
+  for (const char* cls : {"bronze", "gold"}) {
+    for (const std::size_t n : client_counts) {
+      CellResult r = run_cell(cls, n, txns_per_client);
+      std::printf("%-8s %8zu %10zu %12.1f %10.1f %10.1f %10.1f\n",
+                  r.client_class.c_str(), r.clients, r.txns_committed, r.tps,
+                  r.p50_us, r.p95_us, r.p99_us);
+      cells.push_back(std::move(r));
+    }
+  }
+
+  if (emit_json) write_json(out_dir + "/BENCH_net.json", quick, cells);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Net quickstart: a client/server round trip over real sockets.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/net_quickstart            # in-process server
+//   ./build/examples/net_quickstart 7411       # dial an already-running atpd
+//
+// With no arguments this starts an in-process AtpServer on a kernel-assigned
+// loopback port (exactly what atpd does).  With a port argument it connects
+// to an external server instead -- CI uses that mode to drive a live atpd.
+// Either way it connects three clients from different epsilon classes and
+// shows the admission surface:
+//   * a gold update transfers money serializably (eps = 0);
+//   * a bronze query audits concurrently, importing bounded fuzziness;
+//   * a gold client asking for a nonzero eps is refused -- a class cannot
+//     buy consistency laxity it didn't pay for.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "sched/database.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+
+using namespace atp;
+using namespace atp::server;
+
+int main(int argc, char** argv) {
+  constexpr Key kChecking = 1, kSavings = 2;
+
+  // Own a server only when no external port was given.
+  std::unique_ptr<Database> db;
+  std::unique_ptr<AtpServer> server;
+  std::uint16_t port = 0;
+  if (argc > 1) {
+    port = std::uint16_t(std::atoi(argv[1]));
+    std::printf("dialing external server on 127.0.0.1:%u\n", unsigned(port));
+  } else {
+    DatabaseOptions dbo;
+    dbo.scheduler = SchedulerKind::DC;
+    db = std::make_unique<Database>(dbo);
+    db->load(kChecking, 1000);
+    db->load(kSavings, 1000);
+    auto transport = std::make_unique<TcpTransport>(/*port=*/0);
+    server = std::make_unique<AtpServer>(*db, std::move(transport),
+                                         ServerOptions{});
+    if (!server->ok()) {
+      std::fprintf(stderr, "server failed to start\n");
+      return 1;
+    }
+    port = server->port();
+    std::printf("server on 127.0.0.1:%u\n", unsigned(port));
+  }
+
+  auto dial = [&](const char* cls) {
+    Client c(std::make_unique<TcpByteChannel>("127.0.0.1", port));
+    const Status s = c.hello(cls);
+    if (!s.ok()) std::fprintf(stderr, "hello: %s\n", s.to_string().c_str());
+    return c;
+  };
+
+  // External servers pre-load their own keyspace; seed the two accounts so
+  // the arithmetic below reads the same either way.
+  {
+    Client seeder = dial("gold");
+    auto st = seeder.begin(TxnKind::Update);
+    if (!st.ok()) return 1;
+    seeder.write(st.value(), kChecking, 1000);
+    seeder.write(st.value(), kSavings, 1000);
+    if (!seeder.commit(st.value()).ok()) return 1;
+  }
+
+  // Gold: serializable transfer (class ceiling is eps = 0).
+  Client teller = dial("gold");
+  auto t = teller.begin(TxnKind::Update);
+  if (!t.ok()) return 1;
+  teller.add(t.value(), kChecking, -100);
+  teller.add(t.value(), kSavings, +100);
+  auto z = teller.commit(t.value());
+  std::printf("gold transfer committed, fuzziness Z = %.1f\n",
+              z.ok() ? double(z.value()) : -1.0);
+
+  // Bronze: a query that may import fuzziness up to its class ceiling.
+  Client auditor = dial("bronze");
+  auto q = auditor.begin(TxnKind::Query, /*import_limit=*/200);
+  if (q.ok()) {
+    const auto a = auditor.read(q.value(), kChecking);
+    const auto b = auditor.read(q.value(), kSavings);
+    auto qz = auditor.commit(q.value());
+    std::printf("bronze audit: checking=%.1f savings=%.1f (imported Z = %.1f)\n",
+                a.value_or(-1), b.value_or(-1),
+                qz.ok() ? double(qz.value()) : -1.0);
+  }
+
+  // Gold asking for eps = 50 is over its ceiling: admission refuses.
+  auto over = teller.begin(TxnKind::Query, /*import_limit=*/50);
+  if (!over.ok()) {
+    std::printf("gold asking import=50 rejected: %s\n",
+                over.status().to_string().c_str());
+  }
+
+  std::printf("granted class '%s' window=%llu\n",
+              teller.class_info().name.c_str(),
+              (unsigned long long)teller.class_info().window);
+  if (server) server->stop();
+  return 0;
+}

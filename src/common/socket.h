@@ -1,0 +1,59 @@
+// Shared loopback-socket plumbing: the one accept/listen/connect
+// implementation in the tree.
+//
+// Two consumers with the same needs grew the same hand-rolled code twice --
+// the obs HTTP exporter (obs/http_exporter.cpp) and the server front-end's
+// TCP transport (server/transport.cpp).  Both bind 127.0.0.1, accept with a
+// poll timeout so their serve loops can notice shutdown, and push whole
+// buffers through partial-write-looping sends.  That common floor lives
+// here; everything protocol-shaped (HTTP parsing, wire framing, epoll
+// readiness loops) stays with its owner.
+//
+// All listeners bind loopback only: this is an in-machine surface (metrics
+// scrapes, bench clients, tests), not an exposed service.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace atp {
+
+/// RAII loopback listener.  Binds 127.0.0.1:`port` (0 = kernel-assigned) and
+/// listens; a failed bind leaves the object !ok() rather than aborting, so a
+/// taken port degrades the feature, not the host process.
+class ListenSocket {
+ public:
+  ListenSocket(std::uint16_t port, int backlog);
+  ~ListenSocket();
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Actual bound port (after port-0 auto-assign); 0 when !ok().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Wait up to `timeout_ms` for a connection, then accept it.  Returns the
+  /// connected fd, or -1 on timeout / error / !ok().
+  [[nodiscard]] int accept_with_timeout(int timeout_ms) const;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking connect to `host`:`port` ("localhost" is rewritten to
+/// 127.0.0.1; anything else must be a dotted quad).  Returns the connected
+/// fd, or -1.
+[[nodiscard]] int connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Write all of `data`, looping over partial sends.  False on any send
+/// failure (the peer went away mid-write).
+bool send_all(int fd, std::string_view data);
+
+/// Switch `fd` to O_NONBLOCK.  False on fcntl failure.
+bool set_nonblocking(int fd);
+
+}  // namespace atp

@@ -18,6 +18,24 @@ SimNetwork::SimNetwork(std::size_t n_sites, NetworkOptions options)
   }
 }
 
+SimNetwork::~SimNetwork() { attach_metrics(nullptr); }
+
+void SimNetwork::attach_metrics(obs::MetricsRegistry* reg) {
+  if (metrics_ != nullptr) {
+    metrics_->remove_collector(collector_id_);
+    metrics_ = nullptr;
+    collector_id_ = 0;
+  }
+  if (reg == nullptr) return;
+  metrics_ = reg;
+  collector_id_ = reg->add_collector([this](obs::SnapshotBuilder& b) {
+    const NetStats s = stats();
+    b.counter("net.sim.sent", double(s.sent));
+    b.counter("net.sim.delivered", double(s.delivered));
+    b.counter("net.sim.dropped", double(s.dropped));
+  });
+}
+
 std::uint64_t SimNetwork::send(Message msg) {
   Inbox& inbox = *inboxes_[msg.to];
   // The inbox lock is held across the liveness check AND the publish (lock

@@ -23,6 +23,7 @@
 
 #include "common/rng.h"
 #include "net/message.h"
+#include "obs/metrics_registry.h"
 #include "trace/tracer.h"
 
 namespace atp {
@@ -46,6 +47,7 @@ class SimNetwork {
   SimNetwork(std::size_t n_sites, NetworkOptions options);
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;
+  ~SimNetwork();
 
   /// Queue `msg` for delivery after the simulated latency.  Assigns and
   /// returns the message id.  Dropped (id still returned) if the destination
@@ -89,6 +91,12 @@ class SimNetwork {
     return inboxes_.size();
   }
 
+  /// Publish the traffic tallies into `reg` as a pull collector
+  /// (net.sim.sent / net.sim.delivered / net.sim.dropped).  The registry
+  /// must outlive the network (the destructor unregisters).  nullptr
+  /// detaches.
+  void attach_metrics(obs::MetricsRegistry* reg);
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -124,6 +132,8 @@ class SimNetwork {
   Rng jitter_rng_{0};  // re-seeded from options in the constructor
   Tracer* tracer_ = nullptr;
   FaultInjector* fault_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::CollectorId collector_id_ = 0;
 };
 
 }  // namespace atp

@@ -1,17 +1,11 @@
 #include "obs/http_exporter.h"
 
-#include <arpa/inet.h>
-#include <cerrno>
 #include <csignal>
-#include <cstdio>
-#include <cstring>
 #include <fstream>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/socket.h"
 #include "obs/export.h"
 
 namespace atp::obs {
@@ -24,15 +18,6 @@ std::atomic<bool> g_dump_requested{false};
 
 extern "C" void obs_dump_signal_handler(int) {
   g_dump_requested.store(true, std::memory_order_relaxed);
-}
-
-void send_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
-    if (n <= 0) return;
-    off += std::size_t(n);
-  }
 }
 
 std::string http_response(const char* status, const char* content_type,
@@ -51,30 +36,12 @@ std::string http_response(const char* status, const char* content_type,
 
 ObsServer::ObsServer(MetricsRegistry* registry, std::uint16_t port)
     : registry_(registry) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    std::perror("obs: socket");
+  listener_ = std::make_unique<ListenSocket>(port, /*backlog=*/4);
+  if (!listener_->ok()) {
+    listener_.reset();
     return;
   }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(listen_fd_, 4) < 0) {
-    std::fprintf(stderr, "obs: cannot listen on 127.0.0.1:%u: %s\n",
-                 unsigned(port), std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return;
-  }
-  socklen_t len = sizeof addr;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
-      0) {
-    port_ = ntohs(addr.sin_port);
-  }
+  port_ = listener_->port();
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { serve_loop(); });
 }
@@ -82,7 +49,6 @@ ObsServer::ObsServer(MetricsRegistry* registry, std::uint16_t port)
 ObsServer::~ObsServer() {
   running_.store(false, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
 void ObsServer::set_registry(MetricsRegistry* registry) {
@@ -122,10 +88,7 @@ void ObsServer::serve_loop() {
       std::ofstream f(path);
       if (f) f << snapshot_to_json(snap);
     }
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = listener_->accept_with_timeout(/*timeout_ms=*/100);
     if (fd < 0) continue;
     handle_connection(fd);
     ::close(fd);
@@ -163,17 +126,8 @@ void ObsServer::handle_connection(int fd) {
 
 bool http_get(const std::string& host, std::uint16_t port,
               const std::string& path, std::string* body_out) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = connect_tcp(host, port);
   if (fd < 0) return false;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host == "localhost" ? "127.0.0.1" : host.c_str(),
-                  &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    ::close(fd);
-    return false;
-  }
   const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
                           "\r\nConnection: close\r\n\r\n";
   send_all(fd, req);

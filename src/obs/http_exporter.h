@@ -21,11 +21,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/metrics_registry.h"
+
+namespace atp {
+class ListenSocket;
+}
 
 namespace atp::obs {
 
@@ -40,7 +45,7 @@ class ObsServer {
 
   /// Did the socket bind?  (A taken port logs to stderr and leaves the
   /// server inert rather than aborting the host process.)
-  [[nodiscard]] bool ok() const noexcept { return listen_fd_ >= 0; }
+  [[nodiscard]] bool ok() const noexcept { return listener_ != nullptr; }
 
   /// Actual bound port (after port-0 auto-assign).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
@@ -62,7 +67,7 @@ class ObsServer {
   void handle_connection(int fd);
   [[nodiscard]] MetricsSnapshot take_snapshot();
 
-  int listen_fd_ = -1;
+  std::unique_ptr<ListenSocket> listener_;  ///< null when the bind failed
   std::uint16_t port_ = 0;
   std::mutex registry_mu_;
   MetricsRegistry* registry_ = nullptr;

@@ -244,6 +244,42 @@ std::string render_top(const MetricsSnapshot& now, const MetricsSnapshot* prev,
     out += "\n";
   }
 
+  // --- Server front-end (present only when an AtpServer publishes) ---
+  if (now.find("srv.sessions.accepted") != nullptr) {
+    out += "server front-end\n";
+    out += "  sessions " + fmt("%.0f", value_of(now, "srv.sessions.active")) +
+           " active  accepted " + fmt("%.6g", rate("srv.sessions.accepted")) +
+           unit + "  closed " + fmt("%.6g", rate("srv.sessions.closed")) +
+           unit;
+    out += "  requests " + fmt("%.6g", rate("srv.requests")) + unit;
+    out += "\n";
+    out += "  txns " + fmt("%.6g", rate("srv.txn.committed")) + unit +
+           " committed  " + fmt("%.6g", rate("srv.txn.aborted")) + unit +
+           " aborted  proto errs " +
+           fmt("%.6g", delta_of(now, prev, "srv.protocol_errors")) +
+           "  window rejects " +
+           fmt("%.6g", delta_of(now, prev, "srv.window_rejects"));
+    out += "\n";
+    // One admission line per class, discovered from the sample names.
+    const std::string granted_prefix = "srv.admission.granted.";
+    for (const Sample& s : now.samples) {
+      if (s.name.rfind(granted_prefix, 0) != 0) continue;
+      const std::string cls = s.name.substr(granted_prefix.size());
+      out += "  admission " + cls + ": granted " +
+             fmt("%.6g", rate(granted_prefix + cls)) + unit + "  rejected " +
+             fmt("%.6g", rate("srv.admission.rejected." + cls)) + unit;
+      out += "\n";
+    }
+    if (now.find("net.sim.sent") != nullptr) {
+      out += "  simnet sent/delivered/dropped " +
+             fmt("%.6g", rate("net.sim.sent")) + "/" +
+             fmt("%.6g", rate("net.sim.delivered")) + "/" +
+             fmt("%.6g", rate("net.sim.dropped")) + unit;
+      out += "\n";
+    }
+    out += "\n";
+  }
+
   // --- Faults & retries (present only when an injector / retry layer
   // publishes; fault.* comes from FaultInjector::attach_metrics, retry.*
   // from the coordinator and chop-handler wirings) ---

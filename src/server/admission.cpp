@@ -1,0 +1,141 @@
+#include "server/admission.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace atp::server {
+
+std::vector<ClassPolicy> default_classes() {
+  return {
+      {"gold", 0, 0, kInfiniteLimit, 64},
+      {"silver", 500, 500, /*concurrent_budget=*/4000, 32},
+      {"bronze", 100000, 100000, kInfiniteLimit, 16},
+  };
+}
+
+bool parse_class_policy(const std::string& spec, ClassPolicy* out) {
+  ClassPolicy p;
+  std::size_t start = 0;
+  std::vector<std::string> parts;
+  while (start <= spec.size()) {
+    const std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 5 || parts[0].empty()) return false;
+  auto num = [](const std::string& s, double* v) {
+    if (s == "inf") {
+      *v = double(kInfiniteLimit);
+      return true;
+    }
+    char* end = nullptr;
+    *v = std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0' && !s.empty() && *v >= 0;
+  };
+  p.name = parts[0];
+  double imp_lim = 0, exp_lim = 0;
+  if (!num(parts[1], &imp_lim) || !num(parts[2], &exp_lim)) return false;
+  p.import_ceiling = imp_lim;
+  p.export_ceiling = exp_lim;
+  if (parts.size() >= 4) {
+    double budget = 0;
+    if (!num(parts[3], &budget)) return false;
+    p.concurrent_budget = budget;
+  }
+  if (parts.size() == 5) {
+    double window = 0;
+    if (!num(parts[4], &window) || window < 1 || window > 4096 ||
+        std::isinf(window)) {
+      return false;
+    }
+    p.window = std::size_t(window);
+  }
+  *out = p;
+  return true;
+}
+
+AdmissionController::AdmissionController(std::vector<ClassPolicy> classes)
+    : classes_(std::move(classes)) {}
+
+const ClassPolicy* AdmissionController::find(const std::string& name) const {
+  for (const ClassPolicy& c : classes_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+Value AdmissionController::cost_of(const EpsilonSpec& spec) noexcept {
+  Value cost = 0;
+  if (!std::isinf(spec.import_limit)) cost += spec.import_limit;
+  if (!std::isinf(spec.export_limit)) cost += spec.export_limit;
+  return cost;
+}
+
+AdmissionController::Grant AdmissionController::admit(const ClassPolicy& cls,
+                                                      TxnKind kind,
+                                                      double req_import,
+                                                      double req_export) {
+  Grant g;
+  // Negative request = "give me the class default".  NaN is a hostile wire
+  // value; treat it as a default request rather than letting it poison the
+  // comparisons below.
+  const Value imp_lim = (req_import < 0 || std::isnan(req_import))
+                            ? cls.import_ceiling
+                            : Value(req_import);
+  const Value exp_lim = (req_export < 0 || std::isnan(req_export))
+                            ? cls.export_ceiling
+                            : Value(req_export);
+  if (imp_lim > cls.import_ceiling || exp_lim > cls.export_ceiling) {
+    g.status = Status::EpsilonExceeded(
+        "class '" + cls.name + "' ceiling import=" +
+        std::to_string(double(cls.import_ceiling)) +
+        " export=" + std::to_string(double(cls.export_ceiling)));
+    return g;
+  }
+  // The granted spec follows the paper's sides: queries import, updates
+  // export (spec_for); granting both sides as requested keeps symmetric
+  // classes simple while the kind picks which side divergence control uses.
+  EpsilonSpec spec;
+  spec.import_limit = kind == TxnKind::Query ? imp_lim : 0;
+  spec.export_limit = kind == TxnKind::Update ? exp_lim : 0;
+
+  const Value cost = cost_of(spec);
+  {
+    std::lock_guard lock(mu_);
+    Value& out = outstanding_[cls.name];
+    if (!std::isinf(double(cls.concurrent_budget)) &&
+        out + cost > cls.concurrent_budget) {
+      g.status = Status::Unavailable(
+          "class '" + cls.name + "' concurrent eps budget exhausted (" +
+          std::to_string(double(out)) + " of " +
+          std::to_string(double(cls.concurrent_budget)) + " outstanding)");
+      return g;
+    }
+    out += cost;
+  }
+  g.admitted = true;
+  g.spec = spec;
+  g.status = Status::Ok();
+  return g;
+}
+
+void AdmissionController::release(const ClassPolicy& cls,
+                                  const EpsilonSpec& granted) {
+  const Value cost = cost_of(granted);
+  if (cost == 0) return;
+  std::lock_guard lock(mu_);
+  Value& out = outstanding_[cls.name];
+  out = out > cost ? out - cost : 0;
+}
+
+Value AdmissionController::outstanding(const std::string& cls) const {
+  std::lock_guard lock(mu_);
+  auto it = outstanding_.find(cls);
+  return it == outstanding_.end() ? 0 : it->second;
+}
+
+}  // namespace atp::server

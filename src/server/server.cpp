@@ -1,0 +1,175 @@
+#include "server/server.h"
+
+#include <algorithm>
+
+namespace atp::server {
+
+AtpServer::AtpServer(Database& db, std::unique_ptr<Transport> transport,
+                     ServerOptions opts)
+    : db_(db),
+      transport_(std::move(transport)),
+      opts_(std::move(opts)),
+      admission_(opts_.classes.empty() ? default_classes()
+                                       : std::move(opts_.classes)) {
+  if (obs::MetricsRegistry* m = opts_.metrics; m != nullptr) {
+    counters_.requests = &m->counter("srv.requests");
+    counters_.protocol_errors = &m->counter("srv.protocol_errors");
+    counters_.window_rejects = &m->counter("srv.window_rejects");
+    counters_.committed = &m->counter("srv.txn.committed");
+    counters_.aborted = &m->counter("srv.txn.aborted");
+    sessions_accepted_ = &m->counter("srv.sessions.accepted");
+    sessions_closed_ = &m->counter("srv.sessions.closed");
+    sessions_active_ = &m->gauge("srv.sessions.active");
+    for (const ClassPolicy& c : admission_.classes()) {
+      counters_.admission_granted[c.name] =
+          &m->counter("srv.admission.granted." + c.name);
+      counters_.admission_rejected[c.name] =
+          &m->counter("srv.admission.rejected." + c.name);
+    }
+  }
+  if (!transport_ || !transport_->ok()) return;
+  poll_thread_ = std::thread([this] { poll_loop(); });
+  const std::size_t n = std::max<std::size_t>(1, opts_.workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AtpServer::~AtpServer() { stop(); }
+
+bool AtpServer::ok() const { return transport_ && transport_->ok(); }
+
+std::uint16_t AtpServer::port() const {
+  return transport_ ? transport_->port() : 0;
+}
+
+std::size_t AtpServer::active_sessions() const {
+  std::lock_guard lock(sessions_mu_);
+  return sessions_.size();
+}
+
+void AtpServer::stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller: threads are already joining/joined; just wait them out.
+    if (poll_thread_.joinable()) poll_thread_.join();
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    return;
+  }
+  queue_cv_.notify_all();
+  if (poll_thread_.joinable()) poll_thread_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  // No threads left: close every session (aborts its live transactions and
+  // returns its admission grants) before the database can go away.
+  std::lock_guard lock(sessions_mu_);
+  for (auto& [conn, s] : sessions_) s->close();
+  sessions_.clear();
+  if (sessions_active_ != nullptr) sessions_active_->set(0);
+}
+
+void AtpServer::schedule(std::shared_ptr<Session> s) {
+  {
+    std::lock_guard lock(queue_mu_);
+    ready_.push_back(std::move(s));
+  }
+  queue_cv_.notify_one();
+}
+
+void AtpServer::drop_session(ConnId conn) {
+  std::shared_ptr<Session> victim;
+  {
+    std::lock_guard lock(sessions_mu_);
+    auto it = sessions_.find(conn);
+    if (it == sessions_.end()) return;
+    victim = std::move(it->second);
+    sessions_.erase(it);
+    if (sessions_active_ != nullptr) {
+      sessions_active_->set(double(sessions_.size()));
+    }
+  }
+  ServerCounters::bump(sessions_closed_);
+  // If a worker is mid-execute, close() defers transaction teardown to that
+  // worker's finish_one(); the shared_ptr it holds keeps the object alive.
+  victim->close();
+}
+
+void AtpServer::poll_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const std::vector<TransportEvent> events =
+        transport_->poll(opts_.poll_interval);
+    for (const TransportEvent& ev : events) {
+      switch (ev.kind) {
+        case TransportEvent::Kind::kAccept: {
+          std::shared_ptr<Session> s;
+          {
+            std::lock_guard lock(sessions_mu_);
+            if (sessions_.size() >= opts_.max_sessions) break;
+            s = std::make_shared<Session>(ev.conn, db_, admission_,
+                                          counters_);
+            sessions_.emplace(ev.conn, s);
+            if (sessions_active_ != nullptr) {
+              sessions_active_->set(double(sessions_.size()));
+            }
+          }
+          if (!s) {
+            transport_->close(ev.conn);
+            break;
+          }
+          ServerCounters::bump(sessions_accepted_);
+          break;
+        }
+        case TransportEvent::Kind::kData: {
+          std::shared_ptr<Session> s;
+          {
+            std::lock_guard lock(sessions_mu_);
+            auto it = sessions_.find(ev.conn);
+            if (it != sessions_.end()) s = it->second;
+          }
+          if (!s) break;
+          Session::FeedResult fed = s->feed(ev.data);
+          if (!fed.immediate_replies.empty()) {
+            transport_->send(ev.conn, fed.immediate_replies);
+          }
+          if (fed.fatal) {
+            transport_->close(ev.conn);
+            drop_session(ev.conn);
+            break;
+          }
+          schedule(std::move(s));
+          break;
+        }
+        case TransportEvent::Kind::kClosed:
+          drop_session(ev.conn);
+          break;
+      }
+    }
+  }
+}
+
+void AtpServer::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Session> s;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !ready_.empty();
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      s = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    const std::optional<WireMessage> req = s->take_next();
+    if (!req.has_value()) continue;
+    const std::string reply = s->execute(*req);
+    transport_->send(s->conn(), reply);
+    // Re-queue instead of looping here so one chatty pipeliner cannot
+    // monopolize a worker while other sessions wait.
+    if (s->finish_one()) schedule(std::move(s));
+  }
+}
+
+}  // namespace atp::server

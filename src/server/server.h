@@ -1,0 +1,107 @@
+// AtpServer: the network front-end tying transport, sessions, admission,
+// and the database together.
+//
+// One poll thread owns the Transport: it accepts connections into Session
+// objects, feeds incoming bytes through each session's frame decoder, and
+// drops sessions whose connection died or went bad.  Parsed requests are
+// executed by a small worker pool -- never the poll thread, because a
+// request may legitimately block for the full lock timeout (2s by default)
+// and the accept/read loop must keep breathing under that.  Each session is
+// executed by at most one worker at a time (Session::take_next marks it
+// busy), so per-connection request order is preserved while different
+// connections run genuinely in parallel.  Workers reply straight through
+// Transport::send, which is thread-safe on both backends.
+//
+// The same object runs over TcpTransport (atpd, bench_net) or SimTransport
+// (deterministic tests, fault schedules) -- it never inspects which.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "sched/database.h"
+#include "server/admission.h"
+#include "server/session.h"
+#include "server/transport.h"
+
+namespace atp::server {
+
+struct ServerOptions {
+  /// Worker threads executing requests (>= 1; each can block on locks).
+  std::size_t workers = 4;
+  /// Client classes; empty = default_classes().
+  std::vector<ClassPolicy> classes;
+  /// Optional registry: srv.* counters, session gauge, admission tallies.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Poll-loop wakeup cadence (also the stop() latency bound).
+  std::chrono::milliseconds poll_interval{50};
+  /// Connections past this are closed at accept.
+  std::size_t max_sessions = 1024;
+};
+
+class AtpServer {
+ public:
+  /// Takes ownership of the transport; `db` must outlive the server.
+  AtpServer(Database& db, std::unique_ptr<Transport> transport,
+            ServerOptions opts = {});
+  ~AtpServer();
+  AtpServer(const AtpServer&) = delete;
+  AtpServer& operator=(const AtpServer&) = delete;
+
+  /// False when the transport failed to come up (port in use, no epoll).
+  [[nodiscard]] bool ok() const;
+
+  /// TCP listen port (0 on the sim backend).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Stop threads and tear down every session (aborting live transactions).
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] std::size_t active_sessions() const;
+  [[nodiscard]] const AdmissionController& admission() const {
+    return admission_;
+  }
+
+ private:
+  void poll_loop();
+  void worker_loop();
+  /// Queue `s` for worker execution (duplicates are harmless: take_next
+  /// refuses a session that is already executing or empty).
+  void schedule(std::shared_ptr<Session> s);
+  /// Poll thread: tear down and forget the session for `conn`.
+  void drop_session(ConnId conn);
+
+  Database& db_;
+  std::unique_ptr<Transport> transport_;
+  ServerOptions opts_;
+  AdmissionController admission_;
+  ServerCounters counters_;
+
+  obs::ShardedCounter* sessions_accepted_ = nullptr;
+  obs::ShardedCounter* sessions_closed_ = nullptr;
+  obs::Gauge* sessions_active_ = nullptr;
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<ConnId, std::shared_ptr<Session>> sessions_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Session>> ready_;
+
+  std::atomic<bool> stopping_{false};
+  std::thread poll_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace atp::server

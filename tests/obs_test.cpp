@@ -321,5 +321,33 @@ TEST(TopRender, RatesComeFromDeltas) {
   EXPECT_NE(frame.find("/s"), std::string::npos);
 }
 
+TEST(TopRender, ServerPanelAppearsWithPerClassAdmission) {
+  MetricsSnapshot snap;
+  snap.epoch = 1;
+  // Samples arrive name-sorted from the registry; keep that invariant.
+  snap.samples.push_back(
+      {"net.sim.dropped", Sample::Kind::Counter, 1, {}});
+  snap.samples.push_back(
+      {"net.sim.delivered", Sample::Kind::Counter, 40, {}});
+  snap.samples.push_back({"net.sim.sent", Sample::Kind::Counter, 41, {}});
+  snap.samples.push_back(
+      {"srv.admission.granted.gold", Sample::Kind::Counter, 12, {}});
+  snap.samples.push_back(
+      {"srv.admission.rejected.gold", Sample::Kind::Counter, 3, {}});
+  snap.samples.push_back(
+      {"srv.sessions.accepted", Sample::Kind::Counter, 5, {}});
+  snap.samples.push_back(
+      {"srv.sessions.active", Sample::Kind::Gauge, 2, {}});
+  const std::string frame = render_top(snap, nullptr, {});
+  EXPECT_NE(frame.find("server front-end"), std::string::npos);
+  EXPECT_NE(frame.find("admission gold"), std::string::npos);
+  EXPECT_NE(frame.find("simnet sent/delivered/dropped"), std::string::npos);
+  // Without srv.* samples the panel stays out of the frame.
+  MetricsSnapshot bare;
+  bare.epoch = 1;
+  EXPECT_EQ(render_top(bare, nullptr, {}).find("server front-end"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace atp::obs

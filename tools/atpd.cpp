@@ -1,0 +1,164 @@
+// atpd: the ATP network server.
+//
+// Serves the binary wire protocol (src/server/protocol.h) over loopback TCP,
+// mapping client classes to epsilon-specs through the admission controller.
+// Pair it with --metrics-port and atp-top to watch sessions, admission
+// outcomes, and the engine's epsilon budgets live.
+//
+//   atpd --port 7411                          # DC scheduler, stock classes
+//   atpd --port 0 --scheduler cc              # kernel-assigned port
+//   atpd --class vip:50:50:200:64             # add/override a class
+//   atpd --metrics-port 9464 --keys 1000      # observable, preloaded
+//
+// Classes are name:import:export[:budget[:window]] ("inf" allowed); the
+// defaults are gold (eps 0), silver (metered), bronze (wide open).  Runs
+// until SIGINT/SIGTERM.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "sched/database.h"
+#include "server/admission.h"
+#include "server/server.h"
+#include "server/transport.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct Args {
+  std::uint16_t port = 7411;
+  std::uint16_t metrics_port = 0;
+  std::size_t workers = 4;
+  std::size_t max_sessions = 1024;
+  atp::SchedulerKind scheduler = atp::SchedulerKind::DC;
+  std::vector<atp::server::ClassPolicy> classes;
+  atp::Key keys = 0;  ///< preload keys [0, keys) with value 0
+};
+
+void usage() {
+  std::cerr << "usage: atpd [--port N] [--scheduler cc|dc|odc] [--workers N]\n"
+               "            [--class name:import:export[:budget[:window]]]...\n"
+               "            [--metrics-port N] [--keys N] [--max-sessions N]\n";
+}
+
+bool parse_args(int argc, char** argv, Args* a) {
+  auto next = [&](int& i) -> const char* {
+    return i + 1 < argc ? argv[++i] : nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--port" && (v = next(i))) {
+      a->port = std::uint16_t(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--metrics-port" && (v = next(i))) {
+      a->metrics_port = std::uint16_t(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--workers" && (v = next(i))) {
+      a->workers = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--max-sessions" && (v = next(i))) {
+      a->max_sessions = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--keys" && (v = next(i))) {
+      a->keys = atp::Key(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--scheduler" && (v = next(i))) {
+      const std::string s = v;
+      if (s == "cc") {
+        a->scheduler = atp::SchedulerKind::CC;
+      } else if (s == "dc") {
+        a->scheduler = atp::SchedulerKind::DC;
+      } else if (s == "odc") {
+        a->scheduler = atp::SchedulerKind::ODC;
+      } else {
+        return false;
+      }
+    } else if (arg == "--class" && (v = next(i))) {
+      atp::server::ClassPolicy p;
+      if (!atp::server::parse_class_policy(v, &p)) {
+        std::cerr << "atpd: bad --class spec '" << v << "'\n";
+        return false;
+      }
+      a->classes.push_back(std::move(p));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) {
+    usage();
+    return 2;
+  }
+
+  // User classes override same-named defaults; unnamed defaults stay.
+  std::vector<atp::server::ClassPolicy> classes =
+      atp::server::default_classes();
+  for (auto& user : args.classes) {
+    bool replaced = false;
+    for (auto& d : classes) {
+      if (d.name == user.name) {
+        d = user;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) classes.push_back(std::move(user));
+  }
+
+  atp::DatabaseOptions dbo;
+  dbo.scheduler = args.scheduler;
+  dbo.metrics_port = args.metrics_port;
+  atp::obs::MetricsRegistry metrics;
+  dbo.metrics = &metrics;
+  atp::Database db(dbo);
+  for (atp::Key k = 0; k < args.keys; ++k) db.load(k, 0);
+
+  auto transport = std::make_unique<atp::server::TcpTransport>(args.port);
+  if (!transport->ok()) {
+    std::cerr << "atpd: cannot listen on 127.0.0.1:" << args.port << "\n";
+    return 1;
+  }
+
+  atp::server::ServerOptions so;
+  so.workers = args.workers;
+  so.classes = std::move(classes);
+  so.metrics = &metrics;
+  so.max_sessions = args.max_sessions;
+  atp::server::AtpServer server(db, std::move(transport), std::move(so));
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::cout << "atpd: listening on 127.0.0.1:" << server.port() << " ("
+            << atp::to_string(args.scheduler) << " scheduler, "
+            << args.workers << " workers)\n";
+  for (const auto& c : server.admission().classes()) {
+    std::cout << "atpd: class " << c.name << " import<=" << c.import_ceiling
+              << " export<=" << c.export_ceiling << " budget="
+              << c.concurrent_budget << " window=" << c.window << "\n";
+  }
+  if (args.metrics_port != 0) {
+    std::cout << "atpd: metrics on 127.0.0.1:" << args.metrics_port
+              << " (/metrics, /snapshot.json)\n";
+  }
+  std::cout.flush();
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "atpd: shutting down (" << server.active_sessions()
+            << " sessions)\n";
+  server.stop();
+  return 0;
+}

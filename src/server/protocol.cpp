@@ -158,6 +158,8 @@ std::optional<WireMessage> FrameReader::next() {
       return std::nullopt;
     case DecodeStatus::kBad:
       bad_ = true;
+      buf_.clear();
+      buf_.shrink_to_fit();
       return std::nullopt;
   }
   return std::nullopt;

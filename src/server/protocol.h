@@ -112,8 +112,13 @@ enum class DecodeStatus : std::uint8_t {
 /// complete.  One per connection (session read path, client reply path).
 class FrameReader {
  public:
-  /// Append raw bytes from the stream.
-  void feed(std::string_view bytes) { buf_.append(bytes); }
+  /// Append raw bytes from the stream.  Once the stream has gone bad the
+  /// bytes are discarded -- an owner slow to drop the connection must not
+  /// let a hostile peer grow the buffer unboundedly.
+  void feed(std::string_view bytes) {
+    if (bad_) return;
+    buf_.append(bytes);
+  }
 
   /// Next complete frame, if any.  Returns std::nullopt when the buffer
   /// holds only a partial frame; sets bad() and returns std::nullopt when

@@ -50,14 +50,11 @@ std::size_t AtpServer::active_sessions() const {
 }
 
 void AtpServer::stop() {
-  if (stopping_.exchange(true)) {
-    // Second caller: threads are already joining/joined; just wait them out.
-    if (poll_thread_.joinable()) poll_thread_.join();
-    for (std::thread& w : workers_) {
-      if (w.joinable()) w.join();
-    }
-    return;
-  }
+  // Serialize the whole shutdown: join() on the same std::thread from two
+  // callers is UB, so a second stop() blocks here until the first finishes
+  // and then sees stopping_ already set.
+  std::lock_guard stop_lock(stop_mu_);
+  if (stopping_.exchange(true)) return;
   queue_cv_.notify_all();
   if (poll_thread_.joinable()) poll_thread_.join();
   for (std::thread& w : workers_) {
@@ -107,15 +104,16 @@ void AtpServer::poll_loop() {
           std::shared_ptr<Session> s;
           {
             std::lock_guard lock(sessions_mu_);
-            if (sessions_.size() >= opts_.max_sessions) break;
-            s = std::make_shared<Session>(ev.conn, db_, admission_,
-                                          counters_);
-            sessions_.emplace(ev.conn, s);
-            if (sessions_active_ != nullptr) {
-              sessions_active_->set(double(sessions_.size()));
+            if (sessions_.size() < opts_.max_sessions) {
+              s = std::make_shared<Session>(ev.conn, db_, admission_,
+                                            counters_);
+              sessions_.emplace(ev.conn, s);
+              if (sessions_active_ != nullptr) {
+                sessions_active_->set(double(sessions_.size()));
+              }
             }
           }
-          if (!s) {
+          if (!s) {  // over max_sessions: refuse at accept
             transport_->close(ev.conn);
             break;
           }

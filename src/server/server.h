@@ -100,6 +100,7 @@ class AtpServer {
   std::deque<std::shared_ptr<Session>> ready_;
 
   std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  ///< serializes stop(): join() is not join()-concurrent-safe
   std::thread poll_thread_;
   std::vector<std::thread> workers_;
 };

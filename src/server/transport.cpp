@@ -246,14 +246,18 @@ std::vector<TransportEvent> SimTransport::poll(
     wait = std::chrono::milliseconds(0);
     const ConnId conn = msg->from;
     if (msg->type == kSimConnect) {
+      std::lock_guard lock(mu_);
       if (open_.insert(conn).second) {
         out.push_back({TransportEvent::Kind::kAccept, conn, {}});
       }
     } else if (msg->type == kSimData) {
       // A data message from an unknown conn means the connect announcement
       // was dropped (fault schedules do that); treat data as the connect.
-      if (open_.insert(conn).second) {
-        out.push_back({TransportEvent::Kind::kAccept, conn, {}});
+      {
+        std::lock_guard lock(mu_);
+        if (open_.insert(conn).second) {
+          out.push_back({TransportEvent::Kind::kAccept, conn, {}});
+        }
       }
       auto* bytes = std::any_cast<std::string>(&msg->payload);
       if (bytes != nullptr && !bytes->empty()) {
@@ -261,6 +265,7 @@ std::vector<TransportEvent> SimTransport::poll(
             {TransportEvent::Kind::kData, conn, std::move(*bytes)});
       }
     } else if (msg->type == kSimClose) {
+      std::lock_guard lock(mu_);
       if (open_.erase(conn) != 0) {
         out.push_back({TransportEvent::Kind::kClosed, conn, {}});
       }
@@ -271,7 +276,10 @@ std::vector<TransportEvent> SimTransport::poll(
 }
 
 bool SimTransport::send(ConnId conn, std::string_view bytes) {
-  if (open_.count(conn) == 0) return false;
+  {
+    std::lock_guard lock(mu_);
+    if (open_.count(conn) == 0) return false;
+  }
   Message msg;
   msg.from = site_;
   msg.to = SiteId(conn);
@@ -282,7 +290,10 @@ bool SimTransport::send(ConnId conn, std::string_view bytes) {
 }
 
 void SimTransport::close(ConnId conn) {
-  if (open_.erase(conn) == 0) return;
+  {
+    std::lock_guard lock(mu_);
+    if (open_.erase(conn) == 0) return;
+  }
   Message msg;
   msg.from = site_;
   msg.to = SiteId(conn);

@@ -136,6 +136,9 @@ class SimTransport final : public Transport {
  private:
   SimNetwork& net_;
   SiteId site_;
+  // send() is thread-safe per the Transport contract, so the open-connection
+  // set the poll thread mutates must be guarded (mirrors TcpTransport::mu_).
+  mutable std::mutex mu_;
   std::unordered_set<ConnId> open_;
 };
 

@@ -179,6 +179,20 @@ TEST(FrameReader, GoesBadOnCorruptStreamAndStaysBad) {
   EXPECT_TRUE(r.bad());
 }
 
+TEST(FrameReader, DiscardsBytesOnceBad) {
+  FrameReader r;
+  std::string bytes = encode_frame(WireMessage{});
+  bytes[4] = char(0x77);  // wrong version
+  r.feed(bytes);
+  EXPECT_FALSE(r.next().has_value());
+  ASSERT_TRUE(r.bad());
+  EXPECT_EQ(r.buffered(), 0u);
+  // A hostile peer that keeps streaming after the stream went bad must not
+  // grow the buffer while the owner gets around to dropping the connection.
+  r.feed(std::string(1 << 16, 'x'));
+  EXPECT_EQ(r.buffered(), 0u);
+}
+
 TEST(FrameReader, HandlesGarbageWithoutCrashing) {
   // Random-ish hostile bytes, including a plausible length prefix.
   std::string garbage;

@@ -72,6 +72,11 @@ const char* rule_id(Rule r) noexcept {
     case Rule::LM003: return "LM003";
     case Rule::LM004: return "LM004";
     case Rule::LM005: return "LM005";
+    case Rule::TH001: return "TH001";
+    case Rule::TH002: return "TH002";
+    case Rule::TH003: return "TH003";
+    case Rule::TH004: return "TH004";
+    case Rule::TH005: return "TH005";
   }
   return "??";
 }
@@ -87,6 +92,11 @@ const char* rule_summary(Rule r) noexcept {
     case Rule::LM003: return "unrestricted piece assigned a finite limit";
     case Rule::LM004: return "malformed piece dependency graph";
     case Rule::LM005: return "leftover propagation loses or invents budget";
+    case Rule::TH001: return "raw std locking primitive outside the allowlist";
+    case Rule::TH002: return "OrderedMutex rank is not in the manifest";
+    case Rule::TH003: return "lock acquisition inside a collector callback";
+    case Rule::TH004: return "memory_order_relaxed without relaxed-ok comment";
+    case Rule::TH005: return "bare lock()/unlock() where a guard belongs";
   }
   return "?";
 }
@@ -187,7 +197,13 @@ std::string LintReport::to_text() const {
   std::ostringstream out;
   for (const Diagnostic& d : diagnostics) {
     out << rule_id(d.rule) << " [" << atp::analysis::to_string(d.severity)
-        << "] " << d.message << "\n";
+        << "] ";
+    if (!d.file.empty()) {
+      out << d.file;
+      if (d.line) out << ":" << *d.line;
+      out << ": ";
+    }
+    out << d.message << "\n";
   }
   return out.str();
 }
@@ -210,6 +226,11 @@ std::string LintReport::to_json() const {
       put_piece(out, *d.piece);
     }
     if (d.op) out << ",\"op\":" << *d.op;
+    if (!d.file.empty()) {
+      out << ",\"file\":";
+      put_string(out, d.file);
+    }
+    if (d.line) out << ",\"line\":" << *d.line;
     if (d.cycle) {
       out << ",\"cycle\":[";
       for (std::size_t j = 0; j < d.cycle->edges.size(); ++j) {

@@ -20,6 +20,14 @@
 //   LM003  an unrestricted piece was assigned a finite limit
 //   LM004  DG(CHOP(t)) is malformed (not a forest rooted at piece 1)
 //   LM005  dynamic leftover propagation loses or invents budget (Figure 2)
+//
+// Thread rules (--mode=threads, src/analysis/thread_lint.h -- source-level
+// scanner over src/ enforcing the locking discipline of common/lock_ranks.h):
+//   TH001  raw std::mutex/shared_mutex/condition_variable outside allowlist
+//   TH002  OrderedMutex instantiation names a rank not in the manifest
+//   TH003  lock acquisition inside a metrics-collector callback
+//   TH004  memory_order_relaxed without a `relaxed-ok:` justification
+//   TH005  bare .lock()/.unlock() on a mutex where a guard should be used
 #pragma once
 
 #include <cstdint>
@@ -43,6 +51,11 @@ enum class Rule : std::uint8_t {
   LM003,
   LM004,
   LM005,
+  TH001,
+  TH002,
+  TH003,
+  TH004,
+  TH005,
 };
 
 [[nodiscard]] const char* rule_id(Rule r) noexcept;
@@ -102,6 +115,8 @@ struct Diagnostic {
   std::optional<PieceId> piece;       ///< localization
   std::optional<std::size_t> op;      ///< offending statement (RB001)
   std::optional<CycleWitness> cycle;  ///< SC001 / SC002
+  std::string file;                   ///< source path (TH rules)
+  std::optional<std::size_t> line;    ///< 1-based source line (TH rules)
 };
 
 /// A lint run's findings, renderable as text or JSON.

@@ -1,0 +1,389 @@
+#include "analysis/thread_lint.h"
+
+// GCC 12 reports maybe-uninitialized false positives from <regex> internals
+// (the std::function members of __detail::_State) when the regex automaton
+// is built under -fsanitize=undefined (PR105562); the library is -Werror,
+// so silence exactly that warning for this translation unit.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace atp::analysis {
+namespace {
+
+/// A source file split into what the compiler sees (`code`) and what the
+/// human sees (`comments`), line by line.  Literal contents are blanked in
+/// `code` so patterns never match inside strings; comment text never leaks
+/// into `code` and vice versa.
+struct SplitSource {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+
+SplitSource split_source(std::string_view src) {
+  SplitSource out;
+  out.code.emplace_back();
+  out.comments.emplace_back();
+  enum class State { Code, LineComment, BlockComment, Str, Chr, RawStr };
+  State st = State::Code;
+  std::string raw_delim;  // the )delim" closer for the active raw string
+
+  auto newline = [&] {
+    out.code.emplace_back();
+    out.comments.emplace_back();
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == State::LineComment) st = State::Code;
+      newline();
+      continue;
+    }
+    switch (st) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          st = State::LineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = State::BlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          std::size_t open = src.find('(', i + 2);
+          if (open == std::string_view::npos) {
+            out.code.back() += c;
+            break;
+          }
+          raw_delim = ")";
+          raw_delim += src.substr(i + 2, open - (i + 2));
+          raw_delim += '"';
+          st = State::RawStr;
+          i = open;  // consumed through the opening parenthesis
+          out.code.back() += ' ';
+        } else if (c == '"') {
+          st = State::Str;
+          out.code.back() += ' ';
+        } else if (c == '\'') {
+          st = State::Chr;
+          out.code.back() += ' ';
+        } else {
+          out.code.back() += c;
+        }
+        break;
+      case State::LineComment:
+        out.comments.back() += c;
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          st = State::Code;
+          ++i;
+        } else {
+          out.comments.back() += c;
+        }
+        break;
+      case State::Str:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          st = State::Code;
+        }
+        break;
+      case State::Chr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = State::Code;
+        }
+        break;
+      case State::RawStr:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          st = State::Code;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool allowlisted(const std::string& path, const ThreadLintOptions& opt) {
+  return std::any_of(opt.allowlist.begin(), opt.allowlist.end(),
+                     [&](const std::string& suffix) {
+                       return path.size() >= suffix.size() &&
+                              path.compare(path.size() - suffix.size(),
+                                           suffix.size(), suffix) == 0;
+                     });
+}
+
+Diagnostic th_diag(Rule rule, const std::string& path, std::size_t line,
+                   std::string message) {
+  Diagnostic d;
+  d.rule = rule;
+  d.severity = Severity::Error;
+  d.message = std::move(message);
+  d.file = path;
+  d.line = line;
+  return d;
+}
+
+// ------------------------------------------------------------- TH001 ------
+
+void check_raw_primitives(const std::string& path, const SplitSource& s,
+                          LintReport* report) {
+  static const std::regex kRaw(
+      R"(std\s*::\s*(recursive_timed_mutex|recursive_mutex|timed_mutex|shared_timed_mutex|shared_mutex|condition_variable_any|condition_variable|mutex)\b)");
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    std::smatch m;
+    std::string line = s.code[i];
+    if (std::regex_search(line, m, kRaw)) {
+      report->add(th_diag(
+          Rule::TH001, path, i + 1,
+          "raw std::" + m[1].str() +
+              "; declare an atp::OrderedMutex<LockRank::...> "
+              "(common/ordered_lock.h) or add the file to the allowlist"));
+    }
+  }
+}
+
+// ------------------------------------------------------------- TH002 ------
+
+void check_ranks(const std::string& path, const SplitSource& s,
+                 const std::vector<std::string>& ranks, LintReport* report) {
+  static const std::regex kInst(R"(Ordered(?:Shared)?Mutex\s*<\s*([^>]*?)\s*>)");
+  static const std::regex kRank(R"((?:atp\s*::\s*)?LockRank\s*::\s*(k\w+))");
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    const std::string& line = s.code[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kInst);
+         it != std::sregex_iterator(); ++it) {
+      const std::string arg = (*it)[1].str();
+      std::smatch m;
+      if (!std::regex_match(arg, m, kRank)) {
+        report->add(th_diag(Rule::TH002, path, i + 1,
+                            "OrderedMutex argument '" + arg +
+                                "' is not a LockRank::k* manifest entry"));
+        continue;
+      }
+      const std::string name = m[1].str();
+      if (std::find(ranks.begin(), ranks.end(), name) == ranks.end()) {
+        report->add(th_diag(Rule::TH002, path, i + 1,
+                            "rank '" + name +
+                                "' is not declared in common/lock_ranks.h"));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- TH003 ------
+
+void check_collector_bodies(const std::string& path, const SplitSource& s,
+                            LintReport* report) {
+  // Re-join the code lines so a collector body spanning lines is one span;
+  // keep an offset->line map for reporting.
+  std::string code;
+  std::vector<std::size_t> line_of;  // per character, 1-based line
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    for (const char c : s.code[i]) {
+      code += c;
+      line_of.push_back(i + 1);
+    }
+    code += '\n';
+    line_of.push_back(i + 1);
+  }
+
+  static const std::regex kAcquire(
+      R"(\b(lock_guard|unique_lock|scoped_lock|shared_lock)\b|[.\->]\s*lock(_shared)?\s*\()");
+
+  auto balanced_span = [&code](std::size_t open, char lhs,
+                               char rhs) -> std::size_t {
+    std::size_t depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+      if (code[i] == lhs) ++depth;
+      if (code[i] == rhs && --depth == 0) return i;
+    }
+    return std::string::npos;
+  };
+
+  std::size_t pos = 0;
+  while ((pos = code.find("add_collector", pos)) != std::string::npos) {
+    pos += 13;  // strlen("add_collector")
+    // Only registration calls matter: the callback is a lambda inside the
+    // call's parentheses.  Declarations and the registry's own definition
+    // have no brace in their parameter list and are skipped.
+    std::size_t paren = pos;
+    while (paren < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[paren]))) {
+      ++paren;
+    }
+    if (paren >= code.size() || code[paren] != '(') continue;
+    const std::size_t paren_close = balanced_span(paren, '(', ')');
+    if (paren_close == std::string::npos) continue;
+    const std::size_t open = code.find('{', paren);
+    if (open == std::string::npos || open > paren_close) continue;
+    const std::size_t close = balanced_span(open, '{', '}');
+    if (close == std::string::npos || close > paren_close) continue;
+    const std::string body = code.substr(open, close - open + 1);
+    std::smatch m;
+    if (std::regex_search(body, m, kAcquire)) {
+      const std::size_t at = open + std::size_t(m.position(0));
+      report->add(th_diag(
+          Rule::TH003, path, line_of[at],
+          "lock acquisition inside a metrics-collector callback (collectors "
+          "run under the registry lock; read the component's thread-safe "
+          "accessor instead)"));
+    }
+  }
+}
+
+// ------------------------------------------------------------- TH004 ------
+
+void check_relaxed_justified(const std::string& path, const SplitSource& s,
+                             LintReport* report) {
+  bool in_block = false;
+  std::vector<bool> justified(s.code.size(), false);
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    const std::string& c = s.comments[i];
+    if (c.find("relaxed-ok(begin)") != std::string::npos) in_block = true;
+    const bool line_ok = c.find("relaxed-ok") != std::string::npos;
+    justified[i] = in_block || line_ok;
+    if (c.find("relaxed-ok(end)") != std::string::npos) in_block = false;
+  }
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    if (s.code[i].find("memory_order_relaxed") == std::string::npos) continue;
+    bool ok = false;
+    for (std::size_t back = 0; back <= 3 && back <= i; ++back) {
+      if (justified[i - back]) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      report->add(th_diag(
+          Rule::TH004, path, i + 1,
+          "memory_order_relaxed without a '// relaxed-ok: <why>' "
+          "justification (same line, the 3 lines above, or an enclosing "
+          "relaxed-ok(begin)/(end) block)"));
+    }
+  }
+}
+
+// ------------------------------------------------------------- TH005 ------
+
+bool mutexish(const std::string& name) {
+  auto ends_with = [&](std::string_view sfx) {
+    return name.size() >= sfx.size() &&
+           name.compare(name.size() - sfx.size(), sfx.size(), sfx) == 0;
+  };
+  return name == "mu" || name == "mu_" || name == "mutex" ||
+         name == "mutex_" || ends_with("_mu") || ends_with("_mu_") ||
+         ends_with("_mutex") || ends_with("_mutex_");
+}
+
+void check_bare_lock_calls(const std::string& path, const SplitSource& s,
+                           LintReport* report) {
+  static const std::regex kCall(
+      R"((\w+)\s*(?:\.|->)\s*(?:un)?lock(?:_shared)?\s*\(\s*\))");
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    const std::string& line = s.code[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kCall);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (!mutexish(name)) continue;  // guards unlocking themselves are fine
+      report->add(th_diag(
+          Rule::TH005, path, i + 1,
+          "bare lock()/unlock() on '" + name +
+              "'; use std::lock_guard/std::unique_lock so the unlock "
+              "survives early returns and exceptions"));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> parse_rank_manifest(std::string_view manifest) {
+  const SplitSource s = split_source(manifest);
+  std::vector<std::string> ranks;
+  static const std::regex kEntry(R"(\b(k[A-Z]\w*)\s*=\s*\d+)");
+  for (const std::string& line : s.code) {
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kEntry);
+         it != std::sregex_iterator(); ++it) {
+      ranks.push_back((*it)[1].str());
+    }
+  }
+  return ranks;
+}
+
+LintReport lint_thread_source(const std::string& path,
+                              std::string_view content,
+                              const std::vector<std::string>& ranks,
+                              const ThreadLintOptions& opt) {
+  const SplitSource s = split_source(content);
+  LintReport report;
+  if (!allowlisted(path, opt)) {
+    check_raw_primitives(path, s, &report);
+    check_bare_lock_calls(path, s, &report);
+  }
+  check_ranks(path, s, ranks, &report);
+  check_collector_bodies(path, s, &report);
+  check_relaxed_justified(path, s, &report);
+  return report;
+}
+
+bool lint_thread_tree(const std::string& root, const ThreadLintOptions& opt,
+                      LintReport* report, std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    *error = "not a directory: " + root;
+    return false;
+  }
+  std::vector<std::string> files;
+  for (auto it = fs::recursive_directory_iterator(root, ec);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp") {
+      files.push_back(it->path().generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  const auto manifest_it =
+      std::find_if(files.begin(), files.end(), [](const std::string& f) {
+        return f.size() >= 19 &&
+               f.compare(f.size() - 19, 19, "common/lock_ranks.h") == 0;
+      });
+  if (manifest_it == files.end()) {
+    *error = "no common/lock_ranks.h under " + root +
+             " (the rank manifest is required for --mode=threads)";
+    return false;
+  }
+  auto read = [](const std::string& p) -> std::string {
+    std::ifstream in(p);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::vector<std::string> ranks = parse_rank_manifest(read(*manifest_it));
+  if (ranks.empty()) {
+    *error = "manifest " + *manifest_it + " declares no ranks";
+    return false;
+  }
+  for (const std::string& f : files) {
+    report->merge(lint_thread_source(f, read(f), ranks, opt));
+  }
+  return true;
+}
+
+}  // namespace atp::analysis

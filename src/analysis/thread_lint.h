@@ -1,0 +1,64 @@
+// atp-lint --mode=threads: source-level enforcement of the concurrency
+// discipline (common/lock_ranks.h + common/ordered_lock.h).
+//
+// This is a tokenizer-level scanner, not a compiler plugin: it strips
+// comments, string/char literals and raw strings, then pattern-matches the
+// remaining code.  That keeps it dependency-free (no libclang) and fast
+// enough to run as a CI gate, at the price of being a *discipline* check,
+// not a soundness proof -- the runtime checker in ordered_lock.h is the
+// soundness half.  Rules (stable IDs, diagnostics.h):
+//
+//   TH001  raw std::mutex / std::shared_mutex / std::condition_variable /
+//          std::recursive_mutex / std::timed_mutex in src/ outside the
+//          allowlist (the OrderedMutex implementation itself).
+//   TH002  every OrderedMutex< / OrderedSharedMutex< instantiation names a
+//          LockRank::k* entry present in the manifest enum.
+//   TH003  no lock acquisition (guard construction or direct .lock()) in
+//          the body of a MetricsRegistry::add_collector callback: collectors
+//          run under the registry lock, so they must read a component's own
+//          thread-safe accessors instead.
+//   TH004  every memory_order_relaxed carries a justification: a
+//          `// relaxed-ok: why` comment on the same line or within the
+//          three lines above, or an enclosing `// relaxed-ok(begin): why`
+//          ... `// relaxed-ok(end)` block for dense regions (seqlocks).
+//   TH005  no bare IDENT.lock() / IDENT.unlock() on identifiers that look
+//          like mutexes (mu, *_mu, mutex, *_mutex); use a guard so the
+//          unlock cannot be skipped by an early return or exception.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+
+namespace atp::analysis {
+
+struct ThreadLintOptions {
+  /// Suffix-matched paths where raw std primitives and bare lock()/unlock()
+  /// are legal: exactly the files implementing the wrappers.
+  std::vector<std::string> allowlist = {
+      "common/ordered_lock.h",
+      "common/ordered_lock.cpp",
+  };
+};
+
+/// Extract the manifest rank names (kCamelCase) from lock_ranks.h content.
+[[nodiscard]] std::vector<std::string> parse_rank_manifest(
+    std::string_view manifest);
+
+/// Lint one in-memory source file.  `path` is used for reporting and for
+/// allowlist matching.
+[[nodiscard]] LintReport lint_thread_source(
+    const std::string& path, std::string_view content,
+    const std::vector<std::string>& ranks,
+    const ThreadLintOptions& opt = {});
+
+/// Walk `root` recursively for .h/.cpp files, parse the manifest from the
+/// common/lock_ranks.h found inside it, and lint every file.  On setup
+/// failure (missing root or manifest) returns false and sets `error`;
+/// findings land in `report`.
+bool lint_thread_tree(const std::string& root, const ThreadLintOptions& opt,
+                      LintReport* report, std::string* error);
+
+}  // namespace atp::analysis

@@ -1,0 +1,155 @@
+// Central lock-rank manifest: every mutex in src/ is declared as an
+// OrderedMutex<Rank> (see common/ordered_lock.h) naming exactly one entry of
+// this enum.  A thread may only acquire locks in strictly increasing rank
+// order; in ATP_LOCK_CHECK builds any out-of-order acquisition aborts with a
+// witness (the held ranks plus their acquisition sites), and the observed
+// acquired-while-holding edges feed a global lock-order graph whose cycles
+// dump as minimal witnesses, SC-cycle style.
+//
+// Reading the table: lower rank = acquired EARLIER (outer lock), higher rank
+// = acquired LATER (inner lock).  The numbers are spaced by 10 so a new lock
+// can usually slot between two existing ranks without renumbering.
+//
+// How to add a lock:
+//   1. Find every path that holds an existing lock while taking yours, and
+//      every path that holds yours while taking an existing one.  Your rank
+//      must sit strictly between them.
+//   2. Add the enum entry here, with a comment naming the owning declaration
+//      (atp-lint --mode=threads cross-checks that every OrderedMutex
+//      instantiation names a manifest rank: rule TH002).
+//   3. Declare the member as atp::OrderedMutex<LockRank::kYourRank> and
+//      run the tier-1 suite under ATP_LOCK_CHECK=ON (the default); a wrong
+//      rank aborts the first test that exercises the nesting.
+//
+// The ordering below is derived from the code's actual nesting chains, the
+// load-bearing ones being:
+//   server stop    -> sessions -> session close -> db locks      (10<20<140+)
+//   obs snapshot   -> component stats locks (stripe, txn, net)   (70<140+)
+//   site dispatch  -> subtxn commit -> db locks                  (80<140+)
+//   queue endpoint -> wal append / net send                      (100<210/240)
+//   lock stripe    -> waits-for graph                            (140<150)
+//   lock stripe    -> dc delta / store / txn registry / tracer   (140<160+)
+//   txn struct     -> txn charge ("struct then charge")          (190<200)
+//   net inbox      -> net state ("inbox then state")             (240<250)
+//   trace registry -> trace ring (record and collect paths)      (270<280)
+#pragma once
+
+#include <cstdint>
+
+namespace atp {
+
+enum class LockRank : std::uint16_t {
+  /// AtpServer::stop_mu_ — serializes stop(); held across thread joins and
+  /// the whole session teardown, so it is the outermost lock in the system.
+  kServerStop = 10,
+  /// AtpServer::sessions_mu_ — connection table; held across Session::close
+  /// during shutdown (which aborts transactions, taking db locks).
+  kServerSessions = 20,
+  /// AtpServer::queue_mu_ — worker ready-queue (leaf in practice, but ranked
+  /// under the server umbrella for clarity).
+  kServerQueue = 30,
+  /// Session::mu_ — per-session frame decoder + pipeline state.
+  kSession = 40,
+  /// TcpTransport::mu_ / SimTransport::mu_ — connection map / open set.
+  kTransport = 50,
+  /// obs::ObsServer::registry_mu_ — exporter's registry pointer; held while
+  /// snapshotting the registry (rank kObsRegistry).
+  kObsExporter = 60,
+  /// obs::MetricsRegistry::mu_ — instrument map; snapshot() runs collector
+  /// callbacks under it, and those read component stats (stripes, txn
+  /// registry, net state...), so this ranks BELOW all db-layer locks.
+  kObsRegistry = 70,
+  /// Site::mu_ — per-site executor state; held while stashed subtransactions
+  /// commit or abort (taking db locks).
+  kSite = 80,
+  /// Database::crash_mu_ — serializes crash/recover against each other.
+  kDbCrash = 90,
+  /// RecoverableQueue Endpoint::mu_ — queue state; transmit_locked appends
+  /// to the WAL and sends on the network while holding it.
+  kQueueEndpoint = 100,
+  /// Executor WorkerQueue::mu (engine/executor.cpp) — per-worker deque.
+  kExecutorQueue = 110,
+  /// PieceAccountant::mu (engine/piece_runner.cpp) — epsilon budget split.
+  kPieceAccount = 120,
+  /// DistExecutor pending_mu (dist/dist_executor.cpp) — coordinator inbox.
+  kDistPending = 130,
+  /// LockManager Stripe::mu — the 16 lock-table stripes; the heart of the
+  /// db layer.  Holds kWaitsFor, kDcDelta, kStoreMap, kTxnStruct, kTraceRing
+  /// chains while granting/denying.
+  kLockStripe = 140,
+  /// LockManager::wait_mu_ — global waits-for graph ("stripe then wait,
+  /// never the reverse").
+  kWaitsFor = 150,
+  /// DcResolver DeltaStripe::mu — pending-delta table consulted by fuzzy
+  /// grant decisions made under a lock stripe.
+  kDcDelta = 160,
+  /// Store::map_mu_ — key->cell map (shared for lookups, exclusive for
+  /// crash/snapshot).
+  kStoreMap = 170,
+  /// Store per-cell stripes_ — value mutation under a held map lock.
+  kStoreStripe = 180,
+  /// EtRegistry::struct_mu_ — ET table structure ("struct_mu_ (shared) then
+  /// charge_mu_").
+  kTxnStruct = 190,
+  /// EtRegistry::charge_mu_ — epsilon charge serialization.
+  kTxnCharge = 200,
+  /// LogDevice::mu_ — WAL append serialization.
+  kWal = 210,
+  /// HistoryRecorder::mu_ — certifier event log.
+  kHistory = 220,
+  /// AdmissionController::mu_ — epsilon-class admission ledger.
+  kAdmission = 230,
+  /// SimNetwork Inbox::mu — per-site delivery queue ("inbox then state").
+  kNetInbox = 240,
+  /// SimNetwork::state_mu_ — site up/down + partition matrix.
+  kNetState = 250,
+  /// FaultInjector::mu_ — fault schedule table (leaf under net/wal paths).
+  kFault = 260,
+  /// Tracer::registry_mu_ — per-thread ring registry; collect() drains the
+  /// rings (rank kTraceRing) under it.
+  kTraceRegistry = 270,
+  /// Tracer Ring::mu — per-thread event ring (leaf; emit runs under stripe
+  /// and inbox locks).
+  kTraceRing = 280,
+  /// Histogram::mu_ — sample reservoirs; recorded/summarized at the very
+  /// bottom of any chain (e.g. stripe stats under a stripe lock).
+  kHistogram = 290,
+};
+
+/// Manifest name for witnesses and reports.
+[[nodiscard]] constexpr const char* to_string(LockRank r) noexcept {
+  switch (r) {
+    case LockRank::kServerStop: return "kServerStop";
+    case LockRank::kServerSessions: return "kServerSessions";
+    case LockRank::kServerQueue: return "kServerQueue";
+    case LockRank::kSession: return "kSession";
+    case LockRank::kTransport: return "kTransport";
+    case LockRank::kObsExporter: return "kObsExporter";
+    case LockRank::kObsRegistry: return "kObsRegistry";
+    case LockRank::kSite: return "kSite";
+    case LockRank::kDbCrash: return "kDbCrash";
+    case LockRank::kQueueEndpoint: return "kQueueEndpoint";
+    case LockRank::kExecutorQueue: return "kExecutorQueue";
+    case LockRank::kPieceAccount: return "kPieceAccount";
+    case LockRank::kDistPending: return "kDistPending";
+    case LockRank::kLockStripe: return "kLockStripe";
+    case LockRank::kWaitsFor: return "kWaitsFor";
+    case LockRank::kDcDelta: return "kDcDelta";
+    case LockRank::kStoreMap: return "kStoreMap";
+    case LockRank::kStoreStripe: return "kStoreStripe";
+    case LockRank::kTxnStruct: return "kTxnStruct";
+    case LockRank::kTxnCharge: return "kTxnCharge";
+    case LockRank::kWal: return "kWal";
+    case LockRank::kHistory: return "kHistory";
+    case LockRank::kAdmission: return "kAdmission";
+    case LockRank::kNetInbox: return "kNetInbox";
+    case LockRank::kNetState: return "kNetState";
+    case LockRank::kFault: return "kFault";
+    case LockRank::kTraceRegistry: return "kTraceRegistry";
+    case LockRank::kTraceRing: return "kTraceRing";
+    case LockRank::kHistogram: return "kHistogram";
+  }
+  return "kUnknownRank";
+}
+
+}  // namespace atp

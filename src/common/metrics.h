@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 /// Relaxed atomic counter.  Sum-only; per-thread sharding is overkill here
@@ -17,12 +19,14 @@ namespace atp {
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
-    value_.fetch_add(n, std::memory_order_relaxed);
+    value_.fetch_add(n, std::memory_order_relaxed);  // relaxed-ok: monotone tally
   }
   [[nodiscard]] std::uint64_t get() const noexcept {
-    return value_.load(std::memory_order_relaxed);
+    return value_.load(std::memory_order_relaxed);  // relaxed-ok: stat read
   }
-  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);  // relaxed-ok: quiescent reset
+  }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -195,7 +199,7 @@ class Histogram {
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
+  mutable OrderedMutex<LockRank::kHistogram> mu_;  ///< rank kHistogram: leaf
   std::vector<double> samples_;  ///< the reservoir
   std::uint64_t count_ = 0;
   double sum_ = 0, min_ = 0, max_ = 0;

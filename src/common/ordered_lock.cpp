@@ -1,0 +1,233 @@
+#include "common/ordered_lock.h"
+
+#if defined(ATP_LOCK_CHECK)
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+namespace atp::lockcheck {
+
+namespace {
+
+// The checker's own serialization.  This is the one deliberately raw
+// std::mutex in src/ (allowlisted for TH001): it is a strict leaf -- nothing
+// is ever acquired under it -- and routing it through OrderedMutex would
+// recurse.
+struct Graph {
+  std::mutex mu;
+  struct Rec {
+    const char* from_file;
+    unsigned from_line;
+    const char* to_file;
+    unsigned to_line;
+    std::uint64_t count;
+  };
+  std::map<std::pair<std::uint16_t, std::uint16_t>, Rec> edges;
+  // Bumped by reset_for_testing() so other threads' dedup caches invalidate.
+  std::atomic<std::uint64_t> gen{0};
+  std::atomic<ViolationHandler> handler{nullptr};
+};
+
+Graph& graph() {
+  static Graph g;
+  return g;
+}
+
+thread_local std::vector<HeldLock> t_held;
+
+// Per-thread seen-edge cache so steady-state acquisition never touches the
+// global graph mutex.
+thread_local std::unordered_set<std::uint32_t> t_seen;
+thread_local std::uint64_t t_seen_gen = 0;
+
+std::uint16_t raw(LockRank r) noexcept {
+  return static_cast<std::uint16_t>(r);
+}
+
+void record_edge(const HeldLock& held, LockRank to, const char* to_file,
+                 unsigned to_line) {
+  Graph& g = graph();
+  const std::uint64_t gen = g.gen.load(std::memory_order_acquire);
+  if (t_seen_gen != gen) {
+    t_seen.clear();
+    t_seen_gen = gen;
+  }
+  const std::uint32_t key =
+      (std::uint32_t(raw(held.rank)) << 16) | raw(to);
+  if (!t_seen.insert(key).second) return;  // already recorded by this thread
+  std::lock_guard lock(g.mu);
+  auto [it, fresh] = g.edges.try_emplace(
+      std::make_pair(raw(held.rank), raw(to)),
+      Graph::Rec{held.file, held.line, to_file, to_line, 0});
+  it->second.count += 1;
+  (void)fresh;
+}
+
+std::string site(const char* file, unsigned line) {
+  std::string s = file != nullptr ? file : "?";
+  // Witnesses print the path from src/ on, not the build machine's prefix.
+  const auto pos = s.rfind("/src/");
+  if (pos != std::string::npos) s = s.substr(pos + 1);
+  s += ":";
+  s += std::to_string(line);
+  return s;
+}
+
+[[noreturn]] void abort_with_witness(const ViolationReport& report) {
+  std::string msg = report.to_string();
+  const std::vector<Edge> cycle = find_cycle();
+  if (!cycle.empty()) msg += cycle_witness(cycle);
+  std::fprintf(stderr, "%s", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+std::string ViolationReport::to_string() const {
+  std::string out = "lock-order violation: acquiring ";
+  out += atp::to_string(attempted);
+  out += attempted_shared ? " (shared)" : " (exclusive)";
+  out += " at ";
+  out += site(file, line);
+  out += "\n  while holding (outermost first):\n";
+  for (const HeldLock& h : held) {
+    out += "    ";
+    out += atp::to_string(h.rank);
+    out += h.shared ? " (shared)" : " (exclusive)";
+    out += " acquired at ";
+    out += site(h.file, h.line);
+    out += "\n";
+  }
+  return out;
+}
+
+ViolationHandler set_violation_handler(ViolationHandler h) noexcept {
+  return graph().handler.exchange(h);
+}
+
+std::vector<Edge> observed_edges() {
+  Graph& g = graph();
+  std::vector<Edge> out;
+  std::lock_guard lock(g.mu);
+  out.reserve(g.edges.size());
+  for (const auto& [key, rec] : g.edges) {
+    out.push_back(Edge{LockRank(key.first), LockRank(key.second),
+                       rec.from_file, rec.from_line, rec.to_file, rec.to_line,
+                       rec.count});
+  }
+  return out;
+}
+
+std::vector<Edge> find_cycle() {
+  const std::vector<Edge> edges = observed_edges();
+  // Shortest cycle through any edge: for each edge u->v, BFS the shortest
+  // path v->...->u; the winner plus its closing edge is the minimal witness.
+  // The graph has at most ~30 nodes, so brute force is plenty.
+  auto bfs_path = [&edges](LockRank from,
+                           LockRank to) -> std::vector<const Edge*> {
+    std::map<std::uint16_t, const Edge*> parent_edge;  // node -> edge used
+    std::vector<LockRank> frontier{from};
+    parent_edge[raw(from)] = nullptr;
+    while (!frontier.empty()) {
+      std::vector<LockRank> next;
+      for (const LockRank u : frontier) {
+        for (const Edge& e : edges) {
+          if (e.from != u) continue;
+          if (parent_edge.count(raw(e.to)) != 0) continue;
+          parent_edge[raw(e.to)] = &e;
+          if (e.to == to) {
+            std::vector<const Edge*> path;
+            for (const Edge* step = &e; step != nullptr;
+                 step = parent_edge[raw(step->from)]) {
+              path.insert(path.begin(), step);
+            }
+            return path;
+          }
+          next.push_back(e.to);
+        }
+      }
+      frontier = std::move(next);
+    }
+    return {};
+  };
+
+  std::vector<Edge> best;
+  for (const Edge& e : edges) {
+    const std::vector<const Edge*> back = bfs_path(e.to, e.from);
+    if (back.empty() && e.to != e.from) continue;
+    std::vector<Edge> cycle{e};
+    for (const Edge* step : back) cycle.push_back(*step);
+    if (best.empty() || cycle.size() < best.size()) best = std::move(cycle);
+  }
+  return best;
+}
+
+std::string cycle_witness(const std::vector<Edge>& cycle) {
+  if (cycle.empty()) return "";
+  std::string out = "  lock-order cycle (" + std::to_string(cycle.size()) +
+                    " edge" + (cycle.size() == 1 ? "" : "s") + "):\n";
+  for (const Edge& e : cycle) {
+    out += "    ";
+    out += atp::to_string(e.from);
+    out += " -> ";
+    out += atp::to_string(e.to);
+    out += "  [held at ";
+    out += site(e.from_file, e.from_line);
+    out += ", acquired at ";
+    out += site(e.to_file, e.to_line);
+    out += "]\n";
+  }
+  return out;
+}
+
+std::size_t held_count() noexcept { return t_held.size(); }
+
+void reset_for_testing() {
+  Graph& g = graph();
+  std::lock_guard lock(g.mu);
+  g.edges.clear();
+  g.gen.fetch_add(1, std::memory_order_release);
+}
+
+void on_acquire(LockRank r, const void* mu, bool shared, const char* file,
+                unsigned line) {
+  (void)mu;
+  bool bad = false;
+  for (const HeldLock& h : t_held) {
+    record_edge(h, r, file, line);
+    if (h.rank >= r) bad = true;
+  }
+  if (!bad) return;
+  ViolationReport report{r, shared, file, line, t_held};
+  if (ViolationHandler h = graph().handler.load()) {
+    h(report);
+    throw LockOrderViolation(std::move(report));
+  }
+  abort_with_witness(report);
+}
+
+void on_acquired(LockRank r, const void* mu, bool shared, const char* file,
+                 unsigned line) {
+  t_held.push_back(HeldLock{r, mu, shared, file, line});
+}
+
+void on_release(const void* mu) noexcept {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Unlocking something we never saw locked: broken bookkeeping.
+  std::fprintf(stderr, "lock-order checker: unlock of untracked mutex\n");
+  std::abort();
+}
+
+}  // namespace atp::lockcheck
+
+#endif  // ATP_LOCK_CHECK

@@ -1,0 +1,220 @@
+// Rank-checked mutex wrappers enforcing the lock ordering declared in
+// common/lock_ranks.h.
+//
+// Every mutex in src/ is an OrderedMutex<LockRank::kSomething> (atp-lint
+// --mode=threads rule TH001 bans raw std::mutex outside an allowlist, TH002
+// requires the rank to come from the manifest).  The wrappers are drop-in:
+// lock_guard, unique_lock, shared_lock and OrderedCondVar all work unchanged.
+//
+// ATP_LOCK_CHECK builds (the default; -DATP_LOCK_CHECK=OFF to disable): each
+// thread tracks its held-lock stack, and acquiring a lock whose rank is not
+// strictly greater than every held rank aborts with a witness naming the
+// attempted lock, the held locks, and all acquisition sites.  Every
+// acquired-while-holding pair also feeds a process-wide lock-order graph;
+// when a violation fires, the shortest rank cycle through the graph is
+// rendered SC-cycle style.  Tests install a violation handler instead
+// (lockcheck::set_violation_handler): the handler sees the report, then the
+// acquisition is abandoned by throwing LockOrderViolation, so a true
+// would-be deadlock never actually blocks the test.
+//
+// Non-check builds: the wrappers are type aliases for the std primitives --
+// zero code, zero storage, zero overhead (EXPERIMENTS.md spot-checks the
+// lock-acquire hot path at <= 1% vs the unwrapped seed).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/lock_ranks.h"
+
+#if defined(ATP_LOCK_CHECK)
+
+#include <cstdint>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace atp::lockcheck {
+
+/// One lock currently held by the reporting thread.
+struct HeldLock {
+  LockRank rank;
+  const void* mutex;
+  bool shared;
+  const char* file;  ///< acquisition site (static storage, from source_location)
+  unsigned line;
+};
+
+/// Everything a rank-order violation knows about itself.
+struct ViolationReport {
+  LockRank attempted;
+  bool attempted_shared;
+  const char* file;  ///< attempted acquisition site
+  unsigned line;
+  std::vector<HeldLock> held;  ///< the thread's held stack, outermost first
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown to abandon an out-of-order acquisition when a violation handler is
+/// installed (tests); without a handler the process aborts instead.
+class LockOrderViolation : public std::runtime_error {
+ public:
+  explicit LockOrderViolation(ViolationReport r)
+      : std::runtime_error(r.to_string()), report(std::move(r)) {}
+  ViolationReport report;
+};
+
+/// One observed acquired-while-holding edge `from -> to` with the first
+/// sites that produced it.
+struct Edge {
+  LockRank from;
+  LockRank to;
+  const char* from_file;
+  unsigned from_line;
+  const char* to_file;
+  unsigned to_line;
+  std::uint64_t count;
+};
+
+using ViolationHandler = void (*)(const ViolationReport&);
+
+/// Install a handler called on violation instead of aborting; after it
+/// returns, the acquisition throws LockOrderViolation.  Pass nullptr to
+/// restore abort-with-witness.  Returns the previous handler.
+ViolationHandler set_violation_handler(ViolationHandler h) noexcept;
+
+/// Snapshot of the process-wide lock-order graph (legal edges included).
+[[nodiscard]] std::vector<Edge> observed_edges();
+
+/// Shortest rank cycle in the observed graph, as the edge list walking it;
+/// empty when the graph is acyclic (the healthy state).
+[[nodiscard]] std::vector<Edge> find_cycle();
+
+/// Render a cycle the way SC-cycle reports do: one edge per line with both
+/// acquisition sites.
+[[nodiscard]] std::string cycle_witness(const std::vector<Edge>& cycle);
+
+/// Locks currently held by the calling thread (tests use this to check
+/// condvar wait re-acquisition bookkeeping).
+[[nodiscard]] std::size_t held_count() noexcept;
+
+/// Drop all recorded edges (including other threads' dedup caches, via a
+/// generation bump).  Test isolation only.
+void reset_for_testing();
+
+// Internal hooks the wrappers call; not for direct use.
+void on_acquire(LockRank r, const void* mu, bool shared, const char* file,
+                unsigned line);
+void on_acquired(LockRank r, const void* mu, bool shared, const char* file,
+                 unsigned line);
+void on_release(const void* mu) noexcept;
+
+}  // namespace atp::lockcheck
+
+namespace atp {
+
+/// std::mutex + rank checking.  The rank is a template parameter (not a
+/// constructor argument) so arrays of striped mutexes stay declarable.
+template <LockRank R>
+class OrderedMutex {
+ public:
+  OrderedMutex() = default;
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  void lock(std::source_location loc = std::source_location::current()) {
+    lockcheck::on_acquire(R, this, false, loc.file_name(), loc.line());
+    mu_.lock();
+    lockcheck::on_acquired(R, this, false, loc.file_name(), loc.line());
+  }
+  bool try_lock(std::source_location loc = std::source_location::current()) {
+    lockcheck::on_acquire(R, this, false, loc.file_name(), loc.line());
+    if (!mu_.try_lock()) return false;
+    lockcheck::on_acquired(R, this, false, loc.file_name(), loc.line());
+    return true;
+  }
+  void unlock() {
+    lockcheck::on_release(this);
+    mu_.unlock();
+  }
+
+  static constexpr LockRank rank() noexcept { return R; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex + rank checking.  Shared and exclusive acquisitions
+/// obey the same rank: readers and writers sit at one place in the order.
+template <LockRank R>
+class OrderedSharedMutex {
+ public:
+  OrderedSharedMutex() = default;
+  OrderedSharedMutex(const OrderedSharedMutex&) = delete;
+  OrderedSharedMutex& operator=(const OrderedSharedMutex&) = delete;
+
+  void lock(std::source_location loc = std::source_location::current()) {
+    lockcheck::on_acquire(R, this, false, loc.file_name(), loc.line());
+    mu_.lock();
+    lockcheck::on_acquired(R, this, false, loc.file_name(), loc.line());
+  }
+  bool try_lock(std::source_location loc = std::source_location::current()) {
+    lockcheck::on_acquire(R, this, false, loc.file_name(), loc.line());
+    if (!mu_.try_lock()) return false;
+    lockcheck::on_acquired(R, this, false, loc.file_name(), loc.line());
+    return true;
+  }
+  void unlock() {
+    lockcheck::on_release(this);
+    mu_.unlock();
+  }
+
+  void lock_shared(
+      std::source_location loc = std::source_location::current()) {
+    lockcheck::on_acquire(R, this, true, loc.file_name(), loc.line());
+    mu_.lock_shared();
+    lockcheck::on_acquired(R, this, true, loc.file_name(), loc.line());
+  }
+  bool try_lock_shared(
+      std::source_location loc = std::source_location::current()) {
+    lockcheck::on_acquire(R, this, true, loc.file_name(), loc.line());
+    if (!mu_.try_lock_shared()) return false;
+    lockcheck::on_acquired(R, this, true, loc.file_name(), loc.line());
+    return true;
+  }
+  void unlock_shared() {
+    lockcheck::on_release(this);
+    mu_.unlock_shared();
+  }
+
+  static constexpr LockRank rank() noexcept { return R; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Condition variable usable with any OrderedMutex rank.  wait() unlocks and
+/// re-locks through the wrapper, so the held-stack bookkeeping stays exact
+/// across blocking waits.
+using OrderedCondVar = std::condition_variable_any;
+
+}  // namespace atp
+
+#else  // !ATP_LOCK_CHECK: plain std primitives, zero overhead.
+
+namespace atp {
+
+template <LockRank>
+using OrderedMutex = std::mutex;
+
+template <LockRank>
+using OrderedSharedMutex = std::shared_mutex;
+
+// OrderedMutex<R> IS std::mutex here, so the native condvar lines up.
+using OrderedCondVar = std::condition_variable;
+
+}  // namespace atp
+
+#endif  // ATP_LOCK_CHECK

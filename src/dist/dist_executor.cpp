@@ -9,6 +9,8 @@
 #include "common/stopwatch.h"
 #include "fault/retry.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 std::string DistExecutorReport::header() {
@@ -50,7 +52,7 @@ DistExecutorReport DistExecutor::run(const std::vector<Site*>& sites,
   std::atomic<std::uint64_t> committed{0}, aborted{0}, completed{0};
   // Chopped mode: completion notices are awaited after the client loop, so
   // the client threads measure pure client-visible latency.
-  std::mutex pending_mu;
+  OrderedMutex<LockRank::kDistPending> pending_mu;  // rank kDistPending
   std::vector<std::pair<SiteId, std::uint64_t>> pending;  // (home, gtid)
 
   sites[0]->net().reset_stats();
@@ -60,7 +62,7 @@ DistExecutorReport DistExecutor::run(const std::vector<Site*>& sites,
   for (std::size_t c = 0; c < options.clients; ++c) {
     clients.emplace_back([&] {
       for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: work ticket; RMW atomicity dedups
         if (i >= stream.size()) break;
         const DistTxnSpec& spec = stream[i];
         Site* home = sites[spec.pieces[0].site];
@@ -77,12 +79,12 @@ DistExecutorReport DistExecutor::run(const std::vector<Site*>& sites,
             }
             auto out = coord.run_chopped(spec, std::chrono::milliseconds(0));
             if (out.ok()) {
-              committed.fetch_add(1, std::memory_order_relaxed);
+              committed.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: tally read after join
               client_ms.record(out.value().client_latency_us / 1000.0);
               if (out.value().completed) {
                 // Single-piece transactions finish inline; there is no done
                 // notice to await.
-                completed.fetch_add(1, std::memory_order_relaxed);
+                completed.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: tally read after join
                 complete_ms.record(out.value().complete_latency_us / 1000.0);
               } else {
                 std::lock_guard lock(pending_mu);
@@ -102,14 +104,14 @@ DistExecutorReport DistExecutor::run(const std::vector<Site*>& sites,
             auto out = coord.run_2pc(spec, options.validation_round,
                                      options.decision_timeout);
             if (out.ok()) {
-              committed.fetch_add(1, std::memory_order_relaxed);
-              completed.fetch_add(1, std::memory_order_relaxed);
+              committed.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: tally read after join
+              completed.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: tally read after join
               client_ms.record(out.value().client_latency_us / 1000.0);
               complete_ms.record(out.value().complete_latency_us / 1000.0);
               done = true;
             }
           }
-          if (!done) aborted.fetch_add(1, std::memory_order_relaxed);
+          if (!done) aborted.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: tally read after join
         }
       }
     });
@@ -122,7 +124,7 @@ DistExecutorReport DistExecutor::run(const std::vector<Site*>& sites,
     // (an upper bound -- individual start times belong to the client loop).
     for (const auto& [home, gtid] : pending) {
       if (sites[home]->wait_done(gtid, options.completion_timeout)) {
-        completed.fetch_add(1, std::memory_order_relaxed);
+        completed.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: tally read after join
       }
     }
     complete_ms.record(double(wall.elapsed_us()) / 1000.0);

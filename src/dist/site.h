@@ -38,6 +38,8 @@
 #include "queue/recoverable_queue.h"
 #include "sched/database.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 /// Reserved queue carrying distributed-transaction completion notices.
@@ -108,14 +110,14 @@ class Site {
   std::thread daemon_thread_;
   std::vector<std::thread> worker_threads_;
 
-  std::mutex mu_;
+  OrderedMutex<LockRank::kSite> mu_;  ///< rank kSite: held while stashed subtxns commit/abort (db locks inside)
   QueueHandler queue_handler_;
   std::unordered_map<std::uint64_t, Txn> subtxns_;  // volatile until prepared
   std::unordered_set<std::uint64_t> prepared_;      // force-logged gtids
   std::unordered_set<std::uint64_t> done_;          // completed gtids
-  std::condition_variable done_cv_;
+  OrderedCondVar done_cv_;
   std::deque<std::function<void()>> pending_work_;
-  std::condition_variable work_cv_;
+  OrderedCondVar work_cv_;
 };
 
 }  // namespace atp

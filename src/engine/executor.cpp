@@ -15,6 +15,8 @@
 #include "engine/piece_runner.h"
 #include "obs/metrics_registry.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 std::string ExecutorReport::header() {
@@ -68,8 +70,16 @@ namespace {
 /// pop from the back, so contention on the mutex is the only interaction
 /// and it is short.  Padded so neighbouring queues never share a line.
 struct alignas(64) WorkerQueue {
-  std::mutex mu;
+  mutable OrderedMutex<LockRank::kExecutorQueue> mu;  // rank kExecutorQueue: only ever one queue locked at a time
   std::deque<std::size_t> q;  // indices into the instance stream
+
+  // Collector-facing accessor: the metrics collector must not acquire locks
+  // in its own body (TH003 -- it runs under the registry lock), so the queue
+  // exposes its depth the same way other components expose stats().
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard lock(mu);
+    return q.size();
+  }
 };
 
 }  // namespace
@@ -112,10 +122,7 @@ ExecutorReport Executor::run(Database& db, const ExecutionPlan& plan,
   if (reg != nullptr) {
     cid = reg->add_collector([&](obs::SnapshotBuilder& b) {
       std::size_t depth = 0;
-      for (const auto& wq : queues) {
-        std::lock_guard lock(wq->mu);
-        depth += wq->q.size();
-      }
+      for (const auto& wq : queues) depth += wq->depth();
       b.gauge("exec.queue_depth", double(depth));
       b.gauge("exec.workers", double(workers));
       b.counter("exec.committed", double(metrics.committed_txns.get()));
@@ -125,7 +132,7 @@ ExecutorReport Executor::run(Database& db, const ExecutionPlan& plan,
       b.counter("exec.deadlock_aborts", double(metrics.aborts_deadlock.get()));
       b.counter("exec.epsilon_aborts", double(metrics.aborts_epsilon.get()));
       b.counter("exec.rollbacks", double(metrics.aborts_rollback.get()));
-      b.counter("exec.steals",
+      b.counter("exec.steals",  // relaxed-ok: monotone stat snapshot
                 double(steals.load(std::memory_order_relaxed)));
       b.histogram("exec.piece_us", metrics.piece_latency_us.summarize());
       b.histogram("exec.txn_us", metrics.txn_latency_us.summarize());
@@ -166,7 +173,7 @@ ExecutorReport Executor::run(Database& db, const ExecutionPlan& plan,
         if (batch.empty()) return false;
         // Back-popping reversed the stolen run; restore stream order.
         std::reverse(batch.begin(), batch.end());
-        steals.fetch_add(1, std::memory_order_relaxed);
+        steals.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: stat tally
         return true;
       };
 
@@ -193,7 +200,7 @@ ExecutorReport Executor::run(Database& db, const ExecutionPlan& plan,
           // tolerance).
           if (r.committed &&
               r.z_restricted > tp.type.epsilon_limit * (1 + 1e-9) + 1e-9) {
-            budget_violations.fetch_add(1, std::memory_order_relaxed);
+            budget_violations.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: tally read after join
           }
         }
       }

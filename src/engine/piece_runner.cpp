@@ -10,6 +10,8 @@
 
 #include "common/stopwatch.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 namespace {
 
@@ -173,7 +175,7 @@ TxnRunResult PieceRunner::run(const TxnTypePlan& plan,
 
   // Shared accumulation (the parallel scheduler touches these from sibling
   // threads; the distributor is not internally thread-safe either).
-  std::mutex mu;
+  OrderedMutex<LockRank::kPieceAccount> mu;  // rank kPieceAccount
   auto account = [&](std::size_t p, const PieceOutcome& out) {
     std::lock_guard lock(mu);
     distributor->report_committed(p, out.z_p);

@@ -32,6 +32,8 @@
 #include "net/message.h"
 #include "obs/metrics_registry.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 /// What to inject, with what probability.  All probabilities independent.
@@ -143,7 +145,7 @@ class FaultInjector {
   std::uint64_t seed_;
   FaultSpec spec_;
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex<LockRank::kFault> mu_;  ///< rank kFault: leaf under net/wal paths
   std::unordered_map<std::uint64_t, std::uint64_t> send_attempts_;
   std::unordered_map<SiteId, std::uint64_t> fsync_attempts_;
   std::unordered_map<SiteId, std::uint32_t> fsync_consecutive_;

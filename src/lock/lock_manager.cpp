@@ -22,7 +22,7 @@ Status LockManager::acquire(TxnId txn, Key key, LockMode mode,
   // Sampled latency probe: the acquires counter doubles as the sampling
   // clock.  Timed acquires pay two steady_clock reads and one histogram
   // record; the other 63 of 64 pay a single relaxed fetch_add.
-  const std::uint64_t n =
+  const std::uint64_t n =  // relaxed-ok: sampling clock + stat; no ordering needed
       s.acquires.fetch_add(1, std::memory_order_relaxed);
   if ((n & ((1u << kLatencySampleShift) - 1)) == 0) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -284,7 +284,7 @@ std::vector<LockStripeSnapshot> LockManager::stripe_stats() const {
     // Read outside the stripe mutex: both are self-consistent on their own
     // (relaxed atomic / histogram-internal lock), and the heatmap does not
     // need them to be from the same instant as the mutexed fields.
-    snap.acquires = sp->acquires.load(std::memory_order_relaxed);
+    snap.acquires = sp->acquires.load(std::memory_order_relaxed);  // relaxed-ok: heatmap stat
     snap.acquire_us = sp->acquire_us.summarize();
     out.push_back(std::move(snap));
   }

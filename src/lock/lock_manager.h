@@ -51,6 +51,8 @@
 #include "common/types.h"
 #include "trace/tracer.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 enum class LockMode : std::uint8_t { Shared, Exclusive };
@@ -194,8 +196,8 @@ class LockManager {
   /// outside the stripe mutex (see acquire()) and therefore atomic / self-
   /// locking.  cv is broadcast on any release/cancel affecting the stripe.
   struct Stripe {
-    mutable std::mutex mu;
-    std::condition_variable cv;
+    mutable OrderedMutex<LockRank::kLockStripe> mu;  ///< rank kLockStripe: taken before waits-for/delta/store/txn locks
+    OrderedCondVar cv;
     std::unordered_map<Key, Queue> queues;
     std::unordered_map<TxnId, std::unordered_set<Key>> held_keys;
     // One outstanding request per txn at a time (the piece runner
@@ -254,7 +256,7 @@ class LockManager {
   // Global waits-for graph for cross-stripe deadlock detection.  Lock order:
   // any stripe mutex, then wait_mu_.  Values are snapshots of each blocked
   // txn's waits_for set, republished on every blocking evaluation.
-  mutable std::mutex wait_mu_;
+  mutable OrderedMutex<LockRank::kWaitsFor> wait_mu_;  ///< rank kWaitsFor: stripe then wait, never the reverse
   std::unordered_map<TxnId, std::unordered_set<TxnId>> wait_edges_;
 
   std::chrono::milliseconds timeout_;

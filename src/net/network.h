@@ -26,6 +26,8 @@
 #include "obs/metrics_registry.h"
 #include "trace/tracer.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 class FaultInjector;
@@ -106,8 +108,8 @@ class SimNetwork {
   };
 
   struct Inbox {
-    mutable std::mutex mu;
-    std::condition_variable cv;
+    mutable OrderedMutex<LockRank::kNetInbox> mu;  ///< rank kNetInbox: taken before state_mu_
+    OrderedCondVar cv;
     std::list<Pending> messages;
   };
 
@@ -124,7 +126,7 @@ class SimNetwork {
   // crash clears the inbox -- never a push into an already-cleared inbox.
   NetworkOptions options_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
-  mutable std::mutex state_mu_;  // site/link up-ness + stats + ids + jitter
+  mutable OrderedMutex<LockRank::kNetState> state_mu_;  // rank kNetState; site/link up-ness + stats + ids + jitter
   std::vector<bool> site_up_;
   std::vector<std::vector<bool>> link_up_;
   NetStats stats_;

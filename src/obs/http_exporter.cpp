@@ -17,7 +17,7 @@ namespace {
 std::atomic<bool> g_dump_requested{false};
 
 extern "C" void obs_dump_signal_handler(int) {
-  g_dump_requested.store(true, std::memory_order_relaxed);
+  g_dump_requested.store(true, std::memory_order_relaxed);  // relaxed-ok: polled flag
 }
 
 std::string http_response(const char* status, const char* content_type,
@@ -80,7 +80,8 @@ void ObsServer::enable_signal_dump(const std::string& path_prefix, int signo) {
 
 void ObsServer::serve_loop() {
   while (running_.load(std::memory_order_acquire)) {
-    if (g_dump_requested.exchange(false, std::memory_order_relaxed) &&
+    if (g_dump_requested.exchange(false,  // relaxed-ok: flag only; the snapshot has its own sync
+                                  std::memory_order_relaxed) &&
         !dump_prefix_.empty()) {
       const MetricsSnapshot snap = take_snapshot();
       const std::string path =

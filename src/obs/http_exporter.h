@@ -28,6 +28,8 @@
 
 #include "obs/metrics_registry.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 class ListenSocket;
 }
@@ -69,7 +71,7 @@ class ObsServer {
 
   std::unique_ptr<ListenSocket> listener_;  ///< null when the bind failed
   std::uint16_t port_ = 0;
-  std::mutex registry_mu_;
+  OrderedMutex<LockRank::kObsExporter> registry_mu_;  ///< rank kObsExporter: taken before the registry lock
   MetricsRegistry* registry_ = nullptr;
   std::atomic<bool> running_{false};
   std::string dump_prefix_;

@@ -35,7 +35,7 @@ class ShardedCounter {
 
   void add(std::uint64_t n = 1) noexcept {
 #if defined(ATP_OBS_ENABLED)
-    slots_[slot_index()].v.fetch_add(n, std::memory_order_relaxed);
+    slots_[slot_index()].v.fetch_add(n, std::memory_order_relaxed);  // relaxed-ok: sharded monotone counter
 #else
     (void)n;
 #endif
@@ -43,7 +43,9 @@ class ShardedCounter {
 
   [[nodiscard]] std::uint64_t value() const noexcept {
     std::uint64_t sum = 0;
-    for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+    for (const Slot& s : slots_) {
+      sum += s.v.load(std::memory_order_relaxed);  // relaxed-ok: torn sums tolerated (monotone)
+    }
     return sum;
   }
 
@@ -57,7 +59,7 @@ class ShardedCounter {
   static std::size_t slot_index() noexcept {
     static std::atomic<std::size_t> next{0};
     thread_local const std::size_t mine =
-        next.fetch_add(1, std::memory_order_relaxed) % kSlots;
+        next.fetch_add(1, std::memory_order_relaxed) % kSlots;  // relaxed-ok: slot pick; collisions just share
     return mine;
   }
 
@@ -70,19 +72,19 @@ class ShardedCounter {
 class Gauge {
  public:
   void set(double v) noexcept {
-    ATP_OBS_ONLY(value_.store(v, std::memory_order_relaxed);)
+    ATP_OBS_ONLY(value_.store(v, std::memory_order_relaxed);)  // relaxed-ok: last-value-wins gauge
     (void)v;
   }
   void add(double d) noexcept {
 #if defined(ATP_OBS_ENABLED)
-    // fetch_add on atomic<double> (C++20); relaxed: only the sum matters.
+    // relaxed-ok: fetch_add on atomic<double> (C++20); only the sum matters.
     value_.fetch_add(d, std::memory_order_relaxed);
 #else
     (void)d;
 #endif
   }
   [[nodiscard]] double value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
+    return value_.load(std::memory_order_relaxed);  // relaxed-ok: gauge snapshot
   }
 
  private:

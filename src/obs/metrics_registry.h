@@ -32,6 +32,8 @@
 #include "common/metrics.h"
 #include "obs/instruments.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp::obs {
 
 /// One aggregated data point in a snapshot.
@@ -103,7 +105,7 @@ class MetricsRegistry {
   static constexpr std::size_t kHistogramReservoir = 512;
 
  private:
-  mutable std::mutex mu_;  // instruments + collectors + snapshot serialization
+  mutable OrderedMutex<LockRank::kObsRegistry> mu_;  // rank kObsRegistry: snapshot() runs collectors (and their component stats locks) under it
   // std::map: stable iteration order gives deterministically-sorted samples.
   std::map<std::string, std::unique_ptr<ShardedCounter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

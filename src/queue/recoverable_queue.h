@@ -38,6 +38,8 @@
 #include "wal/log.h"
 #include "wal/recovery.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 struct QueueStats {
@@ -131,7 +133,7 @@ class QueueEndpoint {
   Tracer* tracer_ = nullptr;
   std::chrono::milliseconds retry_interval_{20};
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex<LockRank::kQueueEndpoint> mu_;  ///< rank kQueueEndpoint: WAL append + net send happen under it
   std::uint64_t next_qmsg_ = 1;
   std::vector<Outbound> outbound_;                        // durable
   std::unordered_map<std::string, std::deque<Delivered>> inbound_;  // durable

@@ -39,6 +39,8 @@
 #include "txn/registry.h"
 #include "wal/recovery.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 namespace obs {
@@ -262,7 +264,7 @@ class Database {
   // holds the prepared transactions of the LATEST crash only; earlier
   // epochs' survivors have long since resolved by the next crash.
   std::atomic<std::uint64_t> crash_epoch_{0};
-  mutable std::mutex crash_mu_;
+  mutable OrderedMutex<LockRank::kDbCrash> crash_mu_;  ///< rank kDbCrash
   std::unordered_set<TxnId> crash_survivors_;
 
   // --- Observability (all null/zero when unconfigured) ---

@@ -34,6 +34,8 @@
 #include "storage/store.h"
 #include "txn/registry.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 class DcResolver final : public ConflictResolver {
@@ -68,7 +70,7 @@ class DcResolver final : public ConflictResolver {
   // on one mutex.
   static constexpr std::size_t kDeltaStripes = 16;
   struct alignas(64) DeltaStripe {
-    std::mutex mu;
+    OrderedMutex<LockRank::kDcDelta> mu;  ///< rank kDcDelta: consulted under a lock stripe
     std::unordered_map<TxnId, Value> pending;
   };
   std::array<DeltaStripe, kDeltaStripes> delta_stripes_;

@@ -6,7 +6,8 @@ namespace atp {
 
 void HistoryRecorder::record(TxnId txn, OpType op, Key key, Value value) {
   if (!enabled()) return;
-  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seq =  // relaxed-ok: events() sorts by seq; append order is free
+      seq_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard lock(mu_);
   events_.push_back(HistoryEvent{seq, txn, op, key, value});
 }
@@ -104,7 +105,7 @@ void HistoryRecorder::clear() {
   std::lock_guard lock(mu_);
   events_.clear();
   committed_.clear();
-  seq_.store(0, std::memory_order_relaxed);
+  seq_.store(0, std::memory_order_relaxed);  // relaxed-ok: under mu_
 }
 
 }  // namespace atp

@@ -17,6 +17,8 @@
 
 #include "common/types.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 enum class OpType : std::uint8_t { Read, Write };
@@ -32,9 +34,11 @@ struct HistoryEvent {
 class HistoryRecorder {
  public:
   /// Enable/disable recording (off by default; benches leave it off).
-  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);  // relaxed-ok: gating flag
+  }
   [[nodiscard]] bool enabled() const {
-    return enabled_.load(std::memory_order_relaxed);
+    return enabled_.load(std::memory_order_relaxed);  // relaxed-ok: gating flag
   }
 
   void record(TxnId txn, OpType op, Key key, Value value);
@@ -58,7 +62,7 @@ class HistoryRecorder {
  private:
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> seq_{0};
-  mutable std::mutex mu_;
+  mutable OrderedMutex<LockRank::kHistory> mu_;  ///< rank kHistory: leaf under commit paths
   std::vector<HistoryEvent> events_;
   std::unordered_set<TxnId> committed_;
 };

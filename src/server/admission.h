@@ -35,6 +35,8 @@
 #include "common/types.h"
 #include "txn/epsilon.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp::server {
 
 struct ClassPolicy {
@@ -93,7 +95,7 @@ class AdmissionController {
   [[nodiscard]] static Value cost_of(const EpsilonSpec& spec) noexcept;
 
   std::vector<ClassPolicy> classes_;
-  mutable std::mutex mu_;
+  mutable OrderedMutex<LockRank::kAdmission> mu_;  ///< rank kAdmission: leaf (no lock taken while held)
   std::unordered_map<std::string, Value> outstanding_;
 };
 

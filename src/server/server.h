@@ -34,6 +34,8 @@
 #include "server/session.h"
 #include "server/transport.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp::server {
 
 struct ServerOptions {
@@ -92,15 +94,15 @@ class AtpServer {
   obs::ShardedCounter* sessions_closed_ = nullptr;
   obs::Gauge* sessions_active_ = nullptr;
 
-  mutable std::mutex sessions_mu_;
+  mutable OrderedMutex<LockRank::kServerSessions> sessions_mu_;  ///< rank kServerSessions: held across Session::close at shutdown
   std::unordered_map<ConnId, std::shared_ptr<Session>> sessions_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
+  OrderedMutex<LockRank::kServerQueue> queue_mu_;  ///< rank kServerQueue
+  OrderedCondVar queue_cv_;
   std::deque<std::shared_ptr<Session>> ready_;
 
   std::atomic<bool> stopping_{false};
-  std::mutex stop_mu_;  ///< serializes stop(): join() is not join()-concurrent-safe
+  OrderedMutex<LockRank::kServerStop> stop_mu_;  ///< rank kServerStop (outermost); serializes stop(): join() is not join()-concurrent-safe
   std::thread poll_thread_;
   std::vector<std::thread> workers_;
 };

@@ -37,6 +37,8 @@
 #include "server/protocol.h"
 #include "server/transport.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp::server {
 
 /// Push instruments the server publishes (server.h wires them; null-safe
@@ -136,7 +138,7 @@ class Session {
   AdmissionController& admission_;
   ServerCounters& counters_;
 
-  mutable std::mutex mu_;  // state_/cls_/pending_/executing_
+  mutable OrderedMutex<LockRank::kSession> mu_;  // rank kSession; guards state_/cls_/pending_/executing_
   State state_ = State::AwaitHello;
   const ClassPolicy* cls_ = nullptr;
   FrameReader reader_;                 // poll thread only

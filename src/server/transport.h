@@ -38,6 +38,8 @@
 #include "common/socket.h"
 #include "net/network.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp::server {
 
 using ConnId = std::uint64_t;
@@ -115,7 +117,7 @@ class TcpTransport final : public Transport {
   // memcpy plus at most one non-blocking syscall, so worker reply threads
   // and the poll thread contend only briefly.  epoll_wait itself runs
   // unlocked.
-  mutable std::mutex mu_;
+  mutable OrderedMutex<LockRank::kTransport> mu_;  ///< rank kTransport
   std::unordered_map<ConnId, Conn> conns_;
   std::vector<ConnId> reap_;  ///< doomed by send(); poll emits kClosed
 };
@@ -138,7 +140,7 @@ class SimTransport final : public Transport {
   SiteId site_;
   // send() is thread-safe per the Transport contract, so the open-connection
   // set the poll thread mutates must be guarded (mirrors TcpTransport::mu_).
-  mutable std::mutex mu_;
+  mutable OrderedMutex<LockRank::kTransport> mu_;  ///< rank kTransport
   std::unordered_set<ConnId> open_;
 };
 

@@ -20,6 +20,8 @@
 #include "common/status.h"
 #include "common/types.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 class Store {
@@ -82,12 +84,12 @@ class Store {
   // cell *contents*.  Lookups take map_mu_ shared + the stripe lock; inserts
   // take map_mu_ exclusive.
   static constexpr std::size_t kStripes = 64;
-  [[nodiscard]] std::mutex& stripe_for(Key key) const {
+  [[nodiscard]] OrderedMutex<LockRank::kStoreStripe>& stripe_for(Key key) const {
     return stripes_[key % kStripes];
   }
 
-  mutable std::shared_mutex map_mu_;
-  mutable std::mutex stripes_[kStripes];
+  mutable OrderedSharedMutex<LockRank::kStoreMap> map_mu_;  ///< rank kStoreMap: shared for lookups, exclusive for crash/snapshot
+  mutable OrderedMutex<LockRank::kStoreStripe> stripes_[kStripes];  ///< rank kStoreStripe: under a held map lock
   std::unordered_map<Key, Cell> cells_;
 };
 

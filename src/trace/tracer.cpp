@@ -42,7 +42,8 @@ std::atomic<std::uint64_t> next_tracer_id{1};
 }  // namespace
 
 Tracer::Tracer(std::size_t per_thread_capacity)
-    : id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+    : id_(next_tracer_id.fetch_add(  // relaxed-ok: unique id only
+          1, std::memory_order_relaxed)),
       capacity_(std::max<std::size_t>(1, per_thread_capacity)),
       epoch_(std::chrono::steady_clock::now()) {}
 
@@ -69,7 +70,7 @@ Tracer::Ring* Tracer::ring_for_current_thread() {
 void Tracer::record(TraceKind kind, SiteId site, TxnId txn, Key key, double a,
                     double b, std::uint64_t aux, std::uint64_t aux2) {
   TraceEvent ev;
-  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: collect() orders by seq
   ev.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
                  std::chrono::steady_clock::now() - epoch_)
                  .count();

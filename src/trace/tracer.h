@@ -27,6 +27,8 @@
 
 #include "common/types.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 /// What happened.  Field conventions per kind are documented inline; unused
@@ -136,7 +138,7 @@ class Tracer {
 
  private:
   struct Ring {
-    mutable std::mutex mu;
+    mutable OrderedMutex<LockRank::kTraceRing> mu;  ///< rank kTraceRing: leaf (emit runs under stripe/inbox locks)
     std::vector<TraceEvent> slots;  ///< grows to capacity, then wraps
     std::uint64_t written = 0;      ///< total events ever written
     std::uint64_t base = 0;         ///< events discarded by clear()
@@ -148,7 +150,7 @@ class Tracer {
   const std::size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> next_seq_{1};
-  mutable std::mutex registry_mu_;
+  mutable OrderedMutex<LockRank::kTraceRegistry> registry_mu_;  ///< rank kTraceRegistry: taken before each Ring::mu
   std::vector<std::unique_ptr<Ring>> rings_;
 };
 

@@ -5,6 +5,18 @@
 
 namespace atp {
 
+// relaxed-ok(begin): every relaxed access in this file is one of three
+// audited patterns.  (1) Slot budget fields (imported/exported and the
+// limits) are mutated only under charge_mu_ inside a write_begin() /
+// write_end() epoch window -- both acq_rel RMWs, so the odd-epoch store
+// cannot sink below them nor the data stores hoist above; lock-free readers
+// go through epoch_consistent(), which pairs an acquire fence with an
+// even-epoch recheck, so a torn read is detected and retried, never used.
+// (2) ChargeCounters telemetry cells are mutated under charge_mu_ or
+// struct_mu_ and read as statistics where torn totals are tolerated.
+// (3) next_id_ tickets need the RMW's atomicity only (uniqueness, not
+// ordering).
+
 namespace {
 /// Relaxed add on an atomic<double> telemetry cell (mutations are already
 /// serialized by the caller's lock; the atomic is for lock-free readers).
@@ -312,5 +324,7 @@ EtRegistry::ChargeStats EtRegistry::charge_stats() const {
       c.retired_update_limit.load(std::memory_order_relaxed);
   return s;
 }
+
+// relaxed-ok(end)
 
 }  // namespace atp

@@ -39,6 +39,8 @@
 #include "trace/tracer.h"
 #include "txn/epsilon.h"
 
+#include "common/ordered_lock.h"
+
 // ThreadSanitizer does not model standalone fences (GCC hard-errors on
 // atomic_thread_fence under -fsanitize=thread); the seqlock read below
 // substitutes an instrumented RMW when TSan is active.
@@ -71,7 +73,7 @@ class EtRegistry {
   /// Allocate a fresh id without registering an ET -- used as the `parent`
   /// handle of a chopped original transaction, which never runs itself.
   TxnId allocate_id() {
-    return next_id_.fetch_add(1, std::memory_order_relaxed);
+    return next_id_.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: uniqueness, not ordering
   }
 
   /// Atomically charge `amount` of fuzziness to the query ET's import
@@ -225,13 +227,13 @@ class EtRegistry {
   // Guards the maps themselves (insert/erase/lookup), NOT the counters:
   // lookups take it shared, begin/end take it unique.  Slots are heap-
   // allocated so pointers stay stable while a shared holder works on them.
-  mutable std::shared_mutex struct_mu_;
+  mutable OrderedSharedMutex<LockRank::kTxnStruct> struct_mu_;  ///< rank kTxnStruct
   std::unordered_map<TxnId, std::unique_ptr<Slot>> live_;
   std::unordered_map<TxnId, Value> parent_z_;  // Z_t accumulators
 
   // Serializes all counter/limit mutations (all-or-nothing multi charges).
   // Lock order: struct_mu_ (shared) then charge_mu_.
-  mutable std::mutex charge_mu_;
+  mutable OrderedMutex<LockRank::kTxnCharge> charge_mu_;  ///< rank kTxnCharge: struct_mu_ (shared) then charge_mu_
   /// Seqlock epoch; odd = write in flight.  Mutable: the TSan-friendly
   /// read path re-checks it with a (value-preserving) RMW from const reads.
   mutable std::atomic<std::uint64_t> epoch_{0};

@@ -30,6 +30,8 @@
 
 #include "common/types.h"
 
+#include "common/ordered_lock.h"
+
 namespace atp {
 
 class FaultInjector;
@@ -101,7 +103,7 @@ class LogDevice {
   [[nodiscard]] std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable OrderedMutex<LockRank::kWal> mu_;  ///< rank kWal: inner to queue endpoints; fsync verdicts drawn outside
   std::vector<LogRecord> records_;
   std::uint64_t next_lsn_ = 1;
   std::uint64_t durable_lsn_ = 0;

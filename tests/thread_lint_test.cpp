@@ -1,0 +1,238 @@
+// Tests for atp-lint --mode=threads (analysis/thread_lint.h): each TH rule
+// firing and staying quiet, the tokenizer's comment/string stripping, the
+// manifest parser, and a golden rendering of a kitchen-sink fixture so the
+// report text stays a stable contract (regenerate with ATP_REGEN_GOLDEN=1).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/thread_lint.h"
+
+#ifndef ATP_GOLDEN_DIR
+#error "ATP_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace atp {
+namespace {
+
+using namespace atp::analysis;
+
+std::string golden_path(const std::string& name) {
+  return std::string(ATP_GOLDEN_DIR) + "/" + name;
+}
+
+void expect_matches_golden(const std::string& actual,
+                           const std::string& name) {
+  const std::string path = golden_path(name);
+  if (std::getenv("ATP_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with ATP_REGEN_GOLDEN=1)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), actual) << "golden mismatch for " << name;
+}
+
+const std::vector<std::string> kRanks = {"kWal", "kHistory", "kStoreMap"};
+
+LintReport lint(const std::string& path, const std::string& src) {
+  return lint_thread_source(path, src, kRanks);
+}
+
+std::vector<Rule> rules_of(const LintReport& r) {
+  std::vector<Rule> out;
+  for (const Diagnostic& d : r.diagnostics) out.push_back(d.rule);
+  return out;
+}
+
+// ------------------------------------------------------------ manifest -----
+
+TEST(ThreadLint, ParsesRankManifest) {
+  const std::string manifest = R"(
+    enum class LockRank : std::uint16_t {
+      kWal = 210,      // write-ahead log
+      kHistory = 220,
+      // kRetired = 230,  -- commented-out entries must not parse
+    };
+  )";
+  const std::vector<std::string> ranks = parse_rank_manifest(manifest);
+  ASSERT_EQ(ranks.size(), 2u);
+  EXPECT_EQ(ranks[0], "kWal");
+  EXPECT_EQ(ranks[1], "kHistory");
+}
+
+// --------------------------------------------------------------- TH001 -----
+
+TEST(ThreadLint, TH001FlagsRawPrimitives) {
+  const LintReport r = lint("src/demo/a.h",
+                            "std::mutex mu_;\n"
+                            "std::shared_mutex map_mu_;\n"
+                            "std::condition_variable cv_;\n");
+  ASSERT_EQ(r.diagnostics.size(), 3u);
+  for (const Diagnostic& d : r.diagnostics) EXPECT_EQ(d.rule, Rule::TH001);
+  EXPECT_EQ(r.diagnostics[0].line, 1u);
+  EXPECT_EQ(r.diagnostics[2].line, 3u);
+}
+
+TEST(ThreadLint, TH001IgnoresCommentsAndStrings) {
+  const LintReport r = lint("src/demo/a.cpp",
+                            "// std::mutex in a comment\n"
+                            "/* std::condition_variable */\n"
+                            "const char* s = \"std::mutex\";\n"
+                            "const char* raw = R\"(std::shared_mutex)\";\n");
+  EXPECT_TRUE(r.ok()) << r.to_text();
+}
+
+TEST(ThreadLint, AllowlistSuppressesTH001AndTH005Only) {
+  const std::string src =
+      "std::mutex mu_;\n"
+      "void f() { mu_.lock(); }\n"
+      "OrderedMutex<LockRank::kNope> m_;\n";
+  const LintReport wrapped = lint("src/common/ordered_lock.h", src);
+  // TH002 still applies even inside the wrapper implementation.
+  ASSERT_EQ(wrapped.diagnostics.size(), 1u);
+  EXPECT_EQ(wrapped.diagnostics[0].rule, Rule::TH002);
+  const LintReport plain = lint("src/demo/a.h", src);
+  EXPECT_EQ(plain.diagnostics.size(), 3u) << plain.to_text();  // +TH001 +TH005
+}
+
+// --------------------------------------------------------------- TH002 -----
+
+TEST(ThreadLint, TH002RequiresManifestRanks) {
+  const LintReport r =
+      lint("src/demo/a.h",
+           "OrderedMutex<LockRank::kWal> good_;\n"
+           "atp::OrderedSharedMutex<atp::LockRank::kStoreMap> also_good_;\n"
+           "OrderedMutex<LockRank::kBogus> unknown_;\n"
+           "OrderedMutex<kWal> unqualified_;\n");
+  ASSERT_EQ(r.diagnostics.size(), 2u) << r.to_text();
+  EXPECT_EQ(r.diagnostics[0].rule, Rule::TH002);
+  EXPECT_EQ(r.diagnostics[0].line, 3u);
+  EXPECT_NE(r.diagnostics[0].message.find("kBogus"), std::string::npos);
+  EXPECT_EQ(r.diagnostics[1].line, 4u);
+}
+
+// --------------------------------------------------------------- TH003 -----
+
+TEST(ThreadLint, TH003FlagsLockingCollectors) {
+  const LintReport r = lint("src/demo/a.cpp",
+                            "void wire(Registry& reg) {\n"
+                            "  reg.add_collector([&](Builder& b) {\n"
+                            "    std::lock_guard lock(mu_);\n"
+                            "    b.gauge(\"depth\", q_.size());\n"
+                            "  });\n"
+                            "}\n");
+  ASSERT_EQ(r.diagnostics.size(), 1u) << r.to_text();
+  EXPECT_EQ(r.diagnostics[0].rule, Rule::TH003);
+  EXPECT_EQ(r.diagnostics[0].line, 3u);
+}
+
+TEST(ThreadLint, TH003SkipsDeclarationAndDefinition) {
+  // The registry's own declaration/definition contain no lambda inside the
+  // call parentheses, so the lock in the *definition body* is not a finding.
+  const LintReport r =
+      lint("src/demo/registry.cpp",
+           "CollectorId add_collector(Collector fn);\n"
+           "CollectorId Registry::add_collector(Collector fn) {\n"
+           "  std::lock_guard lock(collector_mu_);\n"
+           "  collectors_.push_back(std::move(fn));\n"
+           "  return next_id_++;\n"
+           "}\n");
+  for (const Diagnostic& d : r.diagnostics) EXPECT_NE(d.rule, Rule::TH003);
+}
+
+TEST(ThreadLint, TH003AllowsLockFreeCollectors) {
+  const LintReport r = lint("src/demo/a.cpp",
+                            "reg.add_collector([&](Builder& b) {\n"
+                            "  b.gauge(\"depth\", queue.depth());\n"
+                            "});\n");
+  EXPECT_TRUE(r.ok()) << r.to_text();
+}
+
+// --------------------------------------------------------------- TH004 -----
+
+TEST(ThreadLint, TH004AcceptsJustifications) {
+  const LintReport r = lint(
+      "src/demo/a.cpp",
+      "n_.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: tally\n"
+      "// relaxed-ok: read after join\n"
+      "auto v = n_.load(std::memory_order_relaxed);\n"
+      "// relaxed-ok(begin): seqlock slots; epoch brackets provide order\n"
+      "a_.store(1, std::memory_order_relaxed);\n"
+      "b_.store(2, std::memory_order_relaxed);\n"
+      "// relaxed-ok(end)\n");
+  EXPECT_TRUE(r.ok()) << r.to_text();
+}
+
+TEST(ThreadLint, TH004FlagsUnjustifiedRelaxed) {
+  const LintReport r = lint(
+      "src/demo/a.cpp",
+      "// relaxed-ok: too far away (four lines above the use)\n"
+      "int a;\n"
+      "int b;\n"
+      "int c;\n"
+      "n_.fetch_add(1, std::memory_order_relaxed);\n");
+  ASSERT_EQ(r.diagnostics.size(), 1u) << r.to_text();
+  EXPECT_EQ(r.diagnostics[0].rule, Rule::TH004);
+  EXPECT_EQ(r.diagnostics[0].line, 5u);
+}
+
+// --------------------------------------------------------------- TH005 -----
+
+TEST(ThreadLint, TH005FlagsBareMutexCallsOnly) {
+  const LintReport r = lint("src/demo/a.cpp",
+                            "void f() {\n"
+                            "  mu_.lock();\n"
+                            "  state_mu_->unlock();\n"
+                            "  guard.unlock();\n"    // not mutex-ish: fine
+                            "  map_mu_.lock_shared();\n"
+                            "}\n");
+  ASSERT_EQ(r.diagnostics.size(), 3u) << r.to_text();
+  for (const Diagnostic& d : r.diagnostics) EXPECT_EQ(d.rule, Rule::TH005);
+  EXPECT_EQ(r.diagnostics[0].line, 2u);
+  EXPECT_EQ(r.diagnostics[1].line, 3u);
+  EXPECT_EQ(r.diagnostics[2].line, 5u);
+}
+
+// ------------------------------------------------------------- golden ------
+
+TEST(ThreadLint, KitchenSinkReportMatchesGolden) {
+  const std::string fixture =
+      "#pragma once\n"                                          // 1
+      "#include <mutex>\n"                                      // 2
+      "\n"                                                      // 3
+      "struct Bad {\n"                                          // 4
+      "  std::mutex mu_;\n"                                     // 5
+      "  OrderedMutex<LockRank::kBogus> a_;\n"                  // 6
+      "  OrderedMutex<LockRank::kWal> good_;\n"                 // 7
+      "\n"                                                      // 8
+      "  void f() {\n"                                          // 9
+      "    mu_.lock();\n"                                       // 10
+      "    n_.fetch_add(1, std::memory_order_relaxed);\n"       // 11
+      "    mu_.unlock();\n"                                     // 12
+      "  }\n"                                                   // 13
+      "\n"                                                      // 14
+      "  void wire(Registry& reg) {\n"                          // 15
+      "    reg.add_collector([&](Builder& b) {\n"               // 16
+      "      std::lock_guard lock(mu_);\n"                      // 17
+      "      b.gauge(\"x\", 1);\n"                              // 18
+      "    });\n"                                               // 19
+      "  }\n"                                                   // 20
+      "};\n";                                                   // 21
+  const LintReport r = lint("src/demo/bad.h", fixture);
+  EXPECT_FALSE(r.ok());
+  expect_matches_golden(r.to_text(), "thread_lint_report.txt");
+  expect_matches_golden(r.to_json(), "thread_lint_report.json");
+}
+
+}  // namespace
+}  // namespace atp

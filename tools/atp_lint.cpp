@@ -11,6 +11,10 @@
 //   atp-lint [options] [file...]          (stdin if no file/workload)
 //
 //   --mode=sr|esr|both     correctness notion to lint (default: both)
+//   --mode=threads         lint C++ sources for the locking discipline
+//                          instead (TH001-TH005, see analysis/thread_lint.h);
+//                          positional args become source roots (default:
+//                          src), each scanned recursively for .h/.cpp
 //   --workload=NAME        built-in type stream: banking|airline|orders|
 //                          payroll|all (instead of files)
 //   --chop=SPEC            lint this explicit chopping instead of the finest
@@ -33,6 +37,7 @@
 
 #include "analysis/limit_check.h"
 #include "analysis/lint.h"
+#include "analysis/thread_lint.h"
 #include "chop/parser.h"
 #include "workload/airline.h"
 #include "workload/banking.h"
@@ -46,6 +51,7 @@ namespace {
 
 struct Options {
   bool sr = true, esr = true;
+  bool threads = false;
   bool json = false, explain = false, plan = true, dot = false;
   std::optional<std::string> chop_spec;
   std::vector<std::string> workloads;
@@ -63,8 +69,32 @@ int usage(int code) {
       "usage: atp-lint [--mode=sr|esr|both] [--workload=banking|airline|"
       "orders|payroll|all]\n"
       "                [--chop=SPEC] [--explain] [--no-plan] [--json] "
-      "[--dot] [file...]\n");
+      "[--dot] [file...]\n"
+      "       atp-lint --mode=threads [--json] [source-root...]   "
+      "(default root: src)\n");
   return code;
+}
+
+/// --mode=threads: scan source trees for TH001-TH005 findings.
+int run_thread_lint(const Options& opt) {
+  std::vector<std::string> roots = opt.files;
+  if (roots.empty()) roots.push_back("src");
+  LintReport report;
+  for (const std::string& root : roots) {
+    std::string error;
+    if (!lint_thread_tree(root, ThreadLintOptions{}, &report, &error)) {
+      std::fprintf(stderr, "atp-lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  if (opt.json) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else if (report.diagnostics.empty()) {
+    std::printf("threads: clean (no TH diagnostics)\n");
+  } else {
+    std::printf("%s", report.to_text().c_str());
+  }
+  return report.ok() ? 0 : 1;
 }
 
 std::optional<std::vector<TxnProgram>> builtin_types(const std::string& name) {
@@ -205,6 +235,10 @@ int main(int argc, char** argv) {
       return std::nullopt;
     };
     if (const auto v = value_of("--mode=")) {
+      if (*v == "threads") {
+        opt.threads = true;
+        continue;
+      }
       opt.sr = *v == "sr" || *v == "both";
       opt.esr = *v == "esr" || *v == "both";
       if (!opt.sr && !opt.esr) return usage(2);
@@ -232,6 +266,8 @@ int main(int argc, char** argv) {
       opt.files.push_back(arg);
     }
   }
+
+  if (opt.threads) return run_thread_lint(opt);
 
   std::vector<Stream> streams;
   for (const std::string& name : opt.workloads) {

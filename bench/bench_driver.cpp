@@ -26,11 +26,16 @@
 //   --metrics-port=N   serve live metrics on 127.0.0.1:N while running
 //                      (atp-top --url 127.0.0.1:N; SIGUSR1 dumps a snapshot
 //                      JSON into --out-dir)
+//   --certify          run the online certifier live alongside each run; its
+//                      verdict is cross-checked against the offline replay
+//                      and its lag/window stats land in the JSON
 //
 // Observability: every run publishes into its own MetricsRegistry; the final
 // snapshot (taken before the run's Database dies, so the retired epsilon-
 // budget roll-ups and the stripe heatmap are populated) is embedded in each
-// run's JSON record as the "metrics" block -- schema v2, docs/BENCH_SCHEMA.md.
+// run's JSON record as the "metrics" block, and with --certify the online
+// certifier's stats as the "online_cert" block -- schema v3,
+// docs/BENCH_SCHEMA.md.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -40,6 +45,7 @@
 #include <vector>
 
 #include "audit/esr_certifier.h"
+#include "audit/online_certifier.h"
 #include "audit/sr_certifier.h"
 #include "bench_util.h"
 #include "obs/http_exporter.h"
@@ -155,6 +161,9 @@ struct RunRecord {
   bool esr_ok = false;
   bool sr_checked = false;
   bool sr_ok = false;
+  bool online_enabled = false;  ///< --certify: online certifier ran live
+  bool online_check_sr = false;
+  OnlineCertifierStats online;  ///< stats after the final drain
 };
 
 /// `git rev-parse --short HEAD`, or "unknown" outside a work tree.
@@ -281,6 +290,30 @@ void append_run_json(std::string& out, const RunRecord& r,
       r.sr_checked ? "true" : "false",
       r.sr_checked ? (r.sr_ok ? "true" : "false") : "null");
   out += buf;
+  if (r.online_enabled) {
+    const OnlineCertifierStats& os = r.online;
+    std::snprintf(
+        buf, sizeof buf,
+        "%s \"online_cert\": {\"enabled\": true, \"check_sr\": %s, "
+        "\"violations\": %llu, \"sr_violations\": %llu, \"esr_violations\": "
+        "%llu,\n"
+        "%s  \"events\": %llu, \"edges\": %llu, \"window_nodes_peak\": %llu, "
+        "\"retired_nodes\": %llu, \"max_lag_us\": %llu, \"dropped_events\": "
+        "%llu, \"degraded\": %s},\n",
+        indent, r.online_check_sr ? "true" : "false",
+        (unsigned long long)os.violations(),
+        (unsigned long long)os.sr_violations,
+        (unsigned long long)os.esr_violations, indent,
+        (unsigned long long)os.events_processed,
+        (unsigned long long)os.edges_added,
+        (unsigned long long)os.window_nodes_peak,
+        (unsigned long long)os.retired_nodes,
+        (unsigned long long)os.max_lag_us,
+        (unsigned long long)os.dropped_events, os.degraded ? "true" : "false");
+    out += buf;
+  } else {
+    out += std::string(indent) + " \"online_cert\": {\"enabled\": false},\n";
+  }
   append_metrics_json(out, r.metrics, indent);
   out += "}";
 }
@@ -288,7 +321,7 @@ void append_run_json(std::string& out, const RunRecord& r,
 void write_json(const std::string& path, const std::string& sha, bool quick,
                 const std::vector<const RunRecord*>& runs) {
   std::string out = "{\n";
-  out += "  \"schema_version\": 2,\n";
+  out += "  \"schema_version\": 3,\n";
   out += "  \"generated_by\": \"bench_driver\",\n";
   out += "  \"git_sha\": \"" + json_escape(sha) + "\",\n";
   out += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
@@ -313,6 +346,7 @@ void write_json(const std::string& path, const std::string& sha, bool quick,
 int main(int argc, char** argv) {
   bool emit_json = false;
   bool quick = false;
+  bool certify = false;
   std::string out_dir = ".";
   std::uint16_t metrics_port = 0;
   for (int i = 1; i < argc; ++i) {
@@ -321,6 +355,8 @@ int main(int argc, char** argv) {
       emit_json = true;
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--certify") {
+      certify = true;
     } else if (arg.rfind("--out-dir=", 0) == 0) {
       out_dir = arg.substr(std::strlen("--out-dir="));
     } else if (arg.rfind("--metrics-port=", 0) == 0) {
@@ -330,7 +366,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_driver [--json] [--quick] [--out-dir=DIR] "
-                   "[--metrics-port=N]\n");
+                   "[--metrics-port=N] [--certify]\n");
       return 2;
     }
   }
@@ -364,9 +400,23 @@ int main(int argc, char** argv) {
     const Workload w = make_banking(sc.cfg, sc.instances, sc.seed);
     for (const MethodConfig& method : sc.methods) {
       for (const std::size_t threads : thread_counts) {
-        Tracer tracer(1 << 18);
+        // Declaration order is lifetime order: the tracer's dtor detaches its
+        // collector from run_metrics, and the certifier's dtor both detaches
+        // from run_metrics and drops its subscription on the tracer.
         obs::MetricsRegistry run_metrics;
         obs::MetricsSnapshot final_snapshot;
+        Tracer tracer(1 << 18);
+        std::unique_ptr<OnlineCertifier> online;
+        if (certify) {
+          tracer.attach_metrics(&run_metrics);
+          OnlineCertifierOptions co;
+          // ET-level SR is only the CC schedulers' promise (see the offline
+          // block below); DC schedules pay for divergence by design.
+          co.check_sr = method.sched == SchedulerKind::CC;
+          co.metrics = &run_metrics;
+          online = std::make_unique<OnlineCertifier>(tracer, co);
+          online->start();
+        }
         if (metrics_server) metrics_server->set_registry(&run_metrics);
         LocalRunConfig rc;
         rc.workers = threads;
@@ -374,6 +424,7 @@ int main(int argc, char** argv) {
         rc.metrics = &run_metrics;
         rc.final_snapshot_out = &final_snapshot;
         const ExecutorReport rep = run_local(w, method, rc);
+        if (online) online->stop();  // final drain: verdict covers every event
         // Detach before run_metrics dies; a scrape between runs sees empty.
         if (metrics_server) metrics_server->set_registry(nullptr);
 
@@ -415,6 +466,35 @@ int main(int argc, char** argv) {
                        sc.name.c_str(), rec->method.c_str(), threads,
                        esr.describe().c_str());
           cert_failed = true;
+        }
+        if (online) {
+          rec->online_enabled = true;
+          rec->online_check_sr = method.sched == SchedulerKind::CC;
+          rec->online = online->stats();
+          // Cross-check the live verdict against the offline replay.  A full-
+          // confidence online pass must agree with offline on ESR, and under
+          // a CC scheduler must see zero ET-level cycles; disagreement means
+          // one of the two certifiers is wrong, which is worth failing loud.
+          if (!rec->online.degraded) {
+            const bool online_esr_ok = rec->online.esr_violations == 0;
+            bool mismatch = online_esr_ok != esr.ok;
+            if (rec->online_check_sr && rec->online.sr_violations > 0) {
+              mismatch = true;
+            }
+            if (mismatch) {
+              std::fprintf(stderr,
+                           "online/offline certifier MISMATCH (%s/%s, %zu "
+                           "thr): online sr=%llu esr=%llu, offline esr_ok=%s\n",
+                           sc.name.c_str(), rec->method.c_str(), threads,
+                           (unsigned long long)rec->online.sr_violations,
+                           (unsigned long long)rec->online.esr_violations,
+                           esr.ok ? "true" : "false");
+              for (const OnlineViolation& v : online->violations()) {
+                std::fprintf(stderr, "  %s\n", v.witness.c_str());
+              }
+              cert_failed = true;
+            }
+          }
         }
 
         const bool cert_ok = rec->esr_ok && (!rec->sr_checked || rec->sr_ok);

@@ -59,6 +59,12 @@ enum class LockRank : std::uint16_t {
   /// callbacks under it, and those read component stats (stripes, txn
   /// registry, net state...), so this ranks BELOW all db-layer locks.
   kObsRegistry = 70,
+  /// OnlineCertifier::mu_ — streaming certifier window state.  Below the
+  /// db layer because nothing db-side is taken under it, and above
+  /// kObsRegistry because the metrics collector reads certifier stats while
+  /// holding the registry lock; the pump thread holds it while draining the
+  /// trace subscription (kTraceRegistry/kTraceRing, far higher).
+  kOnlineCert = 75,
   /// Site::mu_ — per-site executor state; held while stashed subtransactions
   /// commit or abort (taking db locks).
   kSite = 80,
@@ -126,6 +132,7 @@ enum class LockRank : std::uint16_t {
     case LockRank::kTransport: return "kTransport";
     case LockRank::kObsExporter: return "kObsExporter";
     case LockRank::kObsRegistry: return "kObsRegistry";
+    case LockRank::kOnlineCert: return "kOnlineCert";
     case LockRank::kSite: return "kSite";
     case LockRank::kDbCrash: return "kDbCrash";
     case LockRank::kQueueEndpoint: return "kQueueEndpoint";

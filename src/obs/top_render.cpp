@@ -270,6 +270,27 @@ std::string render_top(const MetricsSnapshot& now, const MetricsSnapshot* prev,
              fmt("%.6g", rate("srv.admission.rejected." + cls)) + unit;
       out += "\n";
     }
+    // Per-class request latency (queued + execute), from the worker-side
+    // histograms.
+    const std::string latency_prefix = "srv.request_latency.";
+    for (const Sample& s : now.samples) {
+      if (s.name.rfind(latency_prefix, 0) != 0) continue;
+      if (s.summary.count == 0) continue;
+      out += "  latency " + s.name.substr(latency_prefix.size()) +
+             ": p50/p99 " + fmt("%.3g", s.summary.p50) + "/" +
+             fmt("%.3g", s.summary.p99) + "us  mean " +
+             fmt("%.3g", s.summary.mean) + "us  n " +
+             fmt("%.0f", double(s.summary.count));
+      out += "\n";
+    }
+    if (now.find("srv.slow_requests") != nullptr) {
+      const double slow = delta_of(now, prev, "srv.slow_requests");
+      if (slow > 0) {
+        out += "  slow requests " + fmt("%.6g", slow) +
+               (rates ? " this interval" : " total");
+        out += "\n";
+      }
+    }
     if (now.find("net.sim.sent") != nullptr) {
       out += "  simnet sent/delivered/dropped " +
              fmt("%.6g", rate("net.sim.sent")) + "/" +
@@ -278,6 +299,33 @@ std::string render_top(const MetricsSnapshot& now, const MetricsSnapshot* prev,
       out += "\n";
     }
     out += "\n";
+  }
+
+  // --- Online certification (present only when an OnlineCertifier
+  // publishes audit.online.*) ---
+  if (now.find("audit.online.events_processed") != nullptr) {
+    const double violations = value_of(now, "audit.online.violations");
+    const bool degraded = value_of(now, "audit.online.degraded") > 0;
+    out += "online certification";
+    if (violations > 0) {
+      out += "  !! " + fmt("%.0f", violations) + " VIOLATIONS";
+    } else {
+      out += degraded ? "  DEGRADED (events dropped)" : "  ok";
+    }
+    out += "\n";
+    out += "  violations sr/esr " +
+           fmt("%.6g", value_of(now, "audit.online.sr_violations")) + "/" +
+           fmt("%.6g", value_of(now, "audit.online.esr_violations"));
+    out += "  window " + fmt("%.0f", value_of(now, "audit.online.window_nodes")) +
+           " nodes  live " + fmt("%.0f", value_of(now, "audit.online.live_txns"));
+    out += "  retired " + fmt("%.6g", rate("audit.online.retired_nodes")) + unit;
+    out += "\n";
+    out += "  lag " + fmt("%.6g", value_of(now, "audit.online.window_lag_us")) +
+           "us  events " + fmt("%.6g", rate("audit.online.events_processed")) +
+           unit + "  edges " + fmt("%.6g", rate("audit.online.edges")) + unit +
+           "  dropped " +
+           fmt("%.6g", value_of(now, "audit.online.dropped_events"));
+    out += "\n\n";
   }
 
   // --- Faults & retries (present only when an injector / retry layer

@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace atp::server {
 
@@ -17,6 +18,7 @@ AtpServer::AtpServer(Database& db, std::unique_ptr<Transport> transport,
     counters_.window_rejects = &m->counter("srv.window_rejects");
     counters_.committed = &m->counter("srv.txn.committed");
     counters_.aborted = &m->counter("srv.txn.aborted");
+    counters_.slow_requests = &m->counter("srv.slow_requests");
     sessions_accepted_ = &m->counter("srv.sessions.accepted");
     sessions_closed_ = &m->counter("srv.sessions.closed");
     sessions_active_ = &m->gauge("srv.sessions.active");
@@ -25,6 +27,8 @@ AtpServer::AtpServer(Database& db, std::unique_ptr<Transport> transport,
           &m->counter("srv.admission.granted." + c.name);
       counters_.admission_rejected[c.name] =
           &m->counter("srv.admission.rejected." + c.name);
+      counters_.request_latency[c.name] =
+          &m->histogram("srv.request_latency." + c.name);
     }
   }
   if (!transport_ || !transport_->ok()) return;
@@ -160,14 +164,61 @@ void AtpServer::worker_loop() {
       s = std::move(ready_.front());
       ready_.pop_front();
     }
-    const std::optional<WireMessage> req = s->take_next();
+    const std::optional<Session::NextRequest> req = s->take_next();
     if (!req.has_value()) continue;
-    const std::string reply = s->execute(*req);
+    const auto exec_start = std::chrono::steady_clock::now();
+    Session::ExecInfo info;
+    const std::string reply = s->execute(req->msg, &info);
+    const std::int64_t exec_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - exec_start)
+            .count();
     transport_->send(s->conn(), reply);
+    record_request(*s, *req, info, exec_us);
     // Re-queue instead of looping here so one chatty pipeliner cannot
     // monopolize a worker while other sessions wait.
     if (s->finish_one()) schedule(std::move(s));
   }
+}
+
+void AtpServer::record_request(const Session& s,
+                               const Session::NextRequest& req,
+                               const Session::ExecInfo& info,
+                               std::int64_t exec_us) {
+  const ClassPolicy* cls = s.client_class();
+  const std::int64_t total_us = req.queued_us + exec_us;
+  if (cls != nullptr) {
+    auto it = counters_.request_latency.find(cls->name);
+    if (it != counters_.request_latency.end()) {
+      it->second->record(double(total_us));
+    }
+  }
+  const std::int64_t threshold = opts_.slow_request_threshold.count();
+  if (threshold <= 0 || total_us < threshold) return;
+  ServerCounters::bump(counters_.slow_requests);
+  SlowRequest slow;
+  slow.conn = s.conn();
+  slow.client_class = cls != nullptr ? cls->name : "-";
+  slow.txn = req.msg.txn;
+  slow.request = to_string(req.msg.kind);
+  slow.outcome = to_string(info.reply_kind);
+  slow.error_code = info.error_code;
+  slow.queued_us = req.queued_us;
+  slow.exec_us = exec_us;
+  if (opts_.slow_log) {
+    opts_.slow_log(slow);
+    return;
+  }
+  std::fprintf(stderr,
+               "atpd: slow request conn=%llu class=%s txn=%llu req=%s "
+               "outcome=%s err=%u queued=%lldus exec=%lldus total=%lldus\n",
+               static_cast<unsigned long long>(slow.conn),
+               slow.client_class.c_str(),
+               static_cast<unsigned long long>(slow.txn), slow.request,
+               slow.outcome, unsigned(slow.error_code),
+               static_cast<long long>(slow.queued_us),
+               static_cast<long long>(slow.exec_us),
+               static_cast<long long>(total_us));
 }
 
 }  // namespace atp::server

@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +39,18 @@
 
 namespace atp::server {
 
+/// One request that crossed the slow threshold, with its phase breakdown.
+struct SlowRequest {
+  ConnId conn = 0;
+  std::string client_class;  ///< "-" before Hello
+  std::uint64_t txn = 0;     ///< client-side transaction handle
+  const char* request = "";  ///< request kind name
+  const char* outcome = "";  ///< reply kind name
+  std::uint8_t error_code = 0;  ///< ErrorCode when the reply was an error
+  std::int64_t queued_us = 0;   ///< time waiting behind earlier requests
+  std::int64_t exec_us = 0;     ///< time inside execute()
+};
+
 struct ServerOptions {
   /// Worker threads executing requests (>= 1; each can block on locks).
   std::size_t workers = 4;
@@ -49,6 +62,11 @@ struct ServerOptions {
   std::chrono::milliseconds poll_interval{50};
   /// Connections past this are closed at accept.
   std::size_t max_sessions = 1024;
+  /// Requests whose queued + execute time reaches this are logged (atpd
+  /// --slow-ms).  Zero disables the slow-request log.
+  std::chrono::microseconds slow_request_threshold{0};
+  /// Sink for slow requests; when unset they go to stderr as one line.
+  std::function<void(const SlowRequest&)> slow_log;
 };
 
 class AtpServer {
@@ -78,6 +96,9 @@ class AtpServer {
  private:
   void poll_loop();
   void worker_loop();
+  /// Latency histogram + slow-request log for one finished request.
+  void record_request(const Session& s, const Session::NextRequest& req,
+                      const Session::ExecInfo& info, std::int64_t exec_us);
   /// Queue `s` for worker execution (duplicates are harmless: take_next
   /// refuses a session that is already executing or empty).
   void schedule(std::shared_ptr<Session> s);

@@ -47,7 +47,8 @@ Session::FeedResult Session::feed(std::string_view bytes) {
                    &result.immediate_replies);
       continue;
     }
-    pending_.push_back(std::move(*msg));
+    pending_.push_back(
+        Pending{std::move(*msg), std::chrono::steady_clock::now()});
   }
   if (reader_.bad()) {
     ServerCounters::bump(counters_.protocol_errors);
@@ -56,15 +57,19 @@ Session::FeedResult Session::feed(std::string_view bytes) {
   return result;
 }
 
-std::optional<WireMessage> Session::take_next() {
+std::optional<Session::NextRequest> Session::take_next() {
   std::lock_guard lock(mu_);
   if (state_ == State::Closed || executing_ || pending_.empty()) {
     return std::nullopt;
   }
-  WireMessage msg = std::move(pending_.front());
+  Pending p = std::move(pending_.front());
   pending_.pop_front();
   executing_ = true;
-  return msg;
+  NextRequest next{std::move(p.msg),
+                   std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - p.enqueued)
+                       .count()};
+  return next;
 }
 
 bool Session::finish_one() {
@@ -110,8 +115,13 @@ void Session::kill_txn(LiveTxn& lt) {
   if (cls_ != nullptr) admission_.release(*cls_, lt.grant);
 }
 
-std::string Session::execute(const WireMessage& req) {
-  return encode_frame(handle(req));
+std::string Session::execute(const WireMessage& req, ExecInfo* info) {
+  const WireMessage reply = handle(req);
+  if (info != nullptr) {
+    info->reply_kind = reply.kind;
+    info->error_code = reply.kind == MsgKind::kError ? reply.op : 0;
+  }
+  return encode_frame(reply);
 }
 
 WireMessage Session::handle(const WireMessage& req) {

@@ -23,6 +23,7 @@
 // close(), which the server never overlaps.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -31,6 +32,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "obs/instruments.h"
 #include "sched/database.h"
 #include "server/admission.h"
@@ -49,9 +51,13 @@ struct ServerCounters {
   obs::ShardedCounter* window_rejects = nullptr;
   obs::ShardedCounter* committed = nullptr;
   obs::ShardedCounter* aborted = nullptr;
+  obs::ShardedCounter* slow_requests = nullptr;
   /// Per-class admission outcome counters, keyed by class name.
   std::unordered_map<std::string, obs::ShardedCounter*> admission_granted;
   std::unordered_map<std::string, obs::ShardedCounter*> admission_rejected;
+  /// Per-class request latency (srv.request_latency.<class>), recorded by
+  /// the worker as queued + execute time in microseconds.
+  std::unordered_map<std::string, Histogram*> request_latency;
 
   static void bump(obs::ShardedCounter* c) {
     if (c != nullptr) c->add();
@@ -79,14 +85,28 @@ class Session {
   /// Parse incoming bytes into the request queue (poll thread).
   [[nodiscard]] FeedResult feed(std::string_view bytes);
 
+  /// A dequeued request plus how long it sat behind earlier requests --
+  /// the "queued" phase of the latency breakdown.
+  struct NextRequest {
+    WireMessage msg;
+    std::int64_t queued_us = 0;
+  };
+
   /// Next queued request for a worker, marking the session executing.
   /// Returns std::nullopt (and does not mark) when the queue is empty, the
   /// session is closed, or another worker is already executing it.
-  [[nodiscard]] std::optional<WireMessage> take_next();
+  [[nodiscard]] std::optional<NextRequest> take_next();
+
+  /// What execute() replied with, for latency/slow-request accounting.
+  struct ExecInfo {
+    MsgKind reply_kind = MsgKind::kOk;
+    std::uint8_t error_code = 0;  ///< ErrorCode when reply_kind == kError
+  };
 
   /// Execute one request against the database; returns the encoded reply.
   /// Worker thread; the server guarantees one execute() at a time.
-  [[nodiscard]] std::string execute(const WireMessage& req);
+  [[nodiscard]] std::string execute(const WireMessage& req,
+                                    ExecInfo* info = nullptr);
 
   /// Done executing; true when more requests are queued (re-schedule me).
   [[nodiscard]] bool finish_one();
@@ -138,11 +158,16 @@ class Session {
   AdmissionController& admission_;
   ServerCounters& counters_;
 
+  struct Pending {
+    WireMessage msg;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   mutable OrderedMutex<LockRank::kSession> mu_;  // rank kSession; guards state_/cls_/pending_/executing_
   State state_ = State::AwaitHello;
   const ClassPolicy* cls_ = nullptr;
   FrameReader reader_;                 // poll thread only
-  std::deque<WireMessage> pending_;
+  std::deque<Pending> pending_;
   bool executing_ = false;
   bool cleaned_ = false;  ///< teardown already ran (close is idempotent)
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics_registry.h"
+
 namespace atp {
 
 const char* to_string(TraceKind kind) noexcept {
@@ -47,6 +49,20 @@ Tracer::Tracer(std::size_t per_thread_capacity)
       capacity_(std::max<std::size_t>(1, per_thread_capacity)),
       epoch_(std::chrono::steady_clock::now()) {}
 
+Tracer::~Tracer() {
+  if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
+}
+
+void Tracer::attach_metrics(obs::MetricsRegistry* registry) {
+  if (metrics_ != nullptr) metrics_->remove_collector(collector_id_);
+  metrics_ = registry;
+  if (registry == nullptr) return;
+  collector_id_ = registry->add_collector([this](obs::SnapshotBuilder& b) {
+    b.counter("trace.dropped_events", double(dropped()));
+    b.gauge("trace.retained_events", double(size()));
+  });
+}
+
 Tracer::Ring* Tracer::ring_for_current_thread() {
   // One-entry cache keyed by the tracer's never-reused id -- NOT its address:
   // a dead tracer's storage can be reused by a new one, and an address match
@@ -70,7 +86,6 @@ Tracer::Ring* Tracer::ring_for_current_thread() {
 void Tracer::record(TraceKind kind, SiteId site, TxnId txn, Key key, double a,
                     double b, std::uint64_t aux, std::uint64_t aux2) {
   TraceEvent ev;
-  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: collect() orders by seq
   ev.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
                  std::chrono::steady_clock::now() - epoch_)
                  .count();
@@ -85,6 +100,11 @@ void Tracer::record(TraceKind kind, SiteId site, TxnId txn, Key key, double a,
 
   Ring* ring = ring_for_current_thread();
   std::lock_guard lock(ring->mu);
+  // The seq ticket is taken INSIDE the ring critical section: a drain pass
+  // that reads next_seq_ and then locks this ring is guaranteed every event
+  // numbered below that reading is already published in some ring -- the
+  // stable-horizon contract of TraceSubscription::drain().
+  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: ring mutex publishes the slot; consumers order by seq
   if (ring->slots.size() < capacity_) {
     ring->slots.push_back(ev);
   } else {
@@ -143,6 +163,46 @@ void Tracer::clear() {
     ring->slots.clear();
     ring->base = ring->written;
   }
+}
+
+TraceSubscription::Batch TraceSubscription::drain() {
+  Batch batch;
+  // The horizon is read BEFORE any ring lock: seq tickets are issued inside
+  // ring critical sections (see record()), so after the sweep below every
+  // event numbered under this reading has been copied out, consumed earlier,
+  // or charged to `dropped`.  Anything at or past it may still be mid-record.
+  batch.stable_before =
+      tracer_.next_seq_.load(std::memory_order_acquire);
+  {
+    std::lock_guard registry_lock(tracer_.registry_mu_);
+    if (consumed_.size() < tracer_.rings_.size()) {
+      consumed_.resize(tracer_.rings_.size(), 0);
+    }
+    for (std::size_t i = 0; i < tracer_.rings_.size(); ++i) {
+      const Tracer::Ring& ring = *tracer_.rings_[i];
+      std::lock_guard lock(ring.mu);
+      // Retained logical write indices are [written - slots.size(), written);
+      // anything below that was overwritten or clear()ed before we got here.
+      const std::uint64_t oldest = ring.written - ring.slots.size();
+      std::uint64_t& cursor = consumed_[i];
+      if (cursor < oldest) {
+        dropped_ += oldest - cursor;
+        cursor = oldest;
+      }
+      for (; cursor < ring.written; ++cursor) {
+        TraceEvent ev =
+            ring.slots[(cursor - ring.base) % tracer_.capacity_];
+        ev.tid = static_cast<std::uint32_t>(i);
+        batch.events.push_back(ev);
+      }
+    }
+  }
+  std::sort(batch.events.begin(), batch.events.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  batch.dropped = dropped_;
+  return batch;
 }
 
 }  // namespace atp

@@ -16,6 +16,16 @@
 // Rings overwrite their oldest events when full (the recorder never blocks
 // and never allocates after a ring fills); dropped() reports how many events
 // were lost so an auditor can refuse to certify an incomplete trace.
+//
+// Live consumption: subscribe() returns a TraceSubscription whose drain()
+// incrementally copies every ring's new events without disturbing them --
+// per-ring cursors, one short lock per ring per drain, recorders never wait
+// on the consumer.  Each drained batch carries a stable-seq horizon: every
+// event numbered below it has been delivered (in this batch or an earlier
+// one) or counted as dropped, so a consumer such as the online certifier
+// (audit/online_certifier.h) can process a strictly seq-ordered prefix and
+// buffer the rest.  attach_metrics() additionally publishes ring health
+// (trace.dropped_events, trace.retained_events) into an obs registry.
 #pragma once
 
 #include <atomic>
@@ -30,6 +40,10 @@
 #include "common/ordered_lock.h"
 
 namespace atp {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// What happened.  Field conventions per kind are documented inline; unused
 /// fields are zero.
@@ -96,10 +110,47 @@ struct TraceEvent {
 inline constexpr std::uint64_t kTraceModeExclusive = 1;
 inline constexpr std::uint64_t kTraceGrantFuzzy = 2;
 
+class Tracer;
+
+/// Incremental consumer of one Tracer's streams (Tracer::subscribe()).
+///
+/// drain() copies everything recorded since the previous drain() and returns
+/// it with a *stable horizon*: seq numbers are handed out inside each ring's
+/// critical section, so once drain() has visited every ring, any event with
+/// `seq < stable_before` is either in this batch, was in an earlier batch, or
+/// has been counted in `dropped` (overwritten or clear()ed before the cursor
+/// reached it).  Events at or past the horizon may still be mid-record on
+/// some thread; a strict-order consumer buffers them for the next drain.
+///
+/// Not thread-safe (one draining thread per subscription); the subscription
+/// must not outlive its Tracer.
+class TraceSubscription {
+ public:
+  struct Batch {
+    std::vector<TraceEvent> events;   ///< new events, sorted by seq
+    std::uint64_t stable_before = 0;  ///< every seq below this is final
+    std::uint64_t dropped = 0;        ///< cumulative events lost to this
+                                      ///< subscription (overwrites + clears)
+  };
+
+  /// Collect everything new.  One short lock per ring; never blocks a
+  /// recorder for longer than one slot copy.
+  [[nodiscard]] Batch drain();
+
+ private:
+  friend class Tracer;
+  explicit TraceSubscription(const Tracer& tracer) : tracer_(tracer) {}
+
+  const Tracer& tracer_;
+  std::vector<std::uint64_t> consumed_;  ///< per-ring cursor, `written` units
+  std::uint64_t dropped_ = 0;
+};
+
 class Tracer {
  public:
   /// `per_thread_capacity`: ring size, in events, of each recording thread.
   explicit Tracer(std::size_t per_thread_capacity = kDefaultCapacity);
+  ~Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -132,7 +183,27 @@ class Tracer {
 
   /// Drop all retained events and reset the drop counters.  The seq counter
   /// keeps climbing so pre-clear stragglers can never alias post-clear order.
+  /// Live subscriptions see cleared-but-undrained events as dropped.
   void clear();
+
+  /// New live consumer; starts at the oldest events still retained.  The
+  /// subscription must not outlive the tracer.
+  [[nodiscard]] std::unique_ptr<TraceSubscription> subscribe() const {
+    return std::unique_ptr<TraceSubscription>(new TraceSubscription(*this));
+  }
+
+  /// Microseconds since this tracer's epoch -- same clock as
+  /// TraceEvent::ts_us, so consumers can compute event-to-now lag.
+  [[nodiscard]] std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Publish ring health into `registry` as trace.dropped_events (counter)
+  /// and trace.retained_events (gauge).  The registry must outlive the
+  /// tracer (the destructor unregisters).  At most one registry at a time.
+  void attach_metrics(obs::MetricsRegistry* registry);
 
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
 
@@ -144,6 +215,8 @@ class Tracer {
     std::uint64_t base = 0;         ///< events discarded by clear()
   };
 
+  friend class TraceSubscription;
+
   [[nodiscard]] Ring* ring_for_current_thread();
 
   const std::uint64_t id_;  ///< process-unique, never reused (cache key)
@@ -152,6 +225,8 @@ class Tracer {
   std::atomic<std::uint64_t> next_seq_{1};
   mutable OrderedMutex<LockRank::kTraceRegistry> registry_mu_;  ///< rank kTraceRegistry: taken before each Ring::mu
   std::vector<std::unique_ptr<Ring>> rings_;
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< attach_metrics target
+  std::uint64_t collector_id_ = 0;
 };
 
 }  // namespace atp

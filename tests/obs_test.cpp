@@ -349,5 +349,83 @@ TEST(TopRender, ServerPanelAppearsWithPerClassAdmission) {
             std::string::npos);
 }
 
+TEST(TopRender, ServerPanelShowsPerClassLatencyAndSlowRequests) {
+  MetricsSnapshot snap;
+  snap.epoch = 1;
+  // Samples arrive name-sorted from the registry; keep that invariant.
+  Sample lat{"srv.request_latency.gold", Sample::Kind::Histogram, 0, {}};
+  lat.summary.count = 4;
+  lat.summary.mean = 150;
+  lat.summary.p50 = 120;
+  lat.summary.p99 = 400;
+  Sample empty{"srv.request_latency.silver", Sample::Kind::Histogram, 0, {}};
+  snap.samples.push_back(lat);
+  snap.samples.push_back(empty);
+  snap.samples.push_back(
+      {"srv.sessions.accepted", Sample::Kind::Counter, 5, {}});
+  snap.samples.push_back({"srv.slow_requests", Sample::Kind::Counter, 2, {}});
+  const std::string frame = render_top(snap, nullptr, {});
+  EXPECT_NE(frame.find("latency gold: p50/p99 120/400us"), std::string::npos)
+      << frame;
+  // Unused classes stay out; zero-count histograms carry no signal.
+  EXPECT_EQ(frame.find("latency silver"), std::string::npos);
+  EXPECT_NE(frame.find("slow requests 2"), std::string::npos);
+}
+
+TEST(TopRender, OnlineCertificationPanelRendersHealthAndViolations) {
+  MetricsSnapshot snap;
+  snap.epoch = 1;
+  snap.samples.push_back(
+      {"audit.online.degraded", Sample::Kind::Gauge, 0, {}});
+  snap.samples.push_back(
+      {"audit.online.dropped_events", Sample::Kind::Counter, 0, {}});
+  snap.samples.push_back({"audit.online.edges", Sample::Kind::Counter, 7, {}});
+  snap.samples.push_back(
+      {"audit.online.esr_violations", Sample::Kind::Counter, 0, {}});
+  snap.samples.push_back(
+      {"audit.online.events_processed", Sample::Kind::Counter, 900, {}});
+  snap.samples.push_back(
+      {"audit.online.live_txns", Sample::Kind::Gauge, 3, {}});
+  snap.samples.push_back(
+      {"audit.online.retired_nodes", Sample::Kind::Counter, 120, {}});
+  snap.samples.push_back(
+      {"audit.online.sr_violations", Sample::Kind::Counter, 0, {}});
+  snap.samples.push_back(
+      {"audit.online.violations", Sample::Kind::Counter, 0, {}});
+  snap.samples.push_back(
+      {"audit.online.window_lag_us", Sample::Kind::Gauge, 850, {}});
+  snap.samples.push_back(
+      {"audit.online.window_nodes", Sample::Kind::Gauge, 12, {}});
+  std::string frame = render_top(snap, nullptr, {});
+  EXPECT_NE(frame.find("online certification  ok"), std::string::npos)
+      << frame;
+  EXPECT_NE(frame.find("window 12 nodes  live 3"), std::string::npos);
+  EXPECT_NE(frame.find("lag 850us"), std::string::npos);
+
+  // A violation flips the header to the alarm form.
+  for (Sample& s : snap.samples) {
+    if (s.name == "audit.online.violations") s.value = 2;
+    if (s.name == "audit.online.sr_violations") s.value = 2;
+  }
+  frame = render_top(snap, nullptr, {});
+  EXPECT_NE(frame.find("!! 2 VIOLATIONS"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("violations sr/esr 2/0"), std::string::npos);
+
+  // Dropped events without violations: degraded confidence, not "ok".
+  for (Sample& s : snap.samples) {
+    if (s.name == "audit.online.violations") s.value = 0;
+    if (s.name == "audit.online.sr_violations") s.value = 0;
+    if (s.name == "audit.online.degraded") s.value = 1;
+  }
+  frame = render_top(snap, nullptr, {});
+  EXPECT_NE(frame.find("DEGRADED (events dropped)"), std::string::npos);
+
+  // Without audit.online.* samples the panel stays out of the frame.
+  MetricsSnapshot bare;
+  bare.epoch = 1;
+  EXPECT_EQ(render_top(bare, nullptr, {}).find("online certification"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace atp::obs

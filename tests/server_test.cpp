@@ -207,7 +207,7 @@ TEST(Server, SessionWindowBackpressureAnswersImmediately) {
   EXPECT_FALSE(fed.fatal);
   auto req = s.take_next();
   ASSERT_TRUE(req.has_value());
-  (void)s.execute(*req);
+  (void)s.execute(req->msg);
   EXPECT_FALSE(s.finish_one());
 
   // Five pipelined pings against a window of 2: three immediate rejections.
@@ -234,8 +234,8 @@ TEST(Server, SessionWindowBackpressureAnswersImmediately) {
   for (int i = 0; i < 2; ++i) {
     auto next = s.take_next();
     ASSERT_TRUE(next.has_value());
-    EXPECT_EQ(next->seq, std::uint64_t(100 + i));
-    (void)s.execute(*next);
+    EXPECT_EQ(next->msg.seq, std::uint64_t(100 + i));
+    (void)s.execute(next->msg);
     (void)s.finish_one();
   }
   EXPECT_FALSE(s.take_next().has_value());
@@ -317,6 +317,105 @@ TEST(Server, TcpConcurrentClientsAndCounters) {
   ASSERT_NE(granted, nullptr);
   EXPECT_GE(granted->value, double(total));
   srv.stop();
+}
+
+TEST(Server, PerClassRequestLatencyHistogramsPopulate) {
+  SimNetwork net(4, fast_net());
+  Database db(DatabaseOptions{});
+  db.load(1, 100);
+  obs::MetricsRegistry reg;
+  ServerOptions so;
+  so.metrics = &reg;
+  AtpServer srv(db, std::make_unique<SimTransport>(net, kServerSite),
+                std::move(so));
+
+  Client gold = sim_client(net, 1);
+  ASSERT_TRUE(gold.hello("gold").ok());
+  auto t = gold.begin(TxnKind::Update);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(gold.add(t.value(), 1, -1).ok());
+  ASSERT_TRUE(gold.commit(t.value()).ok());
+  Client bronze = sim_client(net, 2);
+  ASSERT_TRUE(bronze.hello("bronze").ok());
+  EXPECT_TRUE(bronze.ping().ok());
+
+  const auto snap = reg.snapshot();
+  const obs::Sample* g = snap.find("srv.request_latency.gold");
+  ASSERT_NE(g, nullptr);
+  // hello + begin + add + commit (hello resolves the class before the
+  // worker records it, so it lands in the class's histogram too).
+  EXPECT_EQ(g->summary.count, 4u);
+  EXPECT_GE(g->summary.max, 0.0);
+  const obs::Sample* b = snap.find("srv.request_latency.bronze");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->summary.count, 2u);  // hello + ping
+  // A class nobody used exists but stays empty.
+  const obs::Sample* s = snap.find("srv.request_latency.silver");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->summary.count, 0u);
+  srv.stop();
+}
+
+TEST(Server, SlowRequestLogFiresAboveThreshold) {
+  SimNetwork net(4, fast_net());
+  Database db(DatabaseOptions{});
+  db.load(1, 100);
+  obs::MetricsRegistry reg;
+  std::mutex slow_mu;
+  std::vector<SlowRequest> slow;
+  ServerOptions so;
+  so.metrics = &reg;
+  so.slow_request_threshold = std::chrono::microseconds(1);  // everything
+  so.slow_log = [&](const SlowRequest& r) {
+    std::lock_guard lock(slow_mu);
+    slow.push_back(r);
+  };
+  AtpServer srv(db, std::make_unique<SimTransport>(net, kServerSite),
+                std::move(so));
+
+  Client c = sim_client(net, 1);
+  ASSERT_TRUE(c.hello("gold").ok());
+  auto t = c.begin(TxnKind::Update);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(c.add(t.value(), 1, -1).ok());
+  ASSERT_TRUE(c.commit(t.value()).ok());
+
+  {
+    std::lock_guard lock(slow_mu);
+    ASSERT_EQ(slow.size(), 4u);  // hello, begin, add, commit
+    EXPECT_STREQ(slow[0].request, "hello");
+    EXPECT_STREQ(slow[0].outcome, "hello-ok");
+    EXPECT_EQ(slow[0].client_class, "gold");
+    EXPECT_STREQ(slow[1].request, "begin");
+    EXPECT_STREQ(slow[1].outcome, "ok");
+    EXPECT_EQ(slow[1].error_code, 0u);
+    EXPECT_GE(slow[1].queued_us + slow[1].exec_us, 1);
+    EXPECT_STREQ(slow[3].request, "commit");
+    EXPECT_EQ(slow[3].txn, t.value());
+  }
+
+  const auto snap = reg.snapshot();
+  const obs::Sample* n = snap.find("srv.slow_requests");
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->value, 4.0);
+  srv.stop();
+}
+
+TEST(Server, SubThresholdRequestsAreNotLoggedSlow) {
+  SimNetwork net(3, fast_net());
+  Database db(DatabaseOptions{});
+  std::atomic<int> fired{0};
+  ServerOptions so;
+  so.slow_request_threshold = std::chrono::seconds(10);
+  so.slow_log = [&](const SlowRequest&) { ++fired; };
+  AtpServer srv(db, std::make_unique<SimTransport>(net, kServerSite),
+                std::move(so));
+  Client c = sim_client(net, 1);
+  ASSERT_TRUE(c.hello("gold").ok());
+  EXPECT_TRUE(c.ping().ok());
+  c.close();
+  srv.stop();
+  EXPECT_EQ(fired.load(), 0);
 }
 
 TEST(Server, SimNetworkPublishesTrafficMetrics) {

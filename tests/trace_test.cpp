@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "sched/database.h"
 #include "trace/export.h"
 #include "trace/tracer.h"
@@ -98,6 +99,87 @@ TEST(Tracer, ClearDropsEventsButSeqKeepsClimbing) {
   EXPECT_GT(after.front().seq, before.back().seq);
 }
 
+TEST(TraceSubscription, DrainsIncrementallyWithStableHorizon) {
+  Tracer tracer;
+  auto sub = tracer.subscribe();
+  tracer.record(TraceKind::TxnBegin, 0, 1);
+  tracer.record(TraceKind::Read, 0, 1, 7);
+  tracer.record(TraceKind::TxnCommit, 0, 1);
+
+  auto batch = sub->drain();
+  ASSERT_EQ(batch.events.size(), 3u);
+  EXPECT_EQ(batch.dropped, 0u);
+  // Everything recorded is below the horizon (recorders were quiescent).
+  EXPECT_GT(batch.stable_before, batch.events.back().seq);
+
+  // A second drain returns only what is new.
+  tracer.record(TraceKind::TxnBegin, 0, 2);
+  batch = sub->drain();
+  ASSERT_EQ(batch.events.size(), 1u);
+  EXPECT_EQ(batch.events[0].txn, 2u);
+  EXPECT_TRUE(sub->drain().events.empty());
+
+  // collect() is unaffected: subscriptions are non-destructive.
+  EXPECT_EQ(tracer.collect().size(), 4u);
+}
+
+TEST(TraceSubscription, ChargesOverwritesAndClearsAsDropped) {
+  Tracer tracer(/*per_thread_capacity=*/8);
+  auto sub = tracer.subscribe();
+  for (int i = 0; i < 20; ++i) tracer.record(TraceKind::Read, 0, 1, Key(i));
+  auto batch = sub->drain();
+  ASSERT_EQ(batch.events.size(), 8u);  // the newest 8 survived
+  EXPECT_EQ(batch.dropped, 12u);
+  EXPECT_EQ(batch.events.front().key, 12u);
+
+  // Events recorded then clear()ed before the next drain are dropped too.
+  tracer.record(TraceKind::Read, 0, 1, 100);
+  tracer.clear();
+  batch = sub->drain();
+  EXPECT_TRUE(batch.events.empty());
+  EXPECT_EQ(batch.dropped, 13u);  // cumulative
+
+  // The stream keeps working after the loss.
+  tracer.record(TraceKind::Write, 0, 2, 200);
+  batch = sub->drain();
+  ASSERT_EQ(batch.events.size(), 1u);
+  EXPECT_EQ(batch.events[0].key, 200u);
+  EXPECT_EQ(batch.dropped, 13u);
+}
+
+TEST(TraceSubscription, ConcurrentDrainsDeliverEverySeqExactlyOnce) {
+  // The stable-horizon contract under fire: recorders and the consumer run
+  // concurrently; every event below a batch's horizon must arrive in that
+  // batch or an earlier one, and nothing is duplicated.
+  Tracer tracer;
+  auto sub = tracer.subscribe();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.record(TraceKind::Read, 0, TxnId(t + 1), Key(i));
+      }
+    });
+  }
+  std::vector<std::uint64_t> seqs;
+  std::uint64_t horizon = 0;
+  while (seqs.size() < std::size_t(kThreads) * kPerThread) {
+    const auto batch = sub->drain();
+    EXPECT_EQ(batch.dropped, 0u);
+    EXPECT_GE(batch.stable_before, horizon);  // horizons only advance
+    for (const auto& e : batch.events) seqs.push_back(e.seq);
+    // Check the contract: every seq below the horizon was delivered.  Seqs
+    // start at 1, so `horizon - 1` of them must have arrived.
+    horizon = batch.stable_before;
+    ASSERT_GE(seqs.size(), std::size_t(horizon - 1));
+  }
+  for (auto& th : threads) th.join();
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(std::adjacent_find(seqs.begin(), seqs.end()), seqs.end());
+}
+
 TEST(Tracer, DatabaseLifecycleIsInstrumented) {
   Tracer tracer;
   DatabaseOptions dbo;
@@ -134,6 +216,25 @@ TEST(Tracer, DatabaseLifecycleIsInstrumented) {
   for (const auto& e : events) {
     if (e.kind == TraceKind::Write) EXPECT_EQ(e.a, 11.0);
   }
+}
+
+TEST(Tracer, AttachMetricsPublishesRingHealth) {
+  obs::MetricsRegistry reg;
+  Tracer tracer(/*per_thread_capacity=*/8);
+  tracer.attach_metrics(&reg);
+  for (int i = 0; i < 20; ++i) tracer.record(TraceKind::Read, 0, 1, Key(i));
+
+  const auto snap = reg.snapshot();
+  const obs::Sample* dropped = snap.find("trace.dropped_events");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->value, 12.0);
+  const obs::Sample* retained = snap.find("trace.retained_events");
+  ASSERT_NE(retained, nullptr);
+  EXPECT_EQ(retained->value, 8.0);
+
+  // Detach: the collector must disappear (and the dtor must not double-free).
+  tracer.attach_metrics(nullptr);
+  EXPECT_EQ(reg.snapshot().find("trace.dropped_events"), nullptr);
 }
 
 TEST(Tracer, UntracedDatabaseStaysSilent) {

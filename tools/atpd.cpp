@@ -9,10 +9,13 @@
 //   atpd --port 0 --scheduler cc              # kernel-assigned port
 //   atpd --class vip:50:50:200:64             # add/override a class
 //   atpd --metrics-port 9464 --keys 1000      # observable, preloaded
+//   atpd --certify --metrics-port 9464        # live SR/ESR certification
+//   atpd --slow-ms 50                         # log requests over 50ms
 //
 // Classes are name:import:export[:budget[:window]] ("inf" allowed); the
 // defaults are gold (eps 0), silver (metered), bronze (wide open).  Runs
-// until SIGINT/SIGTERM.
+// until SIGINT/SIGTERM.  With --certify the exit code is 3 when the online
+// certifier saw a violation.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -23,11 +26,13 @@
 #include <thread>
 #include <vector>
 
+#include "audit/online_certifier.h"
 #include "obs/metrics_registry.h"
 #include "sched/database.h"
 #include "server/admission.h"
 #include "server/server.h"
 #include "server/transport.h"
+#include "trace/tracer.h"
 
 namespace {
 
@@ -42,12 +47,15 @@ struct Args {
   atp::SchedulerKind scheduler = atp::SchedulerKind::DC;
   std::vector<atp::server::ClassPolicy> classes;
   atp::Key keys = 0;  ///< preload keys [0, keys) with value 0
+  bool certify = false;        ///< run the online SR/ESR certifier
+  std::size_t slow_ms = 0;     ///< slow-request log threshold (0 = off)
 };
 
 void usage() {
   std::cerr << "usage: atpd [--port N] [--scheduler cc|dc|odc] [--workers N]\n"
                "            [--class name:import:export[:budget[:window]]]...\n"
-               "            [--metrics-port N] [--keys N] [--max-sessions N]\n";
+               "            [--metrics-port N] [--keys N] [--max-sessions N]\n"
+               "            [--certify] [--slow-ms N]\n";
 }
 
 bool parse_args(int argc, char** argv, Args* a) {
@@ -67,6 +75,10 @@ bool parse_args(int argc, char** argv, Args* a) {
       a->max_sessions = std::strtoul(v, nullptr, 10);
     } else if (arg == "--keys" && (v = next(i))) {
       a->keys = atp::Key(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--certify") {
+      a->certify = true;
+    } else if (arg == "--slow-ms" && (v = next(i))) {
+      a->slow_ms = std::strtoul(v, nullptr, 10);
     } else if (arg == "--scheduler" && (v = next(i))) {
       const std::string s = v;
       if (s == "cc") {
@@ -121,8 +133,25 @@ int main(int argc, char** argv) {
   dbo.metrics_port = args.metrics_port;
   atp::obs::MetricsRegistry metrics;
   dbo.metrics = &metrics;
+  std::unique_ptr<atp::Tracer> tracer;
+  if (args.certify) {
+    tracer = std::make_unique<atp::Tracer>(std::size_t(1) << 18);
+    tracer->attach_metrics(&metrics);
+    dbo.tracer = tracer.get();
+  }
   atp::Database db(dbo);
   for (atp::Key k = 0; k < args.keys; ++k) db.load(k, 0);
+
+  std::unique_ptr<atp::OnlineCertifier> certifier;
+  if (args.certify) {
+    atp::OnlineCertifierOptions co;
+    // ET-level SR cycles are the paid-for divergence under DC/ODC; only a
+    // CC schedule promises conflict-serializability.
+    co.check_sr = args.scheduler == atp::SchedulerKind::CC;
+    co.metrics = &metrics;
+    certifier = std::make_unique<atp::OnlineCertifier>(*tracer, co);
+    certifier->start();
+  }
 
   auto transport = std::make_unique<atp::server::TcpTransport>(args.port);
   if (!transport->ok()) {
@@ -135,6 +164,7 @@ int main(int argc, char** argv) {
   so.classes = std::move(classes);
   so.metrics = &metrics;
   so.max_sessions = args.max_sessions;
+  so.slow_request_threshold = std::chrono::milliseconds(args.slow_ms);
   atp::server::AtpServer server(db, std::move(transport), std::move(so));
 
   std::signal(SIGINT, on_signal);
@@ -152,6 +182,15 @@ int main(int argc, char** argv) {
     std::cout << "atpd: metrics on 127.0.0.1:" << args.metrics_port
               << " (/metrics, /snapshot.json)\n";
   }
+  if (args.certify) {
+    std::cout << "atpd: online certifier on ("
+              << (args.scheduler == atp::SchedulerKind::CC ? "SR+ESR" : "ESR")
+              << ", audit.online.* in /snapshot.json)\n";
+  }
+  if (args.slow_ms != 0) {
+    std::cout << "atpd: logging requests slower than " << args.slow_ms
+              << "ms\n";
+  }
   std::cout.flush();
 
   while (g_stop == 0) {
@@ -160,5 +199,18 @@ int main(int argc, char** argv) {
   std::cout << "atpd: shutting down (" << server.active_sessions()
             << " sessions)\n";
   server.stop();
+  if (certifier) {
+    certifier->stop();
+    const atp::OnlineCertifierStats s = certifier->stats();
+    std::cout << "atpd: online certifier: " << s.violations()
+              << " violations, " << s.retired_nodes << " retired, peak window "
+              << s.window_nodes_peak << " nodes, max lag " << s.max_lag_us
+              << "us" << (s.degraded ? " (DEGRADED: events dropped)" : "")
+              << "\n";
+    for (const atp::OnlineViolation& v : certifier->violations()) {
+      std::cout << "atpd: " << v.witness << "\n";
+    }
+    if (s.violations() > 0) return 3;
+  }
   return 0;
 }

@@ -55,6 +55,7 @@ OnlineCertifier::~OnlineCertifier() {
 }
 
 void OnlineCertifier::start() {
+  std::lock_guard ctl(ctl_mu_);
   if (running_) return;
   stop_requested_.store(false);
   running_ = true;
@@ -69,6 +70,7 @@ void OnlineCertifier::run_loop() {
 }
 
 void OnlineCertifier::stop() {
+  std::lock_guard ctl(ctl_mu_);
   if (running_) {
     stop_requested_.store(true);
     thread_.join();
@@ -116,7 +118,7 @@ void OnlineCertifier::pump_locked(bool final_pass) {
   const bool processed_any = n > 0;
   if (processed_any) buffer_.erase(buffer_.begin(), buffer_.begin() + n);
 
-  retire_sweep(batch.stable_before);
+  retire_sweep();
   if (++pump_count_ % kKeyGcPeriod == 0) gc_keys();
 
   const std::int64_t now = tracer_.now_us();
@@ -294,23 +296,32 @@ void OnlineCertifier::apply_op(KeyState& ks, const PendingOp& op) {
 void OnlineCertifier::add_edge(const KeyRef& from, bool from_write,
                                const PendingOp& to) {
   auto fit = txns_.find(from.node);
-  // A retired source is sound to skip: all its ops were applied before it
-  // retired, so it can never gain an incoming edge and thus never sits on a
-  // cycle (see the header's retirement invariant).
+  // A retired source is sound to skip: it retired as a graph *source*
+  // (fully applied, zero in-degree), so no path can ever enter it and no
+  // cycle can pass through it (see the header's retirement invariant).
   if (fit == txns_.end()) return;
   TxnState& f = fit->second;
   if (f.status != TxnState::Status::Committed) return;
   for (const OutEdge& e : f.out) {
     if (e.to == to.node) return;  // one witness per (from, to), like offline
   }
+  auto tit = txns_.find(to.node);
+  if (tit == txns_.end()) return;  // unreachable: `to` is mid-apply
   const OutEdge edge{to.node, to.key, dep_kind(from_write, to.is_write),
                      from.seq, to.seq};
   f.out.push_back(edge);
+  ++tit->second.in_degree;
   ++stats_.edges_added;
-  check_cycle(from.node, to.node, edge);
+  if (check_cycle(from.node, to.node, edge)) {
+    // Report-and-drain: the witness is recorded, so drop the closing edge
+    // to keep the graph acyclic -- the window keeps retiring after a
+    // violation instead of pinning the cycle's members forever.
+    f.out.pop_back();
+    --tit->second.in_degree;
+  }
 }
 
-void OnlineCertifier::check_cycle(AuditNode from, AuditNode to,
+bool OnlineCertifier::check_cycle(AuditNode from, AuditNode to,
                                   const OutEdge& closing) {
   // Only the new edge can close a cycle, and any such cycle contains the
   // path to -> ... -> from.  Iterative DFS over the committed window,
@@ -344,7 +355,7 @@ void OnlineCertifier::check_cycle(AuditNode from, AuditNode to,
       stack.push_back(e.to);
     }
   }
-  if (!found) return;
+  if (!found) return false;
 
   // Cycle: from -(closing)-> to -> ... -> from.  Walk predecessors back
   // from `from`, then render in forward order, offline describe() style.
@@ -369,6 +380,7 @@ void OnlineCertifier::check_cycle(AuditNode from, AuditNode to,
   ++stats_.sr_violations;
   record_violation(OnlineViolation{OnlineViolation::Kind::SrCycle, from,
                                    closing.to_seq, out.str()});
+  return true;
 }
 
 void OnlineCertifier::record_violation(OnlineViolation v) {
@@ -393,32 +405,42 @@ void OnlineCertifier::record_esr_violation(const EsrViolation& v) {
   record_violation(OnlineViolation{kind, v.node, v.seq, out.str()});
 }
 
-void OnlineCertifier::retire_sweep(std::uint64_t processed_before) {
-  // Low-watermark frontier per site: the earliest event seq of any still
-  // undecided transaction.  Sites with nothing live use the processed
-  // horizon -- everything the certifier has consumed is behind it.
-  std::unordered_map<SiteId, std::uint64_t> frontier;
+bool OnlineCertifier::retirable(const TxnState& t) noexcept {
+  // Committed, every op applied (so no future *incoming* edge exists -- an
+  // edge u -> n is only recorded when one of n's own ops applies), and no
+  // recorded incoming edge left: a graph source.  Nothing can ever enter
+  // such a node again, so it can never join a cycle and is safe to drop.
+  // Seq watermarks are deliberately not consulted: a node can stay a key's
+  // last writer forever and gain an outgoing edge from a transaction that
+  // begins arbitrarily later, so no low-watermark frontier is sound.
+  return t.status == TxnState::Status::Committed && t.ops_pending == 0 &&
+         t.in_degree == 0;
+}
+
+void OnlineCertifier::retire_sweep() {
+  // Drain the committed DAG from its sources, Kahn style: each retirement
+  // removes the node's outgoing edges, which may expose its successors, so
+  // the sweep cascades until no source is left.  On a clean (acyclic)
+  // history this empties every decided prefix; nodes on a detected cycle
+  // do not pin the window either, because check_cycle drops closing edges.
+  std::vector<AuditNode> ready;
   for (const auto& [node, t] : txns_) {
-    if (t.status != TxnState::Status::Live) continue;
-    auto [it, inserted] = frontier.try_emplace(t.site, t.first_seq);
-    if (!inserted) it->second = std::min(it->second, t.first_seq);
+    if (retirable(t)) ready.push_back(node);
   }
-  for (auto it = txns_.begin(); it != txns_.end();) {
-    const TxnState& t = it->second;
-    bool retire = false;
-    if (t.status == TxnState::Status::Committed && t.ops_pending == 0) {
-      auto fit = frontier.find(t.site);
-      const std::uint64_t horizon =
-          fit != frontier.end() ? fit->second : processed_before;
-      retire = t.last_seq < horizon;
+  while (!ready.empty()) {
+    const AuditNode node = ready.back();
+    ready.pop_back();
+    auto it = txns_.find(node);
+    if (it == txns_.end()) continue;
+    for (const OutEdge& e : it->second.out) {
+      auto tit = txns_.find(e.to);
+      if (tit == txns_.end()) continue;
+      TxnState& succ = tit->second;
+      if (--succ.in_degree == 0 && retirable(succ)) ready.push_back(e.to);
     }
-    if (retire) {
-      it = txns_.erase(it);
-      ++stats_.retired_nodes;
-      --stats_.window_nodes;
-    } else {
-      ++it;
-    }
+    txns_.erase(it);
+    ++stats_.retired_nodes;
+    --stats_.window_nodes;
   }
 }
 

@@ -15,14 +15,23 @@
 // graph, aborted ops vanish.  Because ops apply strictly in seq order per
 // key, a committed node whose ops have all been applied has already received
 // every incoming edge it will ever have (an edge u -> n is created when n's
-// own, later op applies).  Such a node can only gain *outgoing* edges, so it
-// can never join a new cycle: it is safe to retire -- drop it and its edges
-// -- once every site's active-transaction horizon (the low-watermark
-// frontier: the smallest first-event seq of any undecided transaction) has
-// passed its last event.  Edges whose source has retired are skipped rather
-// than recorded, which is sound for the same reason.  Memory is therefore
-// bounded by the live transactions plus the retirement window, not by the
-// length of the run.
+// own, later op applies).  Retirement drains the graph from its *sources*:
+// once such a fully-applied node's in-degree reaches zero, no path can ever
+// enter it again, so it can never join a cycle -- nor sit on one -- and it
+// is safe to drop, together with its outgoing edges and the per-key
+// reader/writer entries that point at it (each drop may expose successors,
+// so the sweep cascades in topological order).  Edges whose source has
+// retired are skipped rather than recorded, which is sound for the same
+// reason: nothing can ever reach a retired node.  Note that retirement
+// deliberately does NOT key on sequence-number watermarks: a committed node
+// can stay a key's last writer indefinitely and gain an outgoing edge from
+// a transaction that begins arbitrarily later, closing a cycle through its
+// already-recorded incoming edges -- so no seq low-watermark frontier is
+// sound; only the absence of incoming edges is.  When a cycle IS found, the
+// witness is recorded and the closing edge dropped ("report-and-drain"), so
+// the graph stays acyclic and the window keeps retiring after a violation.
+// Memory is therefore bounded by the live transactions plus the undrained
+// suffix of the committed DAG, not by the length of the run.
 //
 // Equivalence with the offline certifiers: the offline SR check adds an edge
 // for every conflicting pair of committed ops; the online graph keeps only
@@ -121,11 +130,13 @@ class OnlineCertifier {
   OnlineCertifier(const OnlineCertifier&) = delete;
   OnlineCertifier& operator=(const OnlineCertifier&) = delete;
 
-  /// Spawn the background pump thread (idempotent).
+  /// Spawn the background pump thread (idempotent).  Safe to race with
+  /// stop() from another control thread.
   void start();
 
   /// Join the pump thread and run one final drain.  Called after recorders
   /// have quiesced, this leaves a complete verdict over the whole run.
+  /// Safe to race with start() from another control thread.
   void stop();
 
   /// One drain + ingest + retirement cycle.  Safe from any thread; tests
@@ -186,6 +197,7 @@ class OnlineCertifier {
     std::uint64_t first_seq = 0;
     std::uint64_t last_seq = 0;
     std::uint32_t ops_pending = 0;   ///< our ops still queued on keys
+    std::uint32_t in_degree = 0;     ///< recorded edges pointing at us
     std::vector<SiteKey> touched;    ///< keys to drain when we decide
     // Windowed fuzziness ledger (mirrors the offline ESR account).
     Value imported = 0;
@@ -203,10 +215,12 @@ class OnlineCertifier {
   void apply_op(KeyState& ks, const PendingOp& op);
   void add_edge(const KeyRef& from, bool from_write, const PendingOp& to);
   /// New edge from -> to inserted: search for a path to -> ... -> from.
-  void check_cycle(AuditNode from, AuditNode to, const OutEdge& closing);
+  /// Returns true (after recording the witness) when a cycle was found.
+  bool check_cycle(AuditNode from, AuditNode to, const OutEdge& closing);
   void record_violation(OnlineViolation v);
   void record_esr_violation(const EsrViolation& v);
-  void retire_sweep(std::uint64_t processed_before);
+  [[nodiscard]] static bool retirable(const TxnState& t) noexcept;
+  void retire_sweep();
   void compact_readers(KeyState& ks);
   void gc_keys();
   void publish(obs::SnapshotBuilder& b) const;
@@ -225,9 +239,10 @@ class OnlineCertifier {
   std::int64_t last_processed_ts_ = 0;
   std::uint64_t pump_count_ = 0;
 
-  std::thread thread_;
+  mutable OrderedMutex<LockRank::kOnlineCertCtl> ctl_mu_;  // rank kOnlineCertCtl: start/stop serialization; held across the join and the final drain (kOnlineCert)
+  std::thread thread_;           // under ctl_mu_
   std::atomic<bool> stop_requested_{false};
-  bool running_ = false;
+  bool running_ = false;  // under ctl_mu_
 
   obs::MetricsRegistry* metrics_ = nullptr;
   std::uint64_t collector_id_ = 0;

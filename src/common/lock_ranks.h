@@ -59,6 +59,9 @@ enum class LockRank : std::uint16_t {
   /// callbacks under it, and those read component stats (stripes, txn
   /// registry, net state...), so this ranks BELOW all db-layer locks.
   kObsRegistry = 70,
+  /// OnlineCertifier::ctl_mu_ — serializes start()/stop(); held across the
+  /// pump-thread join and across the final drain, which takes kOnlineCert.
+  kOnlineCertCtl = 72,
   /// OnlineCertifier::mu_ — streaming certifier window state.  Below the
   /// db layer because nothing db-side is taken under it, and above
   /// kObsRegistry because the metrics collector reads certifier stats while
@@ -132,6 +135,7 @@ enum class LockRank : std::uint16_t {
     case LockRank::kTransport: return "kTransport";
     case LockRank::kObsExporter: return "kObsExporter";
     case LockRank::kObsRegistry: return "kObsRegistry";
+    case LockRank::kOnlineCertCtl: return "kOnlineCertCtl";
     case LockRank::kOnlineCert: return "kOnlineCert";
     case LockRank::kSite: return "kSite";
     case LockRank::kDbCrash: return "kDbCrash";

@@ -165,6 +165,19 @@ void Tracer::clear() {
   }
 }
 
+TraceSubscription::TraceSubscription(const Tracer& tracer) : tracer_(tracer) {
+  // Start every existing ring's cursor at its oldest *retained* event:
+  // whatever was overwritten or clear()ed before this subscription existed
+  // is history, not a post-subscription loss, and must not count toward
+  // `dropped` (it would permanently flip consumers' degraded flags).
+  std::lock_guard registry_lock(tracer_.registry_mu_);
+  consumed_.reserve(tracer_.rings_.size());
+  for (const auto& ring : tracer_.rings_) {
+    std::lock_guard lock(ring->mu);
+    consumed_.push_back(ring->written - ring->slots.size());
+  }
+}
+
 TraceSubscription::Batch TraceSubscription::drain() {
   Batch batch;
   // The horizon is read BEFORE any ring lock: seq tickets are issued inside

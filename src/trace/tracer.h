@@ -139,7 +139,10 @@ class TraceSubscription {
 
  private:
   friend class Tracer;
-  explicit TraceSubscription(const Tracer& tracer) : tracer_(tracer) {}
+  /// Snapshots each existing ring's oldest retained index so events lost
+  /// BEFORE the subscription (overwrites, clear()s) are not charged to
+  /// `dropped`; rings that appear later start at their birth (index 0).
+  explicit TraceSubscription(const Tracer& tracer);
 
   const Tracer& tracer_;
   std::vector<std::uint64_t> consumed_;  ///< per-ring cursor, `written` units

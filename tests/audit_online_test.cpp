@@ -1,8 +1,8 @@
 // Online certifier tests: hand-crafted histories streamed through a live
 // Tracer (injected write-skew cycle, ESR overruns, out-of-order commits,
-// per-site retirement frontiers), online-vs-offline verdict equivalence on
-// real concurrent executor runs, and the bounded-window guarantee under
-// sustained load.
+// graph-source retirement incl. the schedules that defeat seq-watermark
+// frontiers), online-vs-offline verdict equivalence on real concurrent
+// executor runs, and the bounded-window guarantee under sustained load.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -35,7 +35,8 @@ TEST(OnlineCertifier, PassesASerialHistoryAndRetiresIt) {
   EXPECT_EQ(s.violations(), 0u);
   EXPECT_EQ(s.events_processed, 5u);
   EXPECT_EQ(s.edges_added, 1u);  // the wr edge T1 -> T2
-  // Nothing is live, so the whole window is already behind the frontier.
+  // Everything is decided and applied with no incoming edges left, so the
+  // source-draining sweep retires the whole chain in one cascade.
   EXPECT_EQ(s.live_txns, 0u);
   EXPECT_EQ(s.pending_ops, 0u);
   EXPECT_EQ(s.window_nodes, 0u);
@@ -149,12 +150,14 @@ TEST(OnlineCertifier, AbortedOverrunIsTheMechanismWorking) {
   EXPECT_TRUE(certify_esr(tracer.collect()).ok);  // offline agrees
 }
 
-TEST(OnlineCertifier, RetirementFrontierIsPerSite) {
+TEST(OnlineCertifier, UndecidedStragglerDoesNotPinConflictFreeNodes) {
   Tracer tracer;
   OnlineCertifier cert(tracer);
-  // Site 1 has a long-lived undecided transaction; site 0 churns.  Site 0's
-  // committed nodes must retire behind their own site's frontier, while the
-  // site-1 commit that postdates the straggler stays in the window.
+  // A long-lived undecided transaction on site 1 while both sites churn.
+  // Retirement keys off the graph, not wall-clock overlap: the committed
+  // nodes have no incoming edges (and no ops queued), so they retire even
+  // though T99 is still undecided -- including T98, which postdates T99 on
+  // the same site.
   tracer.record(TraceKind::TxnBegin, 1, 99);
   tracer.record(TraceKind::Write, 0, 1, 10);
   tracer.record(TraceKind::TxnCommit, 0, 1);
@@ -163,9 +166,9 @@ TEST(OnlineCertifier, RetirementFrontierIsPerSite) {
   cert.pump();
 
   OnlineCertifierStats s = cert.stats();
-  EXPECT_EQ(s.live_txns, 1u);     // site1:T99
-  EXPECT_EQ(s.retired_nodes, 1u);  // site0:T1 -- its site has nothing live
-  EXPECT_EQ(s.window_nodes, 1u);   // site1:T98 waits behind T99's frontier
+  EXPECT_EQ(s.live_txns, 1u);  // site1:T99
+  EXPECT_EQ(s.retired_nodes, 2u);
+  EXPECT_EQ(s.window_nodes, 0u);
 
   tracer.record(TraceKind::TxnAbort, 1, 99);
   cert.pump();
@@ -173,6 +176,110 @@ TEST(OnlineCertifier, RetirementFrontierIsPerSite) {
   EXPECT_EQ(s.live_txns, 0u);
   EXPECT_EQ(s.window_nodes, 0u);
   EXPECT_EQ(s.retired_nodes, 2u);
+}
+
+TEST(OnlineCertifier, PendingOpsOfACommittedTxnKeepItsConflictersAlive) {
+  // Regression for the retirement unsoundness the review caught: N commits
+  // and is fully applied while X -- already committed -- still has a read
+  // queued behind live L.  A seq low-watermark over live transactions
+  // would retire N here (frontier = L's first seq = 7 > N's last seq = 6),
+  // and the later N -> L edge would be skipped, losing the cycle
+  // X -> N -> L -> X that the offline certifier reports.
+  Tracer tracer;
+  OnlineCertifier cert(tracer);
+  tracer.record(TraceKind::TxnBegin, 0, 1);   // X            @1
+  tracer.record(TraceKind::Write, 0, 1, 3);   // X w(k3)      @2
+  tracer.record(TraceKind::TxnBegin, 0, 2);   // N            @3
+  tracer.record(TraceKind::Read, 0, 2, 2);    // N r(k2)      @4
+  tracer.record(TraceKind::Write, 0, 2, 3);   // N w(k3)      @5
+  tracer.record(TraceKind::TxnCommit, 0, 2);  // N commits    @6
+  tracer.record(TraceKind::TxnBegin, 0, 3);   // L            @7
+  tracer.record(TraceKind::Write, 0, 3, 2);   // L w(k2)      @8
+  tracer.record(TraceKind::Read, 0, 1, 2);    // X r(k2)      @9
+  tracer.record(TraceKind::TxnCommit, 0, 1);  // X commits    @10
+  cert.pump();  // the sweep that used to retire N out from under the cycle
+  EXPECT_EQ(cert.stats().sr_violations, 0u);
+
+  tracer.record(TraceKind::TxnCommit, 0, 3);  // L commits: cycle closes
+  cert.pump();
+
+  const OnlineCertifierStats s = cert.stats();
+  EXPECT_EQ(s.sr_violations, 1u);
+  const auto viols = cert.violations();
+  ASSERT_EQ(viols.size(), 1u);
+  EXPECT_NE(viols[0].witness.find("SR violation"), std::string::npos);
+  const SrReport offline = certify_sr(tracer.collect());
+  EXPECT_FALSE(offline.serializable);  // online and offline agree
+
+  // Report-and-drain: the recorded cycle must not pin the window.
+  EXPECT_EQ(s.window_nodes, 0u);
+  EXPECT_EQ(s.pending_ops, 0u);
+}
+
+TEST(OnlineCertifier, SeqWatermarksCannotRetireThisCycleButInDegreeCan) {
+  // The stronger schedule: by the time the dangerous sweep runs, EVERY
+  // transaction that can still apply ops (live L, committed-but-pending B)
+  // began after N's last event, so even a frontier extended with
+  // committed-pending transactions would retire N -- yet N is still k2's
+  // last writer, and B's queued read of k2 later closes A -> N -> B -> A.
+  // Only the absence of incoming edges (A -> N exists) justifies keeping N.
+  Tracer tracer;
+  OnlineCertifier cert(tracer);
+  tracer.record(TraceKind::TxnBegin, 0, 1);   // A            @1
+  tracer.record(TraceKind::Read, 0, 1, 1);    // A r(k1)      @2
+  tracer.record(TraceKind::TxnBegin, 0, 2);   // N            @3
+  tracer.record(TraceKind::Write, 0, 2, 1);   // N w(k1)      @4
+  tracer.record(TraceKind::Write, 0, 2, 2);   // N w(k2)      @5
+  tracer.record(TraceKind::TxnCommit, 0, 2);  // N commits    @6
+  tracer.record(TraceKind::TxnBegin, 0, 3);   // L            @7
+  tracer.record(TraceKind::Write, 0, 3, 2);   // L w(k2)      @8
+  tracer.record(TraceKind::TxnBegin, 0, 4);   // B            @9
+  tracer.record(TraceKind::Write, 0, 4, 3);   // B w(k3)      @10
+  tracer.record(TraceKind::Read, 0, 4, 2);    // B r(k2)      @11
+  tracer.record(TraceKind::TxnCommit, 0, 4);  // B commits    @12
+  tracer.record(TraceKind::Read, 0, 1, 3);    // A r(k3)      @13
+  tracer.record(TraceKind::TxnCommit, 0, 1);  // A commits    @14
+  cert.pump();  // A->N and B->A recorded; N fully applied, in-degree 1
+  EXPECT_EQ(cert.stats().sr_violations, 0u);
+
+  tracer.record(TraceKind::TxnAbort, 0, 3);  // L dies: B reads k2 from N
+  cert.pump();
+
+  const OnlineCertifierStats s = cert.stats();
+  EXPECT_EQ(s.sr_violations, 1u);
+  const SrReport offline = certify_sr(tracer.collect());
+  EXPECT_FALSE(offline.serializable);  // online and offline agree
+  EXPECT_EQ(s.window_nodes, 0u);       // and the window still drains
+  EXPECT_EQ(s.live_txns, 0u);
+  EXPECT_EQ(s.pending_ops, 0u);
+}
+
+TEST(OnlineCertifier, StartStopSafeFromConcurrentControlThreads) {
+  // start()/stop() may race (e.g. a signal-handling thread against the main
+  // thread at shutdown); the control mutex must make that safe.  TSan (the
+  // audit-online label runs in the TSan job) is the real oracle here.
+  Tracer tracer;
+  OnlineCertifier cert(tracer);
+  std::vector<std::thread> ctl;
+  for (int t = 0; t < 4; ++t) {
+    ctl.emplace_back([&cert] {
+      for (int i = 0; i < 25; ++i) {
+        cert.start();
+        cert.stop();
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    tracer.record(TraceKind::Write, 0, TxnId(i + 1), Key(i % 8));
+    tracer.record(TraceKind::TxnCommit, 0, TxnId(i + 1));
+  }
+  for (auto& th : ctl) th.join();
+  cert.stop();
+
+  const OnlineCertifierStats s = cert.stats();
+  EXPECT_EQ(s.violations(), 0u);
+  EXPECT_EQ(s.events_processed, 400u);
+  EXPECT_EQ(s.window_nodes, 0u);
 }
 
 TEST(OnlineCertifier, DroppedEventsRaiseStickyDegradedFlag) {
@@ -293,9 +400,9 @@ TEST(OnlineOracle, MatchesOfflineOnDivergenceControlRuns) {
 }
 
 TEST(OnlineOracle, WindowIsBoundedByPumpCadenceNotHistoryLength) {
-  // 2000 committed transactions, pumped every 50: the retirement frontier
-  // must clear each batch, so the window peaks at the inter-pump commit
-  // count -- 50 -- no matter how long the history grows.
+  // 2000 committed transactions, pumped every 50: the source-draining
+  // sweep must clear each decided batch, so the window peaks at the
+  // inter-pump commit count -- 50 -- no matter how long the history grows.
   Tracer tracer(1 << 18);
   OnlineCertifier cert(tracer);
   DatabaseOptions dbo;

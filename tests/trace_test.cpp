@@ -147,6 +147,34 @@ TEST(TraceSubscription, ChargesOverwritesAndClearsAsDropped) {
   EXPECT_EQ(batch.dropped, 13u);
 }
 
+TEST(TraceSubscription, StartsAtOldestRetainedSoOldLossesAreNotCharged) {
+  // Subscribing to a tracer that has already wrapped (or been cleared) must
+  // start at the oldest events still retained: pre-subscription losses are
+  // history, not drops, or every late subscriber would come up permanently
+  // degraded.
+  Tracer tracer(/*per_thread_capacity=*/8);
+  for (int i = 0; i < 20; ++i) tracer.record(TraceKind::Read, 0, 1, Key(i));
+  auto sub = tracer.subscribe();
+  auto batch = sub->drain();
+  ASSERT_EQ(batch.events.size(), 8u);  // the retained suffix
+  EXPECT_EQ(batch.events.front().key, 12u);
+  EXPECT_EQ(batch.dropped, 0u);  // the 12 pre-subscribe overwrites don't count
+
+  // Post-subscription overwrites still do.
+  for (int i = 0; i < 20; ++i) tracer.record(TraceKind::Read, 0, 1, Key(i));
+  batch = sub->drain();
+  ASSERT_EQ(batch.events.size(), 8u);
+  EXPECT_EQ(batch.dropped, 12u);
+
+  // Same for clear(): a subscription born after it owes nothing for it.
+  tracer.record(TraceKind::Read, 0, 1, 99);
+  tracer.clear();
+  auto late = tracer.subscribe();
+  batch = late->drain();
+  EXPECT_TRUE(batch.events.empty());
+  EXPECT_EQ(batch.dropped, 0u);
+}
+
 TEST(TraceSubscription, ConcurrentDrainsDeliverEverySeqExactlyOnce) {
   // The stable-horizon contract under fire: recorders and the consumer run
   // concurrently; every event below a batch's horizon must arrive in that

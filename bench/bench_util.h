@@ -59,6 +59,14 @@ struct LocalRunConfig {
   /// run completes but BEFORE the Database dies -- the run's eps budgets,
   /// stripe heatmap and executor counters, ready for the bench JSON.
   obs::MetricsSnapshot* final_snapshot_out = nullptr;
+  /// Optional write-ahead log: attaching one turns on force-at-commit via
+  /// the database's group committer (wal.group.* lands in the metrics
+  /// snapshot).  The caller owns the device; `fsync_latency` simulates the
+  /// per-force device cost the group commit amortizes.
+  LogDevice* wal = nullptr;
+  std::chrono::microseconds fsync_latency{0};
+  /// Durability mode for every transaction in the run (WAL runs only).
+  CommitWait commit_wait = CommitWait::kSync;
 };
 
 inline ExecutorReport run_local(const Workload& w, MethodConfig method,
@@ -74,6 +82,10 @@ inline ExecutorReport run_local(const Workload& w, MethodConfig method,
   DatabaseOptions dbo = Executor::database_options(method, cfg.lock_timeout);
   dbo.tracer = cfg.tracer;
   dbo.metrics = cfg.metrics;
+  if (cfg.wal != nullptr) {
+    cfg.wal->set_fsync_latency(cfg.fsync_latency);
+    dbo.wal = cfg.wal;
+  }
   Database db(dbo);
   w.load_into(db);
   ExecutorOptions opts;
@@ -81,6 +93,7 @@ inline ExecutorReport run_local(const Workload& w, MethodConfig method,
   opts.seed = cfg.seed;
   opts.op_delay_min_us = cfg.op_delay_min_us;
   opts.op_delay_max_us = cfg.op_delay_max_us;
+  opts.commit_wait = cfg.commit_wait;
   ExecutorReport report = Executor::run(db, plan.value(), w.instances, opts);
   if (cfg.metrics != nullptr && cfg.final_snapshot_out != nullptr) {
     // Taken while the Database's collector is still registered, so the

@@ -150,9 +150,11 @@ void OnlineCertifier::process_event(const TraceEvent& e) {
   last_processed_ts_ = e.ts_us;
   const AuditNode node = audit_node(e.site, e.txn);
   switch (e.kind) {
-    case TraceKind::TxnBegin:
-      ensure_txn(node, e.seq, e.site);
+    case TraceKind::TxnBegin: {
+      TxnState& t = ensure_txn(node, e.seq, e.site);
+      if (e.key != 0) t.snapshot_plus1 = e.key;  // snapshot txn: key = snap+1
       break;
+    }
     case TraceKind::Read:
     case TraceKind::Write: {
       if (!opts_.check_sr) break;  // no graph: ops need not queue
@@ -161,7 +163,7 @@ void OnlineCertifier::process_event(const TraceEvent& e) {
       t.last_seq = e.seq;
       const SiteKey sk{e.site, e.key};
       keys_[sk].pending.push_back(
-          PendingOp{e.seq, node, e.key, e.kind == TraceKind::Write});
+          PendingOp{e.seq, node, e.key, e.kind == TraceKind::Write, e.aux});
       ++t.ops_pending;
       ++stats_.pending_ops;
       if (std::find(t.touched.begin(), t.touched.end(), sk) ==
@@ -218,6 +220,7 @@ void OnlineCertifier::process_event(const TraceEvent& e) {
 void OnlineCertifier::decide_commit(TxnState& t, AuditNode node,
                                     const TraceEvent& e) {
   t.last_seq = e.seq;
+  t.commit_seq = e.aux;  // version stamp of this txn's installs (0: none)
   if (opts_.check_esr) {
     // Commit-time Z must equal the replayed ledger, and any overrun seen
     // while live now belongs to a *committed* ET: report it.
@@ -270,26 +273,61 @@ void OnlineCertifier::drain_key(const SiteKey& sk) {
 
 void OnlineCertifier::apply_op(KeyState& ks, const PendingOp& op) {
   if (op.is_write) {
-    if (ks.has_writer && ks.last_writer.node != op.node) {
-      add_edge(ks.last_writer, /*from_write=*/true, op);
+    const std::uint64_t cseq = txns_.at(op.node).commit_seq;
+    if (!ks.writers.empty() && ks.writers.back().node != op.node) {
+      add_edge(ks.writers.back(), /*from_write=*/true, op);
     }
+    // Listed readers are exactly those with no successor version at their
+    // apply time; writes apply in commit-seq order, so this write is every
+    // listed reader's first successor (rw anti-dependency).
     for (const KeyRef& r : ks.readers) {
       if (r.node != op.node) add_edge(r, /*from_write=*/false, op);
     }
     ks.readers.clear();
-    ks.last_writer = KeyRef{op.node, op.seq};
-    ks.has_writer = true;
+    if (cseq == 0) {
+      // Legacy trace: only the last writer can ever conflict again.
+      ks.writers.clear();
+    } else if (ks.writers.size() >= kReaderCompactThreshold) {
+      compact_writers(ks);
+    }
+    ks.writers.push_back(KeyRef{op.node, op.seq, cseq});
+    return;
+  }
+  if (op.version == ~std::uint64_t{0}) return;  // read of own staged write
+  if (op.version != 0) {
+    // Versioned read: arrival order is irrelevant; the version stamp names
+    // the installer (wr) and pins the successor (rw).
+    const std::uint64_t v = op.version - 1;
+    const KeyRef* successor = nullptr;
+    for (const KeyRef& w : ks.writers) {
+      if (w.version == v && w.node != op.node) {
+        add_edge(w, /*from_write=*/true, op);
+      }
+      if (w.version > v && successor == nullptr) successor = &w;
+    }
+    if (successor != nullptr) {
+      // reader -> successor's installer, recorded from the reader's side:
+      // swap roles so the edge points reader -> writer.
+      if (successor->node != op.node) {
+        const PendingOp as_write{successor->seq, successor->node, op.key,
+                                 /*is_write=*/true, 0};
+        add_edge(KeyRef{op.node, op.seq, op.version},
+                 /*from_write=*/false, as_write);
+      }
+      return;  // anti-dependency resolved: no need to list the reader
+    }
   } else {
-    if (ks.has_writer && ks.last_writer.node != op.node) {
-      add_edge(ks.last_writer, /*from_write=*/true, op);
+    // Legacy read: conflicts with the last writer by arrival order.
+    if (!ks.writers.empty() && ks.writers.back().node != op.node) {
+      add_edge(ks.writers.back(), /*from_write=*/true, op);
     }
-    const bool known =
-        std::any_of(ks.readers.begin(), ks.readers.end(),
-                    [&](const KeyRef& r) { return r.node == op.node; });
-    if (!known) {
-      if (ks.readers.size() >= kReaderCompactThreshold) compact_readers(ks);
-      ks.readers.push_back(KeyRef{op.node, op.seq});
-    }
+  }
+  const bool known =
+      std::any_of(ks.readers.begin(), ks.readers.end(),
+                  [&](const KeyRef& r) { return r.node == op.node; });
+  if (!known) {
+    if (ks.readers.size() >= kReaderCompactThreshold) compact_readers(ks);
+    ks.readers.push_back(KeyRef{op.node, op.seq, op.version});
   }
 }
 
@@ -405,16 +443,36 @@ void OnlineCertifier::record_esr_violation(const EsrViolation& v) {
   record_violation(OnlineViolation{kind, v.node, v.seq, out.str()});
 }
 
-bool OnlineCertifier::retirable(const TxnState& t) noexcept {
-  // Committed, every op applied (so no future *incoming* edge exists -- an
-  // edge u -> n is only recorded when one of n's own ops applies), and no
-  // recorded incoming edge left: a graph source.  Nothing can ever enter
-  // such a node again, so it can never join a cycle and is safe to drop.
-  // Seq watermarks are deliberately not consulted: a node can stay a key's
-  // last writer forever and gain an outgoing edge from a transaction that
-  // begins arbitrarily later, so no low-watermark frontier is sound.
+bool OnlineCertifier::retirable(const TxnState& t,
+                                std::uint64_t snapshot_floor) noexcept {
+  // Committed, every op applied (so no future *incoming* edge exists from
+  // the node's own side -- an edge u -> n is otherwise only recorded when
+  // one of n's own ops applies), and no recorded incoming edge left: a
+  // graph source.  Nothing can ever enter such a node again, so it can
+  // never join a cycle and is safe to drop.  Seq watermarks are
+  // deliberately not consulted: a node can stay a key's last writer forever
+  // and gain an outgoing edge from a transaction that begins arbitrarily
+  // later, so no low-watermark frontier is sound.
+  //
+  // Versioned writers have one extra way to gain an incoming edge: a live
+  // snapshot transaction older than their commit seq can still apply a
+  // read that anti-depends on them (rw into the successor's installer).
+  // Hold such writers until every live snapshot has caught up.
   return t.status == TxnState::Status::Committed && t.ops_pending == 0 &&
-         t.in_degree == 0;
+         t.in_degree == 0 &&
+         (t.commit_seq == 0 || t.commit_seq <= snapshot_floor);
+}
+
+std::uint64_t OnlineCertifier::live_snapshot_floor() const noexcept {
+  // Minimum snapshot over live snapshot transactions; no live snapshot
+  // means nothing constrains writer retirement.
+  std::uint64_t floor = ~std::uint64_t{0};
+  for (const auto& [node, t] : txns_) {
+    (void)node;
+    if (t.status != TxnState::Status::Live || t.snapshot_plus1 == 0) continue;
+    floor = std::min(floor, t.snapshot_plus1 - 1);
+  }
+  return floor;
 }
 
 void OnlineCertifier::retire_sweep() {
@@ -423,9 +481,10 @@ void OnlineCertifier::retire_sweep() {
   // the sweep cascades until no source is left.  On a clean (acyclic)
   // history this empties every decided prefix; nodes on a detected cycle
   // do not pin the window either, because check_cycle drops closing edges.
+  const std::uint64_t floor = live_snapshot_floor();
   std::vector<AuditNode> ready;
   for (const auto& [node, t] : txns_) {
-    if (retirable(t)) ready.push_back(node);
+    if (retirable(t, floor)) ready.push_back(node);
   }
   while (!ready.empty()) {
     const AuditNode node = ready.back();
@@ -436,7 +495,9 @@ void OnlineCertifier::retire_sweep() {
       auto tit = txns_.find(e.to);
       if (tit == txns_.end()) continue;
       TxnState& succ = tit->second;
-      if (--succ.in_degree == 0 && retirable(succ)) ready.push_back(e.to);
+      if (--succ.in_degree == 0 && retirable(succ, floor)) {
+        ready.push_back(e.to);
+      }
     }
     txns_.erase(it);
     ++stats_.retired_nodes;
@@ -452,6 +513,17 @@ void OnlineCertifier::compact_readers(KeyState& ks) {
                    ks.readers.end());
 }
 
+void OnlineCertifier::compact_writers(KeyState& ks) {
+  // Retired writers' edges no longer matter (nothing can reach a retired
+  // node); drop their entries.  The relative commit-seq order of the
+  // survivors is preserved.
+  ks.writers.erase(std::remove_if(ks.writers.begin(), ks.writers.end(),
+                                  [&](const KeyRef& w) {
+                                    return txns_.count(w.node) == 0;
+                                  }),
+                   ks.writers.end());
+}
+
 void OnlineCertifier::gc_keys() {
   for (auto it = keys_.begin(); it != keys_.end();) {
     KeyState& ks = it->second;
@@ -460,10 +532,8 @@ void OnlineCertifier::gc_keys() {
       continue;
     }
     compact_readers(ks);
-    if (ks.has_writer && txns_.count(ks.last_writer.node) == 0) {
-      ks.has_writer = false;  // retired writer: its edges no longer matter
-    }
-    if (ks.readers.empty() && !ks.has_writer) {
+    compact_writers(ks);
+    if (ks.readers.empty() && ks.writers.empty()) {
       it = keys_.erase(it);
     } else {
       ++it;

@@ -27,7 +27,16 @@
 // can stay a key's last writer indefinitely and gain an outgoing edge from
 // a transaction that begins arbitrarily later, closing a cycle through its
 // already-recorded incoming edges -- so no seq low-watermark frontier is
-// sound; only the absence of incoming edges is.  When a cycle IS found, the
+// sound; only the absence of incoming edges is.
+//
+// Version-stamped traces (the multi-version store) add one wrinkle: a
+// snapshot read can APPLY after the writer of its version's successor did,
+// creating an rw edge INTO a node none of whose own ops are pending -- so
+// "all ops applied" no longer implies "no future incoming edge" for
+// writers.  Retirement therefore also requires a writer's commit seq to be
+// at or below the minimum snapshot of every live transaction: once no live
+// snapshot predates the writer's versions, no future read can anti-depend
+// on it.  When a cycle IS found, the
 // witness is recorded and the closing edge dropped ("report-and-drain"), so
 // the graph stays acyclic and the window keeps retiring after a violation.
 // Memory is therefore bounded by the live transactions plus the undrained
@@ -167,19 +176,30 @@ class OnlineCertifier {
     AuditNode node = 0;
     Key key = 0;
     bool is_write = false;
+    /// Read.aux from the trace: version seq + 1 for a versioned read, ~0
+    /// for a read of the transaction's own staged write, 0 on legacy traces.
+    std::uint64_t version = 0;
   };
 
   /// A committed op already applied to the key (conflict source).
   struct KeyRef {
     AuditNode node = 0;
     std::uint64_t seq = 0;
+    /// For readers: the version seq read (0 on legacy traces).  For writers:
+    /// the commit seq of the version installed (0 on legacy traces).
+    std::uint64_t version = 0;
   };
 
   struct KeyState {
     std::deque<PendingOp> pending;  ///< seq order; head blocks on undecided
-    std::vector<KeyRef> readers;    ///< committed reads since last write
-    KeyRef last_writer;
-    bool has_writer = false;
+    /// Committed reads still awaiting their rw successor (versioned mode:
+    /// no later version installed yet; legacy mode: since the last write).
+    std::vector<KeyRef> readers;
+    /// Installed versions, in commit-seq order.  Legacy traces keep exactly
+    /// one entry (the last writer); versioned traces keep a history so a
+    /// snapshot read that applies late still finds its version's installer
+    /// (compacted as writers retire).
+    std::vector<KeyRef> writers;
   };
 
   struct OutEdge {
@@ -196,6 +216,8 @@ class OnlineCertifier {
     SiteId site = 0;
     std::uint64_t first_seq = 0;
     std::uint64_t last_seq = 0;
+    std::uint64_t commit_seq = 0;     ///< TxnCommit.aux (0: read-only/legacy)
+    std::uint64_t snapshot_plus1 = 0; ///< TxnBegin.key (0: not a snapshot txn)
     std::uint32_t ops_pending = 0;   ///< our ops still queued on keys
     std::uint32_t in_degree = 0;     ///< recorded edges pointing at us
     std::vector<SiteKey> touched;    ///< keys to drain when we decide
@@ -219,9 +241,12 @@ class OnlineCertifier {
   bool check_cycle(AuditNode from, AuditNode to, const OutEdge& closing);
   void record_violation(OnlineViolation v);
   void record_esr_violation(const EsrViolation& v);
-  [[nodiscard]] static bool retirable(const TxnState& t) noexcept;
+  [[nodiscard]] static bool retirable(const TxnState& t,
+                                      std::uint64_t snapshot_floor) noexcept;
+  [[nodiscard]] std::uint64_t live_snapshot_floor() const noexcept;
   void retire_sweep();
   void compact_readers(KeyState& ks);
+  void compact_writers(KeyState& ks);
   void gc_keys();
   void publish(obs::SnapshotBuilder& b) const;
   void run_loop();

@@ -1,5 +1,6 @@
 #include "audit/sr_certifier.h"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_set>
 
@@ -7,9 +8,11 @@ namespace atp {
 namespace {
 
 struct KeyedOp {
-  AuditNode node = 0;
+  AuditNode node = 0;  ///< resolved through the piece-merge map
   bool is_write = false;
   std::uint64_t seq = 0;
+  AuditNode raw_node = 0;   ///< pre-merge node (commit seqs are per piece)
+  std::uint64_t version = 0;  ///< Read.aux: version seq + 1, ~0 = own write
 };
 
 struct SiteKey {
@@ -74,9 +77,21 @@ SrReport certify_sr(const std::vector<TraceEvent>& events,
   report.complete = dropped == 0;
 
   std::unordered_set<AuditNode> committed;
+  // Per (site, txn): the commit sequence the store stamped on the versions
+  // this transaction installed (TxnCommit.aux; 0 for read-only commits and
+  // for legacy traces).
+  std::unordered_map<AuditNode, std::uint64_t> commit_seq;
+  bool versioned = false;
   for (const TraceEvent& e : events) {
-    if (e.kind == TraceKind::TxnCommit)
+    if (e.kind == TraceKind::TxnCommit) {
       committed.insert(audit_node(e.site, e.txn));
+      if (e.aux != 0) {
+        commit_seq[audit_node(e.site, e.txn)] = e.aux;
+        versioned = true;
+      }
+    } else if (e.kind == TraceKind::Read && e.aux != 0) {
+      versioned = true;
+    }
   }
 
   auto resolve = [&](AuditNode n) -> AuditNode {
@@ -96,26 +111,90 @@ SrReport certify_sr(const std::vector<TraceEvent>& events,
     const AuditNode node = resolve(audit_node(e.site, e.txn));
     nodes.insert(node);
     by_key[SiteKey{e.site, e.key}].push_back(
-        KeyedOp{node, e.kind == TraceKind::Write, e.seq});
+        KeyedOp{node, e.kind == TraceKind::Write, e.seq,
+                audit_node(e.site, e.txn), e.aux});
   }
   report.committed_txns = nodes.size();
 
-  // Direct-serialization graph: edge a -> b for every conflicting pair of
-  // ops of distinct nodes, ordered by seq.  First witness per (from, to)
-  // pair is kept for reporting.
+  // First witness per (from, to) pair is kept for reporting.
   std::unordered_map<AuditNode, std::unordered_map<AuditNode, SrEdge>> adj;
-  for (const auto& [sk, ops] : by_key) {
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-      for (std::size_t j = i + 1; j < ops.size(); ++j) {
-        const KeyedOp& a = ops[i];
-        const KeyedOp& b = ops[j];
-        if (!a.is_write && !b.is_write) continue;
-        if (a.node == b.node) continue;
-        auto& slot = adj[a.node];
-        if (!slot.count(b.node)) {
-          slot.emplace(b.node, SrEdge{a.node, b.node, sk.key,
-                                      dep_kind(a.is_write, b.is_write), a.seq,
-                                      b.seq});
+  auto add_edge = [&](AuditNode from, AuditNode to, Key key, DepKind kind,
+                      std::uint64_t from_seq, std::uint64_t to_seq) {
+    if (from == to) return;
+    auto& slot = adj[from];
+    if (!slot.count(to)) {
+      slot.emplace(to, SrEdge{from, to, key, kind, from_seq, to_seq});
+    }
+  };
+
+  if (versioned) {
+    // Multi-version serialization graph.  Each committed writer's versions
+    // carry its commit sequence; each read names the version it observed
+    // (Read.aux = seq + 1, ~0 = the reader's own staged write).  Edges:
+    //   ww  consecutive installers of a key, in commit-sequence order
+    //   wr  version's installer -> its reader
+    //   rw  reader -> installer of the *successor* of the version it read
+    // Event arrival order plays no role -- a snapshot read that lands after
+    // a newer commit still serializes before it.
+    for (const auto& [sk, ops] : by_key) {
+      struct Installed {
+        std::uint64_t cseq;
+        AuditNode node;       // resolved
+        std::uint64_t seq;    // witnessing Write event
+      };
+      std::vector<Installed> installs;
+      for (const KeyedOp& op : ops) {
+        if (!op.is_write) continue;
+        auto cit = commit_seq.find(op.raw_node);
+        if (cit == commit_seq.end()) continue;  // legacy/read-only: no stamp
+        if (std::any_of(installs.begin(), installs.end(), [&](const Installed& w) {
+              return w.cseq == cit->second && w.node == op.node;
+            })) {
+          continue;  // several writes, one installed version
+        }
+        installs.push_back(Installed{cit->second, op.node, op.seq});
+      }
+      std::sort(installs.begin(), installs.end(),
+                [](const Installed& x, const Installed& y) {
+                  return x.cseq < y.cseq;
+                });
+      for (std::size_t i = 0; i + 1 < installs.size(); ++i) {
+        add_edge(installs[i].node, installs[i + 1].node, sk.key, DepKind::WW,
+                 installs[i].seq, installs[i + 1].seq);
+      }
+      for (const KeyedOp& op : ops) {
+        if (op.is_write) continue;
+        if (op.version == ~std::uint64_t{0}) continue;  // own staged write
+        if (op.version == 0) continue;  // unstamped read in a stamped trace
+        const std::uint64_t v = op.version - 1;
+        // wr: the version's installer (absent for pre-trace/loaded state).
+        for (const Installed& w : installs) {
+          if (w.cseq == v) {
+            add_edge(w.node, op.node, sk.key, DepKind::WR, w.seq, op.seq);
+            break;
+          }
+        }
+        // rw: the first successor version's installer.  If the reader
+        // itself installed it, the conflict is its own write (ww chain).
+        for (const Installed& w : installs) {
+          if (w.cseq > v) {
+            add_edge(op.node, w.node, sk.key, DepKind::RW, op.seq, w.seq);
+            break;
+          }
+        }
+      }
+    }
+  } else {
+    // Legacy single-version trace: edge a -> b for every conflicting pair
+    // of ops of distinct nodes, ordered by event seq.
+    for (const auto& [sk, ops] : by_key) {
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        for (std::size_t j = i + 1; j < ops.size(); ++j) {
+          const KeyedOp& a = ops[i];
+          const KeyedOp& b = ops[j];
+          if (!a.is_write && !b.is_write) continue;
+          add_edge(a.node, b.node, sk.key, dep_kind(a.is_write, b.is_write),
+                   a.seq, b.seq);
         }
       }
     }

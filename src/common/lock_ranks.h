@@ -28,7 +28,7 @@
 //   site dispatch  -> subtxn commit -> db locks                  (80<140+)
 //   queue endpoint -> wal append / net send                      (100<210/240)
 //   lock stripe    -> waits-for graph                            (140<150)
-//   lock stripe    -> dc delta / store / txn registry / tracer   (140<160+)
+//   lock stripe    -> store commit / store / registry / tracer   (140<165+)
 //   txn struct     -> txn charge ("struct then charge")          (190<200)
 //   net inbox      -> net state ("inbox then state")             (240<250)
 //   trace registry -> trace ring (record and collect paths)      (270<280)
@@ -83,15 +83,16 @@ enum class LockRank : std::uint16_t {
   /// DistExecutor pending_mu (dist/dist_executor.cpp) — coordinator inbox.
   kDistPending = 130,
   /// LockManager Stripe::mu — the 16 lock-table stripes; the heart of the
-  /// db layer.  Holds kWaitsFor, kDcDelta, kStoreMap, kTxnStruct, kTraceRing
-  /// chains while granting/denying.
+  /// db layer.  Holds kWaitsFor, kStoreMap, kTxnStruct, kTraceRing chains
+  /// while granting/denying.
   kLockStripe = 140,
   /// LockManager::wait_mu_ — global waits-for graph ("stripe then wait,
   /// never the reverse").
   kWaitsFor = 150,
-  /// DcResolver DeltaStripe::mu — pending-delta table consulted by fuzzy
-  /// grant decisions made under a lock stripe.
-  kDcDelta = 160,
+  /// Store::commit_mu_ — commit-sequence allocation, version publication and
+  /// the live-snapshot registry; held across map/stripe lookups while a
+  /// commit publishes its version chain entries.
+  kStoreCommit = 165,
   /// Store::map_mu_ — key->cell map (shared for lookups, exclusive for
   /// crash/snapshot).
   kStoreMap = 170,
@@ -102,6 +103,9 @@ enum class LockRank : std::uint16_t {
   kTxnStruct = 190,
   /// EtRegistry::charge_mu_ — epsilon charge serialization.
   kTxnCharge = 200,
+  /// GroupCommitter::mu_ — flush-leader election + durable-LSN waiters; the
+  /// leader reads the log's durable frontier (rank kWal) while holding it.
+  kWalGroup = 205,
   /// LogDevice::mu_ — WAL append serialization.
   kWal = 210,
   /// HistoryRecorder::mu_ — certifier event log.
@@ -145,11 +149,12 @@ enum class LockRank : std::uint16_t {
     case LockRank::kDistPending: return "kDistPending";
     case LockRank::kLockStripe: return "kLockStripe";
     case LockRank::kWaitsFor: return "kWaitsFor";
-    case LockRank::kDcDelta: return "kDcDelta";
+    case LockRank::kStoreCommit: return "kStoreCommit";
     case LockRank::kStoreMap: return "kStoreMap";
     case LockRank::kStoreStripe: return "kStoreStripe";
     case LockRank::kTxnStruct: return "kTxnStruct";
     case LockRank::kTxnCharge: return "kTxnCharge";
+    case LockRank::kWalGroup: return "kWalGroup";
     case LockRank::kWal: return "kWal";
     case LockRank::kHistory: return "kHistory";
     case LockRank::kAdmission: return "kAdmission";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstring>
 #include <functional>
 #include <thread>
 
@@ -13,6 +14,43 @@ namespace atp {
 namespace {
 
 std::atomic<std::uint64_t> g_next_gtid{1};
+
+// --- codec primitives (little-endian fixed width) --------------------------
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+void put_f64(std::string& out, Value v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v, "Value must be a 64-bit double");
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+bool get_u64(std::string_view& in, std::uint64_t& v) {
+  if (in.size() < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t(std::uint8_t(in[std::size_t(i)])) << (8 * i);
+  }
+  in.remove_prefix(8);
+  return true;
+}
+
+bool get_f64(std::string_view& in, Value& v) {
+  std::uint64_t bits;
+  if (!get_u64(in, bits)) return false;
+  std::memcpy(&v, &bits, sizeof v);
+  return true;
+}
+
+bool get_u8(std::string_view& in, std::uint8_t& v) {
+  if (in.empty()) return false;
+  v = std::uint8_t(in.front());
+  in.remove_prefix(1);
+  return true;
+}
 
 constexpr const char* kChopQueueUpdate = "chop.update";
 constexpr const char* kChopQueueQuery = "chop.query";
@@ -65,6 +103,75 @@ void dist_record(Site& home, const std::string& name, double v) {
 }
 
 }  // namespace
+
+std::string encode_chop(const ChopContinuation& cont) {
+  std::string out;
+  put_u64(out, cont.gtid);
+  put_f64(out, cont.piece_epsilon);
+  out.push_back(cont.dynamic_epsilon ? 1 : 0);
+  put_u64(out, cont.next);
+  put_u64(out, cont.origin);
+  put_u64(out, cont.pieces.size());
+  for (const DistPieceSpec& p : cont.pieces) {
+    put_u64(out, p.site);
+    put_u64(out, p.ops.size());
+    for (const Access& a : p.ops) {
+      out.push_back(char(std::uint8_t(a.type)));
+      put_u64(out, a.item);
+      put_f64(out, a.bound);
+      put_f64(out, a.delta);
+    }
+  }
+  return out;
+}
+
+std::optional<ChopContinuation> decode_chop(std::string_view bytes) {
+  ChopContinuation cont;
+  std::uint64_t u = 0;
+  std::uint8_t b = 0;
+  if (!get_u64(bytes, cont.gtid)) return std::nullopt;
+  if (!get_f64(bytes, cont.piece_epsilon)) return std::nullopt;
+  if (!get_u8(bytes, b)) return std::nullopt;
+  cont.dynamic_epsilon = b != 0;
+  if (!get_u64(bytes, u)) return std::nullopt;
+  cont.next = std::size_t(u);
+  if (!get_u64(bytes, u)) return std::nullopt;
+  cont.origin = SiteId(u);
+  std::uint64_t npieces = 0;
+  if (!get_u64(bytes, npieces)) return std::nullopt;
+  for (std::uint64_t i = 0; i < npieces; ++i) {
+    DistPieceSpec p;
+    if (!get_u64(bytes, u)) return std::nullopt;
+    p.site = SiteId(u);
+    std::uint64_t nops = 0;
+    if (!get_u64(bytes, nops)) return std::nullopt;
+    for (std::uint64_t j = 0; j < nops; ++j) {
+      Access a;
+      if (!get_u8(bytes, b)) return std::nullopt;
+      if (b > std::uint8_t(AccessType::Write)) return std::nullopt;
+      a.type = AccessType(b);
+      if (!get_u64(bytes, a.item)) return std::nullopt;
+      if (!get_f64(bytes, a.bound)) return std::nullopt;
+      if (!get_f64(bytes, a.delta)) return std::nullopt;
+      p.ops.push_back(a);
+    }
+    cont.pieces.push_back(std::move(p));
+  }
+  if (!bytes.empty()) return std::nullopt;  // trailing garbage
+  return cont;
+}
+
+std::string encode_gtid(std::uint64_t gtid) {
+  std::string out;
+  put_u64(out, gtid);
+  return out;
+}
+
+std::optional<std::uint64_t> decode_gtid(std::string_view bytes) {
+  std::uint64_t gtid = 0;
+  if (!get_u64(bytes, gtid) || !bytes.empty()) return std::nullopt;
+  return gtid;
+}
 
 Coordinator::Coordinator(Site& home, std::vector<Site*> sites)
     : home_(home), sites_(std::move(sites)) {}
@@ -258,7 +365,7 @@ Result<DistOutcome> Coordinator::run_chopped(
     cont.next = 1;
     cont.origin = home_.id();
     home_.queues().enqueue(txn, spec.pieces[1].site,
-                           chop_queue_for(spec.kind), std::move(cont));
+                           chop_queue_for(spec.kind), encode_chop(cont));
   }
   Status c = txn.commit();
   if (!c.ok()) {
@@ -319,8 +426,13 @@ void Coordinator::install_chop_handler(const std::vector<Site*>& sites) {
         txn.abort();
         return;  // consumed by a concurrent worker
       }
-      const auto* cont = std::any_cast<ChopContinuation>(&*payload);
-      assert(cont != nullptr && cont->next < cont->pieces.size());
+      const std::optional<ChopContinuation> decoded = decode_chop(*payload);
+      assert(decoded.has_value() && decoded->next < decoded->pieces.size());
+      if (!decoded.has_value() || decoded->next >= decoded->pieces.size()) {
+        txn.abort();  // poison message: consuming it would lose the chain
+        return;
+      }
+      const ChopContinuation* cont = &*decoded;
       site.db().registry().set_spec(txn.id(),
                                     spec_for(kind, cont->piece_epsilon));
       Status s = execute_ops(txn, cont->pieces[cont->next].ops);
@@ -336,14 +448,11 @@ void Coordinator::install_chop_handler(const std::vector<Site*>& sites) {
           next.piece_epsilon =
               std::max<Value>(0, next.piece_epsilon - txn.fuzziness());
         }
-        // Evaluate the destination BEFORE std::move(next): argument
-        // evaluation order is unspecified, and the std::any parameter would
-        // otherwise be constructed from `next` first, leaving `pieces` empty.
         const SiteId dest = next.pieces[next.next].site;
-        site.queues().enqueue(txn, dest, queue, std::move(next));
+        site.queues().enqueue(txn, dest, queue, encode_chop(next));
       } else {
         site.queues().enqueue(txn, cont->origin, kDoneQueue,
-                              std::any(cont->gtid));
+                              encode_gtid(cont->gtid));
       }
       Status c = txn.commit();
       if (!c.ok()) {

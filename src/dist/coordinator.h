@@ -21,6 +21,9 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "chop/program.h"
@@ -94,5 +97,17 @@ struct ChopContinuation {
   std::size_t next = 0;               ///< index of the piece to run
   SiteId origin = 0;                  ///< home site, for the done notice
 };
+
+/// Queue-payload codec: flat little-endian fixed-width bytes.  What travels
+/// through a recoverable queue is exactly what hits the WAL and the wire --
+/// no erased types anywhere on the durable path.
+[[nodiscard]] std::string encode_chop(const ChopContinuation& cont);
+/// nullopt on a truncated or malformed buffer.
+[[nodiscard]] std::optional<ChopContinuation> decode_chop(
+    std::string_view bytes);
+
+/// Done-notice payload: the gtid as 8 little-endian bytes.
+[[nodiscard]] std::string encode_gtid(std::uint64_t gtid);
+[[nodiscard]] std::optional<std::uint64_t> decode_gtid(std::string_view bytes);
 
 }  // namespace atp

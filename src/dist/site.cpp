@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "dist/coordinator.h"  // decode_gtid (done-notice payload codec)
+
 namespace atp {
 
 Site::Site(SiteId id, SimNetwork& net, DatabaseOptions db_options)
@@ -168,8 +170,7 @@ void Site::process_queue_message(const std::string& queue) {
     Status s = txn.commit();
     if (!s.ok()) return;  // crash raced the consume; redelivery re-runs this
     if (payload) {
-      const auto* gtid = std::any_cast<std::uint64_t>(&*payload);
-      if (gtid != nullptr) {
+      if (const std::optional<std::uint64_t> gtid = decode_gtid(*payload)) {
         std::lock_guard lock(mu_);
         done_.insert(*gtid);
         done_cv_.notify_all();
@@ -258,7 +259,7 @@ void Site::handle(Message msg) {
     const bool is_new = queues_.deliver(msg);
     if (!is_new) return;
     const auto* envelope =
-        std::any_cast<std::pair<std::string, std::any>>(&msg.payload);
+        std::any_cast<std::pair<std::string, std::string>>(&msg.payload);
     if (envelope == nullptr) return;
     process_queue_message(envelope->first);
     return;

@@ -145,7 +145,8 @@ ExecutorReport Executor::run(Database& db, const ExecutionPlan& plan,
   for (std::size_t w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
       PieceRunner runner(db, &metrics, opts.op_delay_min_us,
-                         opts.op_delay_max_us, opts.parallel_pieces);
+                         opts.op_delay_max_us, opts.parallel_pieces,
+                         opts.commit_wait);
       Rng& rng = worker_rngs[w];
       std::vector<std::size_t> batch;
       batch.reserve(batch_size);

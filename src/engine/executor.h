@@ -40,6 +40,11 @@ struct ExecutorOptions {
   bool parallel_pieces = false;
   /// Transactions a worker claims per dequeue/steal (0 = default).
   std::size_t dequeue_batch = 0;
+  /// Commit durability mode for every transaction the run begins (WAL-backed
+  /// databases only; ignored without a WAL).  kAsync measures the
+  /// group-commit fast path: success at append, durability at the next
+  /// group flush.
+  CommitWait commit_wait = CommitWait::kSync;
 };
 
 struct ExecutorReport {

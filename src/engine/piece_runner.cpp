@@ -59,7 +59,8 @@ PieceRunner::PieceOutcome PieceRunner::run_one_piece(
     }
 
     Stopwatch piece_clock;
-    Txn txn = db_.begin(kind, spec_for(kind, limit), kInvalidTxn);
+    Txn txn = db_.begin(kind, spec_for(kind, limit), kInvalidTxn,
+                        TxnOptions{commit_wait_});
     Tracer::emit(tracer, TraceKind::PieceStart, site, txn.id(), p, limit, 0,
                  attempt, original);
     Status failure = Status::Ok();

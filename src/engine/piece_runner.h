@@ -48,12 +48,14 @@ class PieceRunner {
   PieceRunner(Database& db, RunMetrics* metrics,
               std::uint64_t op_delay_min_us = 0,
               std::uint64_t op_delay_max_us = 0,
-              bool parallel_pieces = false) noexcept
+              bool parallel_pieces = false,
+              CommitWait commit_wait = CommitWait::kSync) noexcept
       : db_(db),
         metrics_(metrics),
         op_delay_min_us_(op_delay_min_us),
         op_delay_max_us_(op_delay_max_us),
-        parallel_pieces_(parallel_pieces) {}
+        parallel_pieces_(parallel_pieces),
+        commit_wait_(commit_wait) {}
 
   /// Execute `instance` according to `plan` (its type's chopping) under the
   /// given distribution policy.  Blocks until the transaction either fully
@@ -79,6 +81,7 @@ class PieceRunner {
   std::uint64_t op_delay_min_us_ = 0;
   std::uint64_t op_delay_max_us_ = 0;
   bool parallel_pieces_ = false;
+  CommitWait commit_wait_ = CommitWait::kSync;
 };
 
 }  // namespace atp

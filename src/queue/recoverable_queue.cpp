@@ -11,7 +11,7 @@ QueueEndpoint::QueueEndpoint(SiteId site, SimNetwork& net)
     : site_(site), net_(net) {}
 
 void QueueEndpoint::enqueue(Txn& txn, SiteId dest, std::string queue,
-                            std::any payload) {
+                            std::string payload) {
   // Global message id: site in the high bits so ids never collide across
   // endpoints (the receiver dedupes on them).
   std::uint64_t qmsg_id;
@@ -52,8 +52,8 @@ void QueueEndpoint::enqueue(Txn& txn, SiteId dest, std::string queue,
   });
 }
 
-std::optional<std::any> QueueEndpoint::try_dequeue(Txn& txn,
-                                                   const std::string& queue) {
+std::optional<std::string> QueueEndpoint::try_dequeue(
+    Txn& txn, const std::string& queue) {
   std::lock_guard lock(mu_);
   auto it = inbound_.find(queue);
   if (it == inbound_.end() || it->second.empty()) return std::nullopt;
@@ -69,7 +69,7 @@ std::optional<std::any> QueueEndpoint::try_dequeue(Txn& txn,
     wal_->append(std::move(r));
   }
   const std::uint64_t token = next_claim_++;
-  std::any payload = d.payload;  // copy returned to the caller
+  std::string payload = d.payload;  // copy returned to the caller
   Tracer::emit(tracer_, TraceKind::QueueDequeue, site_, txn.id(), 0, 0, 0,
                d.qmsg_id);
   claims_.emplace(token, std::make_pair(queue, std::move(d)));
@@ -126,7 +126,7 @@ bool QueueEndpoint::deliver(const Message& msg) {
       Tracer::emit(tracer_, TraceKind::QueueDeliver, site_, kInvalidTxn, 0, 1,
                    0, msg.gtid, msg.from);
       const auto* envelope =
-          std::any_cast<std::pair<std::string, std::any>>(&msg.payload);
+          std::any_cast<std::pair<std::string, std::string>>(&msg.payload);
       if (envelope != nullptr) {
         inbound_[envelope->first].push_back(
             Delivered{msg.gtid, envelope->second});

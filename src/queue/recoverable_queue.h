@@ -21,7 +21,6 @@
 // the site, so the claims revert -- exactly the redelivery-on-abort rule).
 #pragma once
 
-#include <any>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -55,14 +54,17 @@ class QueueEndpoint {
  public:
   QueueEndpoint(SiteId site, SimNetwork& net);
 
-  /// Stage `payload` for queue `queue` at site `dest`, as part of `txn`'s
-  /// effects: nothing is sent unless txn commits.
-  void enqueue(Txn& txn, SiteId dest, std::string queue, std::any payload);
+  /// Stage `payload` (serialized bytes; see e.g. encode_chop) for queue
+  /// `queue` at site `dest`, as part of `txn`'s effects: nothing is sent
+  /// unless txn commits.
+  void enqueue(Txn& txn, SiteId dest, std::string queue,
+               std::string payload);
 
   /// Claim the head of local queue `queue` under `txn`: consumed if txn
   /// commits, returned to the queue (front) if it aborts.  Empty optional if
   /// the queue is empty.
-  std::optional<std::any> try_dequeue(Txn& txn, const std::string& queue);
+  std::optional<std::string> try_dequeue(Txn& txn,
+                                         const std::string& queue);
 
   /// Retransmit unacknowledged outbound messages older than the retry
   /// interval.  Call periodically (the site daemon does).
@@ -115,14 +117,14 @@ class QueueEndpoint {
     std::uint64_t qmsg_id = 0;
     SiteId dest = 0;
     std::string queue;
-    std::any payload;
+    std::string payload;
     Clock::time_point last_sent{};
     bool sent_once = false;
   };
 
   struct Delivered {
     std::uint64_t qmsg_id = 0;
-    std::any payload;
+    std::string payload;
   };
 
   void transmit_locked(Outbound& out);

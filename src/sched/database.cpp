@@ -18,7 +18,8 @@ namespace {
 /// Force the log, retrying failed fsyncs until the records are durable.
 /// A failed fsync (injected; real disks return EIO) made NOTHING durable,
 /// so the only correct move on a commit-critical path is to try again --
-/// returning success early would break the write-ahead contract.
+/// returning success early would break the write-ahead contract.  Commits
+/// go through the GroupCommitter instead; this is the checkpoint path.
 void force_log(LogDevice* wal, std::uint64_t seed) {
   const RetryPolicy policy = RetryPolicy::wal_fsync();
   for (std::uint64_t attempt = 1; !wal->fsync(); ++attempt) {
@@ -26,10 +27,13 @@ void force_log(LogDevice* wal, std::uint64_t seed) {
   }
 }
 
-/// Database pull collector: epsilon-budget telemetry from the ET registry
-/// plus the per-stripe lock contention heatmap.  Runs at snapshot time only;
-/// the hot paths pay nothing for it.
+/// Database pull collector: epsilon-budget telemetry from the ET registry,
+/// the per-stripe lock contention heatmap, the version store's mvcc.*
+/// counters and the group committer's wal.group.* family.  Runs at snapshot
+/// time only; the hot paths pay nothing for it.
 void collect_db_samples(const EtRegistry& registry, const LockManager& locks,
+                        const Store& store, const LogDevice* wal,
+                        const GroupCommitter* group,
                         obs::SnapshotBuilder& out) {
   const EtRegistry::ChargeStats cs = registry.charge_stats();
   out.counter("eps.charges_ok", double(cs.charges_ok));
@@ -97,6 +101,30 @@ void collect_db_samples(const EtRegistry& registry, const LockManager& locks,
     out.counter(p + "max_waiters", double(s.max_waiters));
     out.histogram(p + "acquire_us", s.acquire_us);
   }
+
+  // Version store.
+  const MvccStats ms = store.mvcc_stats();
+  out.counter("mvcc.commit_seq", double(ms.commit_seq));
+  out.counter("mvcc.versions_published", double(ms.versions_published));
+  out.counter("mvcc.gc_reclaimed", double(ms.gc_reclaimed));
+  out.counter("mvcc.snapshot_too_old", double(ms.snapshot_too_old));
+  out.counter("mvcc.snapshots_acquired", double(ms.snapshots_acquired));
+  out.gauge("mvcc.live_snapshots", double(ms.live_snapshots));
+
+  // Group commit (WAL-attached databases only).
+  if (group != nullptr) {
+    const GroupCommitStats gs = group->stats();
+    const double commits = double(gs.sync_commits + gs.async_commits);
+    out.counter("wal.group.commits_sync", double(gs.sync_commits));
+    out.counter("wal.group.commits_async", double(gs.async_commits));
+    out.counter("wal.group.flushes", double(gs.flushes));
+    out.counter("wal.group.batched", double(gs.batched));
+    out.counter("wal.group.async_self_flushes",
+                double(gs.async_self_flushes));
+    out.gauge("wal.group.fsyncs_per_commit",
+              commits > 0 ? double(gs.flushes) / commits : 0.0);
+    out.gauge("wal.group.durable_lsn", double(wal->durable_lsn()));
+  }
 }
 
 }  // namespace
@@ -110,6 +138,9 @@ Database::Database(DatabaseOptions opts)
   history_.set_enabled(opts.record_history);
   locks_.set_trace(opts.tracer, opts.site_id);
   registry_.set_trace(opts.tracer, opts.site_id);
+  if (opts_.wal != nullptr) {
+    group_ = std::make_unique<GroupCommitter>(*opts_.wal);
+  }
 
   metrics_ = opts_.metrics;
   if (metrics_ == nullptr && opts_.metrics_port != 0) {
@@ -121,7 +152,8 @@ Database::Database(DatabaseOptions opts)
     commit_counter_ = &metrics_->counter("db.commits");
     abort_counter_ = &metrics_->counter("db.aborts");
     collector_id_ = metrics_->add_collector([this](obs::SnapshotBuilder& b) {
-      collect_db_samples(registry_, locks_, b);
+      collect_db_samples(registry_, locks_, store_, opts_.wal, group_.get(),
+                         b);
     });
     if (opts_.metrics_port != 0) {
       server_ = std::make_unique<obs::ObsServer>(metrics_, opts_.metrics_port);
@@ -136,16 +168,42 @@ Database::~Database() {
   }
 }
 
-void Database::load(Key key, Value value) { store_.load(key, value); }
+void Database::load(Key key, Value value) {
+  const Status s = store_.load(key, value);
+  // Bulk load is a setup-time operation; loading over a key some live
+  // transaction is writing is a harness bug, not a runtime condition.
+  assert(s.ok() && "Database::load over a key with an in-flight writer");
+  (void)s;
+}
 
-Txn Database::begin(TxnKind kind, EpsilonSpec spec, TxnId parent) {
+Txn Database::begin(TxnKind kind, EpsilonSpec spec, TxnId parent,
+                    TxnOptions topts) {
   const TxnId id = registry_.begin(kind, spec, parent);
-  Tracer::emit(opts_.tracer, TraceKind::TxnBegin, opts_.site_id, id, 0,
-               spec.import_limit, spec.export_limit,
-               kind == TxnKind::Update ? 1 : 0, parent);
   Txn t(this, id, kind);
+  t.topts_ = topts;
   t.state_ = Txn::State::Active;
   t.crash_epoch_ = crash_epoch();
+  // Query ETs under CC/DC read versions at a snapshot pinned here; ODC
+  // queries stay optimistic (latest committed + drift validation) and
+  // update ETs read through their locks, so neither registers one.
+  const bool versioned_reader =
+      kind == TxnKind::Query && opts_.scheduler != SchedulerKind::ODC;
+  if (versioned_reader) {
+    t.snapshot_ = store_.snapshot_acquire([&](std::uint64_t snap) {
+      // Emitted inside the store's commit mutex: the trace interleaves
+      // begins with commit publications in true commit-sequence order,
+      // which is what lets the version-aware certifiers reason about
+      // snapshot visibility.  TxnBegin.key carries snapshot+1 (0 = no
+      // snapshot).
+      Tracer::emit(opts_.tracer, TraceKind::TxnBegin, opts_.site_id, id,
+                   snap + 1, spec.import_limit, spec.export_limit, 0, parent);
+    });
+    t.has_snapshot_ = true;
+  } else {
+    Tracer::emit(opts_.tracer, TraceKind::TxnBegin, opts_.site_id, id, 0,
+                 spec.import_limit, spec.export_limit,
+                 kind == TxnKind::Update ? 1 : 0, parent);
+  }
   return t;
 }
 
@@ -193,7 +251,7 @@ void Database::checkpoint() {
   // Dropping any of these (the old behavior truncated at first_kv flat) made
   // a post-checkpoint crash forget in-doubt staged writes and pending queue
   // traffic -- exactly the state recovery exists to reinstate.
-  const std::vector<LogRecord> records = wal->records();
+  const std::vector<LogRecord> records = read_log_chunked(*wal);
   std::unordered_set<TxnId> decided;
   std::unordered_set<std::uint64_t> acked;
   std::unordered_set<std::uint64_t> consumed;  // by a committed txn
@@ -242,7 +300,7 @@ void Database::checkpoint() {
     }
     if (needed) {
       keep_from = std::min(keep_from, r.lsn);
-      break;  // records() is LSN-ordered: the first hit is the oldest
+      break;  // records are LSN-ordered: the first hit is the oldest
     }
   }
   wal->truncate_before(keep_from);
@@ -261,15 +319,21 @@ Txn& Txn::operator=(Txn&& other) noexcept {
   db_ = other.db_;
   id_ = other.id_;
   kind_ = other.kind_;
+  topts_ = other.topts_;
   crash_epoch_ = other.crash_epoch_;
   state_ = other.state_;
   final_fuzziness_ = other.final_fuzziness_;
+  commit_lsn_ = other.commit_lsn_;
+  snapshot_ = other.snapshot_;
+  has_snapshot_ = other.has_snapshot_;
+  dc_charged_ = std::move(other.dc_charged_);
   write_set_ = std::move(other.write_set_);
   read_log_ = std::move(other.read_log_);
   commit_hooks_ = std::move(other.commit_hooks_);
   abort_hooks_ = std::move(other.abort_hooks_);
   other.state_ = State::Invalid;
   other.db_ = nullptr;
+  other.has_snapshot_ = false;  // the snapshot registration moved with us
   return *this;
 }
 
@@ -282,33 +346,65 @@ bool Txn::optimistic() const noexcept {
          kind_ == TxnKind::Query;
 }
 
+void Txn::release_snapshot() noexcept {
+  if (has_snapshot_ && db_ != nullptr) {
+    db_->store_.snapshot_release(snapshot_);
+  }
+  has_snapshot_ = false;
+}
+
 Result<Value> Txn::read(Key key) {
   if (state_ != State::Active)
     return Status::FailedPrecondition("read on inactive txn");
   if (optimistic()) {
-    // Optimistic divergence control: no lock, read the last committed value
-    // and log it; commit() validates the accumulated drift against the
-    // import limit.
-    Result<Value> v = db_->store_.read_committed(key);
+    // Optimistic divergence control: no lock, read the newest committed
+    // version and log it; commit() validates the accumulated drift against
+    // the import limit.
+    Result<VersionRead> v = db_->store_.read_latest_versioned(key);
+    if (!v.ok()) return v.status();
+    read_log_.emplace_back(key, v.value().value);
+    db_->history_.record(id_, OpType::Read, key, v.value().value);
+    Tracer::emit(db_->opts_.tracer, TraceKind::Read, db_->opts_.site_id, id_,
+                 key, v.value().value, 0, v.value().seq + 1);
+    return v.value().value;
+  }
+  if (kind_ == TxnKind::Query) {
+    // Lock-free versioned read.  CC queries see exactly their snapshot (a
+    // read-only snapshot transaction is serializable -- it serializes at
+    // the snapshot point); DC queries read the freshest version their
+    // import budget absorbs (DcResolver).  kAborted = snapshot too old:
+    // the caller retries the whole ET on a fresh snapshot.
+    Result<VersionRead> v =
+        db_->opts_.scheduler == SchedulerKind::DC
+            ? db_->dc_resolver_.read_fresh(id_, key, snapshot_, dc_charged_)
+            : db_->store_.read_snapshot(key, snapshot_);
+    if (!v.ok()) return v.status();
+    db_->history_.record(id_, OpType::Read, key, v.value().value);
+    Tracer::emit(db_->opts_.tracer, TraceKind::Read, db_->opts_.site_id, id_,
+                 key, v.value().value, 0, v.value().seq + 1);
+    return v.value().value;
+  }
+  // Update ET: S lock, strict 2PL among updates.
+  Status s = db_->locks_.acquire(id_, key, LockMode::Shared, db_->resolver());
+  if (!s.ok()) return s;
+  // Holding S excludes every foreign writer, so a dirty value here can only
+  // be our own staged write (we hold X too); it is traced with the own-write
+  // sentinel instead of a version sequence.
+  if (db_->store_.dirty_writer(key) == std::optional<TxnId>(id_)) {
+    Result<Value> v = db_->store_.read_latest(key);
     if (v.ok()) {
-      read_log_.emplace_back(key, v.value());
       db_->history_.record(id_, OpType::Read, key, v.value());
-      Tracer::emit(db_->opts_.tracer, TraceKind::Read, db_->opts_.site_id, id_,
-                   key, v.value());
+      Tracer::emit(db_->opts_.tracer, TraceKind::Read, db_->opts_.site_id,
+                   id_, key, v.value(), 0, ~std::uint64_t{0});
     }
     return v;
   }
-  Status s = db_->locks_.acquire(id_, key, LockMode::Shared, db_->resolver());
-  if (!s.ok()) return s;
-  // Under DC a fuzzy S grant may coexist with an uncommitted writer; the
-  // value observed is the dirty one, whose divergence was charged at grant.
-  Result<Value> v = db_->store_.read_latest(key);
-  if (v.ok()) {
-    db_->history_.record(id_, OpType::Read, key, v.value());
-    Tracer::emit(db_->opts_.tracer, TraceKind::Read, db_->opts_.site_id, id_,
-                 key, v.value());
-  }
-  return v;
+  Result<VersionRead> v = db_->store_.read_latest_versioned(key);
+  if (!v.ok()) return v.status();
+  db_->history_.record(id_, OpType::Read, key, v.value().value);
+  Tracer::emit(db_->opts_.tracer, TraceKind::Read, db_->opts_.site_id, id_,
+               key, v.value().value, 0, v.value().seq + 1);
+  return v.value().value;
 }
 
 Status Txn::write(Key key, Value value) {
@@ -316,60 +412,19 @@ Status Txn::write(Key key, Value value) {
     return Status::FailedPrecondition("write on inactive txn");
   if (kind_ != TxnKind::Update)
     return Status::InvalidArgument("query ETs are read-only");
-
-  const bool dc = db_->opts_.scheduler == SchedulerKind::DC;
-  if (dc) {
-    // Announce the impending delta so an X fuzzy grant can peek feasibility.
-    const Value before = db_->store_.read_latest(key).value_or(0);
-    db_->dc_resolver_.announce_write_delta(id_, distance(value, before));
-  }
+  // Plain strict 2PL: X conflicts only with other updates now that queries
+  // read versions.  No divergence is exported at write time -- a query that
+  // wants to see past our commit pays from its own import budget when it
+  // reads (DcResolver::read_fresh), priced off version timestamps.
   Status s =
       db_->locks_.acquire(id_, key, LockMode::Exclusive, db_->resolver());
-  if (dc) db_->dc_resolver_.clear_write_delta(id_);
   if (!s.ok()) return s;
-
-  // We hold X; the previous latest value is stable (only we may write).
-  const Value old_latest = db_->store_.read_latest(key).value_or(0);
   Status w = db_->store_.write(id_, key, value);
   if (!w.ok()) return w;
   write_set_.insert(key);
   db_->history_.record(id_, OpType::Write, key, value);
   Tracer::emit(db_->opts_.tracer, TraceKind::Write, db_->opts_.site_id, id_,
                key, value);
-
-  // Incremental fuzziness charge to every query ET currently sharing the
-  // key (they were fuzzy-granted past our X, or we were granted past their
-  // S).  This is where divergence control's export/import accounts are
-  // actually debited.  When a budget cannot absorb the charge the update is
-  // "blocked as it is handled in the two-phase locking concurrency control"
-  // (Section 1.1): we wait for the conflicting queries to finish rather than
-  // abort, bounded by the lock timeout (deadlocks formed outside the lock
-  // manager resolve through the queries' own lock timeouts).
-  const Value incr = distance(value, old_latest);
-  if (incr > 0) {
-    const auto deadline =
-        std::chrono::steady_clock::now() + db_->opts_.lock_timeout;
-    for (;;) {
-      std::vector<TxnId> queries;
-      for (const LockHolder& h : db_->locks_.holders_of(key)) {
-        if (h.txn == id_) continue;
-        if (h.mode == LockMode::Shared &&
-            db_->registry_.kind_of(h.txn) == TxnKind::Query) {
-          queries.push_back(h.txn);
-        }
-      }
-      if (queries.empty() ||
-          db_->registry_.try_charge_multi(queries, id_, incr)) {
-        break;
-      }
-      if (std::chrono::steady_clock::now() >= deadline) {
-        return Status::EpsilonExceeded(
-            "write of delta " + std::to_string(incr) +
-            " would exceed an epsilon budget");
-      }
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-    }
-  }
   return Status::Ok();
 }
 
@@ -379,20 +434,25 @@ Status Txn::add(Key key, Value delta) {
   if (kind_ != TxnKind::Update)
     return Status::InvalidArgument("query ETs are read-only");
 
-  const bool dc = db_->opts_.scheduler == SchedulerKind::DC;
-  if (dc) db_->dc_resolver_.announce_write_delta(id_, distance(delta, 0));
   Status s =
       db_->locks_.acquire(id_, key, LockMode::Exclusive, db_->resolver());
-  if (dc) db_->dc_resolver_.clear_write_delta(id_);
   if (!s.ok()) return s;
 
   Result<Value> old_latest = db_->store_.read_latest(key);
   if (!old_latest.ok()) return old_latest.status();
+  // Version stamp for the trace: our own staged value (re-add on a key we
+  // already wrote) gets the own-write sentinel, otherwise the committed
+  // version we are basing the increment on.
+  std::uint64_t read_aux = ~std::uint64_t{0};
+  if (db_->store_.dirty_writer(key) != std::optional<TxnId>(id_)) {
+    Result<VersionRead> vr = db_->store_.read_latest_versioned(key);
+    if (vr.ok()) read_aux = vr.value().seq + 1;
+  }
   db_->history_.record(id_, OpType::Read, key, old_latest.value());
   Tracer::emit(db_->opts_.tracer, TraceKind::Read, db_->opts_.site_id, id_,
-               key, old_latest.value());
-  // Delegate to write() for the staged write + fuzziness charging.  The X
-  // lock is already held, so the inner acquire is a re-entrant no-op.
+               key, old_latest.value(), 0, read_aux);
+  // Delegate to write() for the staged write.  The X lock is already held,
+  // so the inner acquire is a re-entrant no-op.
   return write(key, old_latest.value() + delta);
 }
 
@@ -429,10 +489,13 @@ Status Txn::commit() {
           " exceeds the import limit");
     }
   }
-  // Write-ahead discipline: after-images + the commit record reach stable
-  // storage before any effect applies.  (Queue enqueue/consume records were
-  // staged earlier, tagged with this txn id; the commit record is what
-  // activates them at recovery.)
+  // Write-ahead discipline: after-images + the commit record are appended
+  // before any effect applies, and durability is a GROUP affair.  A sync
+  // commit waits until the flush leader's fsync covers its commit record;
+  // an async commit reports success now and is covered by the next flush
+  // (a crash in the window loses it -- the contract the caller chose).
+  // Queue enqueue/consume records were staged earlier, tagged with this
+  // txn id; the commit record is what activates them at recovery.
   if (LogDevice* wal = db_->opts_.wal; wal != nullptr) {
     for (Key k : write_set_) {
       LogRecord r;
@@ -445,10 +508,27 @@ Status Txn::commit() {
     LogRecord c;
     c.type = LogRecordType::kCommit;
     c.txn = id_;
-    wal->append(std::move(c));
-    force_log(wal, id_);
+    commit_lsn_ = wal->append(std::move(c));
+    if (topts_.wait == CommitWait::kSync) {
+      db_->group_->wait_durable(commit_lsn_, id_);
+    } else {
+      db_->group_->note_async(commit_lsn_, id_);
+    }
   }
-  for (Key k : write_set_) db_->store_.commit_key(id_, k);
+  // Publish the staged writes as one version-chain generation.  TxnCommit
+  // is emitted inside the store's commit mutex (aux = commit sequence), so
+  // trace order equals commit-sequence order -- what the version-aware
+  // certifiers replay against.
+  const Value z = db_->registry_.fuzziness_of(id_);
+  if (!write_set_.empty()) {
+    db_->store_.commit_publish(id_, write_set_, [&](std::uint64_t seq) {
+      Tracer::emit(db_->opts_.tracer, TraceKind::TxnCommit, db_->opts_.site_id,
+                   id_, 0, z, 0, seq);
+    });
+  } else {
+    Tracer::emit(db_->opts_.tracer, TraceKind::TxnCommit, db_->opts_.site_id,
+                 id_, 0, z);
+  }
   // Commit hooks make external effects (recoverable-queue sends/claims)
   // atomic with the data writes, before any lock is released.
   for (auto& hook : commit_hooks_) hook();
@@ -457,8 +537,7 @@ Status Txn::commit() {
   final_fuzziness_ = db_->registry_.end_commit(id_);
   if (db_->commit_counter_ != nullptr) db_->commit_counter_->add();
   db_->history_.mark_committed(id_);
-  Tracer::emit(db_->opts_.tracer, TraceKind::TxnCommit, db_->opts_.site_id,
-               id_, 0, final_fuzziness_);
+  release_snapshot();
   db_->locks_.release_all(id_);
   state_ = State::Committed;
   return Status::Ok();
@@ -468,19 +547,22 @@ void Txn::log_prepare() {
   if (state_ != State::Active) return;
   LogDevice* wal = db_->opts_.wal;
   if (wal == nullptr) return;
+  std::uint64_t last = 0;
   for (Key k : write_set_) {
     LogRecord r;
     r.type = LogRecordType::kWrite;
     r.txn = id_;
     r.key = k;
     r.value = db_->store_.read_latest(k).value_or(0);
-    wal->append(std::move(r));
+    last = wal->append(std::move(r));
   }
   LogRecord p;
   p.type = LogRecordType::kPrepare;
   p.txn = id_;
-  wal->append(std::move(p));
-  force_log(wal, id_);
+  last = wal->append(std::move(p));
+  // The vote must be stable before it is cast; prepares batch through the
+  // group committer like any other force point.
+  db_->group_->wait_durable(last, id_);
 }
 
 void Txn::abort() {
@@ -499,6 +581,7 @@ void Txn::abort() {
   if (db_->abort_counter_ != nullptr) db_->abort_counter_->add();
   Tracer::emit(db_->opts_.tracer, TraceKind::TxnAbort, db_->opts_.site_id,
                id_);
+  release_snapshot();
   db_->locks_.release_all(id_);
   state_ = State::Aborted;
 }

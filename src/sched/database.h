@@ -23,6 +23,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -37,6 +39,7 @@
 #include "trace/tracer.h"
 #include "txn/epsilon.h"
 #include "txn/registry.h"
+#include "wal/group_commit.h"
 #include "wal/recovery.h"
 
 #include "common/ordered_lock.h"
@@ -74,8 +77,10 @@ struct DatabaseOptions {
   std::size_t lock_stripes = 0;
   bool record_history = false;
   /// Optional write-ahead log.  When set, commits append after-images + a
-  /// commit record and force the log before applying (redo-only, no-steal
-  /// discipline); Database::recover_from_wal() rebuilds the store after a
+  /// commit record before applying (redo-only, no-steal discipline) and a
+  /// GroupCommitter batches the commit fsyncs: sync commits wait for the
+  /// group flush covering their LSN, async commits (TxnOptions) return at
+  /// append.  Database::recover_from_wal() rebuilds the store after a
   /// total-loss crash.  Owned by the caller and must outlive the Database
   /// (it is the "disk").
   class LogDevice* wal = nullptr;
@@ -102,6 +107,20 @@ struct DatabaseOptions {
 
 class Database;
 
+/// Commit durability flavor (meaningful only with a WAL attached).
+enum class CommitWait : std::uint8_t {
+  kSync,   ///< commit() returns only after durable_lsn covers the commit
+           ///< record (a group flush, not a private fsync)
+  kAsync,  ///< commit() returns at append; durability arrives at the next
+           ///< group flush.  A crash in the window loses the commit -- the
+           ///< caller opted into that by choosing async.
+};
+
+/// Per-transaction knobs, fixed at begin().
+struct TxnOptions {
+  CommitWait wait = CommitWait::kSync;
+};
+
 /// Handle for one in-flight epsilon transaction (or chopped piece).
 /// Move-only; outstanding handles must be committed or aborted before the
 /// Database is destroyed.
@@ -114,7 +133,10 @@ class Txn {
   Txn& operator=(const Txn&) = delete;
   ~Txn();
 
-  /// Read a key (S lock under CC; possibly a fuzzy read under DC).
+  /// Read a key.  Query ETs under CC/DC read versions at their snapshot
+  /// (DC upgrades to the freshest version when the import budget absorbs
+  /// the divergence) and never touch the lock manager; update ETs take an
+  /// S lock (2PL).  kAborted = snapshot too old: abort and retry the ET.
   Result<Value> read(Key key);
 
   /// Overwrite a key (X lock; update ETs only).
@@ -154,6 +176,19 @@ class Txn {
   /// Z_p accumulated so far (live) or at commit (after commit()).
   [[nodiscard]] Value fuzziness() const;
 
+  /// LSN of this transaction's commit record (0 until commit() with a WAL).
+  /// An async commit is durable once LogDevice::durable_lsn() covers it.
+  [[nodiscard]] std::uint64_t commit_lsn() const noexcept {
+    return commit_lsn_;
+  }
+
+  /// Version-store snapshot this ET reads at (query ETs under CC/DC only;
+  /// nullopt otherwise).
+  [[nodiscard]] std::optional<std::uint64_t> snapshot() const noexcept {
+    if (!has_snapshot_) return std::nullopt;
+    return snapshot_;
+  }
+
  private:
   friend class Database;
   enum class State : std::uint8_t { Invalid, Active, Committed, Aborted };
@@ -163,9 +198,13 @@ class Txn {
   /// Is this transaction an optimistic (lock-free) reader?
   [[nodiscard]] bool optimistic() const noexcept;
 
+  /// Drop the registered store snapshot, if any (commit/abort/move-out).
+  void release_snapshot() noexcept;
+
   Database* db_ = nullptr;
   TxnId id_ = kInvalidTxn;
   TxnKind kind_ = TxnKind::Update;
+  TxnOptions topts_;
   /// Database crash epoch captured at begin.  commit() refuses (returns
   /// Aborted) if the site crashed in between -- the staged writes were
   /// already wiped, so "committing" would silently apply nothing while the
@@ -175,6 +214,12 @@ class Txn {
   std::uint64_t crash_epoch_ = 0;
   State state_ = State::Invalid;
   Value final_fuzziness_ = 0;
+  std::uint64_t commit_lsn_ = 0;
+  /// Registered version-store snapshot (query ETs under CC/DC).
+  std::uint64_t snapshot_ = 0;
+  bool has_snapshot_ = false;
+  /// DC only: divergence already imported per key (see DcResolver).
+  std::unordered_map<Key, Value> dc_charged_;
   std::unordered_set<Key> write_set_;
   /// Optimistic read log: (key, value observed).  Validated at commit.
   std::vector<std::pair<Key, Value>> read_log_;
@@ -193,9 +238,10 @@ class Database {
   void load(Key key, Value value);
 
   /// Start an ET.  `parent` links a chopped piece to its original
-  /// transaction for fuzziness roll-up.
+  /// transaction for fuzziness roll-up.  Query ETs under CC/DC register a
+  /// version-store snapshot here (released at commit/abort).
   [[nodiscard]] Txn begin(TxnKind kind, EpsilonSpec spec,
-                          TxnId parent = kInvalidTxn);
+                          TxnId parent = kInvalidTxn, TxnOptions topts = {});
 
   [[nodiscard]] SchedulerKind scheduler() const noexcept {
     return opts_.scheduler;
@@ -203,6 +249,10 @@ class Database {
 
   Store& store() noexcept { return store_; }
   const Store& store() const noexcept { return store_; }
+  /// The WAL's group committer (null without a WAL).
+  [[nodiscard]] GroupCommitter* group_committer() noexcept {
+    return group_.get();
+  }
   EtRegistry& registry() noexcept { return registry_; }
   LockManager& locks() noexcept { return locks_; }
   HistoryRecorder& history() noexcept { return history_; }
@@ -259,6 +309,7 @@ class Database {
   HistoryRecorder history_;
   NeverFuzzyResolver cc_resolver_;
   DcResolver dc_resolver_;
+  std::unique_ptr<GroupCommitter> group_;  // iff opts_.wal != nullptr
 
   // Crash-epoch guard state (see Txn::crash_epoch_).  The survivor set
   // holds the prepared transactions of the LATEST crash only; earlier

@@ -1,88 +1,20 @@
 #include "sched/dc_resolver.h"
 
-#include <vector>
-
 namespace atp {
-
-void DcResolver::announce_write_delta(TxnId txn, Value delta) {
-  DeltaStripe& s = delta_stripe_of(txn);
-  std::lock_guard lock(s.mu);
-  s.pending[txn] = delta < 0 ? -delta : delta;
-}
-
-void DcResolver::clear_write_delta(TxnId txn) {
-  DeltaStripe& s = delta_stripe_of(txn);
-  std::lock_guard lock(s.mu);
-  s.pending.erase(txn);
-}
-
-Value DcResolver::pending_delta_of(TxnId txn) {
-  DeltaStripe& s = delta_stripe_of(txn);
-  std::lock_guard lock(s.mu);
-  auto it = s.pending.find(txn);
-  return it == s.pending.end() ? 0 : it->second;
-}
 
 bool DcResolver::try_fuzzy_grant(TxnId requester, LockMode mode, Key key,
                                  std::span<const LockHolder> conflicting) {
-  const TxnKind req_kind = registry_.kind_of(requester);
-
-  if (req_kind == TxnKind::Query && mode == LockMode::Shared) {
-    // Query reading past an update's exclusive lock.  The fuzziness it
-    // imports is the update's staged-but-uncommitted delta on this key.
-    // An S request only conflicts with X holders, and update-update X
-    // conflicts never fuzzy-grant, so at most one X holder exists.
-    if (conflicting.size() != 1) return false;
-    const LockHolder& h = conflicting.front();
-    if (h.mode != LockMode::Exclusive ||
-        registry_.kind_of(h.txn) != TxnKind::Update) {
-      return false;
-    }
-    const Value delta = store_.pending_delta(key);
-    const TxnId qs[] = {requester};
-    // delta == 0 (X held, nothing staged yet): block like plain 2PL.  There
-    // is no inconsistency to import yet, and admitting the read would only
-    // turn the update into the waiter once its write cannot charge -- slow
-    // queries would then stall fast updates, the inverse of what divergence
-    // control is for.  The window is tiny (updates write right after
-    // locking), so queries lose almost nothing.
-    return delta > 0 && charge_queries(qs, h.txn, delta);
-  }
-
-  if (req_kind == TxnKind::Update && mode == LockMode::Exclusive) {
-    // Update writing past query ETs' shared locks.  Every conflicting holder
-    // must be a query ET with S; each imports the announced write delta.
-    std::vector<TxnId> queries;
-    queries.reserve(conflicting.size());
-    for (const LockHolder& h : conflicting) {
-      if (h.mode != LockMode::Shared ||
-          registry_.kind_of(h.txn) != TxnKind::Query) {
-        return false;  // update-update or upgrade conflict: pure 2PL applies
-      }
-      queries.push_back(h.txn);
-    }
-    // Feasibility peek only: the write that follows performs the real
-    // incremental charge (Database::write), so charging here too would
-    // double-count.  If budgets slip between grant and write, the write
-    // fails with kEpsilonExceeded and the update rolls back -- the paper's
-    // "a proper action (blocked or rolled back) must be taken".
-    const Value delta = pending_delta_of(requester);
-    return delta == 0 || registry_.can_charge_multi(queries, requester, delta);
-  }
-
+  // Queries read versions, not locks; everything left in the lock table is
+  // update-vs-update, which divergence control never relaxes.
+  (void)requester;
+  (void)mode;
+  (void)key;
+  (void)conflicting;
   return false;
 }
 
 bool DcResolver::eligible_pair(TxnId requester, LockMode requester_mode,
                                TxnId other, LockMode other_mode) {
-  // Deliberately no fairness bypass.  Letting query/update pairs overtake
-  // each other in the waiter queue sounds like free concurrency, but when
-  // budgets are tight the overtaking request is refused at the resolver
-  // anyway, and the skipped FIFO edge blinds the deadlock detector: readers
-  // endlessly starve queued writers and the workload degenerates into a
-  // deadlock-abort livelock (observed: ~20k deadlock aborts at eps = 0 where
-  // plain 2PL sees ~90).  2PL-DC semantics only require relaxing conflicts
-  // at *grant* time against holders, which try_fuzzy_grant already does.
   (void)requester;
   (void)requester_mode;
   (void)other;
@@ -90,9 +22,26 @@ bool DcResolver::eligible_pair(TxnId requester, LockMode requester_mode,
   return false;
 }
 
-bool DcResolver::charge_queries(std::span<const TxnId> queries, TxnId update,
-                                Value amount) {
-  return registry_.try_charge_multi(queries, update, amount);
+Result<VersionRead> DcResolver::read_fresh(
+    TxnId query_et, Key key, std::uint64_t snapshot,
+    std::unordered_map<Key, Value>& charged) {
+  const Result<VersionRead> snap = store_.read_snapshot(key, snapshot);
+  if (!snap.ok()) return snap.status();
+  const Result<VersionRead> latest = store_.read_latest_versioned(key);
+  if (!latest.ok() || latest.value().seq <= snap.value().seq) {
+    return snap.value();  // nothing newer: consistent for free
+  }
+  // The key moved since the snapshot.  Import the divergence (only the
+  // increase over what this ET already paid for the key) to read fresh.
+  const Value delta = distance(latest.value().value, snap.value().value);
+  Value& paid = charged[key];
+  if (delta <= paid) return latest.value();
+  if (registry_.try_self_import(query_et, delta - paid)) {
+    paid = delta;
+    return latest.value();
+  }
+  // Budget exhausted: stay on the snapshot version, consistent and free.
+  return snap.value();
 }
 
 }  // namespace atp

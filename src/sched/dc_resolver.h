@@ -1,40 +1,36 @@
 // Two-phase-locking divergence control (2PL-DC), after Wu, Yu & Pu (ICDE'92)
-// as summarized in Section 1.1 of the paper.
+// as summarized in Section 1.1 of the paper -- reformulated over the
+// multi-version store.
 //
-// 2PL-DC behaves exactly like strict 2PL except at read-write conflicts
-// between a *query* ET and an *update* ET.  There, instead of blocking, the
-// conflict may be granted while fuzziness is charged to both sides:
+// Update ETs run plain strict 2PL among themselves (they stay serializable,
+// Section 1.1).  Query ETs never enter the lock manager at all: each query
+// pins a snapshot sequence at begin and resolves every read through
+// `read_fresh`, which charges import fuzziness from *version timestamps*:
 //
-//   * query requests S over an update's X   -> query *imports* the update's
-//     pending (uncommitted) delta on the key; update *exports* the same.
-//   * update requests X over queries' S     -> each query imports the delta
-//     the update is about to write; the update exports it once per query.
-//     The X grant itself only *peeks* budget feasibility; the real charge is
-//     applied incrementally at write time by Database::write so multiple
-//     writes and late-arriving readers are accounted exactly once.
+//   * the newest committed version equals the snapshot version -> the read
+//     is consistent, nothing is charged;
+//   * the key moved since the snapshot -> the divergence the query would
+//     observe by reading fresh is |v_latest - v_snapshot|; if the query's
+//     import budget absorbs it (atomic check-and-charge in the registry,
+//     recorded as a FuzzImport ledger event), the query reads the freshest
+//     version; otherwise it falls back to its snapshot version, staying
+//     consistent for free.
 //
-// A grant succeeds only if every affected account stays within its limit
-// (the registry's pair/multi charge is atomic all-or-nothing).  Otherwise the
-// requester blocks, exactly as it would under plain 2PL -- this is the
-// "blocked as it is handled in the two-phase locking concurrency control"
-// behaviour the paper describes.
-//
-// Because the lock manager consults the resolver *before* the write's value
-// is known, the scheduler deposits the impending write's |delta| in
-// `announce_write_delta` before acquiring the X lock.  Later writes to an
-// already-X-locked key charge incrementally at write time (see Database).
+// Per-key charges are monotone (a re-read charges only the *increase* in
+// divergence), so the total imported fuzziness bounds the distance between
+// the state the query observed and the serializable snapshot state -- the
+// epsilon-serializability contract the ESR certifier replays.  The old
+// lock-time accounting (fuzzy S/X grants, announced write deltas, pending-
+// delta charges) is gone with the dirty-read path: a query can no longer
+// observe uncommitted state at all, so updates never export and never block
+// on query budgets.
 #pragma once
 
-#include <array>
-#include <mutex>
-#include <span>
 #include <unordered_map>
 
 #include "lock/lock_manager.h"
 #include "storage/store.h"
 #include "txn/registry.h"
-
-#include "common/ordered_lock.h"
 
 namespace atp {
 
@@ -43,43 +39,27 @@ class DcResolver final : public ConflictResolver {
   DcResolver(EtRegistry& registry, Store& store)
       : registry_(registry), store_(store) {}
 
-  /// Deposit the |delta| of the write `txn` is about to perform, so an X-lock
-  /// fuzzy grant can charge the correct amount.  Cleared automatically after
-  /// the grant decision; call again before each write.
-  void announce_write_delta(TxnId txn, Value delta);
-  void clear_write_delta(TxnId txn);
-
+  /// Lock-table conflicts are never fuzzy-granted any more: queries bypass
+  /// the lock manager entirely, and update-update conflicts are pure 2PL.
   bool try_fuzzy_grant(TxnId requester, LockMode mode, Key key,
                        std::span<const LockHolder> conflicting) override;
 
   bool eligible_pair(TxnId requester, LockMode requester_mode, TxnId other,
                      LockMode other_mode) override;
 
-  /// All-or-nothing multi charge used both here and by write-time incremental
-  /// charging: every query imports `amount`, the update exports `amount` per
-  /// query.
-  bool charge_queries(std::span<const TxnId> queries, TxnId update,
-                      Value amount);
+  /// Freshest-within-budget read for a DC query ET pinned at `snapshot`.
+  /// `charged` is the transaction's per-key divergence ledger (owned by the
+  /// Txn, single-threaded); re-reads charge only increases.  Returns the
+  /// version actually observed (the trace records its sequence).  Errors
+  /// pass through from the store (kAborted = snapshot too old: retry the
+  /// ET).
+  [[nodiscard]] Result<VersionRead> read_fresh(
+      TxnId query_et, Key key, std::uint64_t snapshot,
+      std::unordered_map<Key, Value>& charged);
 
  private:
   EtRegistry& registry_;
   Store& store_;
-  // Announced deltas are per-transaction and single-writer (each txn's
-  // driver announces its own), so the map is striped by txn hash: announce /
-  // clear / peek traffic from workers on different lock stripes never meets
-  // on one mutex.
-  static constexpr std::size_t kDeltaStripes = 16;
-  struct alignas(64) DeltaStripe {
-    OrderedMutex<LockRank::kDcDelta> mu;  ///< rank kDcDelta: consulted under a lock stripe
-    std::unordered_map<TxnId, Value> pending;
-  };
-  std::array<DeltaStripe, kDeltaStripes> delta_stripes_;
-
-  [[nodiscard]] DeltaStripe& delta_stripe_of(TxnId txn) noexcept {
-    return delta_stripes_[txn % kDeltaStripes];
-  }
-
-  [[nodiscard]] Value pending_delta_of(TxnId txn);
 };
 
 }  // namespace atp

@@ -1,0 +1,74 @@
+#include "wal/group_commit.h"
+
+#include <thread>
+
+#include "fault/retry.h"
+
+namespace atp {
+
+void GroupCommitter::lead_flush_locked(
+    std::unique_lock<OrderedMutex<LockRank::kWalGroup>>& lock,
+    std::uint64_t seed) {
+  leader_active_ = true;
+  ++stats_.flushes;
+  async_backlog_ = 0;  // the flush covers every async record appended so far
+  lock.unlock();
+  // The device sync runs outside mu_ so the next group accumulates behind
+  // it.  A failed (injected) fsync made nothing durable: retry until true,
+  // same contract as the single-commit force path.
+  const RetryPolicy policy = RetryPolicy::wal_fsync();
+  for (std::uint64_t attempt = 1; !wal_.fsync(); ++attempt) {
+    std::this_thread::sleep_for(policy.delay(attempt, seed));
+  }
+  lock.lock();
+  leader_active_ = false;
+  cv_.notify_all();
+}
+
+void GroupCommitter::wait_durable(std::uint64_t lsn, std::uint64_t seed) {
+  std::unique_lock lock(mu_);
+  ++stats_.sync_commits;
+  bool led = false;
+  while (wal_.durable_lsn() < lsn) {
+    if (leader_active_) {
+      cv_.wait(lock);  // follow: the in-flight flush (or the next) covers us
+    } else {
+      led = true;
+      lead_flush_locked(lock, seed);
+    }
+  }
+  if (!led) ++stats_.batched;
+}
+
+void GroupCommitter::note_async(std::uint64_t lsn, std::uint64_t seed) {
+  std::unique_lock lock(mu_);
+  ++stats_.async_commits;
+  if (wal_.durable_lsn() >= lsn) {
+    ++stats_.batched;
+    return;  // already covered by an earlier group
+  }
+  ++async_backlog_;
+  if (async_backlog_ >= kAsyncFlushBacklog && !leader_active_) {
+    ++stats_.async_self_flushes;
+    lead_flush_locked(lock, seed);
+  }
+}
+
+void GroupCommitter::flush(std::uint64_t seed) {
+  std::unique_lock lock(mu_);
+  const std::uint64_t target = wal_.next_lsn() - 1;
+  while (wal_.durable_lsn() < target) {
+    if (leader_active_) {
+      cv_.wait(lock);
+    } else {
+      lead_flush_locked(lock, seed);
+    }
+  }
+}
+
+GroupCommitStats GroupCommitter::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace atp

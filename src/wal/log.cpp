@@ -1,6 +1,7 @@
 #include "wal/log.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "fault/fault.h"
 
@@ -14,15 +15,24 @@ std::uint64_t LogDevice::append(LogRecord record) {
 }
 
 bool LogDevice::fsync() {
-  // The injector's verdict is drawn outside mu_ (it has its own lock, and
-  // the decision depends only on seed + per-site attempt count).
+  // Snapshot the target LSN up front: this sync covers what was appended
+  // before it started.  The latency sleep and the injector's verdict happen
+  // outside mu_ (the injector has its own lock, and the decision depends
+  // only on seed + per-site attempt count), so concurrent appenders queue
+  // up behind the NEXT sync instead of this one -- the behavior group
+  // commit batches against.
   FaultInjector* fault;
   SiteId site;
+  std::chrono::microseconds latency;
+  std::uint64_t target;
   {
     std::lock_guard lock(mu_);
     fault = fault_;
     site = fault_site_;
+    latency = fsync_latency_;
+    target = next_lsn_ - 1;
   }
+  if (latency.count() > 0) std::this_thread::sleep_for(latency);
   if (fault != nullptr && fault->fsync_fails(site)) {
     std::lock_guard lock(mu_);
     ++fsync_failures_;
@@ -30,8 +40,13 @@ bool LogDevice::fsync() {
   }
   std::lock_guard lock(mu_);
   ++fsyncs_;
-  durable_lsn_ = next_lsn_ - 1;
+  durable_lsn_ = std::max(durable_lsn_, target);
   return true;
+}
+
+void LogDevice::set_fsync_latency(std::chrono::microseconds latency) {
+  std::lock_guard lock(mu_);
+  fsync_latency_ = latency;
 }
 
 void LogDevice::set_fault_injector(FaultInjector* injector, SiteId site) {
@@ -58,6 +73,20 @@ std::uint64_t LogDevice::durable_lsn() const {
 std::uint64_t LogDevice::next_lsn() const {
   std::lock_guard lock(mu_);
   return next_lsn_;
+}
+
+std::optional<std::uint64_t> LogDevice::read_from(
+    std::uint64_t from, std::size_t max, std::vector<LogRecord>& out) const {
+  std::lock_guard lock(mu_);
+  // records_ stays LSN-sorted: appends are monotone and truncation keeps
+  // order, so the cursor position is a binary search away.
+  auto it = std::lower_bound(
+      records_.begin(), records_.end(), from,
+      [](const LogRecord& r, std::uint64_t lsn) { return r.lsn < lsn; });
+  if (it == records_.end()) return std::nullopt;
+  std::size_t n = 0;
+  for (; it != records_.end() && n < max; ++it, ++n) out.push_back(*it);
+  return it == records_.end() ? next_lsn_ : it->lsn;
 }
 
 std::vector<LogRecord> LogDevice::records() const {

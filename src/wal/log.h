@@ -5,7 +5,10 @@
 // redo-only value logging, the discipline a no-steal buffer pool affords:
 //
 //   * every transactional write appends an after-image BEFORE commit;
-//   * commit appends a commit record and forces the log;
+//   * commit appends a commit record; sync commits wait for the group
+//     committer (wal/group_commit.h) to cover the record's LSN with an
+//     fsync, async commits return at append and become durable at the next
+//     group flush;
 //   * 2PC participants append a PREPARE record when voting (the force-log
 //     the paper's failure model relies on);
 //   * recovery replays the log from the last checkpoint: writes of
@@ -18,10 +21,11 @@
 //
 // "Disk" is a LogDevice: an append-only record vector that survives
 // Database/Site crashes (it lives outside them), with fsync counting so
-// tests can assert the force-at-commit discipline.
+// tests can assert the force-at-commit discipline, and an optional simulated
+// fsync latency so group-commit batching behaves like a real device.
 #pragma once
 
-#include <any>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -60,8 +64,9 @@ struct LogRecord {
   std::uint64_t qmsg_id = 0;
   std::string queue;
   SiteId peer = 0;
-  /// Queue message payload (in-process stand-in for serialized bytes).
-  std::any payload;
+  /// Queue message payload, serialized to bytes.  What goes to "disk" is
+  /// exactly what comes back at recovery -- no erased types on the log.
+  std::string payload;
 };
 
 /// The append-only "disk".  Survives crashes of everything above it.
@@ -70,12 +75,20 @@ class LogDevice {
   /// Append a record; assigns and returns its LSN.
   std::uint64_t append(LogRecord record);
 
-  /// Force to stable storage.  A no-op for memory, but counted: tests
-  /// assert the force-at-commit discipline through this number.  Returns
-  /// false if an attached fault injector failed this attempt (nothing
-  /// became durable); callers on commit-critical paths must retry until
-  /// true before reporting success.
+  /// Force to stable storage: every record appended before the call becomes
+  /// durable.  A no-op for memory, but counted: tests assert the
+  /// force-at-commit discipline through this number.  Returns false if an
+  /// attached fault injector failed this attempt (nothing became durable);
+  /// callers on commit-critical paths must retry until true before
+  /// reporting success.  With a nonzero simulated latency the call sleeps
+  /// outside the device mutex, so concurrent appends proceed -- records
+  /// appended DURING the sync are not covered by it.
   bool fsync();
+
+  /// Simulated device latency per fsync (default 0).  Group commit exists
+  /// because this is the expensive step; benches set it to realistic
+  /// microseconds so batching has something to amortize.
+  void set_fsync_latency(std::chrono::microseconds latency);
 
   /// fsync failures are injected through here (fault/fault.h).  `site`
   /// names this device's owner in the injector's per-site schedules.
@@ -90,7 +103,17 @@ class LogDevice {
   /// Records above it exist only in the volatile tail.
   [[nodiscard]] std::uint64_t durable_lsn() const;
 
-  /// Stable snapshot of the records (recovery input).
+  /// Cursor read: append up to `max` records with lsn >= `from` to `out`,
+  /// in LSN order.  Returns the cursor for the next chunk (one past the
+  /// last LSN returned), or nullopt when the cursor is past the end.  This
+  /// is the recovery/checkpoint scan path: each chunk holds the device
+  /// mutex only for its own copy, so appenders are never stalled behind a
+  /// whole-log clone.
+  [[nodiscard]] std::optional<std::uint64_t> read_from(
+      std::uint64_t from, std::size_t max, std::vector<LogRecord>& out) const;
+
+  /// Whole-log snapshot (tests and small tools; prefer read_from on any
+  /// path that can race live appenders).
   [[nodiscard]] std::vector<LogRecord> records() const;
 
   /// Drop records before `lsn` (checkpoint truncation).
@@ -103,12 +126,13 @@ class LogDevice {
   [[nodiscard]] std::size_t size() const;
 
  private:
-  mutable OrderedMutex<LockRank::kWal> mu_;  ///< rank kWal: inner to queue endpoints; fsync verdicts drawn outside
+  mutable OrderedMutex<LockRank::kWal> mu_;  ///< rank kWal: inner to queue endpoints; fsync verdicts and latency sleeps happen outside
   std::vector<LogRecord> records_;
   std::uint64_t next_lsn_ = 1;
   std::uint64_t durable_lsn_ = 0;
   std::uint64_t fsyncs_ = 0;
   std::uint64_t fsync_failures_ = 0;
+  std::chrono::microseconds fsync_latency_{0};
   FaultInjector* fault_ = nullptr;
   SiteId fault_site_ = 0;
 };

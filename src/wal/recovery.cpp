@@ -6,8 +6,18 @@
 
 namespace atp {
 
+std::vector<LogRecord> read_log_chunked(const LogDevice& log) {
+  constexpr std::size_t kChunk = 256;  // records copied per lock hold
+  std::vector<LogRecord> out;
+  std::uint64_t cursor = 0;
+  while (const auto next = log.read_from(cursor, kChunk, out)) {
+    cursor = *next;
+  }
+  return out;
+}
+
 RecoveryResult recover_from_log(const LogDevice& log, Store& store) {
-  const std::vector<LogRecord> records = log.records();  // LSN order
+  const std::vector<LogRecord> records = read_log_chunked(log);  // LSN order
   RecoveryResult result;
   store.clear();
 

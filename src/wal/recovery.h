@@ -30,7 +30,7 @@ struct RecoveredQueueMessage {
   std::uint64_t qmsg_id = 0;
   std::string queue;
   SiteId peer = 0;  // destination (outbound) / source (inbound)
-  std::any payload;
+  std::string payload;  // serialized bytes, exactly as logged
 };
 
 struct RecoveryResult {
@@ -48,5 +48,10 @@ struct RecoveryResult {
 /// Rebuild `store` (cleared first) from the stable log.  Returns what else
 /// the caller must reinstate (in-doubt 2PC state, queue state).
 RecoveryResult recover_from_log(const LogDevice& log, Store& store);
+
+/// Copy the whole log through the chunked cursor (LogDevice::read_from), so
+/// no caller ever clones the log in one critical section.  The scan paths
+/// (recovery, checkpoint truncation analysis) all go through this.
+[[nodiscard]] std::vector<LogRecord> read_log_chunked(const LogDevice& log);
 
 }  // namespace atp

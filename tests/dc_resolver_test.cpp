@@ -1,7 +1,12 @@
-// Direct unit tests for the 2PL divergence-control resolver (the component
-// the sched_dc integration tests exercise through the full stack).
+// Direct unit tests for the divergence-control resolver (the component the
+// sched_dc integration tests exercise through the full stack).  Since the
+// multi-version store, DC queries never enter the lock manager: every read
+// goes through read_fresh, which charges import fuzziness from version
+// timestamps (|v_latest - v_snapshot|) and falls back to the snapshot
+// version when the budget refuses.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
 #include <vector>
 
 #include "sched/dc_resolver.h"
@@ -21,107 +26,139 @@ class DcResolverTest : public ::testing::Test {
   TxnId update(Value export_limit) {
     return reg_.begin(TxnKind::Update, EpsilonSpec::exporting(export_limit));
   }
+
+  /// Commit `value` onto `key` through the store's transactional path.
+  void commit_value(Key key, Value value) {
+    const TxnId u = update(0);
+    ASSERT_TRUE(store_.write(u, key, value).ok());
+    store_.commit_key(u, key);
+    reg_.end_commit(u);
+  }
 };
 
-TEST_F(DcResolverTest, QueryOverDirtyUpdateChargesPendingDelta) {
+TEST_F(DcResolverTest, FreshKeyReadsForFree) {
   store_.load(1, 100);
-  const TxnId u = update(100);
+  const std::uint64_t snap = store_.snapshot_acquire();
   const TxnId q = query(100);
-  ASSERT_TRUE(store_.write(u, 1, 140).ok());  // pending delta 40
-
-  const std::vector<LockHolder> holders{{u, LockMode::Exclusive, false}};
-  EXPECT_TRUE(resolver_.try_fuzzy_grant(q, LockMode::Shared, 1, holders));
-  EXPECT_EQ(reg_.fuzziness_of(q), 40);
-  EXPECT_EQ(reg_.fuzziness_of(u), 40);
+  std::unordered_map<Key, Value> charged;
+  Result<VersionRead> v = resolver_.read_fresh(q, 1, snap, charged);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, 100);
+  EXPECT_EQ(reg_.fuzziness_of(q), 0);  // snapshot == latest: nothing charged
+  store_.snapshot_release(snap);
 }
 
-TEST_F(DcResolverTest, QueryRefusedWhenBudgetTooSmall) {
+TEST_F(DcResolverTest, StaleKeyChargesVersionDistanceAndReadsFresh) {
   store_.load(1, 100);
+  const std::uint64_t snap = store_.snapshot_acquire();
+  const TxnId q = query(100);
+  commit_value(1, 140);  // the key moves after the query's snapshot
+  std::unordered_map<Key, Value> charged;
+  Result<VersionRead> v = resolver_.read_fresh(q, 1, snap, charged);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, 140);        // freshest version
+  EXPECT_EQ(reg_.fuzziness_of(q), 40);    // |140 - 100| imported
+  EXPECT_EQ(charged[1], 40);
+  store_.snapshot_release(snap);
+}
+
+TEST_F(DcResolverTest, BudgetRefusalFallsBackToSnapshotVersion) {
+  store_.load(1, 100);
+  const std::uint64_t snap = store_.snapshot_acquire();
+  const TxnId q = query(10);  // cannot absorb a delta of 40
+  commit_value(1, 140);
+  std::unordered_map<Key, Value> charged;
+  Result<VersionRead> v = resolver_.read_fresh(q, 1, snap, charged);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, 100);      // consistent snapshot version
+  EXPECT_EQ(reg_.fuzziness_of(q), 0);   // and it costs nothing
+  store_.snapshot_release(snap);
+}
+
+TEST_F(DcResolverTest, RereadChargesOnlyTheIncrease) {
+  store_.load(1, 100);
+  const std::uint64_t snap = store_.snapshot_acquire();
+  const TxnId q = query(100);
+  std::unordered_map<Key, Value> charged;
+
+  commit_value(1, 120);
+  Result<VersionRead> v1 = resolver_.read_fresh(q, 1, snap, charged);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1.value().value, 120);
+  EXPECT_EQ(reg_.fuzziness_of(q), 20);
+
+  commit_value(1, 150);  // moves further: divergence now 50, 20 already paid
+  Result<VersionRead> v2 = resolver_.read_fresh(q, 1, snap, charged);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2.value().value, 150);
+  EXPECT_EQ(reg_.fuzziness_of(q), 50);  // charged the increase only
+  EXPECT_EQ(charged[1], 50);
+  store_.snapshot_release(snap);
+}
+
+TEST_F(DcResolverTest, AlreadyPaidDivergenceReadsFreshWithoutNewCharge) {
+  store_.load(1, 100);
+  const std::uint64_t snap = store_.snapshot_acquire();
+  const TxnId q = query(100);
+  std::unordered_map<Key, Value> charged;
+  commit_value(1, 140);
+  ASSERT_TRUE(resolver_.read_fresh(q, 1, snap, charged).ok());
+  ASSERT_EQ(reg_.fuzziness_of(q), 40);
+  // Second read with the key unchanged: the paid divergence covers it.
+  Result<VersionRead> v = resolver_.read_fresh(q, 1, snap, charged);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, 140);
+  EXPECT_EQ(reg_.fuzziness_of(q), 40);  // no double charge
+  store_.snapshot_release(snap);
+}
+
+TEST_F(DcResolverTest, MissingKeyIsNotFound) {
+  const std::uint64_t snap = store_.snapshot_acquire();
+  const TxnId q = query(100);
+  std::unordered_map<Key, Value> charged;
+  Result<VersionRead> v = resolver_.read_fresh(q, 99, snap, charged);
+  EXPECT_EQ(v.status().code(), ErrorCode::kNotFound);
+  store_.snapshot_release(snap);
+}
+
+TEST_F(DcResolverTest, KeyBornAfterSnapshotAbortsAsSnapshotTooOld) {
+  const std::uint64_t snap = store_.snapshot_acquire();
+  const TxnId q = query(100);
+  commit_value(7, 500);  // created after the snapshot
+  std::unordered_map<Key, Value> charged;
+  Result<VersionRead> v = resolver_.read_fresh(q, 7, snap, charged);
+  // The ring cannot distinguish "did not exist yet" from "versions evicted",
+  // so this surfaces as snapshot-too-old; the piece runner resubmits.
+  EXPECT_EQ(v.status().code(), ErrorCode::kAborted);
+  store_.snapshot_release(snap);
+}
+
+TEST_F(DcResolverTest, NeverFuzzyGrantsLockConflicts) {
+  // The resolver no longer relaxes the lock table at all: queries read
+  // versions, and update-update conflicts stay pure 2PL.
+  const TxnId q = query(1000);
   const TxnId u = update(1000);
-  const TxnId q = query(10);
-  ASSERT_TRUE(store_.write(u, 1, 140).ok());
   const std::vector<LockHolder> holders{{u, LockMode::Exclusive, false}};
   EXPECT_FALSE(resolver_.try_fuzzy_grant(q, LockMode::Shared, 1, holders));
-  EXPECT_EQ(reg_.fuzziness_of(q), 0);  // nothing charged
-}
-
-TEST_F(DcResolverTest, QueryRefusedOverCleanExclusiveLock) {
-  // X held but nothing staged: no inconsistency exists yet; block like 2PL
-  // (granting would invert the wait once the write cannot charge).
-  store_.load(1, 100);
-  const TxnId u = update(1000);
-  const TxnId q = query(1000);
-  const std::vector<LockHolder> holders{{u, LockMode::Exclusive, false}};
-  EXPECT_FALSE(resolver_.try_fuzzy_grant(q, LockMode::Shared, 1, holders));
-}
-
-TEST_F(DcResolverTest, QueryRefusedOverUpdateUpdateConflict) {
-  store_.load(1, 100);
-  const TxnId u1 = update(1000);
-  const TxnId u2 = update(1000);
-  ASSERT_TRUE(store_.write(u1, 1, 150).ok());
-  const std::vector<LockHolder> holders{{u1, LockMode::Exclusive, false}};
-  // An update requesting S?  Updates read via X in this engine, but the
-  // resolver must still refuse the (update, update) pairing.
-  EXPECT_FALSE(resolver_.try_fuzzy_grant(u2, LockMode::Shared, 1, holders));
-}
-
-TEST_F(DcResolverTest, UpdatePeeksAnnouncedDeltaOverQueries) {
-  store_.load(1, 100);
-  const TxnId q1 = query(50);
-  const TxnId q2 = query(50);
-  const TxnId u = update(100);
-  const std::vector<LockHolder> holders{{q1, LockMode::Shared, false},
-                                        {q2, LockMode::Shared, false}};
-  resolver_.announce_write_delta(u, 30);
-  // Feasible: each query can import 30; export needs 2 x 30 = 60 <= 100.
-  EXPECT_TRUE(resolver_.try_fuzzy_grant(u, LockMode::Exclusive, 1, holders));
-  // Peek only -- no charge yet (the write charges).
-  EXPECT_EQ(reg_.fuzziness_of(q1), 0);
-  EXPECT_EQ(reg_.fuzziness_of(u), 0);
-}
-
-TEST_F(DcResolverTest, UpdateRefusedWhenAnnouncedDeltaTooLarge) {
-  store_.load(1, 100);
-  const TxnId q = query(10);
-  const TxnId u = update(1000);
-  const std::vector<LockHolder> holders{{q, LockMode::Shared, false}};
-  resolver_.announce_write_delta(u, 30);
   EXPECT_FALSE(resolver_.try_fuzzy_grant(u, LockMode::Exclusive, 1, holders));
-  resolver_.clear_write_delta(u);
-  // Without an announcement the delta defaults to 0: grant for free (the
-  // write itself will block/charge).
-  EXPECT_TRUE(resolver_.try_fuzzy_grant(u, LockMode::Exclusive, 1, holders));
-}
-
-TEST_F(DcResolverTest, UpdateRefusedOverNonQueryHolder) {
-  store_.load(1, 100);
-  const TxnId other = update(1000);
-  const TxnId u = update(1000);
-  const std::vector<LockHolder> holders{{other, LockMode::Shared, false}};
-  resolver_.announce_write_delta(u, 1);
-  EXPECT_FALSE(resolver_.try_fuzzy_grant(u, LockMode::Exclusive, 1, holders));
-}
-
-TEST_F(DcResolverTest, NoFairnessBypass) {
-  const TxnId q = query(1000);
-  const TxnId u = update(1000);
   EXPECT_FALSE(
       resolver_.eligible_pair(q, LockMode::Shared, u, LockMode::Exclusive));
   EXPECT_FALSE(
       resolver_.eligible_pair(u, LockMode::Exclusive, q, LockMode::Shared));
 }
 
-TEST_F(DcResolverTest, AnnouncementsAreperTransaction) {
+TEST_F(DcResolverTest, UncommittedWritesAreInvisibleToQueries) {
   store_.load(1, 100);
-  const TxnId q = query(5);
-  const TxnId u1 = update(1000);
-  const TxnId u2 = update(1000);
-  resolver_.announce_write_delta(u1, 500);
-  // u2 announced nothing: its grant over q is free.
-  const std::vector<LockHolder> holders{{q, LockMode::Shared, false}};
-  EXPECT_TRUE(resolver_.try_fuzzy_grant(u2, LockMode::Exclusive, 1, holders));
-  EXPECT_FALSE(resolver_.try_fuzzy_grant(u1, LockMode::Exclusive, 1, holders));
+  const std::uint64_t snap = store_.snapshot_acquire();
+  const TxnId u = update(1000);
+  ASSERT_TRUE(store_.write(u, 1, 900).ok());  // staged, not committed
+  const TxnId q = query(1000);
+  std::unordered_map<Key, Value> charged;
+  Result<VersionRead> v = resolver_.read_fresh(q, 1, snap, charged);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, 100);     // dirty data can never leak
+  EXPECT_EQ(reg_.fuzziness_of(q), 0);  // and uncommitted state costs nothing
+  store_.snapshot_release(snap);
 }
 
 }  // namespace

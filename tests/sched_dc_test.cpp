@@ -1,6 +1,8 @@
-// Two-phase-locking divergence control: fuzzy grants, import/export
-// accounting, epsilon-exhaustion blocking, and the ESR guarantee that
-// observed inconsistency stays within eps-specs.
+// Divergence control over the multi-version store: queries read versions
+// (never locks), import fuzziness is charged from version timestamps
+// (|v_latest - v_snapshot| per key), budget exhaustion degrades to snapshot
+// reads, and the ESR guarantee that observed inconsistency stays within
+// eps-specs holds end to end.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -23,75 +25,88 @@ DatabaseOptions dc_options(std::chrono::milliseconds timeout = 500ms) {
   return o;
 }
 
-TEST(DcTxn, QueryReadsPastUncommittedWriteWithinBudget) {
+TEST(DcTxn, QueryNeverBlocksOrSeesUncommittedWrites) {
   Database db(dc_options());
   db.load(1, 100);
   Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(100));
   ASSERT_TRUE(u.write(1, 150).ok());  // X lock + dirty value staged
 
   Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
-  Result<Value> v = q.read(1);  // would block under CC; fuzzy grant here
+  Result<Value> v = q.read(1);  // would block under CC; version read here
   ASSERT_TRUE(v.ok());
-  EXPECT_EQ(v.value(), 150);  // observes the dirty value
-  // Both sides charged the pending delta (50).
-  EXPECT_EQ(q.fuzziness(), 50);
-  EXPECT_EQ(u.fuzziness(), 50);
+  EXPECT_EQ(v.value(), 100);   // committed state only: dirty never leaks
+  EXPECT_EQ(q.fuzziness(), 0); // nothing diverged, nothing charged
   ASSERT_TRUE(q.commit().ok());
   ASSERT_TRUE(u.commit().ok());
 }
 
-TEST(DcTxn, QueryBlocksWhenImportBudgetTooSmall) {
-  Database db(dc_options(200ms));
-  db.load(1, 100);
-  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
-  ASSERT_TRUE(u.write(1, 150).ok());
-
-  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(10));  // < 50
-  const Result<Value> v = q.read(1);
-  EXPECT_EQ(v.status().code(), ErrorCode::kTimeout);  // blocked like 2PL
-  q.abort();
-  ASSERT_TRUE(u.commit().ok());
-}
-
-TEST(DcTxn, QueryBlocksWhenUpdateExportBudgetTooSmall) {
-  Database db(dc_options(200ms));
-  db.load(1, 100);
-  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(10));  // < 50
-  ASSERT_TRUE(u.write(1, 150).ok());
-
-  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(1000));
-  const Result<Value> v = q.read(1);
-  EXPECT_EQ(v.status().code(), ErrorCode::kTimeout);
-  q.abort();
-  ASSERT_TRUE(u.commit().ok());
-}
-
-TEST(DcTxn, UpdateWritesPastQuerySharedLockAndChargesAtWriteTime) {
+TEST(DcTxn, StaleReadChargesVersionDistanceWithinBudget) {
   Database db(dc_options());
   db.load(1, 100);
   Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
-  ASSERT_TRUE(q.read(1).ok());  // plain S lock, no conflict yet
-
-  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(100));
-  ASSERT_TRUE(u.add(1, 30).ok());  // would block under CC
-  EXPECT_EQ(q.fuzziness(), 30);    // charged when the write landed
-  EXPECT_EQ(u.fuzziness(), 30);
-  ASSERT_TRUE(u.commit().ok());
+  {
+    Txn u = db.begin(TxnKind::Update, EpsilonSpec::unlimited());
+    ASSERT_TRUE(u.write(1, 150).ok());
+    ASSERT_TRUE(u.commit().ok());  // key moves past q's snapshot
+  }
+  Result<Value> v = q.read(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 150);     // freshest version, within budget
+  EXPECT_EQ(q.fuzziness(), 50);  // |150 - 100| imported
   ASSERT_TRUE(q.commit().ok());
 }
 
-TEST(DcTxn, UpdateBlocksWhenQueryImportExhausted) {
+TEST(DcTxn, BudgetTooSmallFallsBackToSnapshotRead) {
+  Database db(dc_options(200ms));
+  db.load(1, 100);
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(10));  // < 50
+  {
+    Txn u = db.begin(TxnKind::Update, EpsilonSpec::unlimited());
+    ASSERT_TRUE(u.write(1, 150).ok());
+    ASSERT_TRUE(u.commit().ok());
+  }
+  // Old DC blocked here (import budget exhausted -> wait like 2PL).  The
+  // version store answers from the snapshot instead: consistent and free.
+  Result<Value> v = q.read(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 100);
+  EXPECT_EQ(q.fuzziness(), 0);
+  ASSERT_TRUE(q.commit().ok());
+}
+
+TEST(DcTxn, UpdateNeverBlocksOnConcurrentQuery) {
+  Database db(dc_options());
+  db.load(1, 100);
+  Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
+  ASSERT_TRUE(q.read(1).ok());  // snapshot read: no S lock taken
+
+  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(100));
+  ASSERT_TRUE(u.add(1, 30).ok());  // would block under CC behind q's S lock
+  ASSERT_TRUE(u.commit().ok());
+  // The query pays for freshness only if it looks again.
+  Result<Value> v = q.read(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 130);
+  EXPECT_EQ(q.fuzziness(), 30);
+  ASSERT_TRUE(q.commit().ok());
+}
+
+TEST(DcTxn, ExhaustedQueryDegradesWhileUpdatesProceed) {
   Database db(dc_options(200ms));
   db.load(1, 100);
   Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(5));
   ASSERT_TRUE(q.read(1).ok());
 
+  // Old DC blocked this update (export > q's remaining import).  Now the
+  // update is never taxed for concurrent queries and commits immediately.
   Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
-  // Announced delta 30 > q's import budget 5: the X grant is refused and the
-  // update waits like plain 2PL, then times out (q never releases).
-  const Status s = u.add(1, 30);
-  EXPECT_EQ(s.code(), ErrorCode::kTimeout);
-  u.abort();
+  ASSERT_TRUE(u.add(1, 30).ok());
+  ASSERT_TRUE(u.commit().ok());
+
+  Result<Value> v = q.read(1);  // delta 30 > budget 5: snapshot version
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 100);
+  EXPECT_EQ(q.fuzziness(), 0);
   ASSERT_TRUE(q.commit().ok());
 }
 
@@ -123,65 +138,67 @@ TEST(DcTxn, QueryQueryNeverConflicts) {
 TEST(DcTxn, ZeroEpsilonBehavesLikeSerializable) {
   Database db(dc_options(200ms));
   db.load(1, 100);
-  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(0));
-  ASSERT_TRUE(u.write(1, 150).ok());
   Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(0));
-  EXPECT_EQ(q.read(1).status().code(), ErrorCode::kTimeout);
-  q.abort();
-  ASSERT_TRUE(u.commit().ok());
+  {
+    Txn u = db.begin(TxnKind::Update, EpsilonSpec::unlimited());
+    ASSERT_TRUE(u.write(1, 150).ok());
+    ASSERT_TRUE(u.commit().ok());
+  }
+  // Zero import budget means pure snapshot reads -- a serializable query
+  // that sees the database exactly as of its begin, with Z == 0.
+  Result<Value> v = q.read(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 100);
+  EXPECT_EQ(q.fuzziness(), 0);
+  ASSERT_TRUE(q.commit().ok());
 }
 
-TEST(DcTxn, SequentialConflictsAccumulateUntilBudgetExhausted) {
+TEST(DcTxn, SequentialDivergenceChargesOnlyTheIncrease) {
   Database db(dc_options(200ms));
   db.load(1, 100);
   Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(60));
-  ASSERT_TRUE(q.read(1).ok());
 
-  // First update: delta 40 fits (60 budget).
-  {
-    Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
-    ASSERT_TRUE(u.add(1, 40).ok());
+  const auto commit_add = [&](Value d) {
+    Txn u = db.begin(TxnKind::Update, EpsilonSpec::unlimited());
+    ASSERT_TRUE(u.add(1, d).ok());
     ASSERT_TRUE(u.commit().ok());
-  }
+  };
+
+  // Divergence 40 fits the 60 budget: fresh read, charged in full.
+  commit_add(40);
+  ASSERT_TRUE(q.read(1).ok());
+  EXPECT_EQ(q.read(1).value(), 140);
   EXPECT_EQ(q.fuzziness(), 40);
-  // Second update: delta 40 would exceed the remaining 20 -> blocks.
-  {
-    Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
-    EXPECT_EQ(u.add(1, 40).code(), ErrorCode::kTimeout);
-    u.abort();
-  }
-  // But delta 15 still fits.
-  {
-    Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
-    EXPECT_TRUE(u.add(1, 15).ok());
-    ASSERT_TRUE(u.commit().ok());
-  }
+
+  // Divergence now 80; the extra 40 exceeds the remaining 20 -> the read
+  // degrades to the (still consistent) snapshot version, charging nothing.
+  commit_add(40);
+  EXPECT_EQ(q.read(1).value(), 100);
+  EXPECT_EQ(q.fuzziness(), 40);
+
+  // The key swings back: divergence 55, increase over the 40 already paid
+  // is 15 <= 20 remaining -> fresh again.
+  commit_add(-25);
+  EXPECT_EQ(q.read(1).value(), 155);
   EXPECT_EQ(q.fuzziness(), 55);
   ASSERT_TRUE(q.commit().ok());
 }
 
-TEST(DcTxn, ExportBudgetSharedAcrossConcurrentQueries) {
+TEST(DcTxn, ConcurrentQueriesChargeIndependentBudgets) {
   Database db(dc_options(200ms));
   db.load(1, 100);
   Txn q1 = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
-  Txn q2 = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
-  ASSERT_TRUE(q1.read(1).ok());
-  ASSERT_TRUE(q2.read(1).ok());
-
-  // Export charged once per conflicting query: 2 x 30 = 60 > 50 -> blocked.
+  Txn q2 = db.begin(TxnKind::Query, EpsilonSpec::importing(5));
   {
     Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(50));
-    EXPECT_EQ(u.add(1, 30).code(), ErrorCode::kTimeout);
-    u.abort();
+    ASSERT_TRUE(u.add(1, 20).ok());
+    ASSERT_TRUE(u.commit().ok());  // no export tax, no blocking
   }
-  // 2 x 20 = 40 <= 50 -> allowed.
-  {
-    Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(50));
-    EXPECT_TRUE(u.add(1, 20).ok());
-    ASSERT_TRUE(u.commit().ok());
-    EXPECT_EQ(q1.fuzziness(), 20);
-    EXPECT_EQ(q2.fuzziness(), 20);
-  }
+  // Each query pays from its own account: q1 affords freshness, q2 does not.
+  EXPECT_EQ(q1.read(1).value(), 120);
+  EXPECT_EQ(q1.fuzziness(), 20);
+  EXPECT_EQ(q2.read(1).value(), 100);
+  EXPECT_EQ(q2.fuzziness(), 0);
   ASSERT_TRUE(q1.commit().ok());
   ASSERT_TRUE(q2.commit().ok());
 }
@@ -189,45 +206,49 @@ TEST(DcTxn, ExportBudgetSharedAcrossConcurrentQueries) {
 TEST(DcTxn, AbortedQueryFuzzinessResets) {
   Database db(dc_options());
   db.load(1, 100);
-  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
-  ASSERT_TRUE(u.write(1, 150).ok());
   {
     Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
+    Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(1000));
+    ASSERT_TRUE(u.write(1, 150).ok());
+    ASSERT_TRUE(u.commit().ok());
     ASSERT_TRUE(q.read(1).ok());
     EXPECT_EQ(q.fuzziness(), 50);
     q.abort();  // Z resets to zero with the abort
   }
-  // A fresh query starts from a clean account.
+  // A fresh query starts from a clean account (and a fresh snapshot, so the
+  // earlier movement is simply part of its consistent view).
   Txn q2 = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
   ASSERT_TRUE(q2.read(1).ok());
-  EXPECT_EQ(q2.fuzziness(), 50);
+  EXPECT_EQ(q2.read(1).value(), 150);
+  EXPECT_EQ(q2.fuzziness(), 0);
   ASSERT_TRUE(q2.commit().ok());
-  ASSERT_TRUE(u.commit().ok());
 }
 
-TEST(DcTxn, FuzzyGrantStatRecorded) {
+TEST(DcTxn, QueriesBypassTheLockManagerEntirely) {
   Database db(dc_options());
   db.load(1, 100);
-  Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(100));
-  ASSERT_TRUE(u.write(1, 150).ok());
+  const auto total_acquires = [&] {
+    std::uint64_t n = 0;
+    for (const LockStripeSnapshot& s : db.locks().stripe_stats()) {
+      n += s.acquires;
+    }
+    return n;
+  };
+  const std::uint64_t before = total_acquires();
   Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(100));
   ASSERT_TRUE(q.read(1).ok());
-  EXPECT_GE(db.locks().stats().fuzzy_grants, 1u);
   ASSERT_TRUE(q.commit().ok());
-  ASSERT_TRUE(u.commit().ok());
+  EXPECT_EQ(total_acquires(), before);              // no lock traffic at all
+  EXPECT_EQ(db.locks().stats().fuzzy_grants, 0u);   // fuzzy grants are gone
+  EXPECT_GE(db.store().mvcc_stats().snapshots_acquired, 1u);
 }
 
-// The ESR guarantee, exercised end to end: under concurrent bounded
-// transfers, an audit query's observed total deviates from the invariant
-// total by at most its import limit.
 TEST(DcTxn, CrashRestartNeverUnderCountsBudgets) {
   // Crash-restart interaction of the epsilon ledger with durability: an
-  // update whose export was charged to a concurrent query dies with the
-  // crash -- its handle must NOT be able to commit afterwards (the staged
-  // write was wiped; "committing" would install nothing while reporting
-  // success, silently divorcing the committed state from what the query's
-  // import charge accounted for).  Post-recovery, fresh transactions run
-  // with a clean ledger.
+  // update dies with the crash -- its handle must NOT be able to commit
+  // afterwards (the staged write was wiped; "committing" would install
+  // nothing while reporting success).  Post-recovery, fresh transactions
+  // run with a clean ledger and the committed state is intact.
   LogDevice wal;
   DatabaseOptions o = dc_options();
   o.wal = &wal;
@@ -238,8 +259,8 @@ TEST(DcTxn, CrashRestartNeverUnderCountsBudgets) {
   Txn u = db.begin(TxnKind::Update, EpsilonSpec::exporting(60));
   ASSERT_TRUE(u.add(1, 50).ok());
   Txn q = db.begin(TxnKind::Query, EpsilonSpec::importing(60));
-  ASSERT_TRUE(q.read(1).ok());  // fuzzy grant: both sides charge 50
-  EXPECT_EQ(q.fuzziness(), 50);
+  ASSERT_TRUE(q.read(1).ok());  // committed state: the staged 50 is invisible
+  EXPECT_EQ(q.fuzziness(), 0);
   ASSERT_TRUE(q.commit().ok());
 
   db.crash();
@@ -249,14 +270,14 @@ TEST(DcTxn, CrashRestartNeverUnderCountsBudgets) {
   (void)db.recover_from_wal();
   EXPECT_EQ(db.store().read_committed(1).value(), 100);
 
-  // The ledger is clean: a full-budget export and import succeed afresh.
+  // The ledger is clean: a full-budget import succeeds afresh.
   Txn u2 = db.begin(TxnKind::Update, EpsilonSpec::exporting(60));
   ASSERT_TRUE(u2.add(1, 50).ok());
   Txn q2 = db.begin(TxnKind::Query, EpsilonSpec::importing(60));
-  ASSERT_TRUE(q2.read(1).ok());
+  ASSERT_TRUE(u2.commit().ok());
+  ASSERT_TRUE(q2.read(1).ok());  // committed after q2's snapshot: charges 50
   EXPECT_EQ(q2.fuzziness(), 50);
   ASSERT_TRUE(q2.commit().ok());
-  ASSERT_TRUE(u2.commit().ok());
   EXPECT_EQ(db.store().read_committed(1).value(), 150);
 }
 
@@ -293,7 +314,7 @@ TEST(DcGuarantee, AuditErrorBoundedByImportLimit) {
       for (int i = 0; i < kAccounts; ++i) {
         Result<Value> v = q.read(i);
         if (!v.ok()) {
-          failed = true;
+          failed = true;  // snapshot too old under churn: retry afresh
           break;
         }
         sum += v.value();

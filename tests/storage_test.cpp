@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -123,6 +124,119 @@ TEST(Store, CrashSparesPreparedSurvivors) {
   store.crash(&survivors);
   EXPECT_EQ(store.read_latest(1).value(), 150);  // survived
   EXPECT_EQ(store.read_latest(2).value(), 200);  // lost
+}
+
+TEST(Store, LoadOverDirtyCellIsRefused) {
+  // Regression: Store::load used to reset dirty_owner on an existing cell,
+  // silently orphaning the in-flight writer -- its later commit_key became a
+  // no-op and the update vanished.  Bulk-load over a dirty cell must fail
+  // and leave the writer's staged state intact.
+  Store store;
+  store.load(1, 100);
+  ASSERT_TRUE(store.write(7, 1, 150).ok());
+  // Refused: txn 7 is mid-flight on this key.
+  EXPECT_EQ(store.load(1, 500).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(store.dirty_writer(1), std::optional<TxnId>(7));
+  store.commit_key(7, 1);
+  EXPECT_EQ(store.read_committed(1).value(), 150);  // the write survived
+}
+
+// --- multi-version store ---------------------------------------------------
+
+TEST(Mvcc, SnapshotReadIsIsolatedFromLaterCommits) {
+  Store store;
+  store.load(1, 100);
+  const std::uint64_t snap = store.snapshot_acquire();
+  ASSERT_TRUE(store.write(7, 1, 150).ok());
+  store.commit_key(7, 1);
+  ASSERT_TRUE(store.write(8, 1, 200).ok());
+  store.commit_key(8, 1);
+  // The snapshot keeps resolving at the version it pinned; the frontier
+  // moved on independently.
+  EXPECT_EQ(store.read_snapshot(1, snap).value().value, 100);
+  const VersionRead latest = store.read_latest_versioned(1).value();
+  EXPECT_EQ(latest.value, 200);
+  EXPECT_GT(latest.seq, snap);
+  store.snapshot_release(snap);
+}
+
+TEST(Mvcc, DepthCapBoundsRetainedVersionsAndAgesOutOldSnapshots) {
+  Store store;
+  store.load(1, 0);
+  const std::uint64_t snap = store.snapshot_acquire();  // pins the chain
+  for (int i = 1; i <= int(Store::kVersionDepth) + 8; ++i) {
+    ASSERT_TRUE(store.write(TxnId(i), 1, i).ok());
+    store.commit_key(TxnId(i), 1);
+  }
+  // The ring overwrites its oldest slot when full regardless of snapshots:
+  // retention is capped at kVersionDepth, never unbounded.
+  EXPECT_EQ(store.versions_retained(1), Store::kVersionDepth);
+  // The pinned snapshot's version was among those overwritten: the read is
+  // refused as "snapshot too old" (caller retries on a fresh snapshot), not
+  // answered with a wrong newer version.
+  EXPECT_EQ(store.read_snapshot(1, snap).status().code(), ErrorCode::kAborted);
+  EXPECT_GE(store.mvcc_stats().snapshot_too_old, 1u);
+  store.snapshot_release(snap);
+}
+
+TEST(Mvcc, EpochGcReclaimsVersionsNoSnapshotCanReach) {
+  Store store;
+  store.load(1, 0);
+  const std::uint64_t snap = store.snapshot_acquire();
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(store.write(TxnId(i), 1, i * 10).ok());
+    store.commit_key(TxnId(i), 1);
+  }
+  // The live snapshot pins the whole chain: load + 5 commits all retained.
+  EXPECT_EQ(store.versions_retained(1), 6u);
+  store.snapshot_release(snap);
+  // Next publication runs epoch GC on the cell; with no live snapshot every
+  // version with a visible successor is unreachable -- only the newest stays.
+  ASSERT_TRUE(store.write(TxnId(9), 1, 999).ok());
+  store.commit_key(TxnId(9), 1);
+  EXPECT_EQ(store.versions_retained(1), 1u);
+  EXPECT_GE(store.mvcc_stats().gc_reclaimed, 5u);
+  EXPECT_EQ(store.read_latest_versioned(1).value().value, 999);
+}
+
+TEST(Mvcc, ConcurrentSnapshotReadersNeverSeeTornVersions) {
+  // Seqlock validation under contention: one committer climbs a single key
+  // while readers take snapshots and resolve against it.  Every successful
+  // read must be internally consistent (value matches the version's seq) and
+  // must respect its snapshot; the only acceptable failure is the ring aging
+  // the snapshot out.  Run under TSan via the tsan ctest label.
+  Store store;
+  store.load(1, 0);  // version seq 0, value 0: value == seq * 100 throughout
+  constexpr int kCommits = 2000;
+  std::atomic<bool> failed{false};
+  std::thread writer([&] {
+    for (int i = 1; i <= kCommits; ++i) {
+      if (!store.write(1, 1, Value(i) * 100).ok()) failed = true;
+      store.commit_key(1, 1);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        const std::uint64_t snap = store.snapshot_acquire();
+        const auto r = store.read_snapshot(1, snap);
+        if (r.ok()) {
+          if (r.value().seq > snap) failed = true;
+          if (r.value().value != Value(r.value().seq) * 100) failed = true;
+        } else if (r.status().code() != ErrorCode::kAborted) {
+          failed = true;
+        }
+        store.snapshot_release(snap);
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(store.read_latest_versioned(1).value().value,
+            Value(kCommits) * 100);
+  EXPECT_EQ(store.mvcc_stats().live_snapshots, 0u);
 }
 
 TEST(Store, ConcurrentDisjointWritersAreSafe) {

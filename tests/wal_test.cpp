@@ -3,6 +3,10 @@
 // properties (committed-prefix atomicity).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -295,6 +299,156 @@ TEST(LogDevice, CommitRetriesFailedFsyncsUntilDurable) {
   EXPECT_EQ(db.store().read_committed(1).value(), 150);
 }
 
+// --- group commit ----------------------------------------------------------
+
+TEST(GroupCommit, FsyncsFarFewerThanCommitsUnderConcurrency) {
+  // Eight sync committers racing: each waits for a group flush covering its
+  // commit record, but the flush leader batches everyone queued behind it
+  // into one device fsync.  A realistic per-fsync latency gives followers
+  // time to pile up; the whole point of the subsystem is fsyncs << commits.
+  LogDevice log;
+  log.set_fsync_latency(std::chrono::microseconds(300));
+  Database db(wal_options(&log));
+  constexpr int kThreads = 8;
+  constexpr int kCommitsPerThread = 25;
+  for (int k = 0; k < kThreads; ++k) db.load(k, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCommitsPerThread; ++i) {
+        Txn txn = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+        ASSERT_TRUE(txn.add(t, 1).ok());
+        ASSERT_TRUE(txn.commit().ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  constexpr std::uint64_t kCommits = kThreads * kCommitsPerThread;
+  const GroupCommitStats gs = db.group_committer()->stats();
+  EXPECT_EQ(gs.sync_commits, kCommits);
+  EXPECT_LT(log.fsync_count(), kCommits / 2);  // batching actually happened
+  EXPECT_GT(gs.batched, 0u);
+  // Every commit acknowledgement was backed by a durable record.
+  EXPECT_GE(log.durable_lsn(), 1u);
+  for (int k = 0; k < kThreads; ++k) {
+    EXPECT_EQ(db.store().read_committed(k).value(), kCommitsPerThread);
+  }
+}
+
+TEST(GroupCommit, SyncCommitNeverReportsBeforeItsLsnIsDurable) {
+  // The contract behind CommitWait::kSync: by the time commit() returns, the
+  // device's durable frontier covers the transaction's commit record.  Check
+  // it from inside the racing threads, where a violation would actually bite.
+  LogDevice log;
+  log.set_fsync_latency(std::chrono::microseconds(200));
+  Database db(wal_options(&log));
+  for (int k = 0; k < 4; ++k) db.load(k, 0);
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        Txn txn = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+        ASSERT_TRUE(txn.add(t, 1).ok());
+        ASSERT_TRUE(txn.commit().ok());
+        if (log.durable_lsn() < txn.commit_lsn()) violated = true;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(GroupCommit, CrashLosesOnlyCommitsNotYetDurable) {
+  // Async commits return at append time and ride a later group flush.  A
+  // crash in that window is allowed to lose exactly them -- never a sync
+  // commit, never a previously flushed async commit.
+  LogDevice log;
+  Database db(wal_options(&log));
+  db.load(1, 100);
+  db.load(2, 200);
+  db.load(3, 300);
+  {
+    Txn t = db.begin(TxnKind::Update, EpsilonSpec::serializable());
+    ASSERT_TRUE(t.add(1, 11).ok());
+    ASSERT_TRUE(t.commit().ok());  // sync: durable before returning
+  }
+  std::uint64_t async_lsn = 0;
+  {
+    TxnOptions topts;
+    topts.wait = CommitWait::kAsync;
+    Txn t = db.begin(TxnKind::Update, EpsilonSpec::serializable(),
+                     kInvalidTxn, topts);
+    ASSERT_TRUE(t.add(2, 22).ok());
+    ASSERT_TRUE(t.commit().ok());  // acknowledged, not yet durable
+    async_lsn = t.commit_lsn();
+  }
+  EXPECT_GT(async_lsn, log.durable_lsn());  // still in the volatile tail
+  {
+    TxnOptions topts;
+    topts.wait = CommitWait::kAsync;
+    Txn t = db.begin(TxnKind::Update, EpsilonSpec::serializable(),
+                     kInvalidTxn, topts);
+    ASSERT_TRUE(t.add(3, 33).ok());
+    ASSERT_TRUE(t.commit().ok());
+  }
+
+  // Crash with the async tail unflushed: the torn log keeps the sync commit,
+  // drops both async ones.  Recovery must agree.
+  log.tear_to_durable();
+  const RecoveryResult r = db.recover_from_wal();
+  EXPECT_EQ(r.committed_txns, 1u);
+  EXPECT_EQ(db.store().read_committed(1).value(), 111);
+  EXPECT_FALSE(db.store().read_committed(2).ok());  // load alone not durable
+  EXPECT_FALSE(db.store().read_committed(3).ok());
+}
+
+TEST(GroupCommit, FlushedAsyncCommitsSurviveTheCrash) {
+  LogDevice log;
+  Database db(wal_options(&log));
+  db.load(1, 100);
+  {
+    TxnOptions topts;
+    topts.wait = CommitWait::kAsync;
+    Txn t = db.begin(TxnKind::Update, EpsilonSpec::serializable(),
+                     kInvalidTxn, topts);
+    ASSERT_TRUE(t.add(1, 11).ok());
+    ASSERT_TRUE(t.commit().ok());
+    // The commit is volatile until a group flush covers it...
+    EXPECT_LT(log.durable_lsn(), t.commit_lsn());
+    db.group_committer()->flush(/*seed=*/1);
+    // ...after which it is exactly as safe as a sync commit.
+    EXPECT_GE(log.durable_lsn(), t.commit_lsn());
+  }
+  log.tear_to_durable();
+  const RecoveryResult r = db.recover_from_wal();
+  EXPECT_EQ(r.committed_txns, 1u);
+  EXPECT_EQ(db.store().read_committed(1).value(), 111);
+}
+
+TEST(GroupCommit, AsyncBacklogForcesASelfFlush) {
+  // Pure-async workloads must not defer durability forever: once
+  // kAsyncFlushBacklog commits pile up with no sync leader in sight, the
+  // next async committer flushes the group itself.
+  LogDevice log;
+  Database db(wal_options(&log));
+  db.load(1, 0);
+  TxnOptions topts;
+  topts.wait = CommitWait::kAsync;
+  const std::uint64_t n = GroupCommitter::kAsyncFlushBacklog + 2;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Txn t = db.begin(TxnKind::Update, EpsilonSpec::serializable(),
+                     kInvalidTxn, topts);
+    ASSERT_TRUE(t.add(1, 1).ok());
+    ASSERT_TRUE(t.commit().ok());
+  }
+  const GroupCommitStats gs = db.group_committer()->stats();
+  EXPECT_EQ(gs.async_commits, n);
+  EXPECT_GE(gs.async_self_flushes, 1u);
+  EXPECT_GE(log.durable_lsn(), 1u);
+}
+
 // --- log-backed recoverable queues ----------------------------------------
 
 TEST(QueueWal, CommittedEnqueueSurvivesTotalLoss) {
@@ -342,7 +496,7 @@ TEST(QueueWal, DeliveredUnconsumedMessageSurvives) {
   qdata.to = 1;
   qdata.type = "qdata";
   qdata.gtid = (std::uint64_t(0) << 40) | 7;
-  qdata.payload = std::make_pair(std::string("q"), std::any(std::string("m")));
+  qdata.payload = std::make_pair(std::string("q"), std::string("m"));
   ASSERT_TRUE(endpoint.deliver(qdata));
 
   QueueEndpoint reborn(1, net);
@@ -364,7 +518,7 @@ TEST(QueueWal, ConsumedMessageDoesNotComeBack) {
   qdata.from = 0;
   qdata.to = 1;
   qdata.gtid = 9;
-  qdata.payload = std::make_pair(std::string("q"), std::any(std::string("m")));
+  qdata.payload = std::make_pair(std::string("q"), std::string("m"));
   ASSERT_TRUE(endpoint.deliver(qdata));
   {
     Txn t = db.begin(TxnKind::Update, EpsilonSpec::unlimited());
@@ -386,7 +540,7 @@ TEST(QueueWal, ClaimedButUncommittedConsumeComesBack) {
   Message qdata;
   qdata.from = 0;
   qdata.gtid = 10;
-  qdata.payload = std::make_pair(std::string("q"), std::any(std::string("m")));
+  qdata.payload = std::make_pair(std::string("q"), std::string("m"));
   ASSERT_TRUE(endpoint.deliver(qdata));
   Txn t = db.begin(TxnKind::Update, EpsilonSpec::unlimited());
   ASSERT_TRUE(endpoint.try_dequeue(t, "q").has_value());
